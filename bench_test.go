@@ -1,0 +1,428 @@
+// Package repro_test holds the benchmark harness entry points: one
+// testing.B benchmark per table and figure of the paper's evaluation
+// (DESIGN.md carries the experiment index), plus kernel microbenchmarks for
+// the §4.2/§4.3 hot loops. Benchmarks run at a tiny dataset scale so the
+// suite completes on a laptop; `cmd/slide-bench` runs the same experiments
+// at configurable scale with full reporting.
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/slide-cpu/slide/internal/bf16"
+	"github.com/slide-cpu/slide/internal/costmodel"
+	"github.com/slide-cpu/slide/internal/dataset"
+	"github.com/slide-cpu/slide/internal/harness"
+	"github.com/slide-cpu/slide/internal/layer"
+	"github.com/slide-cpu/slide/internal/lsh"
+	"github.com/slide-cpu/slide/internal/platform"
+	"github.com/slide-cpu/slide/internal/simd"
+	"github.com/slide-cpu/slide/internal/sparse"
+)
+
+// benchOpts keeps measured benchmark runs small and repeatable.
+func benchOpts() harness.Options {
+	return harness.Options{Scale: 1e-6, Epochs: 1, EvalPointsPerEpoch: 1,
+		EvalSamples: 30, Workers: 2, Seed: 42}
+}
+
+func benchWorkload(b *testing.B) *harness.Workload {
+	b.Helper()
+	ws, err := harness.Workloads(benchOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ws[0] // Amazon-670K-like
+}
+
+// BenchmarkTable1DatasetGen regenerates Table 1's datasets (statistics
+// derive from the generated data; see cmd/slide-bench -exp table1).
+func BenchmarkTable1DatasetGen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := dataset.Amazon670K(1e-6, uint64(i))
+		train, _, err := dataset.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = train.Stats()
+	}
+}
+
+// BenchmarkTable2EpochTime measures the three systems of Table 2's
+// same-hardware comparison: dense full softmax, naive SLIDE, optimized
+// SLIDE. Each iteration is one training epoch.
+func BenchmarkTable2EpochTime(b *testing.B) {
+	w := benchWorkload(b)
+	opts := benchOpts()
+	b.Run("FullSoftmax", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := harness.RunDense(w, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("NaiveSLIDE", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := harness.RunSLIDE(w, harness.Naive, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("OptimizedSLIDE", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := harness.RunSLIDE(w, harness.Optimized, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTable2Roofline exercises the cost-model rows of Table 2 (the
+// cross-platform estimates).
+func BenchmarkTable2Roofline(b *testing.B) {
+	w := costmodel.Workload{
+		Samples: 490449, FeatureNNZ: 75, Input: 135909, Hidden: 128,
+		Output: 670091, MeanActive: 3350, BatchSize: 1024,
+		L: 400, K: 6, RebuildPeriod: 50,
+	}
+	for i := 0; i < b.N; i++ {
+		_ = costmodel.EstimateEpoch(w, costmodel.OptimizedSLIDE(platform.CPX), platform.CPX)
+		_ = costmodel.EstimateEpoch(w, costmodel.NaiveSLIDE(), platform.CLX)
+		_ = costmodel.EstimateEpoch(w, costmodel.FullSoftmax(), platform.V100)
+	}
+}
+
+// BenchmarkTable3BF16 measures the three §4.4 quantization modes on the
+// optimized system (Table 3; software BF16 on the host, see EXPERIMENTS.md).
+func BenchmarkTable3BF16(b *testing.B) {
+	w := benchWorkload(b)
+	opts := benchOpts()
+	for _, m := range []struct {
+		name string
+		prec layer.Precision
+	}{
+		{"FP32", layer.FP32},
+		{"BF16Act", layer.BF16Act},
+		{"BF16Both", layer.BF16Both},
+	} {
+		b.Run(m.name, func(b *testing.B) {
+			v := harness.Optimized
+			v.Precision = m.prec
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.RunSLIDE(w, v, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable4Vectorization measures vector vs scalar kernels with
+// everything else held at the optimized configuration (Table 4).
+func BenchmarkTable4Vectorization(b *testing.B) {
+	w := benchWorkload(b)
+	opts := benchOpts()
+	for _, m := range []struct {
+		name string
+		mode simd.Mode
+	}{
+		{"Vector", simd.Vector},
+		{"Scalar", simd.Scalar},
+	} {
+		b.Run(m.name, func(b *testing.B) {
+			v := harness.Optimized
+			v.Kernels = m.mode
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.RunSLIDE(w, v, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure6Convergence runs the convergence measurement loop that
+// produces Figure 6's curves (one short tracked run per iteration).
+func BenchmarkFigure6Convergence(b *testing.B) {
+	w := benchWorkload(b)
+	opts := benchOpts()
+	opts.EvalPointsPerEpoch = 3
+	for i := 0; i < b.N; i++ {
+		r, err := harness.RunSLIDE(w, harness.Optimized, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Tracker.Points()) == 0 {
+			b.Fatal("no convergence points")
+		}
+	}
+}
+
+// BenchmarkAblationMemoryLayout isolates the §4.1/§5.7 memory effect:
+// parameter placement × batch layout with kernels held fixed.
+func BenchmarkAblationMemoryLayout(b *testing.B) {
+	w := benchWorkload(b)
+	opts := benchOpts()
+	for _, c := range []struct {
+		name  string
+		place layer.Placement
+		lay   sparse.Layout
+	}{
+		{"Coalesced", layer.Contiguous, sparse.Coalesced},
+		{"FragmentedParams", layer.Scattered, sparse.Coalesced},
+		{"FragmentedData", layer.Contiguous, sparse.Fragmented},
+		{"FullyFragmented", layer.Scattered, sparse.Fragmented},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			v := harness.Optimized
+			v.Placement = c.place
+			v.BatchLayout = c.lay
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.RunSLIDE(w, v, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationThreads sweeps HOGWILD worker counts (§4.1.1).
+func BenchmarkAblationThreads(b *testing.B) {
+	w := benchWorkload(b)
+	for _, nw := range []int{1, 2, 4} {
+		b.Run(string(rune('0'+nw)), func(b *testing.B) {
+			opts := benchOpts()
+			opts.Workers = nw
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.RunSLIDE(w, harness.Optimized, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Kernel microbenchmarks (§4.2/§4.3 hot loops) ---
+
+func randF32(n int, seed uint64) []float32 {
+	rng := rand.New(rand.NewPCG(seed, 1))
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = float32(rng.NormFloat64())
+	}
+	return s
+}
+
+// BenchmarkKernelDot measures Algorithm 1's inner loop (dense dot over a
+// 128-wide hidden layer, the paper's dimension).
+func BenchmarkKernelDot(b *testing.B) {
+	x := randF32(128, 1)
+	y := randF32(128, 2)
+	b.Run("Vector", func(b *testing.B) {
+		var s float32
+		for i := 0; i < b.N; i++ {
+			s += simd.DotVec(x, y)
+		}
+		sink = s
+	})
+	b.Run("Scalar", func(b *testing.B) {
+		var s float32
+		for i := 0; i < b.N; i++ {
+			s += simd.DotScalar(x, y)
+		}
+		sink = s
+	})
+}
+
+// BenchmarkKernelDot4 measures the register-blocked four-row dot against
+// four independent dots (the ForwardActive hot path).
+func BenchmarkKernelDot4(b *testing.B) {
+	r0 := randF32(128, 21)
+	r1 := randF32(128, 22)
+	r2 := randF32(128, 23)
+	r3 := randF32(128, 24)
+	h := randF32(128, 25)
+	b.Run("Blocked", func(b *testing.B) {
+		var s float32
+		for i := 0; i < b.N; i++ {
+			s0, s1, s2, s3 := simd.Dot4(r0, r1, r2, r3, h)
+			s += s0 + s1 + s2 + s3
+		}
+		sink = s
+	})
+	b.Run("FourDots", func(b *testing.B) {
+		var s float32
+		for i := 0; i < b.N; i++ {
+			s += simd.DotVec(r0, h) + simd.DotVec(r1, h) + simd.DotVec(r2, h) + simd.DotVec(r3, h)
+		}
+		sink = s
+	})
+}
+
+// BenchmarkKernelAxpy measures Algorithm 2's inner loop (broadcast-multiply
+// accumulate over a column).
+func BenchmarkKernelAxpy(b *testing.B) {
+	x := randF32(128, 3)
+	y := randF32(128, 4)
+	b.Run("Vector", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			simd.AxpyVec(0.5, x, y)
+		}
+	})
+	b.Run("Scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			simd.AxpyScalar(0.5, x, y)
+		}
+	})
+}
+
+// BenchmarkKernelAdam measures the §4.3.1 fused optimizer pass.
+func BenchmarkKernelAdam(b *testing.B) {
+	n := 4096
+	w := randF32(n, 5)
+	m := make([]float32, n)
+	v := make([]float32, n)
+	g := randF32(n, 6)
+	p := simd.NewAdamParams(1e-3, 0.9, 0.999, 1e-8, 3)
+	b.Run("Vector", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			simd.AdamStepVec(w, m, v, g, p)
+		}
+	})
+	b.Run("Scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			simd.AdamStepScalar(w, m, v, g, p)
+		}
+	})
+}
+
+// BenchmarkKernelDotBF16 measures the §4.4 mixed-precision dot product.
+func BenchmarkKernelDotBF16(b *testing.B) {
+	x := bf16.FromSlice(randF32(128, 7))
+	y := randF32(128, 8)
+	var s float32
+	for i := 0; i < b.N; i++ {
+		s += simd.DotBF16F32(x, y)
+	}
+	sink = s
+}
+
+// BenchmarkTableRebuild measures the hash-table maintenance cost: a full
+// rebuild over all output neurons (the §2 "hash tables update" path).
+func BenchmarkTableRebuild(b *testing.B) {
+	d, err := lsh.NewDWTA(lsh.DWTAConfig{K: 4, L: 16, Dim: 128, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := lsh.NewTableSet(d, 128, lsh.FIFO, 5)
+	n := 2000
+	rows, _ := make([][]float32, n), 0
+	for i := range rows {
+		rows[i] = randF32(128, uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts.RebuildDense(n, 128, func(j int, _ []float32) []float32 { return rows[j] }, 2)
+	}
+}
+
+// BenchmarkTableQuery measures one active-set retrieval: hash the activation
+// and union L buckets with dedup (the per-sample sampling cost).
+func BenchmarkTableQuery(b *testing.B) {
+	d, err := lsh.NewDWTA(lsh.DWTAConfig{K: 4, L: 16, Dim: 128, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := lsh.NewTableSet(d, 128, lsh.FIFO, 5)
+	n := 2000
+	rows := make([][]float32, n)
+	for i := range rows {
+		rows[i] = randF32(128, uint64(i))
+	}
+	ts.RebuildDense(n, 128, func(j int, _ []float32) []float32 { return rows[j] }, 2)
+	act := randF32(128, 999)
+	dedup := lsh.NewDedup(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dedup.Begin()
+		count := 0
+		ts.QueryDense(act, func(id int32) {
+			if !dedup.Seen(id) {
+				count++
+			}
+		})
+	}
+}
+
+// BenchmarkBatchBuild measures materializing one batch in the two §4.1
+// data layouts (the coalesced CSR copy vs per-sample allocations).
+func BenchmarkBatchBuild(b *testing.B) {
+	opts := benchOpts()
+	ws, err := harness.Workloads(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train := ws[0].Train
+	for _, layout := range []sparse.Layout{sparse.Coalesced, sparse.Fragmented} {
+		b.Run(layout.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				it := train.Iter(128, layout, uint64(i))
+				for {
+					if _, ok := it.Next(); !ok {
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDWTAHash measures the §4.3.3 hash computation on a dense
+// 128-dim activation (the output-layer query path).
+func BenchmarkDWTAHash(b *testing.B) {
+	d, err := lsh.NewDWTA(lsh.DWTAConfig{K: 6, L: 50, Dim: 128, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	act := randF32(128, 10)
+	out := make([]uint32, 50)
+	for i := 0; i < b.N; i++ {
+		d.HashDense(act, out)
+	}
+}
+
+// BenchmarkSimHash measures the Text8 hash family on a one-hot input, in
+// both sign-derivation modes: Lazy (vocabulary-sized input space, signs
+// hashed on demand) and Precomputed (hidden-sized query space, packed sign
+// matrix — the network's hot path).
+func BenchmarkSimHash(b *testing.B) {
+	b.Run("Lazy253855", func(b *testing.B) {
+		s, err := lsh.NewSimHash(lsh.SimHashConfig{K: 9, L: 50, Dim: 253855, Seed: 11})
+		if err != nil {
+			b.Fatal(err)
+		}
+		v := sparse.Vector{Indices: []int32{1234}, Values: []float32{1}}
+		out := make([]uint32, 50)
+		for i := 0; i < b.N; i++ {
+			s.Hash(v, out)
+		}
+	})
+	b.Run("Precomputed200", func(b *testing.B) {
+		s, err := lsh.NewSimHash(lsh.SimHashConfig{K: 9, L: 50, Dim: 200, Seed: 11})
+		if err != nil {
+			b.Fatal(err)
+		}
+		act := randF32(200, 12)
+		out := make([]uint32, 50)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.HashDense(act, out)
+		}
+	})
+}
+
+// sink defeats dead-code elimination in kernel benchmarks.
+var sink float32

@@ -1,0 +1,99 @@
+// Command slide-data generates the synthetic workloads in XMC format and
+// inspects dataset statistics (the Table 1 columns).
+//
+// Usage:
+//
+//	slide-data -dataset amazon -scale 0.01 -out amazon.train.txt -testout amazon.test.txt
+//	slide-data -stats file.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/slide-cpu/slide/slide"
+)
+
+func main() {
+	var (
+		ds      = flag.String("dataset", "amazon", "builtin dataset: amazon|wiki|text8")
+		scale   = flag.Float64("scale", 0.01, "fraction of the paper's dimensions")
+		seed    = flag.Uint64("seed", 42, "random seed")
+		out     = flag.String("out", "", "write the train split as XMC to this path")
+		testOut = flag.String("testout", "", "write the test split as XMC to this path")
+		stats   = flag.String("stats", "", "print statistics of an existing XMC file and exit")
+	)
+	flag.Parse()
+
+	if *stats != "" {
+		d, err := slide.OpenXMC(*stats)
+		if err != nil {
+			fail(err)
+		}
+		printStats(d)
+		return
+	}
+
+	var train, test *slide.Dataset
+	var err error
+	switch *ds {
+	case "amazon":
+		train, test, err = slide.AmazonLike(*scale, *seed)
+	case "wiki":
+		train, test, err = slide.WikiLike(*scale, *seed)
+	case "text8":
+		train, test, err = slide.Text8Like(*scale, *seed)
+	default:
+		err = fmt.Errorf("unknown -dataset %q (amazon|wiki|text8)", *ds)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Println("train split:")
+	printStats(train)
+	fmt.Println("test split:")
+	printStats(test)
+
+	if *out != "" {
+		if err := writeXMC(train, *out); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if *testOut != "" {
+		if err := writeXMC(test, *testOut); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *testOut)
+	}
+}
+
+func writeXMC(d *slide.Dataset, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.WriteXMC(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func printStats(d *slide.Dataset) {
+	s := d.Stats()
+	fmt.Printf("  name:             %s\n", s.Name)
+	fmt.Printf("  samples:          %d\n", s.Samples)
+	fmt.Printf("  feature dim:      %d\n", s.Features)
+	fmt.Printf("  feature sparsity: %.4f%% (%.1f nnz/sample)\n", s.FeatureSparsity*100, s.AvgFeatureNNZ)
+	fmt.Printf("  label dim:        %d\n", s.Labels)
+	fmt.Printf("  labels/sample:    %.2f\n", s.AvgLabels)
+	fmt.Printf("  params @hidden=128: %.1fM\n", float64(d.ModelParams(128))/1e6)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "slide-data: %v\n", err)
+	os.Exit(1)
+}

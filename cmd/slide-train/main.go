@@ -1,0 +1,173 @@
+// Command slide-train trains a SLIDE (or full-softmax) model on one of the
+// built-in synthetic workloads or on a real XMC-format file, reporting
+// per-epoch loss, Precision@1, active-set sparsity, and wall-clock time.
+//
+// Usage:
+//
+//	slide-train -dataset amazon -scale 0.01 -epochs 3
+//	slide-train -dataset text8 -scale 0.005 -hash simhash -k 7 -l 12
+//	slide-train -train train.txt -test test.txt -k 6 -l 50
+//	slide-train -dataset amazon -mode dense          # full-softmax baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/slide-cpu/slide/slide"
+)
+
+func main() {
+	var (
+		ds      = flag.String("dataset", "amazon", "builtin dataset: amazon|wiki|text8 (ignored when -train/-corpus is set)")
+		trainF  = flag.String("train", "", "XMC-format training file (overrides -dataset)")
+		testF   = flag.String("test", "", "XMC-format test file")
+		corpusF = flag.String("corpus", "", "raw text corpus for word2vec training (e.g. the real text8 file)")
+		vocabN  = flag.Int("vocab", 0, "corpus: keep the N most frequent words (0 = all)")
+		scale   = flag.Float64("scale", 0.01, "builtin dataset scale")
+		epochs  = flag.Int("epochs", 3, "training epochs")
+		batch   = flag.Int("batch", 256, "batch size")
+		hidden  = flag.Int("hidden", 128, "hidden layer width")
+		hash    = flag.String("hash", "dwta", "hash family: dwta|simhash")
+		k       = flag.Int("k", 4, "hashes per table")
+		l       = flag.Int("l", 16, "number of hash tables")
+		lr      = flag.Float64("lr", 1e-4, "ADAM learning rate")
+		mode    = flag.String("mode", "slide", "slide | dense (full softmax)")
+		prec    = flag.String("precision", "fp32", "fp32 | bf16act | bf16full")
+		workers = flag.Int("workers", 0, "HOGWILD workers (0 = GOMAXPROCS)")
+		seed    = flag.Uint64("seed", 42, "random seed")
+		evalN   = flag.Int("evalsamples", 500, "test samples per evaluation")
+		saveF   = flag.String("save", "", "write a checkpoint here after training")
+		resumeF = flag.String("resume", "", "resume training from this checkpoint (architecture flags ignored)")
+	)
+	flag.Parse()
+
+	var train, test *slide.Dataset
+	var err error
+	if *corpusF != "" {
+		var vocab *slide.Vocabulary
+		train, vocab, err = slide.OpenCorpus(*corpusF, slide.CorpusOptions{MaxVocab: *vocabN, Window: 2})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("corpus vocabulary: %d words (most frequent: %q)\n", vocab.Size(), vocab.Word(0))
+		// Hold out the tail of the corpus samples for evaluation.
+		n := train.Len()
+		test = train // evaluate on training head when the corpus is tiny
+		if n > 2000 {
+			test = train.Head(n / 10)
+		}
+	} else {
+		train, test, err = loadData(*trainF, *testF, *ds, *scale, *seed)
+		if err != nil {
+			fail(err)
+		}
+	}
+	st := train.Stats()
+	fmt.Printf("dataset %s: %d samples, %d features (%.4f%% dense), %d labels, %.1f labels/sample\n",
+		train.Name(), st.Samples, st.Features, st.FeatureSparsity*100, st.Labels, st.AvgLabels)
+	fmt.Printf("model: %d -> %d -> %d (%.1fM parameters)\n",
+		train.Features(), *hidden, train.NumLabels(),
+		float64(train.ModelParams(*hidden))/1e6)
+
+	opts := []slide.Option{
+		slide.WithLearningRate(*lr),
+		slide.WithSeed(*seed),
+	}
+	if *workers > 0 {
+		opts = append(opts, slide.WithWorkers(*workers))
+	}
+	switch *mode {
+	case "dense":
+		opts = append(opts, slide.WithFullSoftmax())
+	case "slide":
+		if *hash == "simhash" {
+			opts = append(opts, slide.WithSimHash(*k, *l))
+		} else {
+			opts = append(opts, slide.WithDWTA(*k, *l))
+		}
+	default:
+		fail(fmt.Errorf("unknown -mode %q", *mode))
+	}
+	switch *prec {
+	case "fp32":
+		opts = append(opts, slide.WithPrecision(slide.FP32))
+	case "bf16act":
+		opts = append(opts, slide.WithPrecision(slide.BF16Activations))
+	case "bf16full":
+		opts = append(opts, slide.WithPrecision(slide.BF16Full))
+	default:
+		fail(fmt.Errorf("unknown -precision %q", *prec))
+	}
+	if (*ds == "text8" && *trainF == "") || *corpusF != "" {
+		opts = append(opts, slide.WithLinearHidden())
+	}
+
+	var m *slide.Model
+	if *resumeF != "" {
+		if m, err = slide.LoadFile(*resumeF); err != nil {
+			fail(err)
+		}
+		fmt.Printf("resumed from %s at optimizer step %d\n", *resumeF, m.Steps())
+	} else if m, err = slide.New(train.Features(), *hidden, train.NumLabels(), opts...); err != nil {
+		fail(err)
+	}
+
+	var trained time.Duration
+	for e := 1; e <= *epochs; e++ {
+		start := time.Now()
+		stats, err := m.TrainEpoch(train, *batch)
+		if err != nil {
+			fail(err)
+		}
+		trained += time.Since(start)
+		p1 := 0.0
+		if test != nil {
+			if p1, err = m.Evaluate(test, *evalN, 1); err != nil {
+				fail(err)
+			}
+		}
+		fmt.Printf("epoch %2d  time %8.2fs  loss %7.4f  P@1 %.4f  active %6.1f (%.2f%% of outputs)\n",
+			e, time.Since(start).Seconds(), stats.MeanLoss, p1,
+			stats.MeanActive, 100*stats.ActiveFraction(train.NumLabels()))
+	}
+	fmt.Printf("total training time: %.2fs (%.2fs/epoch)\n",
+		trained.Seconds(), trained.Seconds()/float64(*epochs))
+	if *saveF != "" {
+		if err := m.SaveFile(*saveF); err != nil {
+			fail(err)
+		}
+		fmt.Printf("checkpoint written to %s\n", *saveF)
+	}
+}
+
+func loadData(trainF, testF, ds string, scale float64, seed uint64) (train, test *slide.Dataset, err error) {
+	if trainF != "" {
+		if train, err = slide.OpenXMC(trainF); err != nil {
+			return nil, nil, err
+		}
+		if testF != "" {
+			if test, err = slide.OpenXMC(testF); err != nil {
+				return nil, nil, err
+			}
+		}
+		return train, test, nil
+	}
+	switch ds {
+	case "amazon":
+		return slide.AmazonLike(scale, seed)
+	case "wiki":
+		return slide.WikiLike(scale, seed)
+	case "text8":
+		return slide.Text8Like(scale, seed)
+	default:
+		return nil, nil, fmt.Errorf("unknown -dataset %q (amazon|wiki|text8)", ds)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "slide-train: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Extreme classification: the paper's headline scenario. Trains SLIDE and
+// the dense full-softmax baseline on the same Amazon-670K-like workload and
+// compares wall-clock time-to-accuracy — the Figure 6 story at example
+// scale.
+//
+//	go run ./examples/extreme [-scale 0.005] [-epochs 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/slide-cpu/slide/slide"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.005, "dataset scale relative to the paper's Amazon-670K")
+	epochs := flag.Int("epochs", 4, "training epochs")
+	flag.Parse()
+
+	train, test, err := slide.AmazonLike(*scale, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Amazon-670K-like @ scale %g: %d train samples, %d features, %d labels\n\n",
+		*scale, train.Len(), train.Features(), train.NumLabels())
+
+	type system struct {
+		name string
+		opts []slide.Option
+	}
+	systems := []system{
+		{"SLIDE (DWTA)", []slide.Option{
+			slide.WithDWTA(4, 16),
+			slide.WithLearningRate(1e-3),
+			slide.WithSeed(7),
+		}},
+		{"Full softmax", []slide.Option{
+			slide.WithFullSoftmax(),
+			slide.WithLearningRate(1e-3),
+			slide.WithSeed(7),
+		}},
+	}
+
+	for _, sys := range systems {
+		m, err := slide.New(train.Features(), 128, train.NumLabels(), sys.opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s ===\n", sys.name)
+		var total time.Duration
+		for e := 1; e <= *epochs; e++ {
+			start := time.Now()
+			st, err := m.TrainEpoch(train, 256)
+			if err != nil {
+				log.Fatal(err)
+			}
+			d := time.Since(start)
+			total += d
+			p1, err := m.Evaluate(test, 300, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  epoch %d: %7.2fs  loss %.4f  P@1 %.3f  active %.2f%%\n",
+				e, d.Seconds(), st.MeanLoss, p1, 100*st.ActiveFraction(train.NumLabels()))
+		}
+		fmt.Printf("  total %0.2fs (%.2fs/epoch)\n\n", total.Seconds(),
+			total.Seconds()/float64(*epochs))
+	}
+	fmt.Println("SLIDE reaches comparable P@1 touching a few percent of the output layer —")
+	fmt.Println("scale this up (paper: 670K labels) and the wall-clock gap becomes Table 2.")
+}

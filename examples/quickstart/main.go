@@ -1,0 +1,52 @@
+// Quickstart: train a SLIDE model on a small synthetic extreme-
+// classification workload and evaluate Precision@1.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/slide-cpu/slide/slide"
+)
+
+func main() {
+	// A scaled-down Amazon-670K-like dataset: sparse features, Zipfian
+	// multi-label targets, planted structure so the task is learnable.
+	train, test, err := slide.AmazonLike(0.002, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d train / %d test samples, %d features, %d labels\n",
+		train.Len(), test.Len(), train.Features(), train.NumLabels())
+
+	// A SLIDE model: the wide output layer is sampled with DWTA hashing, so
+	// each gradient step touches a tiny fraction of the 'softmax'.
+	m, err := slide.New(train.Features(), 128, train.NumLabels(),
+		slide.WithDWTA(4, 16),
+		slide.WithLearningRate(1e-3),
+		slide.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for epoch := 1; epoch <= 5; epoch++ {
+		st, err := m.TrainEpoch(train, 256)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p1, err := m.Evaluate(test, 300, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("epoch %d: loss %.4f, P@1 %.3f, active %.1f/%d outputs (%.2f%%)\n",
+			epoch, st.MeanLoss, p1, st.MeanActive, train.NumLabels(),
+			100*st.ActiveFraction(train.NumLabels()))
+	}
+
+	// Predict top-3 labels for one test sample.
+	s := test.Sample(0)
+	pred := m.Predict(s.Indices, s.Values, 3)
+	fmt.Printf("sample 0: true labels %v, predicted top-3 %v\n", s.Labels, pred)
+}

@@ -1,0 +1,94 @@
+// Word2vec: the paper's Text8 scenario. Trains a skip-gram model (window 2,
+// linear hidden layer, SimHash-sampled softmax — §5.3) on a synthetic
+// Zipfian corpus with planted bigram structure, then inspects the learned
+// embeddings: a token's nearest neighbour in embedding space should relate
+// to its planted co-occurrence partner.
+//
+//	go run ./examples/word2vec [-scale 0.002] [-epochs 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"github.com/slide-cpu/slide/slide"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.002, "corpus scale relative to the paper's Text8")
+	epochs := flag.Int("epochs", 3, "training epochs")
+	flag.Parse()
+
+	train, test, err := slide.Text8Like(*scale, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vocab := train.Features()
+	fmt.Printf("Text8-like @ scale %g: %d skip-gram samples, vocabulary %d\n\n",
+		*scale, train.Len(), vocab)
+
+	// Paper setting: hidden 200, linear, SimHash on the output layer.
+	m, err := slide.New(vocab, 200, vocab,
+		slide.WithSimHash(7, 10),
+		slide.WithLinearHidden(),
+		slide.WithLearningRate(1e-3),
+		slide.WithSeed(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for e := 1; e <= *epochs; e++ {
+		st, err := m.TrainEpoch(train, 512)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p1, err := m.Evaluate(test, 400, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("epoch %d: loss %.4f, context-P@1 %.3f, active %.2f%% of vocab\n",
+			e, st.MeanLoss, p1, 100*st.ActiveFraction(vocab))
+	}
+
+	// Embedding-space sanity check: cosine-nearest neighbours of a few
+	// frequent tokens (low ids are the Zipf head).
+	fmt.Println("\nembedding nearest neighbours (cosine):")
+	for _, tok := range []int{0, 1, 2, 5, 10} {
+		nn, sim := nearest(m, tok, vocab)
+		fmt.Printf("  token %4d -> token %4d (cos %.3f)\n", tok, nn, sim)
+	}
+}
+
+// nearest returns the token (≠ tok) whose embedding has the highest cosine
+// similarity to tok's. Linear scan: example-scale vocabularies are small.
+func nearest(m *slide.Model, tok, vocab int) (int, float64) {
+	e := m.Embedding(tok)
+	bestSim := math.Inf(-1)
+	best := -1
+	for v := 0; v < vocab; v++ {
+		if v == tok {
+			continue
+		}
+		sim := cosine(e, m.Embedding(v))
+		if sim > bestSim {
+			bestSim = sim
+			best = v
+		}
+	}
+	return best, bestSim
+}
+
+func cosine(a, b []float32) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += float64(a[i]) * float64(b[i])
+		na += float64(a[i]) * float64(a[i])
+		nb += float64(b[i]) * float64(b[i])
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}

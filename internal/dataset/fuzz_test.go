@@ -1,0 +1,46 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadXMC exercises the untrusted-input parser: it must never panic and
+// must either reject the input or produce a dataset whose round trip through
+// WriteXMC re-parses to the same shape.
+func FuzzReadXMC(f *testing.F) {
+	f.Add("1 10 5\n1,2 0:1 3:0.5\n")
+	f.Add("2 10 5\n 1:0.5 3:0.25\n2,4 0:1\n")
+	f.Add("1 10 5\nbad\n")
+	f.Add("")
+	f.Add("3 4 5")
+	f.Add("1 1 1\n0 0:nan\n")
+	f.Add("1 10 5\n0 5:1e300\n")
+	f.Add("1 2 2\n1 \n")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ReadXMC("fuzz", strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted input must serialize and re-parse to the same shape.
+		var buf bytes.Buffer
+		if err := WriteXMC(&buf, d); err != nil {
+			t.Fatalf("WriteXMC failed on accepted input: %v", err)
+		}
+		d2, err := ReadXMC("fuzz2", &buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\ninput: %q\nserialized: %q",
+				err, input, buf.String())
+		}
+		if d2.Len() != d.Len() || d2.Features != d.Features || d2.Labels != d.Labels {
+			t.Fatalf("round trip changed shape: %d/%d/%d -> %d/%d/%d",
+				d.Len(), d.Features, d.Labels, d2.Len(), d2.Features, d2.Labels)
+		}
+		for i := 0; i < d.Len(); i++ {
+			if d.Sample(i).NNZ() != d2.Sample(i).NNZ() {
+				t.Fatalf("sample %d nnz changed", i)
+			}
+		}
+	})
+}

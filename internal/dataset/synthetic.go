@@ -1,0 +1,181 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"slices"
+
+	"github.com/slide-cpu/slide/internal/sparse"
+)
+
+// SyntheticConfig parameterizes the planted-model extreme-classification
+// generator. Each label owns a sparse "prototype" (a deterministic pseudo-
+// random feature subset); a sample draws labels from a Zipf popularity
+// distribution and emits the union of its labels' prototypes plus noise.
+// The planted structure makes the task learnable, so convergence experiments
+// (Figure 6) are meaningful, while dimensions, sparsity and label counts are
+// free parameters matched to Table 1.
+type SyntheticConfig struct {
+	Name      string
+	Features  int
+	Labels    int
+	TrainSize int
+	TestSize  int
+	// PrototypeNNZ is the per-label prototype size; sample feature counts
+	// are roughly PrototypeNNZ · labels-per-sample + NoiseFeatures.
+	PrototypeNNZ int
+	// MaxLabels bounds labels per sample (uniform 1..MaxLabels).
+	MaxLabels int
+	// ZipfS is the label-popularity exponent (0 = uniform).
+	ZipfS float64
+	// NoiseFeatures adds this many random non-prototype features per sample.
+	NoiseFeatures int
+	Seed          uint64
+}
+
+// Validate reports configuration errors.
+func (c *SyntheticConfig) Validate() error {
+	if c.Features <= 0 || c.Labels <= 0 {
+		return fmt.Errorf("dataset: synthetic needs positive dims (features=%d labels=%d)",
+			c.Features, c.Labels)
+	}
+	if c.TrainSize <= 0 || c.TestSize < 0 {
+		return fmt.Errorf("dataset: synthetic needs TrainSize>0, TestSize>=0 (got %d/%d)",
+			c.TrainSize, c.TestSize)
+	}
+	if c.PrototypeNNZ <= 0 || c.PrototypeNNZ > c.Features {
+		return fmt.Errorf("dataset: PrototypeNNZ %d out of range (features %d)",
+			c.PrototypeNNZ, c.Features)
+	}
+	if c.MaxLabels <= 0 {
+		return fmt.Errorf("dataset: MaxLabels must be positive, got %d", c.MaxLabels)
+	}
+	if c.ZipfS < 0 {
+		return fmt.Errorf("dataset: ZipfS must be >= 0, got %g", c.ZipfS)
+	}
+	return nil
+}
+
+// prototypeFeature returns slot j of label's prototype, derived on the fly
+// so 670K prototypes need no storage.
+func prototypeFeature(seed uint64, label int32, j, features int) int32 {
+	h := seed ^ uint64(uint32(label))<<24 ^ uint64(j)
+	h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9
+	h = (h ^ (h >> 27)) * 0x94D049BB133111EB
+	h ^= h >> 31
+	return int32(h % uint64(features))
+}
+
+// Generate builds the train and test splits.
+func Generate(c SyntheticConfig) (train, test *Dataset, err error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	zipf, err := NewZipf(c.Labels, c.ZipfS)
+	if err != nil {
+		return nil, nil, err
+	}
+	gen := func(n int, stream uint64) (*Dataset, error) {
+		rng := rand.New(rand.NewPCG(c.Seed, stream))
+		var b sparse.Builder
+		idxSet := make(map[int32]float32)
+		for i := 0; i < n; i++ {
+			nLab := 1 + rng.IntN(c.MaxLabels)
+			labels := make([]int32, 0, nLab)
+			for len(labels) < nLab {
+				y := int32(zipf.Sample(rng.Float64()))
+				if !slices.Contains(labels, y) {
+					labels = append(labels, y)
+				}
+			}
+			clear(idxSet)
+			for _, y := range labels {
+				for j := 0; j < c.PrototypeNNZ; j++ {
+					f := prototypeFeature(c.Seed, y, j, c.Features)
+					idxSet[f] = 1 + float32(rng.NormFloat64())*0.1
+				}
+			}
+			for j := 0; j < c.NoiseFeatures; j++ {
+				f := int32(rng.IntN(c.Features))
+				if _, ok := idxSet[f]; !ok {
+					idxSet[f] = float32(rng.NormFloat64()) * 0.3
+				}
+			}
+			idx := make([]int32, 0, len(idxSet))
+			for f := range idxSet {
+				idx = append(idx, f)
+			}
+			slices.Sort(idx)
+			val := make([]float32, len(idx))
+			for k, f := range idx {
+				val[k] = idxSet[f]
+			}
+			slices.Sort(labels)
+			b.Add(idx, val, labels)
+		}
+		csr, err := b.CSR()
+		if err != nil {
+			return nil, err
+		}
+		return New(c.Name, c.Features, c.Labels, csr), nil
+	}
+	if train, err = gen(c.TrainSize, 0xEC0); err != nil {
+		return nil, nil, err
+	}
+	if c.TestSize > 0 {
+		if test, err = gen(c.TestSize, 0xEC1); err != nil {
+			return nil, nil, err
+		}
+	}
+	return train, test, nil
+}
+
+// scaleDim scales a paper-sized dimension down, keeping a sane floor.
+func scaleDim(full int, scale float64, floor int) int {
+	n := int(float64(full) * scale)
+	if n < floor {
+		n = floor
+	}
+	return n
+}
+
+// Amazon670K returns the Amazon-670K-like workload (Table 1 row 1:
+// 135,909 features at 0.055% density, 670,091 labels, 490,449 train /
+// 153,025 test) scaled by scale. The paper trains hidden=128, batch 1024,
+// DWTA K=6 L=400 on this dataset.
+func Amazon670K(scale float64, seed uint64) SyntheticConfig {
+	return SyntheticConfig{
+		Name:     fmt.Sprintf("amazon-670k@%.3g", scale),
+		Features: scaleDim(135909, scale, 256),
+		Labels:   scaleDim(670091, scale, 64),
+		// 0.055% of 135,909 ≈ 75 non-zeros per sample, from ~5 labels'
+		// prototypes plus noise.
+		TrainSize:     scaleDim(490449, scale, 512),
+		TestSize:      scaleDim(153025, scale, 128),
+		PrototypeNNZ:  12,
+		MaxLabels:     5,
+		ZipfS:         1.0,
+		NoiseFeatures: 15,
+		Seed:          seed,
+	}
+}
+
+// WikiLSH325K returns the WikiLSHTC-325K-like workload (Table 1 row 2:
+// 1,617,899 features at 0.0026% density, 325,056 labels, 1,778,351 train /
+// 587,084 test) scaled by scale. The paper trains hidden=128, batch 256,
+// DWTA K=5 L=350 on this dataset.
+func WikiLSH325K(scale float64, seed uint64) SyntheticConfig {
+	return SyntheticConfig{
+		Name:      fmt.Sprintf("wikilsh-325k@%.3g", scale),
+		Features:  scaleDim(1617899, scale, 256),
+		Labels:    scaleDim(325056, scale, 64),
+		TrainSize: scaleDim(1778351, scale, 512),
+		TestSize:  scaleDim(587084, scale, 128),
+		// 0.0026% of 1.6M ≈ 42 non-zeros per sample, ~3 labels.
+		PrototypeNNZ:  13,
+		MaxLabels:     3,
+		ZipfS:         1.0,
+		NoiseFeatures: 6,
+		Seed:          seed,
+	}
+}

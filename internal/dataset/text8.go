@@ -1,0 +1,136 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"slices"
+
+	"github.com/slide-cpu/slide/internal/sparse"
+)
+
+// Text8Config parameterizes the Text8-like word2vec workload (§5.1): a
+// synthetic token stream with a Zipfian unigram distribution and a planted
+// bigram structure, turned into skip-gram samples — one-hot input token,
+// multi-hot context labels over a window (the paper uses window 2 and
+// hidden 200).
+type Text8Config struct {
+	Name string
+	// Vocab is the vocabulary size (full Text8: 253,855).
+	Vocab int
+	// TrainTokens / TestTokens are the stream lengths turned into skip-gram
+	// samples (full Text8: 13,604,165 / 3,401,042).
+	TrainTokens int
+	TestTokens  int
+	// Window is the skip-gram context half-width (paper: 2).
+	Window int
+	// ZipfS is the unigram exponent (natural text ≈ 1).
+	ZipfS float64
+	// BigramQ is the probability that a token follows its predecessor's
+	// planted successor instead of a fresh unigram draw — the learnable
+	// co-occurrence structure.
+	BigramQ float64
+	Seed    uint64
+}
+
+// Validate reports configuration errors.
+func (c *Text8Config) Validate() error {
+	if c.Vocab <= 1 {
+		return fmt.Errorf("dataset: text8 needs Vocab > 1, got %d", c.Vocab)
+	}
+	if c.TrainTokens <= 2*c.Window || c.TestTokens < 0 {
+		return fmt.Errorf("dataset: text8 token counts invalid (%d/%d)", c.TrainTokens, c.TestTokens)
+	}
+	if c.Window <= 0 {
+		return fmt.Errorf("dataset: text8 Window must be positive, got %d", c.Window)
+	}
+	if c.BigramQ < 0 || c.BigramQ > 1 {
+		return fmt.Errorf("dataset: BigramQ must be in [0,1], got %g", c.BigramQ)
+	}
+	if c.ZipfS < 0 {
+		return fmt.Errorf("dataset: ZipfS must be >= 0, got %g", c.ZipfS)
+	}
+	return nil
+}
+
+// successor returns the planted bigram successor of token w.
+func successor(seed uint64, w int32, vocab int) int32 {
+	h := seed ^ uint64(uint32(w))*0x9E3779B97F4A7C15
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return int32(h % uint64(vocab))
+}
+
+// GenerateText8 builds train and test skip-gram datasets.
+func GenerateText8(c Text8Config) (train, test *Dataset, err error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	zipf, err := NewZipf(c.Vocab, c.ZipfS)
+	if err != nil {
+		return nil, nil, err
+	}
+	gen := func(tokens int, stream uint64) (*Dataset, error) {
+		rng := rand.New(rand.NewPCG(c.Seed, stream))
+		// Token stream.
+		stream_ := make([]int32, tokens)
+		stream_[0] = int32(zipf.Sample(rng.Float64()))
+		for i := 1; i < tokens; i++ {
+			if rng.Float64() < c.BigramQ {
+				stream_[i] = successor(c.Seed, stream_[i-1], c.Vocab)
+			} else {
+				stream_[i] = int32(zipf.Sample(rng.Float64()))
+			}
+		}
+		// Skip-gram extraction.
+		var b sparse.Builder
+		labels := make([]int32, 0, 2*c.Window)
+		for i := range stream_ {
+			labels = labels[:0]
+			for d := -c.Window; d <= c.Window; d++ {
+				j := i + d
+				if d == 0 || j < 0 || j >= tokens {
+					continue
+				}
+				if !slices.Contains(labels, stream_[j]) {
+					labels = append(labels, stream_[j])
+				}
+			}
+			if len(labels) == 0 {
+				continue
+			}
+			slices.Sort(labels)
+			b.Add([]int32{stream_[i]}, []float32{1}, labels)
+		}
+		csr, err := b.CSR()
+		if err != nil {
+			return nil, err
+		}
+		return New(c.Name, c.Vocab, c.Vocab, csr), nil
+	}
+	if train, err = gen(c.TrainTokens, 0x7E8); err != nil {
+		return nil, nil, err
+	}
+	if c.TestTokens > 0 {
+		if test, err = gen(c.TestTokens, 0x7E9); err != nil {
+			return nil, nil, err
+		}
+	}
+	return train, test, nil
+}
+
+// Text8 returns the Text8-like workload (Table 1 row 3: 253,855 vocabulary,
+// 13,604,165 train / 3,401,042 test tokens, window 2) scaled by scale. The
+// paper trains hidden=200, batch 512, SimHash K=9 L=50 on this dataset.
+func Text8(scale float64, seed uint64) Text8Config {
+	return Text8Config{
+		Name:        fmt.Sprintf("text8@%.3g", scale),
+		Vocab:       scaleDim(253855, scale, 128),
+		TrainTokens: scaleDim(13604165, scale, 1024),
+		TestTokens:  scaleDim(3401042, scale, 256),
+		Window:      2,
+		ZipfS:       1.0,
+		BigramQ:     0.55,
+		Seed:        seed,
+	}
+}

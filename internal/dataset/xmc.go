@@ -1,0 +1,141 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"slices"
+	"strconv"
+	"strings"
+
+	"github.com/slide-cpu/slide/internal/sparse"
+)
+
+// The extreme-classification repository format (Bhatia et al. 2016), used by
+// the real Amazon-670K and WikiLSHTC-325K dumps:
+//
+//	header:  <numSamples> <numFeatures> <numLabels>
+//	line:    l1,l2,...  f1:v1 f2:v2 ...
+//
+// A sample with no labels has an empty label field (the line starts with a
+// space).
+
+// ReadXMC parses a dataset in the XMC repository format. Feature indices are
+// sorted and de-duplicated per sample (last value wins); out-of-range
+// indices are an error.
+func ReadXMC(name string, r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("dataset: reading XMC header: %w", err)
+		}
+		return nil, fmt.Errorf("dataset: empty XMC input")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 3 {
+		return nil, fmt.Errorf("dataset: XMC header needs 3 fields, got %q", sc.Text())
+	}
+	nSamples, err1 := strconv.Atoi(header[0])
+	nFeatures, err2 := strconv.Atoi(header[1])
+	nLabels, err3 := strconv.Atoi(header[2])
+	if err1 != nil || err2 != nil || err3 != nil || nSamples <= 0 || nFeatures <= 0 || nLabels <= 0 {
+		return nil, fmt.Errorf("dataset: invalid XMC header %q", sc.Text())
+	}
+
+	var b sparse.Builder
+	lineNo := 1
+	kv := map[int32]float32{}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		labelPart, featPart, _ := strings.Cut(line, " ")
+
+		var labels []int32
+		if labelPart != "" {
+			for _, tok := range strings.Split(labelPart, ",") {
+				y, err := strconv.Atoi(tok)
+				if err != nil || y < 0 || y >= nLabels {
+					return nil, fmt.Errorf("dataset: line %d: bad label %q", lineNo, tok)
+				}
+				labels = append(labels, int32(y))
+			}
+			slices.Sort(labels)
+			labels = slices.Compact(labels)
+		}
+
+		clear(kv)
+		for _, tok := range strings.Fields(featPart) {
+			fs, vs, ok := strings.Cut(tok, ":")
+			if !ok {
+				return nil, fmt.Errorf("dataset: line %d: bad feature token %q", lineNo, tok)
+			}
+			f, err := strconv.Atoi(fs)
+			if err != nil || f < 0 || f >= nFeatures {
+				return nil, fmt.Errorf("dataset: line %d: bad feature index %q", lineNo, fs)
+			}
+			v, err := strconv.ParseFloat(vs, 32)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad feature value %q", lineNo, vs)
+			}
+			kv[int32(f)] = float32(v)
+		}
+		idx := make([]int32, 0, len(kv))
+		for f := range kv {
+			idx = append(idx, f)
+		}
+		slices.Sort(idx)
+		val := make([]float32, len(idx))
+		for k, f := range idx {
+			val[k] = kv[f]
+		}
+		b.Add(idx, val, labels)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: reading XMC line %d: %w", lineNo, err)
+	}
+	if got := b.Len(); got != nSamples {
+		return nil, fmt.Errorf("dataset: XMC header declares %d samples, file has %d", nSamples, got)
+	}
+	csr, err := b.CSR()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	return New(name, nFeatures, nLabels, csr), nil
+}
+
+// WriteXMC serializes a dataset in the XMC repository format.
+func WriteXMC(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", d.Len(), d.Features, d.Labels); err != nil {
+		return err
+	}
+	for i := 0; i < d.Len(); i++ {
+		labels := d.LabelsOf(i)
+		for k, y := range labels {
+			if k > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(int(y))); err != nil {
+				return err
+			}
+		}
+		v := d.Sample(i)
+		for k, f := range v.Indices {
+			if _, err := fmt.Fprintf(bw, " %d:%s", f,
+				strconv.FormatFloat(float64(v.Values[k]), 'g', -1, 32)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/slide-cpu/slide/internal/metrics"
+)
+
+// RenderConvergence draws the Figure 6 top-row plot as ASCII: P@1 (y)
+// against wall-clock seconds on a log axis (x), one symbol per system.
+func RenderConvergence(title string, trackers []*metrics.Tracker) string {
+	const (
+		width  = 64
+		height = 16
+	)
+	symbols := []byte{'O', 'N', 'T', 'x', '+', '*', '#'}
+
+	// Axis ranges.
+	minT, maxT := math.Inf(1), math.Inf(-1)
+	maxP := 0.0
+	for _, tr := range trackers {
+		for _, p := range tr.Points() {
+			s := p.Elapsed.Seconds()
+			if s <= 0 {
+				s = 1e-3
+			}
+			minT = math.Min(minT, s)
+			maxT = math.Max(maxT, s)
+			maxP = math.Max(maxP, p.P1)
+		}
+	}
+	if math.IsInf(minT, 1) || maxT <= 0 {
+		return title + ": no convergence points recorded\n"
+	}
+	if maxP == 0 {
+		maxP = 1
+	}
+	logMin, logMax := math.Log10(minT), math.Log10(maxT)
+	if logMax-logMin < 1e-9 {
+		logMax = logMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, tr := range trackers {
+		sym := symbols[si%len(symbols)]
+		for _, p := range tr.Points() {
+			s := math.Max(p.Elapsed.Seconds(), 1e-3)
+			x := int((math.Log10(s) - logMin) / (logMax - logMin) * float64(width-1))
+			y := int(p.P1 / maxP * float64(height-1))
+			row := height - 1 - y
+			if row >= 0 && row < height && x >= 0 && x < width {
+				grid[row][x] = sym
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — P@1 vs wall-clock (log scale)\n", title)
+	for i, row := range grid {
+		label := "      "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%5.2f ", maxP)
+		case height - 1:
+			label = " 0.00 "
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "      +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "       %-10.3gs%s%10.3gs\n", math.Pow(10, logMin),
+		strings.Repeat(" ", width-22), math.Pow(10, logMax))
+	b.WriteString("       legend: ")
+	for si, tr := range trackers {
+		if si > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%c=%s", symbols[si%len(symbols)], tr.System)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// RenderBars draws the Figure 6 bottom-row bar chart as ASCII: epoch time
+// per system with the final P@1 annotated.
+func RenderBars(title string, results []*RunResult) string {
+	maxT := 0.0
+	nameW := 0
+	for _, r := range results {
+		maxT = math.Max(maxT, r.EpochTime.Seconds())
+		if len(r.System) > nameW {
+			nameW = len(r.System)
+		}
+	}
+	if maxT <= 0 {
+		maxT = 1
+	}
+	const barW = 44
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — average epoch time (s) and P@1\n", title)
+	for _, r := range results {
+		n := int(r.EpochTime.Seconds() / maxT * barW)
+		if n < 1 {
+			n = 1
+		}
+		fmt.Fprintf(&b, "  %-*s |%s %.3gs  P@1=%.3f\n",
+			nameW, r.System, strings.Repeat("█", n), r.EpochTime.Seconds(), r.FinalP1)
+	}
+	return b.String()
+}

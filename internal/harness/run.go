@@ -1,0 +1,240 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/slide-cpu/slide/internal/dataset"
+	"github.com/slide-cpu/slide/internal/fullsoftmax"
+	"github.com/slide-cpu/slide/internal/layer"
+	"github.com/slide-cpu/slide/internal/metrics"
+	"github.com/slide-cpu/slide/internal/network"
+	"github.com/slide-cpu/slide/internal/simd"
+	"github.com/slide-cpu/slide/internal/sparse"
+)
+
+// Variant names one measured SLIDE configuration: which §4 optimizations
+// are switched on.
+type Variant struct {
+	Name string
+	// Kernels selects vector (AVX substitute) or scalar mode (§4.2).
+	Kernels simd.Mode
+	// Placement is the parameter layout (§4.1).
+	Placement layer.Placement
+	// BatchLayout is the input-data layout (§4.1).
+	BatchLayout sparse.Layout
+	// Precision is the §4.4 quantization mode.
+	Precision layer.Precision
+}
+
+// Optimized is the paper's fully optimized SLIDE (host FP32: software BF16
+// is a separate Table 3 variant, since it costs rather than saves time
+// without hardware support).
+var Optimized = Variant{
+	Name:        "Optimized SLIDE",
+	Kernels:     simd.Vector,
+	Placement:   layer.Contiguous,
+	BatchLayout: sparse.Coalesced,
+	Precision:   layer.FP32,
+}
+
+// Naive reproduces the original SLIDE implementation: scalar kernels,
+// fragmented parameters and batch data.
+var Naive = Variant{
+	Name:        "Naive SLIDE",
+	Kernels:     simd.Scalar,
+	Placement:   layer.Scattered,
+	BatchLayout: sparse.Fragmented,
+	Precision:   layer.FP32,
+}
+
+// RunResult reports one measured training run.
+type RunResult struct {
+	System  string
+	Dataset string
+	// TrainTime is total training wall-clock (evaluation excluded);
+	// EpochTime is the fastest single epoch, which filters first-epoch
+	// warm-up and scheduler noise on small runs.
+	TrainTime time.Duration
+	EpochTime time.Duration
+	FinalP1   float64
+	FinalLoss float64
+	// MeanActive is the mean active-set size per sample (SLIDE runs).
+	MeanActive float64
+	Tracker    *metrics.Tracker
+}
+
+// trainSamples bounds the per-epoch sample count so harness runs stay
+// tractable at any scale.
+const maxTrainSamples = 6000
+
+func trainSlice(d *dataset.Dataset) *dataset.Dataset {
+	if d.Len() > maxTrainSamples {
+		return d.Head(maxTrainSamples)
+	}
+	return d
+}
+
+// evalP1 measures mean P@1 with the given scorer over the test head.
+func evalP1(scores []float32, scorer func(sparse.Vector, []float32), test *dataset.Dataset, samples int) float64 {
+	n := min(samples, test.Len())
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		scorer(test.Sample(i), scores)
+		sum += metrics.PrecisionAtK(scores, test.LabelsOf(i), 1)
+	}
+	return sum / float64(n)
+}
+
+// RunSLIDE trains the workload with the given SLIDE variant and returns
+// measurements. Kernel mode is process-global; runs execute serially.
+func RunSLIDE(w *Workload, v Variant, opts Options) (*RunResult, error) {
+	opts.defaults()
+	prev := simd.CurrentMode()
+	simd.SetMode(v.Kernels)
+	defer simd.SetMode(prev)
+
+	cfg := w.NetworkConfig(opts, v.Precision, v.Placement)
+	net, err := network.New(&cfg)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s on %s: %w", v.Name, w.Name, err)
+	}
+
+	train := trainSlice(w.Train)
+	res := &RunResult{System: v.Name, Dataset: w.Name,
+		Tracker: metrics.NewTracker(v.Name, w.Name)}
+	scores := make([]float32, cfg.OutputDim)
+
+	var activeSum, samples int64
+	var lossSum float64
+	var lossN int64
+	batchesPerEpoch := (train.Len() + w.Batch - 1) / w.Batch
+	evalEvery := max(1, batchesPerEpoch/opts.EvalPointsPerEpoch)
+	var batches int64
+
+	runtime.GC() // isolate this run from the previous system's garbage
+	minEpoch := time.Duration(0)
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		var epochTime time.Duration
+		it := train.Iter(w.Batch, v.BatchLayout, opts.Seed+uint64(epoch))
+		for {
+			b, ok := it.Next()
+			if !ok {
+				break
+			}
+			start := time.Now()
+			st := net.TrainBatch(b)
+			epochTime += time.Since(start)
+			batches++
+			activeSum += st.ActiveSum
+			samples += int64(st.Samples)
+			lossSum += st.Loss
+			lossN += int64(st.Samples)
+			if batches%int64(evalEvery) == 0 {
+				p1 := evalP1(scores, net.Scores, w.Test, opts.EvalSamples)
+				res.Tracker.Record(metrics.Point{
+					Elapsed: res.TrainTime + epochTime, Epoch: epoch + 1, Batches: batches,
+					P1: p1, Loss: lossSum / float64(max64(lossN, 1)),
+				})
+				lossSum, lossN = 0, 0
+			}
+		}
+		res.TrainTime += epochTime
+		if minEpoch == 0 || epochTime < minEpoch {
+			minEpoch = epochTime
+		}
+	}
+	// Report the fastest epoch: first-epoch page faults, lazy allocations
+	// and noisy neighbours inflate the mean on small runs.
+	res.EpochTime = minEpoch
+	res.FinalP1 = evalP1(scores, net.Scores, w.Test, opts.EvalSamples)
+	if last, ok := res.Tracker.Last(); ok {
+		res.FinalLoss = last.Loss
+	}
+	if samples > 0 {
+		res.MeanActive = float64(activeSum) / float64(samples)
+	}
+	return res, nil
+}
+
+// RunDense trains the workload with the dense full-softmax baseline.
+func RunDense(w *Workload, opts Options) (*RunResult, error) {
+	opts.defaults()
+	prev := simd.CurrentMode()
+	simd.SetMode(simd.Vector) // TF baselines use AVX
+	defer simd.SetMode(prev)
+
+	cfg := fullsoftmax.Config{
+		InputDim:         w.Train.Features,
+		HiddenDim:        w.Hidden,
+		OutputDim:        w.Train.Labels,
+		HiddenActivation: w.HiddenAct,
+		LR:               w.LR,
+		Workers:          opts.Workers,
+		Seed:             opts.Seed,
+	}
+	tr, err := fullsoftmax.New(&cfg)
+	if err != nil {
+		return nil, fmt.Errorf("harness: dense baseline on %s: %w", w.Name, err)
+	}
+
+	train := trainSlice(w.Train)
+	const name = "TF FullSoftmax"
+	res := &RunResult{System: name, Dataset: w.Name,
+		Tracker: metrics.NewTracker(name, w.Name), MeanActive: float64(cfg.OutputDim)}
+	scores := make([]float32, cfg.OutputDim)
+
+	batchesPerEpoch := (train.Len() + w.Batch - 1) / w.Batch
+	evalEvery := max(1, batchesPerEpoch/opts.EvalPointsPerEpoch)
+	var batches int64
+	var lossSum float64
+	var lossN int64
+
+	runtime.GC()
+	minEpoch := time.Duration(0)
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		var epochTime time.Duration
+		it := train.Iter(w.Batch, sparse.Coalesced, opts.Seed+uint64(epoch))
+		for {
+			b, ok := it.Next()
+			if !ok {
+				break
+			}
+			start := time.Now()
+			st := tr.TrainBatch(b)
+			epochTime += time.Since(start)
+			batches++
+			lossSum += st.Loss
+			lossN += int64(st.Samples)
+			if batches%int64(evalEvery) == 0 {
+				p1 := evalP1(scores, tr.Scores, w.Test, opts.EvalSamples)
+				res.Tracker.Record(metrics.Point{
+					Elapsed: res.TrainTime + epochTime, Epoch: epoch + 1, Batches: batches,
+					P1: p1, Loss: lossSum / float64(max64(lossN, 1)),
+				})
+				lossSum, lossN = 0, 0
+			}
+		}
+		res.TrainTime += epochTime
+		if minEpoch == 0 || epochTime < minEpoch {
+			minEpoch = epochTime
+		}
+	}
+	res.EpochTime = minEpoch
+	res.FinalP1 = evalP1(scores, tr.Scores, w.Test, opts.EvalSamples)
+	if last, ok := res.Tracker.Last(); ok {
+		res.FinalLoss = last.Loss
+	}
+	return res, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,177 @@
+package layer
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/slide-cpu/slide/internal/bf16"
+	"github.com/slide-cpu/slide/internal/simd"
+	"github.com/slide-cpu/slide/internal/sparse"
+)
+
+// ColLayer is a fully connected layer whose weight matrix is stored in
+// column-major order: column j holds component j of every neuron's weight
+// vector, contiguously. It implements the Algorithm 2 product (§4.3.2,
+// case 2) for sparse inputs: for each non-zero (j, vⱼ) of the input,
+// broadcast vⱼ and accumulate vⱼ·W[:,j] into the dense output with 16-lane
+// blocks. SLIDE uses this as the hidden layer, where the input is the
+// extremely sparse feature vector and the output is the small dense
+// activation.
+//
+// The backward pass needs only the per-column gradient accumulation
+// ∇W[:,j] += xⱼ·∇h (contiguous again, by Lemma 1) — no input gradient is
+// produced because this is the first layer.
+type ColLayer struct {
+	// In is the input (sparse feature) dimension; Out the neuron count.
+	In, Out int
+
+	opts Options
+	act  Activation
+
+	cols   [][]float32   // FP32 / BF16Act weights: cols[j][i] = W[i][j]
+	colsBF [][]bf16.BF16 // BF16Both weights
+	bias   []float32
+
+	grad    [][]float32 // per-column gradient accumulators
+	gbias   []float32
+	m, v    [][]float32 // ADAM moments per column
+	mb, vb  []float32
+	touched *touchSet
+	lk      locks
+}
+
+// NewColLayer builds a column-major layer with in inputs and out neurons.
+func NewColLayer(in, out int, act Activation, o Options) *ColLayer {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("layer: invalid ColLayer dims %dx%d", in, out))
+	}
+	l := &ColLayer{In: in, Out: out, opts: o, act: act}
+	scale := 1.0 / math.Sqrt(float64(in))
+	if o.Precision == BF16Both {
+		l.colsBF = vectors2DBF16(in, out, o.Placement)
+		initGaussianBF16(l.colsBF, scale, o.Seed)
+	} else {
+		l.cols = vectors2D(in, out, o.Placement)
+		initGaussian(l.cols, scale, o.Seed)
+	}
+	l.bias = make([]float32, out)
+	l.grad = vectors2D(in, out, o.Placement)
+	l.gbias = make([]float32, out)
+	l.m = vectors2D(in, out, o.Placement)
+	l.v = vectors2D(in, out, o.Placement)
+	l.mb = make([]float32, out)
+	l.vb = make([]float32, out)
+	l.touched = newTouchSet(in)
+	l.lk.enabled = o.Locked
+	return l
+}
+
+// Options returns the construction options.
+func (l *ColLayer) Options() Options { return l.opts }
+
+// Activation returns the layer non-linearity.
+func (l *ColLayer) Activation() Activation { return l.act }
+
+// Forward computes h = act(Wx + b) into h (len Out). Under the BF16
+// activation modes the result is additionally rounded through bfloat16, so
+// h carries exactly the values a hardware BF16 pipeline would produce.
+func (l *ColLayer) Forward(x sparse.Vector, h []float32) {
+	if len(h) != l.Out {
+		panic("layer: ColLayer.Forward output size mismatch")
+	}
+	copy(h, l.bias)
+	if l.opts.Precision == BF16Both {
+		for k, j := range x.Indices {
+			simd.AxpyBF16(x.Values[k], l.colsBF[j], h)
+		}
+	} else {
+		for k, j := range x.Indices {
+			simd.ScaleAccum(x.Values[k], l.cols[j], h)
+		}
+	}
+	if l.act == ReLU {
+		for i := range h {
+			if h[i] < 0 {
+				h[i] = 0
+			}
+		}
+	}
+	if l.opts.Precision != FP32 {
+		bf16.RoundSlice(h)
+	}
+}
+
+// Backward accumulates gradients given the input x, the forward activation
+// h, and the output gradient dh. For ReLU layers dh is masked in place where
+// the unit was inactive, so the caller must pass dh before any further use.
+// Safe for concurrent calls; the write policy follows Options.Locked.
+func (l *ColLayer) Backward(x sparse.Vector, h, dh []float32) {
+	if len(h) != l.Out || len(dh) != l.Out {
+		panic("layer: ColLayer.Backward size mismatch")
+	}
+	if l.act == ReLU {
+		for i := range dh {
+			if h[i] <= 0 {
+				dh[i] = 0
+			}
+		}
+	}
+	l.lk.lockBias()
+	simd.Add(dh, l.gbias)
+	l.lk.unlockBias()
+	for k, j := range x.Indices {
+		l.lk.lockRow(j)
+		simd.Axpy(x.Values[k], dh, l.grad[j])
+		l.lk.unlockRow(j)
+		l.touched.mark(j)
+	}
+}
+
+// ApplyAdam steps every touched column (plus the bias) with the fused
+// vector ADAM kernel of §4.3.1, zeroes the consumed gradients and clears the
+// touched set. Call only after all Backward calls for the batch completed.
+func (l *ColLayer) ApplyAdam(p simd.AdamParams, workers int) {
+	if l.opts.Precision == BF16Both {
+		l.touched.forEachParallel(workers, func(j int32) {
+			simd.AdamStepBF16(l.colsBF[j], l.m[j], l.v[j], l.grad[j], p)
+			simd.Zero(l.grad[j])
+		})
+	} else {
+		l.touched.forEachParallel(workers, func(j int32) {
+			simd.AdamStep(l.cols[j], l.m[j], l.v[j], l.grad[j], p)
+			simd.Zero(l.grad[j])
+		})
+	}
+	l.touched.clear()
+	simd.AdamStep(l.bias, l.mb, l.vb, l.gbias, p)
+	simd.Zero(l.gbias)
+}
+
+// TouchedCols returns how many columns currently hold unapplied gradient
+// (diagnostics; meaningful between Backward and ApplyAdam).
+func (l *ColLayer) TouchedCols() int { return l.touched.count() }
+
+// Col returns column j of the weight matrix as float32 values. For BF16Both
+// the column is expanded into buf (len >= Out); otherwise a direct view is
+// returned. Read-only.
+func (l *ColLayer) Col(j int, buf []float32) []float32 {
+	if l.opts.Precision == BF16Both {
+		buf = buf[:l.Out]
+		bf16.Expand(buf, l.colsBF[j])
+		return buf
+	}
+	return l.cols[j]
+}
+
+// Bias returns the bias vector (read-only view).
+func (l *ColLayer) Bias() []float32 { return l.bias }
+
+// ParamBytes returns the resident size of the trained parameters in bytes,
+// used by the cost model's memory-traffic accounting.
+func (l *ColLayer) ParamBytes() int64 {
+	per := int64(4)
+	if l.opts.Precision == BF16Both {
+		per = 2
+	}
+	return int64(l.In)*int64(l.Out)*per + int64(l.Out)*4
+}

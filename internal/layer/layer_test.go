@@ -1,0 +1,513 @@
+package layer
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"github.com/slide-cpu/slide/internal/bf16"
+	"github.com/slide-cpu/slide/internal/simd"
+	"github.com/slide-cpu/slide/internal/sparse"
+)
+
+func sampleVec(rng *rand.Rand, dim, nnz int) sparse.Vector {
+	used := map[int32]bool{}
+	idx := make([]int32, 0, nnz)
+	for len(idx) < nnz {
+		i := int32(rng.IntN(dim))
+		if !used[i] {
+			used[i] = true
+			idx = append(idx, i)
+		}
+	}
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && idx[j] < idx[j-1]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	val := make([]float32, nnz)
+	for i := range val {
+		val[i] = float32(rng.NormFloat64())
+	}
+	return sparse.Vector{Indices: idx, Values: val}
+}
+
+// denseColRef computes act(Wx+b) in float64 straight from the column views.
+func denseColRef(l *ColLayer, x sparse.Vector) []float64 {
+	buf := make([]float32, l.Out)
+	out := make([]float64, l.Out)
+	for i := 0; i < l.Out; i++ {
+		out[i] = float64(l.Bias()[i])
+	}
+	for k, j := range x.Indices {
+		col := l.Col(int(j), buf)
+		for i := 0; i < l.Out; i++ {
+			out[i] += float64(x.Values[k]) * float64(col[i])
+		}
+	}
+	if l.Activation() == ReLU {
+		for i := range out {
+			if out[i] < 0 {
+				out[i] = 0
+			}
+		}
+	}
+	return out
+}
+
+func TestColLayerForwardMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, act := range []Activation{ReLU, Linear} {
+		for _, place := range []Placement{Contiguous, Scattered} {
+			l := NewColLayer(40, 24, act, Options{Placement: place, Seed: 7})
+			x := sampleVec(rng, 40, 6)
+			h := make([]float32, 24)
+			l.Forward(x, h)
+			ref := denseColRef(l, x)
+			for i := range h {
+				if math.Abs(float64(h[i])-ref[i]) > 1e-4 {
+					t.Errorf("%v/%v: h[%d] = %g, reference %g", act, place, i, h[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+func TestColLayerPlacementEquivalence(t *testing.T) {
+	// Same seed, different placement: forward results must be identical.
+	rng := rand.New(rand.NewPCG(3, 4))
+	lc := NewColLayer(30, 16, ReLU, Options{Placement: Contiguous, Seed: 9})
+	ls := NewColLayer(30, 16, ReLU, Options{Placement: Scattered, Seed: 9})
+	x := sampleVec(rng, 30, 5)
+	hc := make([]float32, 16)
+	hs := make([]float32, 16)
+	lc.Forward(x, hc)
+	ls.Forward(x, hs)
+	for i := range hc {
+		if hc[i] != hs[i] {
+			t.Fatalf("placement changed forward result at %d: %g vs %g", i, hc[i], hs[i])
+		}
+	}
+}
+
+func TestColLayerBF16ActRoundsActivations(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	l32 := NewColLayer(20, 8, ReLU, Options{Precision: FP32, Seed: 3})
+	lbf := NewColLayer(20, 8, ReLU, Options{Precision: BF16Act, Seed: 3})
+	x := sampleVec(rng, 20, 4)
+	h32 := make([]float32, 8)
+	hbf := make([]float32, 8)
+	l32.Forward(x, h32)
+	lbf.Forward(x, hbf)
+	for i := range hbf {
+		want := bf16.RoundFloat32(h32[i])
+		if hbf[i] != want {
+			t.Errorf("h[%d] = %g, want bf16-rounded %g", i, hbf[i], want)
+		}
+	}
+}
+
+func TestColLayerBF16BothCloseToFP32(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	l32 := NewColLayer(25, 10, Linear, Options{Precision: FP32, Seed: 11})
+	lbb := NewColLayer(25, 10, Linear, Options{Precision: BF16Both, Seed: 11})
+	x := sampleVec(rng, 25, 8)
+	h32 := make([]float32, 10)
+	hbb := make([]float32, 10)
+	l32.Forward(x, h32)
+	lbb.Forward(x, hbb)
+	for i := range h32 {
+		if math.Abs(float64(h32[i])-float64(hbb[i])) > 0.05*math.Max(1, math.Abs(float64(h32[i]))) {
+			t.Errorf("BF16Both diverged at %d: %g vs %g", i, hbb[i], h32[i])
+		}
+	}
+}
+
+func TestColLayerBackwardAccumulatesExactGradient(t *testing.T) {
+	l := NewColLayer(10, 6, Linear, Options{Seed: 1})
+	x := sparse.Vector{Indices: []int32{2, 7}, Values: []float32{0.5, -1.5}}
+	h := make([]float32, 6)
+	l.Forward(x, h)
+	dh := []float32{1, 2, 3, 4, 5, 6}
+	want := append([]float32(nil), dh...)
+	l.Backward(x, h, dh)
+	// grad[j] must equal x_j * dh for the touched columns, zero elsewhere.
+	for j := 0; j < 10; j++ {
+		var xj float32
+		for k, idx := range x.Indices {
+			if int(idx) == j {
+				xj = x.Values[k]
+			}
+		}
+		for i := 0; i < 6; i++ {
+			wantG := xj * want[i]
+			if g := l.grad[j][i]; math.Abs(float64(g-wantG)) > 1e-6 {
+				t.Errorf("grad[%d][%d] = %g, want %g", j, i, g, wantG)
+			}
+		}
+	}
+	if l.TouchedCols() != 2 {
+		t.Errorf("TouchedCols = %d, want 2", l.TouchedCols())
+	}
+	// Bias gradient is dh itself.
+	for i := range want {
+		if l.gbias[i] != want[i] {
+			t.Errorf("gbias[%d] = %g, want %g", i, l.gbias[i], want[i])
+		}
+	}
+}
+
+func TestColLayerReLUMasksGradient(t *testing.T) {
+	l := NewColLayer(4, 3, ReLU, Options{Seed: 2})
+	x := sparse.Vector{Indices: []int32{1}, Values: []float32{1}}
+	h := []float32{0, 0.5, 0} // units 0 and 2 inactive
+	dh := []float32{10, 20, 30}
+	l.Backward(x, h, dh)
+	if dh[0] != 0 || dh[2] != 0 {
+		t.Errorf("inactive units not masked: dh = %v", dh)
+	}
+	if dh[1] != 20 {
+		t.Errorf("active unit wrongly masked: dh[1] = %g", dh[1])
+	}
+}
+
+func TestColLayerApplyAdamMovesOnlyTouched(t *testing.T) {
+	l := NewColLayer(8, 4, Linear, Options{Seed: 5})
+	before := make([][]float32, 8)
+	buf := make([]float32, 4)
+	for j := range before {
+		before[j] = append([]float32(nil), l.Col(j, buf)...)
+	}
+	x := sparse.Vector{Indices: []int32{3}, Values: []float32{2}}
+	h := make([]float32, 4)
+	l.Forward(x, h)
+	dh := []float32{1, 1, 1, 1}
+	l.Backward(x, h, dh)
+	l.ApplyAdam(simd.NewAdamParams(0.01, 0.9, 0.999, 1e-8, 1), 2)
+
+	for j := 0; j < 8; j++ {
+		col := l.Col(j, buf)
+		changed := false
+		for i := range col {
+			if col[i] != before[j][i] {
+				changed = true
+			}
+		}
+		if j == 3 && !changed {
+			t.Error("touched column 3 did not move")
+		}
+		if j != 3 && changed {
+			t.Errorf("untouched column %d moved", j)
+		}
+	}
+	if l.TouchedCols() != 0 {
+		t.Error("touched set not cleared after ApplyAdam")
+	}
+	// Gradients must be consumed.
+	for i := range l.grad[3] {
+		if l.grad[3][i] != 0 {
+			t.Error("gradient not zeroed after ApplyAdam")
+		}
+	}
+}
+
+func TestRowLayerLogitMatchesDot(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	l := NewRowLayer(16, 12, Options{Seed: 13})
+	h := make([]float32, 16)
+	for i := range h {
+		h[i] = float32(rng.NormFloat64())
+	}
+	buf := make([]float32, 16)
+	for id := int32(0); id < 12; id++ {
+		want := simd.DotScalar(l.RowF32(int(id), buf), h) + l.Bias()[id]
+		got := l.Logit(id, h, nil)
+		if math.Abs(float64(got-want)) > 1e-4 {
+			t.Errorf("Logit(%d) = %g, want %g", id, got, want)
+		}
+	}
+}
+
+func TestRowLayerPrecisionLogits(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	h := make([]float32, 32)
+	for i := range h {
+		h[i] = float32(rng.NormFloat64())
+	}
+	hBF := bf16.FromSlice(h)
+
+	l32 := NewRowLayer(32, 6, Options{Precision: FP32, Seed: 15})
+	lact := NewRowLayer(32, 6, Options{Precision: BF16Act, Seed: 15})
+	lboth := NewRowLayer(32, 6, Options{Precision: BF16Both, Seed: 15})
+	for id := int32(0); id < 6; id++ {
+		ref := float64(l32.Logit(id, h, nil))
+		a := float64(lact.Logit(id, h, hBF))
+		b := float64(lboth.Logit(id, h, hBF))
+		if math.Abs(a-ref) > 0.05*math.Max(1, math.Abs(ref)) {
+			t.Errorf("BF16Act logit %d = %g, fp32 %g", id, a, ref)
+		}
+		if math.Abs(b-ref) > 0.1*math.Max(1, math.Abs(ref)) {
+			t.Errorf("BF16Both logit %d = %g, fp32 %g", id, b, ref)
+		}
+	}
+}
+
+func TestRowLayerAccumulateAndAdam(t *testing.T) {
+	l := NewRowLayer(8, 5, Options{Seed: 17})
+	h := []float32{1, 2, 3, 4, 5, 6, 7, 8}
+	dh := make([]float32, 8)
+	rowBefore := append([]float32(nil), l.RowF32(2, nil)...)
+
+	l.Accumulate(2, 0.5, h, nil, dh)
+	// grad row = gz*h, bias grad = gz, dh = gz*W[2].
+	for i := range h {
+		if g := l.grad[2][i]; math.Abs(float64(g-0.5*h[i])) > 1e-6 {
+			t.Errorf("grad[2][%d] = %g, want %g", i, g, 0.5*h[i])
+		}
+		want := 0.5 * rowBefore[i]
+		if math.Abs(float64(dh[i]-want)) > 1e-6 {
+			t.Errorf("dh[%d] = %g, want %g", i, dh[i], want)
+		}
+	}
+	if l.gbias[2] != 0.5 {
+		t.Errorf("gbias[2] = %g, want 0.5", l.gbias[2])
+	}
+	if l.TouchedRows() != 1 {
+		t.Errorf("TouchedRows = %d, want 1", l.TouchedRows())
+	}
+
+	l.ApplyAdam(simd.NewAdamParams(0.01, 0.9, 0.999, 1e-8, 1), 2)
+	moved := false
+	row := l.RowF32(2, nil)
+	for i := range row {
+		if row[i] != rowBefore[i] {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("row 2 did not move after ApplyAdam")
+	}
+	if l.TouchedRows() != 0 || l.gbias[2] != 0 {
+		t.Error("state not cleared after ApplyAdam")
+	}
+}
+
+func TestRowLayerApplyAdamAllEqualsSparseWhenAllTouched(t *testing.T) {
+	mk := func() *RowLayer { return NewRowLayer(6, 9, Options{Seed: 19}) }
+	a, b := mk(), mk()
+	h := []float32{1, -1, 2, -2, 3, -3}
+	for id := int32(0); id < 9; id++ {
+		a.Accumulate(id, float32(id)*0.1, h, nil, nil)
+		b.Accumulate(id, float32(id)*0.1, h, nil, nil)
+	}
+	p := simd.NewAdamParams(0.01, 0.9, 0.999, 1e-8, 1)
+	a.ApplyAdam(p, 2)
+	b.ApplyAdamAll(p, 2)
+	for id := 0; id < 9; id++ {
+		ra, rb := a.RowF32(id, nil), b.RowF32(id, nil)
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("row %d diverged between sparse and dense Adam", id)
+			}
+		}
+		if a.Bias()[id] != b.Bias()[id] {
+			t.Fatalf("bias %d diverged", id)
+		}
+	}
+}
+
+func TestRowLayerForwardAll(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	l := NewRowLayer(10, 40, Options{Seed: 23})
+	h := make([]float32, 10)
+	for i := range h {
+		h[i] = float32(rng.NormFloat64())
+	}
+	out := make([]float32, 40)
+	l.ForwardAll(h, nil, out, 3)
+	for id := int32(0); id < 40; id++ {
+		want := l.Logit(id, h, nil)
+		if out[id] != want {
+			t.Errorf("ForwardAll[%d] = %g, want %g", id, out[id], want)
+		}
+	}
+}
+
+// TestGradientCheckEndToEnd drives a two-layer forward/backward by hand and
+// verifies the accumulated analytic gradients against central finite
+// differences of the sampled-softmax cross-entropy loss.
+func TestGradientCheckEndToEnd(t *testing.T) {
+	const (
+		in     = 12
+		hid    = 8
+		out    = 7
+		target = 3
+	)
+	hiddenL := NewColLayer(in, hid, Linear, Options{Seed: 25})
+	outputL := NewRowLayer(hid, out, Options{Seed: 27})
+	x := sparse.Vector{Indices: []int32{1, 4, 9}, Values: []float32{0.7, -1.1, 0.4}}
+	active := []int32{0, 1, 2, 3, 4, 5, 6}
+
+	loss := func() float64 {
+		h := make([]float32, hid)
+		hiddenL.Forward(x, h)
+		logits := make([]float32, out)
+		outputL.ForwardActive(active, h, nil, logits)
+		maxL := float64(logits[0])
+		for _, l := range logits {
+			if float64(l) > maxL {
+				maxL = float64(l)
+			}
+		}
+		var z float64
+		for _, l := range logits {
+			z += math.Exp(float64(l) - maxL)
+		}
+		return -(float64(logits[target]) - maxL - math.Log(z))
+	}
+
+	// Analytic backward.
+	h := make([]float32, hid)
+	hiddenL.Forward(x, h)
+	logits := make([]float32, out)
+	outputL.ForwardActive(active, h, nil, logits)
+	maxL := logits[0]
+	for _, l := range logits {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	var z float64
+	probs := make([]float32, out)
+	for k, l := range logits {
+		probs[k] = float32(math.Exp(float64(l - maxL)))
+		z += float64(probs[k])
+	}
+	dh := make([]float32, hid)
+	for k, id := range active {
+		gz := probs[k]/float32(z) - b2f(k == target)
+		outputL.Accumulate(id, gz, h, nil, dh)
+	}
+	hiddenL.Backward(x, h, dh)
+
+	const eps = 1e-3
+	checkGrad := func(name string, w *float32, analytic float32) {
+		t.Helper()
+		orig := *w
+		*w = orig + eps
+		lp := loss()
+		*w = orig - eps
+		lm := loss()
+		*w = orig
+		numeric := (lp - lm) / (2 * eps)
+		if math.Abs(numeric-float64(analytic)) > 1e-2*math.Max(1, math.Abs(numeric)) {
+			t.Errorf("%s: analytic %g vs numeric %g", name, analytic, numeric)
+		}
+	}
+
+	// Output-layer weights (a few rows, all dims).
+	for _, id := range []int{0, 3, 6} {
+		for i := 0; i < hid; i += 3 {
+			checkGrad("outW", &outputL.rows[id][i], outputL.grad[id][i])
+		}
+	}
+	// Output-layer biases.
+	for _, id := range []int{1, 3} {
+		checkGrad("outB", &outputL.bias[id], outputL.gbias[id])
+	}
+	// Hidden-layer weights: only touched columns (non-zeros of x).
+	for _, j := range x.Indices {
+		for i := 0; i < hid; i += 2 {
+			checkGrad("hidW", &hiddenL.cols[j][i], hiddenL.grad[j][i])
+		}
+	}
+	// Hidden bias.
+	for i := 0; i < hid; i += 2 {
+		checkGrad("hidB", &hiddenL.bias[i], hiddenL.gbias[i])
+	}
+}
+
+func b2f(b bool) float32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestTouchSet(t *testing.T) {
+	ts := newTouchSet(100)
+	for _, id := range []int32{0, 31, 32, 63, 64, 99} {
+		ts.mark(id)
+	}
+	ts.mark(31) // re-mark is a no-op
+	if ts.count() != 6 {
+		t.Fatalf("count = %d, want 6", ts.count())
+	}
+	seen := map[int32]bool{}
+	var mu = make(chan int32, 100)
+	ts.forEachParallel(3, func(id int32) { mu <- id })
+	close(mu)
+	for id := range mu {
+		if seen[id] {
+			t.Errorf("id %d visited twice", id)
+		}
+		seen[id] = true
+	}
+	for _, id := range []int32{0, 31, 32, 63, 64, 99} {
+		if !seen[id] {
+			t.Errorf("id %d not visited", id)
+		}
+	}
+	if len(seen) != 6 {
+		t.Errorf("visited %d ids, want 6", len(seen))
+	}
+	ts.clear()
+	if ts.count() != 0 {
+		t.Error("clear did not empty the set")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"col zero in":  func() { NewColLayer(0, 4, ReLU, Options{}) },
+		"col zero out": func() { NewColLayer(4, 0, ReLU, Options{}) },
+		"row zero in":  func() { NewRowLayer(0, 4, Options{}) },
+		"row zero out": func() { NewRowLayer(4, -1, Options{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if FP32.String() != "fp32" || BF16Act.String() != "bf16-act" || BF16Both.String() != "bf16-both" || Precision(9).String() != "unknown" {
+		t.Error("Precision strings wrong")
+	}
+	if Contiguous.String() != "contiguous" || Scattered.String() != "scattered" || Placement(9).String() != "unknown" {
+		t.Error("Placement strings wrong")
+	}
+	if ReLU.String() != "relu" || Linear.String() != "linear" || Activation(9).String() != "unknown" {
+		t.Error("Activation strings wrong")
+	}
+}
+
+func TestParamBytes(t *testing.T) {
+	c := NewColLayer(10, 20, ReLU, Options{})
+	if got := c.ParamBytes(); got != 10*20*4+20*4 {
+		t.Errorf("ColLayer ParamBytes = %d", got)
+	}
+	cb := NewColLayer(10, 20, ReLU, Options{Precision: BF16Both})
+	if got := cb.ParamBytes(); got != 10*20*2+20*4 {
+		t.Errorf("BF16 ColLayer ParamBytes = %d", got)
+	}
+	r := NewRowLayer(10, 20, Options{})
+	if got := r.ParamBytes(); got != 10*20*4+20*4 {
+		t.Errorf("RowLayer ParamBytes = %d", got)
+	}
+}

@@ -1,0 +1,239 @@
+package layer
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/slide-cpu/slide/internal/bf16"
+	"github.com/slide-cpu/slide/internal/simd"
+)
+
+// RowLayer is a fully connected layer whose weight matrix is stored in
+// row-major order: row i is neuron i's full weight vector, contiguous in
+// memory. It implements the Algorithm 1 product (§4.3.2, case 1) for the
+// wide output layer: the input (hidden activation) is dense, the active
+// output set is sparse, and each active logit is one contiguous 16-lane dot
+// product. The backward pass computes ∇h = Σ gzᵢ·W[i] over active rows
+// (row-major again, by Lemma 1) and per-row weight gradients gzᵢ·h.
+type RowLayer struct {
+	// In is the input (hidden) dimension; Out the neuron/label count.
+	In, Out int
+
+	opts Options
+
+	rows   [][]float32   // FP32 / BF16Act weights
+	rowsBF [][]bf16.BF16 // BF16Both weights
+	bias   []float32
+
+	grad    [][]float32
+	gbias   []float32
+	m, v    [][]float32
+	mb, vb  []float32
+	touched *touchSet
+	lk      locks
+}
+
+// NewRowLayer builds a row-major layer with in inputs and out neurons.
+func NewRowLayer(in, out int, o Options) *RowLayer {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("layer: invalid RowLayer dims %dx%d", in, out))
+	}
+	l := &RowLayer{In: in, Out: out, opts: o}
+	scale := 1.0 / math.Sqrt(float64(in))
+	if o.Precision == BF16Both {
+		l.rowsBF = vectors2DBF16(out, in, o.Placement)
+		initGaussianBF16(l.rowsBF, scale, o.Seed)
+	} else {
+		l.rows = vectors2D(out, in, o.Placement)
+		initGaussian(l.rows, scale, o.Seed)
+	}
+	l.bias = make([]float32, out)
+	l.grad = vectors2D(out, in, o.Placement)
+	l.gbias = make([]float32, out)
+	l.m = vectors2D(out, in, o.Placement)
+	l.v = vectors2D(out, in, o.Placement)
+	l.mb = make([]float32, out)
+	l.vb = make([]float32, out)
+	l.touched = newTouchSet(out)
+	l.lk.enabled = o.Locked
+	return l
+}
+
+// Options returns the construction options.
+func (l *RowLayer) Options() Options { return l.opts }
+
+// Logit computes neuron id's pre-activation for the dense input h. hBF is
+// the bfloat16 rendering of h, required (non-nil) under the BF16 modes and
+// ignored under FP32.
+func (l *RowLayer) Logit(id int32, h []float32, hBF []bf16.BF16) float32 {
+	switch l.opts.Precision {
+	case BF16Act:
+		return simd.DotBF16F32(hBF, l.rows[id]) + l.bias[id]
+	case BF16Both:
+		return simd.DotBF16(l.rowsBF[id], hBF) + l.bias[id]
+	default:
+		return simd.Dot(l.rows[id], h) + l.bias[id]
+	}
+}
+
+// ForwardActive fills logits[k] with Logit(active[k]) for each active
+// neuron. One independent dot per row: BenchmarkKernelDot4 shows the
+// intrinsics-style four-row register blocking (simd.Dot4) is slower than
+// independent dots under the Go compiler, so the simple loop is the fast
+// path here.
+func (l *RowLayer) ForwardActive(active []int32, h []float32, hBF []bf16.BF16, logits []float32) {
+	if len(logits) < len(active) {
+		panic("layer: ForwardActive logits buffer too short")
+	}
+	for k, id := range active {
+		logits[k] = l.Logit(id, h, hBF)
+	}
+}
+
+// Accumulate adds one sample's contribution for active neuron id with logit
+// gradient gz: ∇W[id] += gz·h, ∇b[id] += gz, and (if dh is non-nil)
+// dh += gz·W[id]. dh is worker-private; the shared gradient rows follow the
+// layer's write policy. Weights are only read here — they change exclusively
+// in ApplyAdam, which the trainer serializes against Backward.
+func (l *RowLayer) Accumulate(id int32, gz float32, h []float32, hBF []bf16.BF16, dh []float32) {
+	l.lk.lockRow(id)
+	if l.opts.Precision == FP32 {
+		simd.Axpy(gz, h, l.grad[id])
+	} else {
+		simd.AxpyBF16(gz, hBF, l.grad[id])
+	}
+	l.gbias[id] += gz
+	l.lk.unlockRow(id)
+	l.touched.mark(id)
+
+	if dh != nil {
+		if l.opts.Precision == BF16Both {
+			simd.AxpyBF16(gz, l.rowsBF[id], dh)
+		} else {
+			simd.Axpy(gz, l.rows[id], dh)
+		}
+	}
+}
+
+// AccumulateOwnedRow adds gz·h into row id's gradient and gz into its bias
+// gradient without locking or touch-marking. The caller must own row id
+// exclusively (the dense baseline tiles disjoint row ranges over workers)
+// and must apply the update with ApplyAdamAll, which ignores the touched
+// set. FP32 storage only.
+func (l *RowLayer) AccumulateOwnedRow(id int32, gz float32, h []float32) {
+	simd.Axpy(gz, h, l.grad[id])
+	l.gbias[id] += gz
+}
+
+// ApplyAdam steps every touched row and its bias, zeroes consumed gradients
+// and clears the touched set.
+func (l *RowLayer) ApplyAdam(p simd.AdamParams, workers int) {
+	if l.opts.Precision == BF16Both {
+		l.touched.forEachParallel(workers, func(id int32) {
+			simd.AdamStepBF16(l.rowsBF[id], l.m[id], l.v[id], l.grad[id], p)
+			simd.Zero(l.grad[id])
+			adamScalar(&l.bias[id], &l.mb[id], &l.vb[id], l.gbias[id], p)
+			l.gbias[id] = 0
+		})
+	} else {
+		l.touched.forEachParallel(workers, func(id int32) {
+			simd.AdamStep(l.rows[id], l.m[id], l.v[id], l.grad[id], p)
+			simd.Zero(l.grad[id])
+			adamScalar(&l.bias[id], &l.mb[id], &l.vb[id], l.gbias[id], p)
+			l.gbias[id] = 0
+		})
+	}
+	l.touched.clear()
+}
+
+// TouchedRows returns how many rows currently hold unapplied gradient.
+func (l *RowLayer) TouchedRows() int { return l.touched.count() }
+
+// ApplyAdamAll steps every row unconditionally — the dense update of the
+// full-softmax baseline, where all parameters change every batch. Rows are
+// tiled across workers; consumed gradients are zeroed and the touched set
+// cleared.
+func (l *RowLayer) ApplyAdamAll(p simd.AdamParams, workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	per := (l.Out + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := min(lo+per, l.Out)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if l.opts.Precision == BF16Both {
+					simd.AdamStepBF16(l.rowsBF[i], l.m[i], l.v[i], l.grad[i], p)
+				} else {
+					simd.AdamStep(l.rows[i], l.m[i], l.v[i], l.grad[i], p)
+				}
+				simd.Zero(l.grad[i])
+				adamScalar(&l.bias[i], &l.mb[i], &l.vb[i], l.gbias[i], p)
+				l.gbias[i] = 0
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	l.touched.clear()
+}
+
+// ForwardAll computes every neuron's logit into out (len Out) — the full
+// softmax pass used for evaluation and by the dense baseline. Rows are
+// tiled across workers.
+func (l *RowLayer) ForwardAll(h []float32, hBF []bf16.BF16, out []float32, workers int) {
+	if len(out) != l.Out {
+		panic("layer: ForwardAll output size mismatch")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	per := (l.Out + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := min(lo+per, l.Out)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = l.Logit(int32(i), h, hBF)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// RowF32 returns neuron i's weight vector as float32. For BF16Both it is
+// expanded into buf (len >= In); otherwise a direct view is returned.
+// Read-only; used by the LSH rebuild to hash current weights.
+func (l *RowLayer) RowF32(i int, buf []float32) []float32 {
+	if l.opts.Precision == BF16Both {
+		buf = buf[:l.In]
+		bf16.Expand(buf, l.rowsBF[i])
+		return buf
+	}
+	return l.rows[i]
+}
+
+// Bias returns the bias vector (read-only view).
+func (l *RowLayer) Bias() []float32 { return l.bias }
+
+// ParamBytes returns the resident parameter size in bytes.
+func (l *RowLayer) ParamBytes() int64 {
+	per := int64(4)
+	if l.opts.Precision == BF16Both {
+		per = 2
+	}
+	return int64(l.In)*int64(l.Out)*per + int64(l.Out)*4
+}

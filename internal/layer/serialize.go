@@ -1,0 +1,228 @@
+package layer
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/slide-cpu/slide/internal/bf16"
+)
+
+// Serialization of layer parameters and optimizer state. The format is a
+// fixed field order in little-endian; the network-level header carries
+// versioning. Gradients are transient and not persisted — save between
+// batches, not mid-batch.
+
+func writeU32(w io.Writer, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readU32(r io.Reader, v *uint32) error {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return err
+	}
+	*v = binary.LittleEndian.Uint32(b[:])
+	return nil
+}
+
+func writeF32s(w io.Writer, s []float32) error {
+	var b [4]byte
+	for _, v := range s {
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
+		if _, err := w.Write(b[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readF32s(r io.Reader, s []float32) error {
+	var b [4]byte
+	for i := range s {
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return err
+		}
+		s[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[:]))
+	}
+	return nil
+}
+
+func writeBF16s(w io.Writer, s []bf16.BF16) error {
+	var b [2]byte
+	for _, v := range s {
+		binary.LittleEndian.PutUint16(b[:], v.Bits())
+		if _, err := w.Write(b[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readBF16s(r io.Reader, s []bf16.BF16) error {
+	var b [2]byte
+	for i := range s {
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return err
+		}
+		s[i] = bf16.FromBits(binary.LittleEndian.Uint16(b[:]))
+	}
+	return nil
+}
+
+// Serialize writes the layer's dimensions, precision, weights, biases and
+// ADAM moments. The caller provides buffering (one bufio around the whole
+// stream); the layer writes exactly its own bytes.
+func (l *ColLayer) Serialize(bw io.Writer) error {
+	for _, v := range []uint32{uint32(l.In), uint32(l.Out), uint32(l.opts.Precision)} {
+		if err := writeU32(bw, v); err != nil {
+			return err
+		}
+	}
+	for j := 0; j < l.In; j++ {
+		if l.opts.Precision == BF16Both {
+			if err := writeBF16s(bw, l.colsBF[j]); err != nil {
+				return err
+			}
+		} else {
+			if err := writeF32s(bw, l.cols[j]); err != nil {
+				return err
+			}
+		}
+	}
+	for j := 0; j < l.In; j++ {
+		if err := writeF32s(bw, l.m[j]); err != nil {
+			return err
+		}
+		if err := writeF32s(bw, l.v[j]); err != nil {
+			return err
+		}
+	}
+	for _, s := range [][]float32{l.bias, l.mb, l.vb} {
+		if err := writeF32s(bw, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Deserialize restores state written by Serialize into a layer constructed
+// with matching dimensions and precision. It reads exactly the bytes
+// Serialize wrote, so multiple layers can share one stream.
+func (l *ColLayer) Deserialize(br io.Reader) error {
+	var in, out, prec uint32
+	for _, p := range []*uint32{&in, &out, &prec} {
+		if err := readU32(br, p); err != nil {
+			return fmt.Errorf("layer: reading ColLayer header: %w", err)
+		}
+	}
+	if int(in) != l.In || int(out) != l.Out || Precision(prec) != l.opts.Precision {
+		return fmt.Errorf("layer: ColLayer mismatch: file %dx%d/%v, layer %dx%d/%v",
+			in, out, Precision(prec), l.In, l.Out, l.opts.Precision)
+	}
+	for j := 0; j < l.In; j++ {
+		if l.opts.Precision == BF16Both {
+			if err := readBF16s(br, l.colsBF[j]); err != nil {
+				return err
+			}
+		} else {
+			if err := readF32s(br, l.cols[j]); err != nil {
+				return err
+			}
+		}
+	}
+	for j := 0; j < l.In; j++ {
+		if err := readF32s(br, l.m[j]); err != nil {
+			return err
+		}
+		if err := readF32s(br, l.v[j]); err != nil {
+			return err
+		}
+	}
+	for _, s := range [][]float32{l.bias, l.mb, l.vb} {
+		if err := readF32s(br, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Serialize writes the layer's dimensions, precision, weights, biases and
+// ADAM moments. See ColLayer.Serialize for the buffering contract.
+func (l *RowLayer) Serialize(bw io.Writer) error {
+	for _, v := range []uint32{uint32(l.In), uint32(l.Out), uint32(l.opts.Precision)} {
+		if err := writeU32(bw, v); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < l.Out; i++ {
+		if l.opts.Precision == BF16Both {
+			if err := writeBF16s(bw, l.rowsBF[i]); err != nil {
+				return err
+			}
+		} else {
+			if err := writeF32s(bw, l.rows[i]); err != nil {
+				return err
+			}
+		}
+	}
+	for i := 0; i < l.Out; i++ {
+		if err := writeF32s(bw, l.m[i]); err != nil {
+			return err
+		}
+		if err := writeF32s(bw, l.v[i]); err != nil {
+			return err
+		}
+	}
+	for _, s := range [][]float32{l.bias, l.mb, l.vb} {
+		if err := writeF32s(bw, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Deserialize restores state written by Serialize into a layer constructed
+// with matching dimensions and precision. Reads exactly the bytes
+// Serialize wrote.
+func (l *RowLayer) Deserialize(br io.Reader) error {
+	var in, out, prec uint32
+	for _, p := range []*uint32{&in, &out, &prec} {
+		if err := readU32(br, p); err != nil {
+			return fmt.Errorf("layer: reading RowLayer header: %w", err)
+		}
+	}
+	if int(in) != l.In || int(out) != l.Out || Precision(prec) != l.opts.Precision {
+		return fmt.Errorf("layer: RowLayer mismatch: file %dx%d/%v, layer %dx%d/%v",
+			in, out, Precision(prec), l.In, l.Out, l.opts.Precision)
+	}
+	for i := 0; i < l.Out; i++ {
+		if l.opts.Precision == BF16Both {
+			if err := readBF16s(br, l.rowsBF[i]); err != nil {
+				return err
+			}
+		} else {
+			if err := readF32s(br, l.rows[i]); err != nil {
+				return err
+			}
+		}
+	}
+	for i := 0; i < l.Out; i++ {
+		if err := readF32s(br, l.m[i]); err != nil {
+			return err
+		}
+		if err := readF32s(br, l.v[i]); err != nil {
+			return err
+		}
+	}
+	for _, s := range [][]float32{l.bias, l.mb, l.vb} {
+		if err := readF32s(br, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

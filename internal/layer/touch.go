@@ -1,0 +1,116 @@
+package layer
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"github.com/slide-cpu/slide/internal/simd"
+)
+
+// touchSet is a concurrent bitset recording which weight rows/columns
+// received gradient this batch, so the ADAM pass visits only the sparse
+// touched subset (the p² update fraction of §2). Marking uses atomic Or so
+// it is race-detector clean in every update policy.
+type touchSet struct {
+	words []atomic.Uint32
+	n     int
+}
+
+func newTouchSet(n int) *touchSet {
+	return &touchSet{words: make([]atomic.Uint32, (n+31)/32), n: n}
+}
+
+func (t *touchSet) mark(i int32) {
+	w := &t.words[uint32(i)>>5]
+	bit := uint32(1) << (uint32(i) & 31)
+	if w.Load()&bit == 0 { // cheap read avoids contended RMW on re-marks
+		w.Or(bit)
+	}
+}
+
+func (t *touchSet) isSet(i int32) bool {
+	return t.words[uint32(i)>>5].Load()&(uint32(1)<<(uint32(i)&31)) != 0
+}
+
+// count returns the number of marked ids.
+func (t *touchSet) count() int {
+	c := 0
+	for i := range t.words {
+		c += popcount(t.words[i].Load())
+	}
+	return c
+}
+
+func popcount(x uint32) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+func (t *touchSet) clear() {
+	for i := range t.words {
+		t.words[i].Store(0)
+	}
+}
+
+// forEachParallel invokes f(id) for every marked id, splitting word ranges
+// across workers. f must be safe to call concurrently for distinct ids.
+func (t *touchSet) forEachParallel(workers int, f func(id int32)) {
+	if workers < 1 {
+		workers = 1
+	}
+	nw := len(t.words)
+	if nw == 0 {
+		return
+	}
+	if workers > nw {
+		workers = nw
+	}
+	per := (nw + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := min(lo+per, nw)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for wi := lo; wi < hi; wi++ {
+				bits := t.words[wi].Load()
+				for bits != 0 {
+					b := bits & -bits
+					id := int32(wi*32) + int32(trailingZeros(bits))
+					if int(id) < t.n {
+						f(id)
+					}
+					bits ^= b
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func trailingZeros(x uint32) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// adamScalar applies one ADAM step to a single parameter, used for the
+// per-neuron biases of the sparse output layer.
+func adamScalar(w, m, v *float32, g float32, p simd.AdamParams) {
+	mk := p.Beta1**m + (1-p.Beta1)*g
+	vk := p.Beta2**v + (1-p.Beta2)*g*g
+	*m = mk
+	*v = vk
+	*w -= p.CorrLR * mk / (float32(math.Sqrt(float64(vk))) + p.Eps)
+}

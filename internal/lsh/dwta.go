@@ -1,0 +1,247 @@
+package lsh
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand/v2"
+	"sync"
+
+	"github.com/slide-cpu/slide/internal/simd"
+	"github.com/slide-cpu/slide/internal/sparse"
+)
+
+// DWTA is the Densified Winner-Take-All hash family (Chen & Shrivastava
+// 2018), SLIDE's workhorse for sparse data.
+//
+// The input dimension is pseudo-randomly permuted into K·L bins of BinSize
+// slots each. The hash of one bin is the slot index holding the maximum
+// value; K consecutive bins concatenate into one table's bucket index
+// (K·log2(BinSize) bits). Bins that receive no non-zero (common under
+// extreme sparsity) are "densified": they borrow the winner of a donor bin
+// chosen by a deterministic universal-hash hop sequence, so near-identical
+// vectors still collide.
+//
+// Following §4.3.3, the random index map is precomputed at construction and
+// the per-bin winner scan is the simd.ArgMax kernel.
+type DWTA struct {
+	k       int // hashes (bins) per table
+	l       int // number of tables
+	binSize int // slots per bin; power of two
+	dim     int // input dimensionality
+	slotBit int // log2(binSize)
+
+	// perm maps position p in [0, k*l*binSize) to a feature index.
+	// Built from ceil(positions/dim) independent permutations of [0,dim)
+	// ("rotations") so every position is backed by a real feature.
+	perm []int32
+	// featPos is the CSR inverse of perm: featPos[featStart[f]:featStart[f+1]]
+	// lists the positions feature f occupies. Sparse inputs walk only their
+	// non-zeros through this map.
+	featStart []int32
+	featPos   []int32
+
+	maxDensify int // bounded donor-hop attempts
+	seed       uint64
+
+	scratch sync.Pool // *dwtaScratch
+}
+
+type dwtaScratch struct {
+	binMax    []float32 // running max per bin
+	binWinner []int8    // winning slot per bin, -1 = empty
+	gathered  []float32 // dense path: values gathered into position order
+}
+
+// DWTAConfig parameterizes NewDWTA.
+type DWTAConfig struct {
+	// K is the number of WTA bins concatenated per table (paper: 6 for
+	// Amazon-670K, 5 for WikiLSH-325K).
+	K int
+	// L is the number of hash tables (paper: 400 / 350).
+	L int
+	// BinSize is the number of slots per bin; must be a power of two.
+	// 0 defaults to 8 (3 bits per bin, SLIDE's setting).
+	BinSize int
+	// Dim is the input dimensionality of hashed vectors.
+	Dim int
+	// Seed drives the permutation and the densification hops.
+	Seed uint64
+}
+
+// NewDWTA builds a DWTA hasher.
+func NewDWTA(cfg DWTAConfig) (*DWTA, error) {
+	if cfg.BinSize == 0 {
+		cfg.BinSize = 8
+	}
+	if cfg.K <= 0 || cfg.L <= 0 {
+		return nil, fmt.Errorf("lsh: DWTA requires K>0 and L>0, got K=%d L=%d", cfg.K, cfg.L)
+	}
+	if cfg.Dim <= 0 {
+		return nil, fmt.Errorf("lsh: DWTA requires Dim>0, got %d", cfg.Dim)
+	}
+	if cfg.BinSize < 2 || cfg.BinSize&(cfg.BinSize-1) != 0 {
+		return nil, fmt.Errorf("lsh: DWTA BinSize must be a power of two >= 2, got %d", cfg.BinSize)
+	}
+	slotBit := bits.TrailingZeros(uint(cfg.BinSize))
+	if cfg.K*slotBit > 30 {
+		return nil, fmt.Errorf("lsh: DWTA bucket index needs %d bits (>30); lower K or BinSize", cfg.K*slotBit)
+	}
+
+	d := &DWTA{
+		k:          cfg.K,
+		l:          cfg.L,
+		binSize:    cfg.BinSize,
+		dim:        cfg.Dim,
+		slotBit:    slotBit,
+		maxDensify: 64,
+		seed:       cfg.Seed,
+	}
+	positions := cfg.K * cfg.L * cfg.BinSize
+	d.perm = make([]int32, positions)
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x5851F42D4C957F2D))
+
+	// Fill positions with rotations of fresh permutations of [0, dim).
+	p := 0
+	for p < positions {
+		chunk := positions - p
+		if chunk > cfg.Dim {
+			chunk = cfg.Dim
+		}
+		permutation := rng.Perm(cfg.Dim)
+		for i := 0; i < chunk; i++ {
+			d.perm[p+i] = int32(permutation[i])
+		}
+		p += chunk
+	}
+
+	// Invert into CSR form.
+	counts := make([]int32, cfg.Dim+1)
+	for _, f := range d.perm {
+		counts[f+1]++
+	}
+	for i := 1; i <= cfg.Dim; i++ {
+		counts[i] += counts[i-1]
+	}
+	d.featStart = counts
+	d.featPos = make([]int32, positions)
+	fill := make([]int32, cfg.Dim)
+	for pos, f := range d.perm {
+		d.featPos[d.featStart[f]+fill[f]] = int32(pos)
+		fill[f]++
+	}
+
+	nbins := cfg.K * cfg.L
+	d.scratch.New = func() any {
+		return &dwtaScratch{
+			binMax:    make([]float32, nbins),
+			binWinner: make([]int8, nbins),
+			gathered:  make([]float32, positions),
+		}
+	}
+	return d, nil
+}
+
+// Tables implements Hasher.
+func (d *DWTA) Tables() int { return d.l }
+
+// Bits implements Hasher.
+func (d *DWTA) Bits() int { return d.k * d.slotBit }
+
+// Dim returns the configured input dimensionality.
+func (d *DWTA) Dim() int { return d.dim }
+
+// Hash implements Hasher for sparse inputs: only the non-zero features walk
+// the inverse map, so cost is O(nnz · positions/dim + K·L).
+func (d *DWTA) Hash(v sparse.Vector, out []uint32) {
+	if len(out) < d.l {
+		panic("lsh: DWTA.Hash out slice too short")
+	}
+	s := d.scratch.Get().(*dwtaScratch)
+	defer d.scratch.Put(s)
+
+	nbins := d.k * d.l
+	for i := 0; i < nbins; i++ {
+		s.binWinner[i] = -1
+		s.binMax[i] = float32(math.Inf(-1))
+	}
+	for n, f := range v.Indices {
+		if int(f) >= d.dim || f < 0 {
+			panic(fmt.Sprintf("lsh: feature index %d out of range [0,%d)", f, d.dim))
+		}
+		val := v.Values[n]
+		for _, pos := range d.featPos[d.featStart[f]:d.featStart[f+1]] {
+			bin := int(pos) >> d.slotBit
+			if val > s.binMax[bin] {
+				s.binMax[bin] = val
+				s.binWinner[bin] = int8(int(pos) & (d.binSize - 1))
+			}
+		}
+	}
+	d.assemble(s, out)
+}
+
+// HashDense implements Hasher for dense vectors (neuron weights, dense
+// activations). Values are gathered into position order once and each bin's
+// winner comes from the simd.ArgMax kernel (§4.3.3's vectorized max).
+func (d *DWTA) HashDense(vals []float32, out []uint32) {
+	if len(out) < d.l {
+		panic("lsh: DWTA.HashDense out slice too short")
+	}
+	s := d.scratch.Get().(*dwtaScratch)
+	defer d.scratch.Put(s)
+
+	n := len(vals)
+	neg := float32(math.Inf(-1))
+	for p, f := range d.perm {
+		if int(f) < n {
+			s.gathered[p] = vals[f]
+		} else {
+			s.gathered[p] = neg
+		}
+	}
+	nbins := d.k * d.l
+	for b := 0; b < nbins; b++ {
+		lo := b << d.slotBit
+		bin := s.gathered[lo : lo+d.binSize]
+		w := simd.ArgMax(bin)
+		if math.IsInf(float64(bin[w]), -1) {
+			s.binWinner[b] = -1
+		} else {
+			s.binWinner[b] = int8(w)
+		}
+	}
+	d.assemble(s, out)
+}
+
+// assemble concatenates per-bin winners into per-table bucket indices,
+// densifying empty bins.
+func (d *DWTA) assemble(s *dwtaScratch, out []uint32) {
+	for t := 0; t < d.l; t++ {
+		var h uint32
+		base := t * d.k
+		for k := 0; k < d.k; k++ {
+			bin := base + k
+			w := s.binWinner[bin]
+			if w < 0 {
+				w = d.densify(s, bin)
+			}
+			h = h<<d.slotBit | uint32(w)
+		}
+		out[t] = h
+	}
+}
+
+// densify borrows a winner for an empty bin via a deterministic universal-
+// hash hop sequence over all bins. Returns 0 if every attempt lands empty
+// (e.g. the all-zero vector).
+func (d *DWTA) densify(s *dwtaScratch, bin int) int8 {
+	nbins := d.k * d.l
+	for a := 1; a <= d.maxDensify; a++ {
+		donor := int(splitmix64(d.seed^(uint64(bin)<<20|uint64(a))) % uint64(nbins))
+		if w := s.binWinner[donor]; w >= 0 {
+			return w
+		}
+	}
+	return 0
+}

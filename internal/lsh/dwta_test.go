@@ -1,0 +1,275 @@
+package lsh
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"github.com/slide-cpu/slide/internal/sparse"
+)
+
+func mustDWTA(t *testing.T, cfg DWTAConfig) *DWTA {
+	t.Helper()
+	d, err := NewDWTA(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDWTAConfigValidation(t *testing.T) {
+	cases := []DWTAConfig{
+		{K: 0, L: 5, Dim: 10},
+		{K: 3, L: 0, Dim: 10},
+		{K: 3, L: 5, Dim: 0},
+		{K: 3, L: 5, Dim: 10, BinSize: 3},  // not a power of two
+		{K: 3, L: 5, Dim: 10, BinSize: 1},  // too small
+		{K: 11, L: 5, Dim: 10, BinSize: 8}, // 33 bucket bits
+	}
+	for i, cfg := range cases {
+		if _, err := NewDWTA(cfg); err == nil {
+			t.Errorf("case %d (%+v): expected error", i, cfg)
+		}
+	}
+	d := mustDWTA(t, DWTAConfig{K: 2, L: 3, Dim: 64, Seed: 1})
+	if d.Bits() != 6 { // default binSize 8 -> 3 bits per bin
+		t.Errorf("Bits = %d, want 6", d.Bits())
+	}
+	if d.Tables() != 3 || d.Dim() != 64 {
+		t.Errorf("Tables/Dim = %d/%d", d.Tables(), d.Dim())
+	}
+}
+
+func TestDWTADeterministic(t *testing.T) {
+	d := mustDWTA(t, DWTAConfig{K: 3, L: 10, Dim: 100, Seed: 7})
+	v := sparse.Vector{Indices: []int32{3, 17, 50, 99}, Values: []float32{1, -2, 3, 0.5}}
+	h1 := make([]uint32, 10)
+	h2 := make([]uint32, 10)
+	d.Hash(v, h1)
+	d.Hash(v, h2)
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatalf("table %d: %d != %d (non-deterministic)", i, h1[i], h2[i])
+		}
+	}
+	// A different seed must give a different family.
+	d2 := mustDWTA(t, DWTAConfig{K: 3, L: 10, Dim: 100, Seed: 8})
+	h3 := make([]uint32, 10)
+	d2.Hash(v, h3)
+	same := 0
+	for i := range h1 {
+		if h1[i] == h3[i] {
+			same++
+		}
+	}
+	if same == 10 {
+		t.Error("different seeds produced identical hash families")
+	}
+}
+
+func TestDWTAHashInBucketRange(t *testing.T) {
+	d := mustDWTA(t, DWTAConfig{K: 2, L: 8, Dim: 50, Seed: 3})
+	rng := rand.New(rand.NewPCG(1, 2))
+	out := make([]uint32, 8)
+	limit := uint32(1) << d.Bits()
+	for trial := 0; trial < 50; trial++ {
+		nnz := 1 + rng.IntN(10)
+		idx := make([]int32, 0, nnz)
+		val := make([]float32, 0, nnz)
+		used := map[int32]bool{}
+		for len(idx) < nnz {
+			i := int32(rng.IntN(50))
+			if !used[i] {
+				used[i] = true
+				idx = append(idx, i)
+				val = append(val, float32(rng.NormFloat64()))
+			}
+		}
+		d.Hash(sparse.Vector{Indices: idx, Values: val}, out)
+		for t2, h := range out {
+			if h >= limit {
+				t.Fatalf("table %d hash %d exceeds bucket space %d", t2, h, limit)
+			}
+		}
+	}
+}
+
+func TestDWTAScaleInvariance(t *testing.T) {
+	// WTA hashes depend only on argmax per bin, so any positive scaling of
+	// the vector leaves every hash unchanged.
+	d := mustDWTA(t, DWTAConfig{K: 4, L: 20, Dim: 200, Seed: 11})
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		nnz := 1 + rng.IntN(20)
+		idx := make([]int32, 0, nnz)
+		used := map[int32]bool{}
+		for len(idx) < nnz {
+			i := int32(rng.IntN(200))
+			if !used[i] {
+				used[i] = true
+				idx = append(idx, i)
+			}
+		}
+		// sort
+		for i := 1; i < len(idx); i++ {
+			for j := i; j > 0 && idx[j] < idx[j-1]; j-- {
+				idx[j], idx[j-1] = idx[j-1], idx[j]
+			}
+		}
+		val := make([]float32, nnz)
+		for i := range val {
+			val[i] = float32(rng.NormFloat64())
+		}
+		scaled := make([]float32, nnz)
+		alpha := float32(0.001 + rng.Float64()*100)
+		for i := range val {
+			scaled[i] = val[i] * alpha
+		}
+		h1 := make([]uint32, 20)
+		h2 := make([]uint32, 20)
+		d.Hash(sparse.Vector{Indices: idx, Values: val}, h1)
+		d.Hash(sparse.Vector{Indices: idx, Values: scaled}, h2)
+		for i := range h1 {
+			if h1[i] != h2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDWTASparseDenseConsistency(t *testing.T) {
+	// When every coordinate is explicitly present, the sparse and dense
+	// paths must produce identical fingerprints.
+	dim := 48
+	d := mustDWTA(t, DWTAConfig{K: 3, L: 15, Dim: dim, Seed: 21})
+	rng := rand.New(rand.NewPCG(5, 6))
+	vals := make([]float32, dim)
+	idx := make([]int32, dim)
+	for i := range vals {
+		vals[i] = float32(rng.NormFloat64()) + 0.001 // avoid exact zeros
+		idx[i] = int32(i)
+	}
+	hs := make([]uint32, 15)
+	hd := make([]uint32, 15)
+	d.Hash(sparse.Vector{Indices: idx, Values: vals}, hs)
+	d.HashDense(vals, hd)
+	for i := range hs {
+		if hs[i] != hd[i] {
+			t.Errorf("table %d: sparse %d != dense %d", i, hs[i], hd[i])
+		}
+	}
+}
+
+func TestDWTALocality(t *testing.T) {
+	// Near-duplicate vectors must collide in far more tables than unrelated
+	// vectors — the property SLIDE's sampling relies on.
+	dim := 128
+	d := mustDWTA(t, DWTAConfig{K: 2, L: 50, Dim: dim, Seed: 31})
+	rng := rand.New(rand.NewPCG(9, 10))
+
+	base := make([]float32, dim)
+	for i := range base {
+		base[i] = float32(rng.NormFloat64())
+	}
+	near := append([]float32(nil), base...)
+	for i := range near {
+		near[i] += float32(rng.NormFloat64()) * 0.01
+	}
+	far := make([]float32, dim)
+	for i := range far {
+		far[i] = float32(rng.NormFloat64())
+	}
+
+	hb := make([]uint32, 50)
+	hn := make([]uint32, 50)
+	hf := make([]uint32, 50)
+	d.HashDense(base, hb)
+	d.HashDense(near, hn)
+	d.HashDense(far, hf)
+
+	nearColl, farColl := 0, 0
+	for i := range hb {
+		if hb[i] == hn[i] {
+			nearColl++
+		}
+		if hb[i] == hf[i] {
+			farColl++
+		}
+	}
+	if nearColl <= farColl {
+		t.Errorf("locality violated: near collisions %d <= far collisions %d", nearColl, farColl)
+	}
+	if nearColl < 25 { // 1% perturbation should preserve most bin winners
+		t.Errorf("near-duplicate collided in only %d/50 tables", nearColl)
+	}
+}
+
+func TestDWTADensification(t *testing.T) {
+	// An extremely sparse vector leaves most bins empty; the hash must still
+	// be well-defined, deterministic, and equal for equal inputs.
+	d := mustDWTA(t, DWTAConfig{K: 6, L: 30, Dim: 100000, Seed: 41})
+	v := sparse.Vector{Indices: []int32{12345}, Values: []float32{1.5}}
+	h1 := make([]uint32, 30)
+	h2 := make([]uint32, 30)
+	d.Hash(v, h1)
+	d.Hash(v, h2)
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatal("densified hash is not deterministic")
+		}
+	}
+	// The all-zero vector (no entries at all) must not panic or loop.
+	d.Hash(sparse.Vector{}, h1)
+}
+
+func TestDWTAOutOfRangePanics(t *testing.T) {
+	d := mustDWTA(t, DWTAConfig{K: 2, L: 2, Dim: 10, Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range feature did not panic")
+		}
+	}()
+	d.Hash(sparse.Vector{Indices: []int32{10}, Values: []float32{1}}, make([]uint32, 2))
+}
+
+func TestDWTAShortOutPanics(t *testing.T) {
+	d := mustDWTA(t, DWTAConfig{K: 2, L: 4, Dim: 10, Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("short out slice did not panic")
+		}
+	}()
+	d.Hash(sparse.Vector{Indices: []int32{1}, Values: []float32{1}}, make([]uint32, 3))
+}
+
+func TestDWTAPermutationCoversAllPositions(t *testing.T) {
+	// Every position must be backed by a feature in [0, dim); every feature
+	// in the inverse map must point back at its position.
+	d := mustDWTA(t, DWTAConfig{K: 3, L: 7, Dim: 29, Seed: 13})
+	positions := 3 * 7 * 8
+	if len(d.perm) != positions {
+		t.Fatalf("perm has %d positions, want %d", len(d.perm), positions)
+	}
+	for p, f := range d.perm {
+		if f < 0 || int(f) >= 29 {
+			t.Fatalf("position %d maps to invalid feature %d", p, f)
+		}
+	}
+	covered := 0
+	for f := 0; f < 29; f++ {
+		for _, p := range d.featPos[d.featStart[f]:d.featStart[f+1]] {
+			if d.perm[p] != int32(f) {
+				t.Fatalf("inverse map broken: feature %d lists position %d which maps to %d",
+					f, p, d.perm[p])
+			}
+			covered++
+		}
+	}
+	if covered != positions {
+		t.Errorf("inverse map covers %d positions, want %d", covered, positions)
+	}
+}

@@ -1,0 +1,78 @@
+package lsh
+
+import (
+	"testing"
+
+	"github.com/slide-cpu/slide/internal/sparse"
+)
+
+// FuzzDWTAHash feeds arbitrary sparse vectors (indices reduced into range)
+// to the DWTA sparse path: hashes must stay in the bucket space and be
+// deterministic.
+func FuzzDWTAHash(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{10, 20, 30})
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{0, 0, 0, 0}, []byte{0, 0, 0, 0})
+	d, err := NewDWTA(DWTAConfig{K: 3, L: 8, Dim: 64, Seed: 99})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, idxRaw, valRaw []byte) {
+		n := min(len(idxRaw), len(valRaw))
+		seen := map[int32]bool{}
+		var idx []int32
+		var val []float32
+		for i := 0; i < n; i++ {
+			fi := int32(idxRaw[i]) % 64
+			if seen[fi] {
+				continue
+			}
+			seen[fi] = true
+			idx = append(idx, fi)
+			val = append(val, float32(int8(valRaw[i]))/16)
+		}
+		v := sparse.Vector{Indices: idx, Values: val}
+		out1 := make([]uint32, 8)
+		out2 := make([]uint32, 8)
+		d.Hash(v, out1)
+		d.Hash(v, out2)
+		limit := uint32(1) << d.Bits()
+		for i := range out1 {
+			if out1[i] != out2[i] {
+				t.Fatal("hash is not deterministic")
+			}
+			if out1[i] >= limit {
+				t.Fatalf("hash %d outside bucket space %d", out1[i], limit)
+			}
+		}
+	})
+}
+
+// FuzzTableInsert exercises bucket policies with arbitrary id/fingerprint
+// streams: buckets must never exceed capacity and never hold ids that were
+// not inserted.
+func FuzzTableInsert(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		for _, policy := range []BucketPolicy{FIFO, Reservoir} {
+			tbl := NewTable(4, 3, policy, 7)
+			inserted := map[int32]bool{}
+			for i := 0; i+1 < len(stream); i += 2 {
+				id := int32(stream[i])
+				tbl.Insert(id, uint32(stream[i+1]))
+				inserted[id] = true
+			}
+			for b := 0; b < tbl.Buckets(); b++ {
+				bucket := tbl.Query(uint32(b))
+				if len(bucket) > 3 {
+					t.Fatalf("%v bucket %d exceeded capacity: %v", policy, b, bucket)
+				}
+				for _, id := range bucket {
+					if !inserted[id] {
+						t.Fatalf("%v bucket %d holds phantom id %d", policy, b, id)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,173 @@
+package lsh
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/slide-cpu/slide/internal/sparse"
+)
+
+// SimHash is the signed-random-projection family, used by the paper for the
+// Text8 workload (K=9, L=50).
+//
+// Bit k of table t is the sign of the projection of the input onto a
+// pseudo-random ±1 hyperplane. Hyperplane entries are derived from a
+// splitmix64 of (seed, bit, feature); for moderate dimensions they are
+// additionally materialized into a packed bitset at construction
+// (dim·K·L bits), replacing a 64-bit mix per (bit, feature) with one bit
+// load on the query hot path — the LSH query is a top phase of the Text8
+// step (see harness.Profile). Above PrecomputeLimit the lazy derivation is
+// kept to bound memory; both paths produce identical fingerprints.
+type SimHash struct {
+	k    int
+	l    int
+	dim  int
+	seed uint64
+
+	// signs is the packed ±1 matrix, indexed [f*nbits + b]; bit set means
+	// +1. nil when dim*nbits exceeds PrecomputeLimit.
+	signs []uint64
+
+	scratch sync.Pool // *simhashScratch
+}
+
+// PrecomputeLimit bounds the precomputed sign matrix to 16M entries (2 MiB
+// packed); larger hashers derive signs lazily.
+const PrecomputeLimit = 16 << 20
+
+type simhashScratch struct {
+	acc []float32 // K*L projection accumulators
+}
+
+// SimHashConfig parameterizes NewSimHash.
+type SimHashConfig struct {
+	// K is the number of sign bits per table (paper: 9 for Text8).
+	K int
+	// L is the number of tables (paper: 50).
+	L int
+	// Dim is the input dimensionality.
+	Dim int
+	// Seed drives the hyperplane derivation.
+	Seed uint64
+}
+
+// NewSimHash builds a SimHash hasher.
+func NewSimHash(cfg SimHashConfig) (*SimHash, error) {
+	if cfg.K <= 0 || cfg.L <= 0 {
+		return nil, fmt.Errorf("lsh: SimHash requires K>0 and L>0, got K=%d L=%d", cfg.K, cfg.L)
+	}
+	if cfg.K > 30 {
+		return nil, fmt.Errorf("lsh: SimHash K=%d produces an unindexable bucket space", cfg.K)
+	}
+	if cfg.Dim <= 0 {
+		return nil, fmt.Errorf("lsh: SimHash requires Dim>0, got %d", cfg.Dim)
+	}
+	s := &SimHash{k: cfg.K, l: cfg.L, dim: cfg.Dim, seed: cfg.Seed}
+	n := cfg.K * cfg.L
+	if total := cfg.Dim * n; total <= PrecomputeLimit {
+		s.signs = make([]uint64, (total+63)/64)
+		for f := 0; f < cfg.Dim; f++ {
+			base := f * n
+			for b := 0; b < n; b++ {
+				if s.derive(b, int32(f)) > 0 {
+					s.signs[(base+b)>>6] |= 1 << (uint(base+b) & 63)
+				}
+			}
+		}
+	}
+	s.scratch.New = func() any {
+		return &simhashScratch{acc: make([]float32, n)}
+	}
+	return s, nil
+}
+
+// Tables implements Hasher.
+func (s *SimHash) Tables() int { return s.l }
+
+// Bits implements Hasher.
+func (s *SimHash) Bits() int { return s.k }
+
+// Dim returns the configured input dimensionality.
+func (s *SimHash) Dim() int { return s.dim }
+
+// derive computes the ±1 hyperplane entry (bitIdx, feature) from the hash.
+func (s *SimHash) derive(bitIdx int, feature int32) float32 {
+	h := splitmix64(s.seed ^ uint64(bitIdx)<<32 ^ uint64(uint32(feature)))
+	if h&1 == 0 {
+		return 1
+	}
+	return -1
+}
+
+// sign returns the hyperplane entry, served from the precomputed bitset
+// when available.
+func (s *SimHash) sign(bitIdx int, feature int32) float32 {
+	if s.signs != nil {
+		pos := int(feature)*s.k*s.l + bitIdx
+		if s.signs[pos>>6]&(1<<(uint(pos)&63)) != 0 {
+			return 1
+		}
+		return -1
+	}
+	return s.derive(bitIdx, feature)
+}
+
+// Hash implements Hasher for sparse inputs.
+func (s *SimHash) Hash(v sparse.Vector, out []uint32) {
+	if len(out) < s.l {
+		panic("lsh: SimHash.Hash out slice too short")
+	}
+	sc := s.scratch.Get().(*simhashScratch)
+	defer s.scratch.Put(sc)
+
+	acc := sc.acc
+	clear(acc)
+	nbits := s.k * s.l
+	for n, f := range v.Indices {
+		if int(f) >= s.dim || f < 0 {
+			panic(fmt.Sprintf("lsh: feature index %d out of range [0,%d)", f, s.dim))
+		}
+		val := v.Values[n]
+		for b := 0; b < nbits; b++ {
+			acc[b] += val * s.sign(b, f)
+		}
+	}
+	s.assemble(acc, out)
+}
+
+// HashDense implements Hasher for dense vectors.
+func (s *SimHash) HashDense(vals []float32, out []uint32) {
+	if len(out) < s.l {
+		panic("lsh: SimHash.HashDense out slice too short")
+	}
+	sc := s.scratch.Get().(*simhashScratch)
+	defer s.scratch.Put(sc)
+
+	acc := sc.acc
+	clear(acc)
+	nbits := s.k * s.l
+	for f := range vals {
+		val := vals[f]
+		if val == 0 {
+			continue
+		}
+		for b := 0; b < nbits; b++ {
+			acc[b] += val * s.sign(b, int32(f))
+		}
+	}
+	s.assemble(acc, out)
+}
+
+func (s *SimHash) assemble(acc []float32, out []uint32) {
+	for t := 0; t < s.l; t++ {
+		var h uint32
+		base := t * s.k
+		for k := 0; k < s.k; k++ {
+			h <<= 1
+			if acc[base+k] > 0 {
+				h |= 1
+			}
+		}
+		out[t] = h
+	}
+}

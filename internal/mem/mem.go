@@ -1,0 +1,82 @@
+// Package mem provides the parameter-memory substrate for the §4.1
+// "Removing Parameter Memory Fragmentation" optimization.
+//
+// The optimized SLIDE reserves one big contiguous block per layer so that
+// neighbouring neurons' weight vectors share cache lines and sequential
+// prefetch; the naive SLIDE allocated every neuron's weights independently,
+// scattering them across the heap. Contiguous2D and Scattered2D construct
+// exactly those two layouts behind identical [][]float32 views, so the rest
+// of the system (and the ablation harness) can switch layouts without
+// touching kernel code.
+package mem
+
+import "fmt"
+
+// Arena hands out contiguous float32 sub-slices from one backing allocation.
+// It is not safe for concurrent use; layers allocate from it at build time
+// only.
+type Arena struct {
+	buf []float32
+	off int
+}
+
+// NewArena allocates an arena with capacity for n float32 values.
+func NewArena(n int) *Arena {
+	if n < 0 {
+		panic("mem: negative arena size")
+	}
+	return &Arena{buf: make([]float32, n)}
+}
+
+// Alloc returns a zeroed length-n slice carved from the arena. Consecutive
+// calls return adjacent memory. It panics if the arena is exhausted —
+// layer construction sizes the arena exactly, so overflow is a bug.
+func (a *Arena) Alloc(n int) []float32 {
+	if n < 0 {
+		panic("mem: negative allocation")
+	}
+	if a.off+n > len(a.buf) {
+		panic(fmt.Sprintf("mem: arena exhausted (%d of %d used, want %d more)",
+			a.off, len(a.buf), n))
+	}
+	s := a.buf[a.off : a.off+n : a.off+n]
+	a.off += n
+	return s
+}
+
+// Remaining returns the number of unallocated float32 slots.
+func (a *Arena) Remaining() int { return len(a.buf) - a.off }
+
+// Contiguous2D returns rows×cols as row views into one contiguous backing
+// slice (also returned, for whole-block kernels such as the fused ADAM pass
+// of §4.3.1).
+func Contiguous2D(rows, cols int) ([][]float32, []float32) {
+	if rows < 0 || cols < 0 {
+		panic("mem: negative dimensions")
+	}
+	backing := make([]float32, rows*cols)
+	views := make([][]float32, rows)
+	for i := range views {
+		views[i] = backing[i*cols : (i+1)*cols : (i+1)*cols]
+	}
+	return views, backing
+}
+
+// Scattered2D returns rows×cols with every row allocated independently and
+// decoy allocations interleaved between rows, reproducing the fragmented
+// heap placement of per-neuron weight vectors in naive SLIDE. The decoys are
+// retained (returned) so the runtime cannot coalesce the rows.
+func Scattered2D(rows, cols int) ([][]float32, [][]float32) {
+	if rows < 0 || cols < 0 {
+		panic("mem: negative dimensions")
+	}
+	views := make([][]float32, rows)
+	decoys := make([][]float32, 0, rows)
+	for i := range views {
+		views[i] = make([]float32, cols)
+		// Interleave a small decoy allocation so consecutive rows land on
+		// different heap chunks rather than a tight bump-allocated run.
+		decoys = append(decoys, make([]float32, 8))
+	}
+	return views, decoys
+}

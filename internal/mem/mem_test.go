@@ -1,0 +1,123 @@
+package mem
+
+import "testing"
+
+func TestArenaAllocContiguity(t *testing.T) {
+	a := NewArena(100)
+	s1 := a.Alloc(30)
+	s2 := a.Alloc(70)
+	if len(s1) != 30 || len(s2) != 70 {
+		t.Fatalf("lengths %d, %d", len(s1), len(s2))
+	}
+	if a.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", a.Remaining())
+	}
+	// Adjacent allocations must be adjacent in memory.
+	if &s1[:cap(s1)][29] == nil || &s2[0] != &a.buf[30] {
+		t.Error("allocations are not contiguous")
+	}
+	// Zeroed on allocation.
+	for i := range s1 {
+		if s1[i] != 0 {
+			t.Fatal("allocation not zeroed")
+		}
+	}
+	// Writes must not leak across the capacity boundary.
+	s1 = append(s1[:0], make([]float32, 30)...)
+	if cap(s1) != 30 {
+		t.Errorf("slice capacity not clamped: %d", cap(s1))
+	}
+}
+
+func TestArenaExhaustionPanics(t *testing.T) {
+	a := NewArena(10)
+	a.Alloc(8)
+	defer func() {
+		if recover() == nil {
+			t.Error("over-allocation did not panic")
+		}
+	}()
+	a.Alloc(3)
+}
+
+func TestArenaNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative arena size did not panic")
+		}
+	}()
+	NewArena(-1)
+}
+
+func TestArenaAllocNegativePanics(t *testing.T) {
+	a := NewArena(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Alloc did not panic")
+		}
+	}()
+	a.Alloc(-1)
+}
+
+func TestContiguous2D(t *testing.T) {
+	rows, backing := Contiguous2D(4, 8)
+	if len(rows) != 4 || len(backing) != 32 {
+		t.Fatalf("shape %d x %d, backing %d", len(rows), len(rows[0]), len(backing))
+	}
+	// Row i must alias backing[i*cols:].
+	rows[2][3] = 42
+	if backing[2*8+3] != 42 {
+		t.Error("row view does not alias backing storage")
+	}
+	// Rows are capacity-clamped: appending to a row must not clobber the next.
+	r := append(rows[0][:0], make([]float32, 9)...)
+	if &r[0] == &rows[0][0] && backing[8] != 0 && rows[1][0] != 0 {
+		t.Error("append through row view clobbered next row")
+	}
+}
+
+func TestContiguous2DZeroDims(t *testing.T) {
+	rows, backing := Contiguous2D(0, 5)
+	if len(rows) != 0 || len(backing) != 0 {
+		t.Error("zero rows should produce empty structures")
+	}
+	rows2, backing2 := Contiguous2D(3, 0)
+	if len(rows2) != 3 || len(backing2) != 0 {
+		t.Error("zero cols should produce 3 empty rows")
+	}
+}
+
+func TestContiguous2DNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative dims did not panic")
+		}
+	}()
+	Contiguous2D(-1, 3)
+}
+
+func TestScattered2D(t *testing.T) {
+	rows, decoys := Scattered2D(5, 7)
+	if len(rows) != 5 || len(decoys) != 5 {
+		t.Fatalf("got %d rows, %d decoys", len(rows), len(decoys))
+	}
+	for i, r := range rows {
+		if len(r) != 7 {
+			t.Fatalf("row %d has length %d", i, len(r))
+		}
+	}
+	// Rows are independent allocations: writing one must not affect another.
+	rows[0][6] = 1
+	if rows[1][0] != 0 {
+		t.Error("scattered rows alias each other")
+	}
+}
+
+func TestScattered2DNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative dims did not panic")
+		}
+	}()
+	Scattered2D(2, -2)
+}

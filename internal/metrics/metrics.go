@@ -1,0 +1,153 @@
+// Package metrics implements the evaluation metrics of the paper's §5 —
+// Precision@k over multi-label predictions — and the convergence tracker
+// behind the Figure 6 time-vs-accuracy curves.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+)
+
+// TopK returns the indices of the k largest scores, highest first. Ties
+// break toward the lower index. k larger than len(scores) is clamped.
+func TopK(scores []float32, k int) []int32 {
+	if k > len(scores) {
+		k = len(scores)
+	}
+	if k <= 0 {
+		return nil
+	}
+	type pair struct {
+		idx   int32
+		score float32
+	}
+	// Partial selection: maintain the k best in a small sorted buffer.
+	best := make([]pair, 0, k)
+	for i, s := range scores {
+		if len(best) == k && s <= best[k-1].score {
+			continue
+		}
+		p := pair{int32(i), s}
+		pos := sort.Search(len(best), func(j int) bool {
+			return best[j].score < p.score
+		})
+		if len(best) < k {
+			best = append(best, pair{})
+		}
+		copy(best[pos+1:], best[pos:len(best)-1])
+		best[pos] = p
+	}
+	out := make([]int32, len(best))
+	for i, p := range best {
+		out[i] = p.idx
+	}
+	return out
+}
+
+// PrecisionAtK computes P@k for one sample: the fraction of the k
+// top-scoring predictions that are true labels.
+func PrecisionAtK(scores []float32, labels []int32, k int) float64 {
+	if k <= 0 || len(labels) == 0 {
+		return 0
+	}
+	set := make(map[int32]bool, len(labels))
+	for _, y := range labels {
+		set[y] = true
+	}
+	hits := 0
+	top := TopK(scores, k)
+	for _, p := range top {
+		if set[p] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// Point is one convergence measurement (one row of the Figure 6 series).
+type Point struct {
+	// Elapsed is cumulative training wall-clock (evaluation time excluded).
+	Elapsed time.Duration
+	// Epoch counts completed epochs at measurement time.
+	Epoch int
+	// Batches counts optimizer steps so far.
+	Batches int64
+	// P1 is Precision@1 on the held-out evaluation slice.
+	P1 float64
+	// Loss is the mean training loss over the preceding window.
+	Loss float64
+}
+
+// Tracker accumulates convergence points for one training run.
+type Tracker struct {
+	// System labels the run (e.g. "Optimized SLIDE CPX").
+	System string
+	// Dataset labels the workload.
+	Dataset string
+	points  []Point
+}
+
+// NewTracker creates a tracker for one (system, dataset) run.
+func NewTracker(system, dataset string) *Tracker {
+	return &Tracker{System: system, Dataset: dataset}
+}
+
+// Record appends one measurement.
+func (t *Tracker) Record(p Point) {
+	t.points = append(t.points, p)
+}
+
+// Points returns the recorded series.
+func (t *Tracker) Points() []Point { return t.points }
+
+// Last returns the most recent point and whether one exists.
+func (t *Tracker) Last() (Point, bool) {
+	if len(t.points) == 0 {
+		return Point{}, false
+	}
+	return t.points[len(t.points)-1], true
+}
+
+// BestP1 returns the highest P@1 observed.
+func (t *Tracker) BestP1() float64 {
+	best := math.Inf(-1)
+	for _, p := range t.points {
+		if p.P1 > best {
+			best = p.P1
+		}
+	}
+	if math.IsInf(best, -1) {
+		return 0
+	}
+	return best
+}
+
+// TimeToP1 returns the earliest elapsed time at which P@1 reached the
+// threshold, and whether it ever did — the "time to any accuracy level"
+// comparison the SLIDE papers emphasize.
+func (t *Tracker) TimeToP1(threshold float64) (time.Duration, bool) {
+	for _, p := range t.points {
+		if p.P1 >= threshold {
+			return p.Elapsed, true
+		}
+	}
+	return 0, false
+}
+
+// WriteCSV emits the series with a header row:
+// system,dataset,seconds,epoch,batches,p1,loss
+func (t *Tracker) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "system,dataset,seconds,epoch,batches,p1,loss"); err != nil {
+		return err
+	}
+	for _, p := range t.points {
+		if _, err := fmt.Fprintf(w, "%s,%s,%.3f,%d,%d,%.4f,%.4f\n",
+			t.System, t.Dataset, p.Elapsed.Seconds(), p.Epoch, p.Batches, p.P1, p.Loss); err != nil {
+			return err
+		}
+	}
+	return nil
+}

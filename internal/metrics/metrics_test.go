@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTopKBasic(t *testing.T) {
+	scores := []float32{0.1, 0.9, 0.3, 0.7, 0.5}
+	got := TopK(scores, 3)
+	want := []int32{1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("TopK = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK = %v, want %v", got, want)
+		}
+	}
+	if got := TopK(scores, 0); got != nil {
+		t.Errorf("TopK k=0 = %v", got)
+	}
+	if got := TopK(nil, 5); got != nil {
+		t.Errorf("TopK(nil) = %v", got)
+	}
+	if got := TopK(scores, 99); len(got) != 5 {
+		t.Errorf("TopK clamp = %v", got)
+	}
+}
+
+func TestTopKTieBreaksLowIndex(t *testing.T) {
+	got := TopK([]float32{5, 5, 5, 5}, 2)
+	if got[0] != 0 || got[1] != 1 {
+		t.Errorf("tie break wrong: %v", got)
+	}
+}
+
+func TestTopKMatchesSortReference(t *testing.T) {
+	f := func(raw []float32, kRaw uint8) bool {
+		k := int(kRaw%8) + 1
+		scores := make([]float32, len(raw))
+		for i, v := range raw {
+			if v != v { // NaN
+				v = 0
+			}
+			scores[i] = v
+		}
+		got := TopK(scores, k)
+
+		type pair struct {
+			i int32
+			s float32
+		}
+		ref := make([]pair, len(scores))
+		for i, s := range scores {
+			ref[i] = pair{int32(i), s}
+		}
+		sort.SliceStable(ref, func(a, b int) bool { return ref[a].s > ref[b].s })
+		n := min(k, len(scores))
+		if len(got) != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if scores[got[i]] != ref[i].s { // same score (indices may tie)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	scores := []float32{0.1, 0.9, 0.3, 0.7, 0.5}
+	// top1 = 1; top3 = {1,3,4}
+	if p := PrecisionAtK(scores, []int32{1}, 1); p != 1 {
+		t.Errorf("P@1 = %g", p)
+	}
+	if p := PrecisionAtK(scores, []int32{0}, 1); p != 0 {
+		t.Errorf("P@1 = %g", p)
+	}
+	if p := PrecisionAtK(scores, []int32{3, 4}, 3); p != 2.0/3 {
+		t.Errorf("P@3 = %g", p)
+	}
+	if p := PrecisionAtK(scores, nil, 1); p != 0 {
+		t.Errorf("P@1 with no labels = %g", p)
+	}
+	if p := PrecisionAtK(scores, []int32{1}, 0); p != 0 {
+		t.Errorf("P@0 = %g", p)
+	}
+}
+
+func TestTracker(t *testing.T) {
+	tr := NewTracker("Optimized SLIDE CPX", "amazon-670k")
+	if _, ok := tr.Last(); ok {
+		t.Error("empty tracker has a Last point")
+	}
+	if tr.BestP1() != 0 {
+		t.Error("empty BestP1 should be 0")
+	}
+	tr.Record(Point{Elapsed: time.Second, Epoch: 1, Batches: 10, P1: 0.10, Loss: 3.2})
+	tr.Record(Point{Elapsed: 2 * time.Second, Epoch: 2, Batches: 20, P1: 0.25, Loss: 2.1})
+	tr.Record(Point{Elapsed: 3 * time.Second, Epoch: 3, Batches: 30, P1: 0.22, Loss: 2.0})
+
+	if last, ok := tr.Last(); !ok || last.Epoch != 3 {
+		t.Errorf("Last = %+v, %v", last, ok)
+	}
+	if tr.BestP1() != 0.25 {
+		t.Errorf("BestP1 = %g", tr.BestP1())
+	}
+	if d, ok := tr.TimeToP1(0.2); !ok || d != 2*time.Second {
+		t.Errorf("TimeToP1(0.2) = %v, %v", d, ok)
+	}
+	if _, ok := tr.TimeToP1(0.9); ok {
+		t.Error("TimeToP1(0.9) should not be reached")
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV has %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "system,dataset,seconds") {
+		t.Errorf("CSV header wrong: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "Optimized SLIDE CPX,amazon-670k,1.000,1,10,0.1000") {
+		t.Errorf("CSV row wrong: %q", lines[1])
+	}
+}
+
+func TestPrecisionRandomBaseline(t *testing.T) {
+	// Random scores against random single labels: P@1 ≈ 1/n.
+	rng := rand.New(rand.NewPCG(1, 2))
+	n := 50
+	trials := 3000
+	hits := 0.0
+	for i := 0; i < trials; i++ {
+		scores := make([]float32, n)
+		for j := range scores {
+			scores[j] = rng.Float32()
+		}
+		hits += PrecisionAtK(scores, []int32{int32(rng.IntN(n))}, 1)
+	}
+	got := hits / float64(trials)
+	if got < 0.005 || got > 0.05 {
+		t.Errorf("random-baseline P@1 = %.4f, expected near %.4f", got, 1.0/float64(n))
+	}
+}

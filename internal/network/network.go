@@ -1,0 +1,441 @@
+package network
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sync"
+
+	"github.com/slide-cpu/slide/internal/bf16"
+	"github.com/slide-cpu/slide/internal/layer"
+	"github.com/slide-cpu/slide/internal/lsh"
+	"github.com/slide-cpu/slide/internal/metrics"
+	"github.com/slide-cpu/slide/internal/simd"
+	"github.com/slide-cpu/slide/internal/sparse"
+)
+
+// Network is a two-layer SLIDE model: sparse input → hidden (ColLayer,
+// Algorithm 2) → wide output (RowLayer, Algorithm 1) with LSH-sampled
+// softmax cross-entropy.
+type Network struct {
+	cfg    Config
+	hidden *layer.ColLayer
+	middle []*layer.RowLayer // optional dense hidden stack (cfg.HiddenLayers)
+	output *layer.RowLayer
+	tables *lsh.TableSet // nil when cfg.NoSampling
+
+	// middleAll[i] lists every row id of middle layer i (dense forward).
+	middleAll [][]int32
+	// lastDim is the width of the activation feeding the output layer.
+	lastDim int
+
+	step          int64 // Adam step counter (batches)
+	sinceRebuild  int
+	rebuildPeriod float64
+
+	workers []*workerScratch
+	all     []int32 // precomputed full active set for NoSampling
+}
+
+// workerScratch holds one HOGWILD worker's private buffers.
+type workerScratch struct {
+	// acts[0] is the first hidden layer's activation; acts[i] the i-th
+	// stacked layer's. dhs mirror them with gradients.
+	acts   [][]float32
+	dhs    [][]float32
+	hBF    []bf16.BF16 // bfloat16 view of the last activation
+	active []int32
+	logits []float32
+	probs  []float32
+	dedup  *lsh.Dedup
+	rng    *rand.Rand
+}
+
+// last returns the activation feeding the output layer.
+func (ws *workerScratch) last() []float32 { return ws.acts[len(ws.acts)-1] }
+
+// dhLast returns the gradient buffer for the output layer's input.
+func (ws *workerScratch) dhLast() []float32 { return ws.dhs[len(ws.dhs)-1] }
+
+// New builds a SLIDE network from cfg (validated and defaulted in place).
+func New(cfg *Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	opts := layer.Options{
+		Precision: cfg.Precision,
+		Placement: cfg.Placement,
+		Locked:    cfg.Locked,
+	}
+	hOpts := opts
+	hOpts.Seed = splitSeed(cfg.Seed, 1)
+	oOpts := opts
+	oOpts.Seed = splitSeed(cfg.Seed, 2)
+
+	dims := append([]int{cfg.HiddenDim}, cfg.HiddenLayers...)
+	lastDim := dims[len(dims)-1]
+	n := &Network{
+		cfg:           *cfg,
+		hidden:        layer.NewColLayer(cfg.InputDim, cfg.HiddenDim, cfg.HiddenActivation, hOpts),
+		output:        layer.NewRowLayer(lastDim, cfg.OutputDim, oOpts),
+		lastDim:       lastDim,
+		rebuildPeriod: float64(cfg.RebuildEvery),
+	}
+	// Stacked dense hidden layers stay FP32: the quantization modes target
+	// the memory-bound wide layers, not the small dense middle (§4.4).
+	for i := 1; i < len(dims); i++ {
+		mOpts := opts
+		mOpts.Seed = splitSeed(cfg.Seed, 16+uint64(i))
+		mOpts.Precision = layer.FP32
+		n.middle = append(n.middle, layer.NewRowLayer(dims[i-1], dims[i], mOpts))
+		all := make([]int32, dims[i])
+		for r := range all {
+			all[r] = int32(r)
+		}
+		n.middleAll = append(n.middleAll, all)
+	}
+
+	if !cfg.NoSampling && !cfg.UniformSampling {
+		var hasher lsh.Hasher
+		var err error
+		switch cfg.Hash {
+		case DWTA:
+			hasher, err = lsh.NewDWTA(lsh.DWTAConfig{
+				K: cfg.K, L: cfg.L, BinSize: cfg.BinSize,
+				Dim: n.lastDim, Seed: splitSeed(cfg.Seed, 3),
+			})
+		case SimHash:
+			hasher, err = lsh.NewSimHash(lsh.SimHashConfig{
+				K: cfg.K, L: cfg.L,
+				Dim: n.lastDim, Seed: splitSeed(cfg.Seed, 3),
+			})
+		case DOPH:
+			hasher, err = lsh.NewDOPH(lsh.DOPHConfig{
+				K: cfg.K, L: cfg.L,
+				Dim: n.lastDim, Seed: splitSeed(cfg.Seed, 3),
+			})
+		default:
+			err = fmt.Errorf("network: unknown hash family %d", cfg.Hash)
+		}
+		if err != nil {
+			return nil, err
+		}
+		n.tables = lsh.NewTableSet(hasher, cfg.BucketCap, cfg.BucketPolicy, splitSeed(cfg.Seed, 4))
+		n.rebuildTables()
+	}
+	if cfg.NoSampling {
+		n.all = make([]int32, cfg.OutputDim)
+		for i := range n.all {
+			n.all[i] = int32(i)
+		}
+	}
+
+	n.workers = make([]*workerScratch, cfg.Workers)
+	// Buffers are sized for the worst case (every neuron active): MaxActive
+	// caps the usual path, but labels are never dropped, so a pathological
+	// sample could exceed it.
+	actCap := cfg.OutputDim
+	for w := range n.workers {
+		ws := &workerScratch{
+			active: make([]int32, 0, actCap),
+			logits: make([]float32, actCap),
+			probs:  make([]float32, actCap),
+			dedup:  lsh.NewDedup(cfg.OutputDim),
+			rng:    rand.New(rand.NewPCG(splitSeed(cfg.Seed, 5), uint64(w))),
+		}
+		for _, d := range dims {
+			ws.acts = append(ws.acts, make([]float32, d))
+			ws.dhs = append(ws.dhs, make([]float32, d))
+		}
+		if cfg.Precision != layer.FP32 {
+			ws.hBF = make([]bf16.BF16, lastDim)
+		}
+		n.workers[w] = ws
+	}
+	return n, nil
+}
+
+func splitSeed(seed uint64, stream uint64) uint64 {
+	x := seed ^ stream*0x9E3779B97F4A7C15
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	return x
+}
+
+// Config returns the validated configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Hidden returns the hidden layer (diagnostics, tests).
+func (n *Network) Hidden() *layer.ColLayer { return n.hidden }
+
+// Output returns the output layer (diagnostics, tests).
+func (n *Network) Output() *layer.RowLayer { return n.output }
+
+// Tables returns the LSH table set, or nil when sampling is disabled.
+func (n *Network) Tables() *lsh.TableSet { return n.tables }
+
+// Step returns the number of optimizer steps (batches) applied so far.
+func (n *Network) Step() int64 { return n.step }
+
+// rebuildTables re-hashes every output neuron into fresh tables.
+func (n *Network) rebuildTables() {
+	n.tables.RebuildDense(n.cfg.OutputDim, n.lastDim, n.output.RowF32, n.cfg.Workers)
+}
+
+// forwardStack runs the hidden layer and the dense middle stack, leaving
+// the output-layer input in ws.last() (and ws.hBF under the BF16 modes).
+func (n *Network) forwardStack(ws *workerScratch, x sparse.Vector) {
+	n.hidden.Forward(x, ws.acts[0])
+	for i, ml := range n.middle {
+		in, out := ws.acts[i], ws.acts[i+1]
+		ml.ForwardActive(n.middleAll[i], in, nil, out)
+		for j := range out { // stacked layers are ReLU
+			if out[j] < 0 {
+				out[j] = 0
+			}
+		}
+	}
+	if ws.hBF != nil {
+		bf16.Convert(ws.hBF, ws.last())
+	}
+}
+
+// backwardStack propagates ws.dhLast() through the middle stack and into
+// the first hidden layer's gradient buffers.
+func (n *Network) backwardStack(ws *workerScratch, x sparse.Vector) {
+	for i := len(n.middle) - 1; i >= 0; i-- {
+		ml := n.middle[i]
+		act, dh := ws.acts[i+1], ws.dhs[i+1]
+		prev := ws.dhs[i]
+		simd.Zero(prev)
+		for r := range dh {
+			if act[r] <= 0 { // ReLU mask
+				continue
+			}
+			if gz := dh[r]; gz != 0 {
+				ml.Accumulate(int32(r), gz, ws.acts[i], nil, prev)
+			}
+		}
+	}
+	n.hidden.Backward(x, ws.acts[0], ws.dhs[0])
+}
+
+// sampleActive fills ws.active for one sample: true labels first (never
+// dropped), then LSH candidates, then random top-up to MinActive, capped at
+// MaxActive. Returns the number of label entries at the head of the slice.
+func (n *Network) sampleActive(ws *workerScratch, labels []int32) int {
+	ws.active = ws.active[:0]
+	ws.dedup.Begin()
+	for _, y := range labels {
+		if int(y) < n.cfg.OutputDim && !ws.dedup.Seen(y) {
+			ws.active = append(ws.active, y)
+		}
+	}
+	nLabels := len(ws.active)
+
+	limit := n.cfg.MaxActive
+	if limit > 0 && nLabels > limit {
+		limit = nLabels // labels always survive
+	}
+	if n.tables != nil {
+		n.tables.QueryDense(ws.last(), func(id int32) {
+			if limit > 0 && len(ws.active) >= limit {
+				return
+			}
+			if !ws.dedup.Seen(id) {
+				ws.active = append(ws.active, id)
+			}
+		})
+	}
+
+	// Random top-up: keeps gradient flowing when buckets run cold early in
+	// training (SLIDE's random fill).
+	for len(ws.active) < n.cfg.MinActive {
+		id := int32(ws.rng.IntN(n.cfg.OutputDim))
+		if !ws.dedup.Seen(id) {
+			ws.active = append(ws.active, id)
+		}
+	}
+	return nLabels
+}
+
+// trainSample processes one sample end to end (forward, sampled softmax,
+// backward) and returns its loss and active-set size.
+func (n *Network) trainSample(ws *workerScratch, x sparse.Vector, labels []int32) (float64, int) {
+	n.forwardStack(ws, x)
+
+	var nLabels int
+	if n.cfg.NoSampling {
+		ws.active = ws.active[:0]
+		ws.dedup.Begin()
+		for _, y := range labels {
+			if int(y) < n.cfg.OutputDim {
+				ws.dedup.Seen(y)
+			}
+		}
+		nLabels = -1 // labels identified via dedup stamps below
+	} else {
+		nLabels = n.sampleActive(ws, labels)
+	}
+
+	active := ws.active
+	if n.cfg.NoSampling {
+		active = n.all
+	}
+	na := len(active)
+	if na == 0 {
+		return 0, 0
+	}
+	logits := ws.logits[:na]
+	probs := ws.probs[:na]
+	n.output.ForwardActive(active, ws.last(), ws.hBF, logits)
+
+	// Numerically stable softmax over the active set.
+	maxLogit := simd.Max(logits)
+	var z float64
+	for k, l := range logits {
+		e := math.Exp(float64(l - maxLogit))
+		probs[k] = float32(e)
+		z += e
+	}
+	invZ := float32(1 / z)
+	simd.Scale(invZ, probs)
+
+	// Cross-entropy target: uniform over the sample's labels.
+	nLab := len(labels)
+	var t float32
+	if nLab > 0 {
+		t = 1 / float32(nLab)
+	}
+	var loss float64
+	simd.Zero(ws.dhLast())
+	logZ := math.Log(z) + float64(maxLogit)
+	for k, id := range active {
+		gz := probs[k]
+		isLabel := false
+		if n.cfg.NoSampling {
+			isLabel = ws.dedup.Seen(id) // stamped above => true for labels
+		} else {
+			isLabel = k < nLabels
+		}
+		if isLabel {
+			gz -= t
+			loss -= float64(t) * (float64(logits[k]) - logZ)
+		}
+		n.output.Accumulate(id, gz, ws.last(), ws.hBF, ws.dhLast())
+	}
+
+	n.backwardStack(ws, x)
+	return loss, na
+}
+
+// BatchStats reports one TrainBatch call.
+type BatchStats struct {
+	// Samples is the number of samples processed.
+	Samples int
+	// Loss is the summed sampled-softmax cross-entropy.
+	Loss float64
+	// ActiveSum is the total active-set size across samples; ActiveSum /
+	// Samples is the mean sparsity the LSH sampling achieved.
+	ActiveSum int64
+	// Rebuilt reports whether the hash tables were rebuilt after this batch.
+	Rebuilt bool
+}
+
+// TrainBatch runs one HOGWILD-parallel gradient step over the batch:
+// workers process samples concurrently against shared parameters, gradients
+// accumulate into per-layer buffers, and one fused ADAM step applies to the
+// touched rows/columns. It then advances the hash-table rebuild schedule.
+func (n *Network) TrainBatch(b sparse.Batch) BatchStats {
+	stats := BatchStats{Samples: b.Len()}
+	nw := min(n.cfg.Workers, b.Len())
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := n.workers[w]
+			var loss float64
+			var activeSum int64
+			for i := w; i < b.Len(); i += nw {
+				l, na := n.trainSample(ws, b.Sample(i), b.Labels(i))
+				loss += l
+				activeSum += int64(na)
+			}
+			mu.Lock()
+			stats.Loss += loss
+			stats.ActiveSum += activeSum
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+
+	n.step++
+	p := simd.NewAdamParams(n.cfg.LR, n.cfg.Beta1, n.cfg.Beta2, n.cfg.Eps, n.step)
+	n.hidden.ApplyAdam(p, n.cfg.Workers)
+	for _, ml := range n.middle {
+		ml.ApplyAdamAll(p, n.cfg.Workers) // dense stack: every row touched
+	}
+	if n.cfg.NoSampling {
+		n.output.ApplyAdamAll(p, n.cfg.Workers)
+	} else {
+		n.output.ApplyAdam(p, n.cfg.Workers)
+	}
+
+	if n.tables != nil {
+		n.sinceRebuild++
+		if float64(n.sinceRebuild) >= n.rebuildPeriod {
+			n.rebuildTables()
+			n.sinceRebuild = 0
+			n.rebuildPeriod *= n.cfg.RebuildGrowth
+			stats.Rebuilt = true
+		}
+	}
+	return stats
+}
+
+// Scores computes the full output-layer logits for one sample into out
+// (len OutputDim) — the exact forward pass used for evaluation. Not safe
+// for concurrent use with training.
+func (n *Network) Scores(x sparse.Vector, out []float32) {
+	ws := n.workers[0]
+	n.forwardStack(ws, x)
+	n.output.ForwardAll(ws.last(), ws.hBF, out, n.cfg.Workers)
+}
+
+// Predict returns the top-k scoring label ids for one sample, highest first.
+func (n *Network) Predict(x sparse.Vector, k int, scores []float32) []int32 {
+	if len(scores) != n.cfg.OutputDim {
+		panic("network: Predict scores buffer must have OutputDim length")
+	}
+	n.Scores(x, scores)
+	return metrics.TopK(scores, k)
+}
+
+// PredictSampled returns the top-k label ids ranked only over the LSH-
+// retrieved candidate set — sub-linear inference, the deployment-time
+// counterpart of SLIDE's sampled training. Requires LSH sampling; panics
+// under NoSampling/UniformSampling (full Predict is the right call there).
+// Not safe for concurrent use with training.
+func (n *Network) PredictSampled(x sparse.Vector, k int) []int32 {
+	if n.tables == nil {
+		panic("network: PredictSampled requires LSH sampling")
+	}
+	ws := n.workers[0]
+	n.forwardStack(ws, x)
+	n.sampleActive(ws, nil)
+	na := len(ws.active)
+	if na == 0 {
+		return nil
+	}
+	logits := ws.logits[:na]
+	n.output.ForwardActive(ws.active, ws.last(), ws.hBF, logits)
+	top := metrics.TopK(logits, k)
+	out := make([]int32, len(top))
+	for i, pos := range top {
+		out[i] = ws.active[pos]
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package network
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/slide-cpu/slide/internal/layer"
+	"github.com/slide-cpu/slide/internal/lsh"
+)
+
+func layerActivation(v uint64) layer.Activation { return layer.Activation(v) }
+func layerPrecision(v uint64) layer.Precision   { return layer.Precision(v) }
+func layerPlacement(v uint64) layer.Placement   { return layer.Placement(v) }
+func lshPolicy(v uint64) lsh.BucketPolicy       { return lsh.BucketPolicy(v) }
+
+// checkpoint format: magic, version, config fields, step counter, then the
+// two layers' payloads. LSH tables are not persisted — they are derived
+// state and are rebuilt from the loaded weights.
+
+const (
+	checkpointMagic   = uint32(0x534C4944) // "SLID"
+	checkpointVersion = uint32(1)
+)
+
+// Save writes a checkpoint of the network: configuration, optimizer step,
+// weights, biases, and ADAM moments. Do not call concurrently with
+// TrainBatch.
+func (n *Network) Save(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	hdr := []uint64{
+		uint64(checkpointMagic), uint64(checkpointVersion),
+		uint64(n.cfg.InputDim), uint64(n.cfg.HiddenDim), uint64(n.cfg.OutputDim),
+		uint64(n.cfg.HiddenActivation), uint64(n.cfg.Hash),
+		uint64(n.cfg.K), uint64(n.cfg.L), uint64(n.cfg.BinSize),
+		uint64(n.cfg.BucketCap), uint64(n.cfg.BucketPolicy),
+		uint64(n.cfg.MinActive), uint64(n.cfg.MaxActive),
+		boolU64(n.cfg.NoSampling), boolU64(n.cfg.UniformSampling),
+		uint64(n.cfg.Precision), uint64(n.cfg.Placement),
+		boolU64(n.cfg.Locked),
+		uint64(n.cfg.RebuildEvery), uint64(n.cfg.Seed),
+		uint64(n.step),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("network: writing checkpoint header: %w", err)
+		}
+	}
+	for _, f := range []float64{n.cfg.LR, n.cfg.Beta1, n.cfg.Beta2, n.cfg.Eps, n.cfg.RebuildGrowth, n.rebuildPeriod} {
+		if err := binary.Write(bw, binary.LittleEndian, f); err != nil {
+			return fmt.Errorf("network: writing checkpoint header: %w", err)
+		}
+	}
+	// Middle-stack shape.
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(n.cfg.HiddenLayers))); err != nil {
+		return fmt.Errorf("network: writing checkpoint header: %w", err)
+	}
+	for _, d := range n.cfg.HiddenLayers {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(d)); err != nil {
+			return fmt.Errorf("network: writing checkpoint header: %w", err)
+		}
+	}
+	if err := n.hidden.Serialize(bw); err != nil {
+		return fmt.Errorf("network: writing hidden layer: %w", err)
+	}
+	for i, ml := range n.middle {
+		if err := ml.Serialize(bw); err != nil {
+			return fmt.Errorf("network: writing hidden layer %d: %w", i+1, err)
+		}
+	}
+	if err := n.output.Serialize(bw); err != nil {
+		return fmt.Errorf("network: writing output layer: %w", err)
+	}
+	return bw.Flush()
+}
+
+func boolU64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Load reads a checkpoint written by Save and reconstructs the network,
+// including a fresh LSH build over the restored weights. Workers defaults
+// to GOMAXPROCS unless overridden by workers > 0.
+func Load(r io.Reader, workers int) (*Network, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	hdr := make([]uint64, 22)
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("network: reading checkpoint header: %w", err)
+		}
+	}
+	if uint32(hdr[0]) != checkpointMagic {
+		return nil, fmt.Errorf("network: not a SLIDE checkpoint (magic %#x)", hdr[0])
+	}
+	if uint32(hdr[1]) != checkpointVersion {
+		return nil, fmt.Errorf("network: unsupported checkpoint version %d", hdr[1])
+	}
+	fs := make([]float64, 6)
+	for i := range fs {
+		if err := binary.Read(br, binary.LittleEndian, &fs[i]); err != nil {
+			return nil, fmt.Errorf("network: reading checkpoint header: %w", err)
+		}
+	}
+	var nMiddle uint64
+	if err := binary.Read(br, binary.LittleEndian, &nMiddle); err != nil {
+		return nil, fmt.Errorf("network: reading checkpoint header: %w", err)
+	}
+	if nMiddle > 64 {
+		return nil, fmt.Errorf("network: checkpoint declares %d hidden layers (corrupt?)", nMiddle)
+	}
+	middleDims := make([]int, nMiddle)
+	for i := range middleDims {
+		var d uint64
+		if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
+			return nil, fmt.Errorf("network: reading checkpoint header: %w", err)
+		}
+		middleDims[i] = int(d)
+	}
+	cfg := Config{
+		HiddenLayers:     middleDims,
+		InputDim:         int(hdr[2]),
+		HiddenDim:        int(hdr[3]),
+		OutputDim:        int(hdr[4]),
+		HiddenActivation: layerActivation(hdr[5]),
+		Hash:             HashFamily(hdr[6]),
+		K:                int(hdr[7]),
+		L:                int(hdr[8]),
+		BinSize:          int(hdr[9]),
+		BucketCap:        int(hdr[10]),
+		BucketPolicy:     lshPolicy(hdr[11]),
+		MinActive:        int(hdr[12]),
+		MaxActive:        int(hdr[13]),
+		NoSampling:       hdr[14] != 0,
+		UniformSampling:  hdr[15] != 0,
+		Precision:        layerPrecision(hdr[16]),
+		Placement:        layerPlacement(hdr[17]),
+		Locked:           hdr[18] != 0,
+		RebuildEvery:     int(hdr[19]),
+		Seed:             hdr[20],
+		LR:               fs[0],
+		Beta1:            fs[1],
+		Beta2:            fs[2],
+		Eps:              fs[3],
+		RebuildGrowth:    fs[4],
+		Workers:          workers,
+	}
+	n, err := New(&cfg)
+	if err != nil {
+		return nil, fmt.Errorf("network: checkpoint config invalid: %w", err)
+	}
+	if err := n.hidden.Deserialize(br); err != nil {
+		return nil, fmt.Errorf("network: reading hidden layer: %w", err)
+	}
+	for i, ml := range n.middle {
+		if err := ml.Deserialize(br); err != nil {
+			return nil, fmt.Errorf("network: reading hidden layer %d: %w", i+1, err)
+		}
+	}
+	if err := n.output.Deserialize(br); err != nil {
+		return nil, fmt.Errorf("network: reading output layer: %w", err)
+	}
+	n.step = int64(hdr[21])
+	n.rebuildPeriod = fs[5]
+	if n.tables != nil {
+		n.rebuildTables() // hash the restored weights, not the init ones
+	}
+	return n, nil
+}

@@ -1,0 +1,124 @@
+package network
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/slide-cpu/slide/internal/layer"
+)
+
+func trainedNet(t *testing.T, prec layer.Precision) (*Network, *plantedProblem) {
+	t.Helper()
+	p := newPlanted(60, 20, 5, 31)
+	cfg := Config{
+		InputDim: 60, HiddenDim: 16, OutputDim: 20,
+		Hash: DWTA, K: 2, L: 8, BucketCap: 32,
+		MinActive: 6, LR: 0.01, Workers: 1,
+		Precision: prec, RebuildEvery: 10, Seed: 77,
+	}
+	n, err := New(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		n.TrainBatch(p.batch(32))
+	}
+	return n, p
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	for _, prec := range []layer.Precision{layer.FP32, layer.BF16Act, layer.BF16Both} {
+		n, p := trainedNet(t, prec)
+		var buf bytes.Buffer
+		if err := n.Save(&buf); err != nil {
+			t.Fatalf("%v: %v", prec, err)
+		}
+		loaded, err := Load(bytes.NewReader(buf.Bytes()), 1)
+		if err != nil {
+			t.Fatalf("%v: %v", prec, err)
+		}
+		if loaded.Step() != n.Step() {
+			t.Errorf("%v: step %d != %d", prec, loaded.Step(), n.Step())
+		}
+		if loaded.Config().OutputDim != 20 || loaded.Config().Precision != prec {
+			t.Errorf("%v: config not restored: %+v", prec, loaded.Config())
+		}
+		// Scores must match exactly: weights round-trip bit-identically.
+		x := p.batch(1).Sample(0)
+		s1 := make([]float32, 20)
+		s2 := make([]float32, 20)
+		n.Scores(x, s1)
+		loaded.Scores(x, s2)
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				t.Fatalf("%v: score[%d] %g != %g after round trip", prec, i, s1[i], s2[i])
+			}
+		}
+	}
+}
+
+func TestLoadedNetworkKeepsLearning(t *testing.T) {
+	n, p := trainedNet(t, layer.FP32)
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := evalP1(loaded, p, 150)
+	for i := 0; i < 60; i++ {
+		loaded.TrainBatch(p.batch(32))
+	}
+	after := evalP1(loaded, p, 150)
+	if after < before-0.1 {
+		t.Errorf("resumed training regressed: %.3f -> %.3f", before, after)
+	}
+	// The optimizer step must have advanced past the checkpoint.
+	if loaded.Step() != n.Step()+60 {
+		t.Errorf("step = %d, want %d", loaded.Step(), n.Step()+60)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a checkpoint at all, definitely not"), 1); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader(""), 1); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	n, _ := trainedNet(t, layer.FP32)
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{10, 100, len(full) / 2, len(full) - 7} {
+		if _, err := Load(bytes.NewReader(full[:cut]), 1); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestLoadRebuildsTables(t *testing.T) {
+	n, p := trainedNet(t, layer.FP32)
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := loaded.Tables().Stats()
+	if st.Stored == 0 {
+		t.Error("tables empty after load: weights were not re-hashed")
+	}
+	// Sampling must work immediately.
+	loaded.TrainBatch(p.batch(8))
+}

@@ -1,0 +1,127 @@
+package simd
+
+import "github.com/slide-cpu/slide/internal/bf16"
+
+// Mixed-precision kernels for the §4.4 quantization modes. On CPX these map
+// to AVX512-BF16 instructions (VDPBF16PS dot products); here they expand
+// bfloat16 lanes to float32 on the fly, which preserves the numerics and the
+// halved memory traffic while paying a software conversion cost (see
+// DESIGN.md "Known divergences").
+
+// DotBF16F32 returns the inner product of a bfloat16 vector and a float32
+// vector. Used when weights are stored in BF16 (mode 1) or the activation is
+// stored in BF16 (mode 2, with the operands swapped by the caller).
+func DotBF16F32(a []bf16.BF16, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("simd: DotBF16F32 length mismatch")
+	}
+	if vectorized() {
+		return dotBF16Vec(a, b)
+	}
+	return dotBF16Scalar(a, b)
+}
+
+func dotBF16Vec(a []bf16.BF16, b []float32) float32 {
+	n := len(a)
+	b = b[:n]
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+Width <= n; i += Width {
+		x := a[i : i+Width : i+Width]
+		y := b[i : i+Width : i+Width]
+		s0 += x[0].Float32()*y[0] + x[1].Float32()*y[1] + x[2].Float32()*y[2] + x[3].Float32()*y[3]
+		s1 += x[4].Float32()*y[4] + x[5].Float32()*y[5] + x[6].Float32()*y[6] + x[7].Float32()*y[7]
+		s2 += x[8].Float32()*y[8] + x[9].Float32()*y[9] + x[10].Float32()*y[10] + x[11].Float32()*y[11]
+		s3 += x[12].Float32()*y[12] + x[13].Float32()*y[13] + x[14].Float32()*y[14] + x[15].Float32()*y[15]
+	}
+	for ; i < n; i++ {
+		s0 += a[i].Float32() * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+func dotBF16Scalar(a []bf16.BF16, b []float32) float32 {
+	var s float32
+	for i := range a {
+		s += a[i].Float32() * b[i]
+	}
+	return s
+}
+
+// DotBF16 returns the inner product of two bfloat16 vectors (mode 1: both
+// weights and activations quantized).
+func DotBF16(a, b []bf16.BF16) float32 {
+	if len(a) != len(b) {
+		panic("simd: DotBF16 length mismatch")
+	}
+	if vectorized() {
+		n := len(a)
+		b = b[:n]
+		var s0, s1 float32
+		i := 0
+		for ; i+8 <= n; i += 8 {
+			x := a[i : i+8 : i+8]
+			y := b[i : i+8 : i+8]
+			s0 += x[0].Float32()*y[0].Float32() + x[1].Float32()*y[1].Float32() +
+				x[2].Float32()*y[2].Float32() + x[3].Float32()*y[3].Float32()
+			s1 += x[4].Float32()*y[4].Float32() + x[5].Float32()*y[5].Float32() +
+				x[6].Float32()*y[6].Float32() + x[7].Float32()*y[7].Float32()
+		}
+		for ; i < n; i++ {
+			s0 += a[i].Float32() * b[i].Float32()
+		}
+		return s0 + s1
+	}
+	var s float32
+	for i := range a {
+		s += a[i].Float32() * b[i].Float32()
+	}
+	return s
+}
+
+// AxpyBF16 computes y += alpha*x where x is stored in bfloat16.
+func AxpyBF16(alpha float32, x []bf16.BF16, y []float32) {
+	if len(x) != len(y) {
+		panic("simd: AxpyBF16 length mismatch")
+	}
+	if vectorized() {
+		n := len(x)
+		y = y[:n]
+		i := 0
+		for ; i+Width <= n; i += Width {
+			xx := x[i : i+Width : i+Width]
+			yy := y[i : i+Width : i+Width]
+			for k := 0; k < Width; k++ {
+				yy[k] += alpha * xx[k].Float32()
+			}
+		}
+		for ; i < n; i++ {
+			y[i] += alpha * x[i].Float32()
+		}
+		return
+	}
+	for i := range x {
+		y[i] += alpha * x[i].Float32()
+	}
+}
+
+// AdamStepBF16 applies one fused ADAM update to weights stored in bfloat16
+// (mode 1). The first and second moments stay in float32; each weight lane is
+// expanded, updated, and re-rounded to BF16 (round-to-nearest-even), exactly
+// what an AVX512-BF16 pipeline does around its FP32 accumulators.
+func AdamStepBF16(w []bf16.BF16, m, v, g []float32, p AdamParams) {
+	n := len(w)
+	if len(m) != n || len(v) != n || len(g) != n {
+		panic("simd: AdamStepBF16 length mismatch")
+	}
+	omb1 := 1 - p.Beta1
+	omb2 := 1 - p.Beta2
+	for i := range w {
+		gk := g[i]
+		mk := p.Beta1*m[i] + omb1*gk
+		vk := p.Beta2*v[i] + omb2*gk*gk
+		m[i] = mk
+		v[i] = vk
+		w[i] = bf16.FromFloat32(w[i].Float32() - p.CorrLR*mk/(sqrt32(vk)+p.Eps))
+	}
+}

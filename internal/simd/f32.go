@@ -1,0 +1,363 @@
+package simd
+
+// This file holds the float32 kernels that back Algorithm 1 (dense x,
+// row-major W: blocked dot products with a final reduce) and Algorithm 2
+// (sparse x, column-major W: broadcast one scalar, multiply a 16-lane block
+// of the weight column, accumulate into the dense output), plus the generic
+// slice utilities shared by the optimizer and the baselines.
+
+// Dot returns the inner product of a and b.
+// It panics if len(a) != len(b).
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("simd: Dot length mismatch")
+	}
+	if vectorized() {
+		return dotVec(a, b)
+	}
+	return dotScalar(a, b)
+}
+
+// DotVec is the 16-lane implementation of Dot, exported for direct use in
+// equivalence tests and microbenchmarks.
+func DotVec(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("simd: DotVec length mismatch")
+	}
+	return dotVec(a, b)
+}
+
+// DotScalar is the naive implementation of Dot.
+func DotScalar(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("simd: DotScalar length mismatch")
+	}
+	return dotScalar(a, b)
+}
+
+func dotVec(a, b []float32) float32 {
+	n := len(a)
+	b = b[:n]
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+Width <= n; i += Width {
+		x := a[i : i+Width : i+Width]
+		y := b[i : i+Width : i+Width]
+		s0 += x[0]*y[0] + x[1]*y[1] + x[2]*y[2] + x[3]*y[3]
+		s1 += x[4]*y[4] + x[5]*y[5] + x[6]*y[6] + x[7]*y[7]
+		s2 += x[8]*y[8] + x[9]*y[9] + x[10]*y[10] + x[11]*y[11]
+		s3 += x[12]*y[12] + x[13]*y[13] + x[14]*y[14] + x[15]*y[15]
+	}
+	for ; i < n; i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+func dotScalar(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Dot4 computes four inner products sharing the right-hand operand:
+// (a0·b, a1·b, a2·b, a3·b), register-blocking the shared vector — the
+// batched-GEMV trick AVX-512 kernels use to load b's lanes once per block
+// instead of once per row.
+//
+// Measured negative result (BenchmarkKernelDot4): under the Go compiler
+// this blocking is ~1.5x SLOWER than four independent Dot calls — the
+// four-accumulator single-stream dot schedules better than the 4-row block.
+// The kernel is kept as the documented counterexample: intrinsics-level
+// tricks from the paper do not all transfer to Go (see DESIGN.md "Known
+// divergences"); hot paths use independent dots.
+func Dot4(a0, a1, a2, a3, b []float32) (s0, s1, s2, s3 float32) {
+	n := len(b)
+	if len(a0) != n || len(a1) != n || len(a2) != n || len(a3) != n {
+		panic("simd: Dot4 length mismatch")
+	}
+	if vectorized() {
+		return dot4Vec(a0, a1, a2, a3, b)
+	}
+	return dotScalar(a0, b), dotScalar(a1, b), dotScalar(a2, b), dotScalar(a3, b)
+}
+
+func dot4Vec(a0, a1, a2, a3, b []float32) (s0, s1, s2, s3 float32) {
+	n := len(b)
+	a0 = a0[:n]
+	a1 = a1[:n]
+	a2 = a2[:n]
+	a3 = a3[:n]
+	i := 0
+	for ; i+Width <= n; i += Width {
+		bb := b[i : i+Width : i+Width]
+		x0 := a0[i : i+Width : i+Width]
+		x1 := a1[i : i+Width : i+Width]
+		x2 := a2[i : i+Width : i+Width]
+		x3 := a3[i : i+Width : i+Width]
+		for k := 0; k < Width; k++ {
+			v := bb[k]
+			s0 += x0[k] * v
+			s1 += x1[k] * v
+			s2 += x2[k] * v
+			s3 += x3[k] * v
+		}
+	}
+	for ; i < n; i++ {
+		v := b[i]
+		s0 += a0[i] * v
+		s1 += a1[i] * v
+		s2 += a2[i] * v
+		s3 += a3[i] * v
+	}
+	return s0, s1, s2, s3
+}
+
+// Axpy computes y += alpha*x (the BLAS axpy). It panics on length mismatch.
+// This is the backward-pass kernel for Algorithm 1: accumulating
+// grad_i * W[i] rows into the dense input gradient.
+func Axpy(alpha float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic("simd: Axpy length mismatch")
+	}
+	if vectorized() {
+		axpyVec(alpha, x, y)
+		return
+	}
+	axpyScalar(alpha, x, y)
+}
+
+// AxpyVec is the 16-lane implementation of Axpy.
+func AxpyVec(alpha float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic("simd: AxpyVec length mismatch")
+	}
+	axpyVec(alpha, x, y)
+}
+
+// AxpyScalar is the naive implementation of Axpy.
+func AxpyScalar(alpha float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic("simd: AxpyScalar length mismatch")
+	}
+	axpyScalar(alpha, x, y)
+}
+
+func axpyVec(alpha float32, x, y []float32) {
+	n := len(x)
+	y = y[:n]
+	i := 0
+	for ; i+Width <= n; i += Width {
+		xx := x[i : i+Width : i+Width]
+		yy := y[i : i+Width : i+Width]
+		yy[0] += alpha * xx[0]
+		yy[1] += alpha * xx[1]
+		yy[2] += alpha * xx[2]
+		yy[3] += alpha * xx[3]
+		yy[4] += alpha * xx[4]
+		yy[5] += alpha * xx[5]
+		yy[6] += alpha * xx[6]
+		yy[7] += alpha * xx[7]
+		yy[8] += alpha * xx[8]
+		yy[9] += alpha * xx[9]
+		yy[10] += alpha * xx[10]
+		yy[11] += alpha * xx[11]
+		yy[12] += alpha * xx[12]
+		yy[13] += alpha * xx[13]
+		yy[14] += alpha * xx[14]
+		yy[15] += alpha * xx[15]
+	}
+	for ; i < n; i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+func axpyScalar(alpha float32, x, y []float32) {
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(alpha float32, x []float32) {
+	if vectorized() {
+		n := len(x)
+		i := 0
+		for ; i+Width <= n; i += Width {
+			xx := x[i : i+Width : i+Width]
+			for k := 0; k < Width; k++ {
+				xx[k] *= alpha
+			}
+		}
+		for ; i < n; i++ {
+			x[i] *= alpha
+		}
+		return
+	}
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Add computes y += x element-wise. It panics on length mismatch.
+func Add(x, y []float32) {
+	if len(x) != len(y) {
+		panic("simd: Add length mismatch")
+	}
+	if vectorized() {
+		n := len(x)
+		y = y[:n]
+		i := 0
+		for ; i+Width <= n; i += Width {
+			xx := x[i : i+Width : i+Width]
+			yy := y[i : i+Width : i+Width]
+			for k := 0; k < Width; k++ {
+				yy[k] += xx[k]
+			}
+		}
+		for ; i < n; i++ {
+			y[i] += x[i]
+		}
+		return
+	}
+	for i := range x {
+		y[i] += x[i]
+	}
+}
+
+// Fill sets every element of x to v (the _mm512_set1 broadcast used before
+// Algorithm 2's column accumulation).
+func Fill(x []float32, v float32) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Zero clears x.
+func Zero(x []float32) {
+	clear(x)
+}
+
+// Sum returns the sum of the elements of x (AVX reduce-sum).
+func Sum(x []float32) float32 {
+	if vectorized() {
+		var s0, s1, s2, s3 float32
+		n := len(x)
+		i := 0
+		for ; i+Width <= n; i += Width {
+			xx := x[i : i+Width : i+Width]
+			s0 += xx[0] + xx[1] + xx[2] + xx[3]
+			s1 += xx[4] + xx[5] + xx[6] + xx[7]
+			s2 += xx[8] + xx[9] + xx[10] + xx[11]
+			s3 += xx[12] + xx[13] + xx[14] + xx[15]
+		}
+		for ; i < n; i++ {
+			s0 += x[i]
+		}
+		return (s0 + s1) + (s2 + s3)
+	}
+	var s float32
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Max returns the maximum element of x. It panics on an empty slice.
+func Max(x []float32) float32 {
+	if len(x) == 0 {
+		panic("simd: Max of empty slice")
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMax returns the index of the maximum element of x, breaking ties toward
+// the lowest index. It panics on an empty slice. This is the DWTA bin-winner
+// kernel (§4.3.3): the vector form scans 16-lane blocks keeping per-lane
+// maxima and resolves the winning lane at the end.
+func ArgMax(x []float32) int {
+	if len(x) == 0 {
+		panic("simd: ArgMax of empty slice")
+	}
+	if vectorized() {
+		return argMaxVec(x)
+	}
+	return argMaxScalar(x)
+}
+
+func argMaxScalar(x []float32) int {
+	best := 0
+	bv := x[0]
+	for i := 1; i < len(x); i++ {
+		if x[i] > bv {
+			bv = x[i]
+			best = i
+		}
+	}
+	return best
+}
+
+func argMaxVec(x []float32) int {
+	n := len(x)
+	if n < Width {
+		return argMaxScalar(x)
+	}
+	// Per-lane running maxima and their indices, then a horizontal resolve.
+	var lm [Width]float32
+	var li [Width]int
+	xx := x[0:Width:Width]
+	for k := 0; k < Width; k++ {
+		lm[k] = xx[k]
+		li[k] = k
+	}
+	i := Width
+	for ; i+Width <= n; i += Width {
+		blk := x[i : i+Width : i+Width]
+		for k := 0; k < Width; k++ {
+			if blk[k] > lm[k] {
+				lm[k] = blk[k]
+				li[k] = i + k
+			}
+		}
+	}
+	best := li[0]
+	bv := lm[0]
+	for k := 1; k < Width; k++ {
+		if lm[k] > bv || (lm[k] == bv && li[k] < best) {
+			bv = lm[k]
+			best = li[k]
+		}
+	}
+	for ; i < n; i++ {
+		if x[i] > bv {
+			bv = x[i]
+			best = i
+		}
+	}
+	return best
+}
+
+// ScaleAccum computes y[i] += v * w[i] for a 16-lane blocked walk of w. It
+// is Algorithm 2's inner step: v is one non-zero of the sparse input
+// (broadcast into a register) and w is the column-major weight column.
+func ScaleAccum(v float32, w, y []float32) {
+	// Same computation as Axpy; named separately because it is the
+	// column-major hot path and microbenchmarked on its own.
+	Axpy(v, w, y)
+}
+
+// SquaredNorm returns the sum of squares of x.
+func SquaredNorm(x []float32) float32 {
+	if vectorized() {
+		return dotVec(x, x)
+	}
+	return dotScalar(x, x)
+}

@@ -1,0 +1,60 @@
+// Package simd is the vector-unit substrate of the reproduction.
+//
+// The paper's Optimized SLIDE vectorizes its hot loops with AVX-512
+// intrinsics (§4.2-4.3): 512-bit registers hold 16 float32 lanes, and the
+// kernels are built from pairwise multiply, reduce-sum, broadcast-fill and
+// lane-wise max operations. Go has no intrinsics, so this package substitutes
+// hand-unrolled 16-lane kernels: each "vector" iteration processes a full
+// 16-element block with independent accumulator chains (mirroring the
+// register-level parallelism AVX-512 exposes), with full-slice re-slicing so
+// the compiler can eliminate bounds checks. A deliberately naive one-element-
+// at-a-time scalar implementation of every kernel is kept alongside; the
+// package-level mode switch reproduces the paper's "AVX-512 on/off" ablation
+// (Table 4).
+//
+// Kernels never allocate and panic on length mismatches (caller bugs), the
+// same contract the intrinsic versions have.
+package simd
+
+import "sync/atomic"
+
+// Width is the number of float32 lanes in one emulated vector register
+// (512 bits / 32 bits per lane).
+const Width = 16
+
+// Mode selects the kernel implementation used by the dispatching wrappers.
+type Mode int32
+
+const (
+	// Vector mode uses the 16-lane unrolled kernels (AVX-512 substitute).
+	Vector Mode = iota
+	// Scalar mode uses naive one-element loops (the "-no-avx" build).
+	Scalar
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Vector:
+		return "vector"
+	case Scalar:
+		return "scalar"
+	default:
+		return "unknown"
+	}
+}
+
+// mode is read on every dispatched call; atomic so the ablation harness can
+// flip it between runs without a data race under -race.
+var mode atomic.Int32
+
+// SetMode selects the implementation used by the dispatching wrappers.
+// Flip it only between training runs: kernels already in flight keep the
+// implementation they loaded.
+func SetMode(m Mode) { mode.Store(int32(m)) }
+
+// CurrentMode returns the active kernel mode.
+func CurrentMode() Mode { return Mode(mode.Load()) }
+
+// vectorized reports whether the dispatchers should take the 16-lane path.
+func vectorized() bool { return Mode(mode.Load()) == Vector }

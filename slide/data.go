@@ -1,0 +1,170 @@
+package slide
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/slide-cpu/slide/internal/dataset"
+)
+
+// Dataset is an in-memory multi-label sparse dataset.
+type Dataset struct {
+	d *dataset.Dataset
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return d.d.Len() }
+
+// Features returns the input dimensionality.
+func (d *Dataset) Features() int { return d.d.Features }
+
+// NumLabels returns the label-space size.
+func (d *Dataset) NumLabels() int { return d.d.Labels }
+
+// Name returns the dataset name.
+func (d *Dataset) Name() string { return d.d.Name }
+
+// Sample returns sample i as a Sample (views alias internal storage; treat
+// as read-only).
+func (d *Dataset) Sample(i int) Sample {
+	v := d.d.Sample(i)
+	return Sample{Indices: v.Indices, Values: v.Values, Labels: d.d.LabelsOf(i)}
+}
+
+// Head returns a view of the first n samples.
+func (d *Dataset) Head(n int) *Dataset { return &Dataset{d: d.d.Head(n)} }
+
+// DatasetStats summarizes a dataset in the paper's Table 1 terms.
+type DatasetStats struct {
+	Name            string
+	Features        int
+	Labels          int
+	Samples         int
+	AvgFeatureNNZ   float64
+	FeatureSparsity float64
+	AvgLabels       float64
+}
+
+// Stats computes summary statistics.
+func (d *Dataset) Stats() DatasetStats {
+	s := d.d.Stats()
+	return DatasetStats{
+		Name: s.Name, Features: s.Features, Labels: s.Labels, Samples: s.Samples,
+		AvgFeatureNNZ: s.AvgFeatureNNZ, FeatureSparsity: s.FeatureSparsity,
+		AvgLabels: s.AvgLabels,
+	}
+}
+
+// ModelParams returns the parameter count of a features→hidden→labels
+// network on this dataset.
+func (d *Dataset) ModelParams(hidden int) int64 { return d.d.ModelParams(hidden) }
+
+// ReadXMC parses a dataset in the extreme-classification repository format
+// (the format the real Amazon-670K / WikiLSHTC-325K dumps use).
+func ReadXMC(name string, r io.Reader) (*Dataset, error) {
+	d, err := dataset.ReadXMC(name, r)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{d: d}, nil
+}
+
+// OpenXMC reads an XMC-format dataset from a file.
+func OpenXMC(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("slide: %w", err)
+	}
+	defer f.Close()
+	return ReadXMC(path, f)
+}
+
+// WriteXMC serializes the dataset in the XMC repository format.
+func (d *Dataset) WriteXMC(w io.Writer) error { return dataset.WriteXMC(w, d.d) }
+
+// CorpusOptions parameterizes ReadCorpus.
+type CorpusOptions struct {
+	// MaxVocab keeps the most frequent words (0 = all); MinCount drops
+	// words rarer than this (0 = keep all).
+	MaxVocab, MinCount int
+	// Window is the skip-gram half-width (default 2, the paper's setting).
+	Window int
+	// MaxTokens truncates the token stream (0 = read everything).
+	MaxTokens int
+}
+
+// Vocabulary maps words to frequency-ranked dense ids (id 0 = most
+// frequent).
+type Vocabulary struct {
+	v *dataset.Vocabulary
+}
+
+// Size returns the number of words.
+func (v *Vocabulary) Size() int { return v.v.Size() }
+
+// Word returns the word with the given id.
+func (v *Vocabulary) Word(id int32) string { return v.v.Word(id) }
+
+// ID returns the id of a word and whether it is in the vocabulary.
+func (v *Vocabulary) ID(word string) (int32, bool) { return v.v.ID(word) }
+
+// Count returns the corpus frequency of the word with the given id.
+func (v *Vocabulary) Count(id int32) int64 { return v.v.Counts[id] }
+
+// ReadCorpus tokenizes whitespace-separated text (the format of the real
+// text8 dump), builds a frequency-ranked vocabulary, and extracts skip-gram
+// samples — the paper's Text8 preprocessing (§5.1).
+func ReadCorpus(name string, r io.Reader, o CorpusOptions) (*Dataset, *Vocabulary, error) {
+	if o.Window == 0 {
+		o.Window = 2
+	}
+	d, v, err := dataset.BuildCorpus(r, dataset.CorpusConfig{
+		Name: name, MaxVocab: o.MaxVocab, MinCount: o.MinCount,
+		Window: o.Window, MaxTokens: o.MaxTokens,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Dataset{d: d}, &Vocabulary{v: v}, nil
+}
+
+// OpenCorpus reads a text corpus from a file.
+func OpenCorpus(path string, o CorpusOptions) (*Dataset, *Vocabulary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("slide: %w", err)
+	}
+	defer f.Close()
+	return ReadCorpus(path, f, o)
+}
+
+// AmazonLike generates the Amazon-670K-like synthetic workload at the given
+// scale of the paper's dimensions (scale 1.0 = 135,909 features, 670,091
+// labels; see Table 1). The planted label prototypes make it learnable.
+func AmazonLike(scale float64, seed uint64) (train, test *Dataset, err error) {
+	tr, te, err := dataset.Generate(dataset.Amazon670K(scale, seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Dataset{d: tr}, &Dataset{d: te}, nil
+}
+
+// WikiLike generates the WikiLSHTC-325K-like synthetic workload.
+func WikiLike(scale float64, seed uint64) (train, test *Dataset, err error) {
+	tr, te, err := dataset.Generate(dataset.WikiLSH325K(scale, seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Dataset{d: tr}, &Dataset{d: te}, nil
+}
+
+// Text8Like generates the Text8-like skip-gram workload (one-hot inputs,
+// window-2 context labels).
+func Text8Like(scale float64, seed uint64) (train, test *Dataset, err error) {
+	tr, te, err := dataset.GenerateText8(dataset.Text8(scale, seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Dataset{d: tr}, &Dataset{d: te}, nil
+}

@@ -1,0 +1,424 @@
+// Package slide is the public API of the SLIDE-on-CPU reproduction: a
+// locality-sensitive-hashing based sparse training engine for very wide
+// classification and embedding networks (Chen et al. 2019), with the
+// MLSys 2021 optimizations — vectorized kernels, coalesced memory layouts,
+// BF16 quantization modes, and HOGWILD-style asynchronous data parallelism
+// (Daghaghi et al., "Accelerating SLIDE Deep Learning on Modern CPUs").
+//
+// Quick start:
+//
+//	train, test, _ := slide.AmazonLike(0.01, 42)
+//	m, _ := slide.New(train.Features(), 128, train.NumLabels(),
+//		slide.WithDWTA(4, 16),
+//		slide.WithLearningRate(1e-4))
+//	for epoch := 0; epoch < 3; epoch++ {
+//		m.TrainEpoch(train, 256)
+//	}
+//	p1, _ := m.Evaluate(test, 500, 1)
+//
+// See the examples/ directory for full programs and cmd/slide-bench for the
+// paper's experiment harness.
+package slide
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/slide-cpu/slide/internal/layer"
+	"github.com/slide-cpu/slide/internal/metrics"
+	"github.com/slide-cpu/slide/internal/network"
+	"github.com/slide-cpu/slide/internal/simd"
+	"github.com/slide-cpu/slide/internal/sparse"
+)
+
+// Precision selects the training quantization mode (§4.4 of the paper).
+type Precision int
+
+const (
+	// FP32 trains in float32 throughout.
+	FP32 Precision = iota
+	// BF16Activations keeps parameters FP32 but carries activations in
+	// bfloat16.
+	BF16Activations
+	// BF16Full stores weights and activations in bfloat16 (FP32 ADAM
+	// moments).
+	BF16Full
+)
+
+// MemoryLayout selects the parameter placement (§4.1 of the paper).
+type MemoryLayout int
+
+const (
+	// Coalesced reserves one contiguous block per layer (optimized).
+	Coalesced MemoryLayout = iota
+	// Fragmented allocates every weight vector separately (naive SLIDE,
+	// kept for ablation).
+	Fragmented
+)
+
+// KernelMode selects the compute-kernel implementation (§4.2).
+type KernelMode int
+
+const (
+	// VectorKernels are the 16-lane unrolled AVX-512 substitutes.
+	VectorKernels KernelMode = iota
+	// ScalarKernels are naive loops (the "-no-avx" ablation).
+	ScalarKernels
+)
+
+// SetKernelMode switches the process-global kernel implementation. Do not
+// flip it while models are training.
+func SetKernelMode(m KernelMode) {
+	if m == ScalarKernels {
+		simd.SetMode(simd.Scalar)
+	} else {
+		simd.SetMode(simd.Vector)
+	}
+}
+
+// Sample is one training example: a sparse feature vector (sorted, unique
+// indices) and its label set.
+type Sample struct {
+	Indices []int32
+	Values  []float32
+	Labels  []int32
+}
+
+// config collects option values before validation.
+type config struct {
+	net network.Config
+}
+
+// Option configures New.
+type Option func(*config)
+
+// WithDWTA samples the output layer with densified winner-take-all hashing
+// using k hashes per table and l tables (the paper's choice for extreme
+// classification).
+func WithDWTA(k, l int) Option {
+	return func(c *config) {
+		c.net.Hash = network.DWTA
+		c.net.K, c.net.L = k, l
+		c.net.NoSampling = false
+	}
+}
+
+// WithSimHash samples the output layer with signed-random-projection
+// hashing (the paper's choice for word2vec/Text8).
+func WithSimHash(k, l int) Option {
+	return func(c *config) {
+		c.net.Hash = network.SimHash
+		c.net.K, c.net.L = k, l
+		c.net.NoSampling = false
+	}
+}
+
+// WithDOPH samples the output layer with densified one-permutation
+// minhashing, suited to binary/set-valued activations.
+func WithDOPH(k, l int) Option {
+	return func(c *config) {
+		c.net.Hash = network.DOPH
+		c.net.K, c.net.L = k, l
+		c.net.NoSampling = false
+	}
+}
+
+// WithFullSoftmax disables LSH sampling: every output neuron is active for
+// every sample (the dense baseline configuration).
+func WithFullSoftmax() Option {
+	return func(c *config) { c.net.NoSampling = true }
+}
+
+// WithUniformSampling replaces LSH retrieval with uniform random negative
+// sampling at the same active-set budget — the ablation isolating what
+// adaptive, input-dependent sampling contributes.
+func WithUniformSampling() Option {
+	return func(c *config) { c.net.UniformSampling = true }
+}
+
+// WithLearningRate sets the ADAM learning rate (default 1e-4, §5.3).
+func WithLearningRate(lr float64) Option {
+	return func(c *config) { c.net.LR = lr }
+}
+
+// WithAdam sets the ADAM moment/epsilon hyperparameters.
+func WithAdam(beta1, beta2, eps float64) Option {
+	return func(c *config) { c.net.Beta1, c.net.Beta2, c.net.Eps = beta1, beta2, eps }
+}
+
+// WithPrecision selects the quantization mode (default FP32).
+func WithPrecision(p Precision) Option {
+	return func(c *config) {
+		switch p {
+		case BF16Activations:
+			c.net.Precision = layer.BF16Act
+		case BF16Full:
+			c.net.Precision = layer.BF16Both
+		default:
+			c.net.Precision = layer.FP32
+		}
+	}
+}
+
+// WithMemoryLayout selects the parameter placement (default Coalesced).
+func WithMemoryLayout(m MemoryLayout) Option {
+	return func(c *config) {
+		if m == Fragmented {
+			c.net.Placement = layer.Scattered
+		} else {
+			c.net.Placement = layer.Contiguous
+		}
+	}
+}
+
+// WithWorkers sets the HOGWILD worker count (default GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(c *config) { c.net.Workers = n }
+}
+
+// WithLockedGradients replaces HOGWILD's benign-race gradient accumulation
+// with striped locks — slower but race-detector clean and deterministic
+// with one worker.
+func WithLockedGradients() Option {
+	return func(c *config) { c.net.Locked = true }
+}
+
+// WithActiveSet bounds LSH sampling: the active set is topped up to min with
+// random neurons and capped at max (0 = uncapped). True labels always stay
+// active.
+func WithActiveSet(min, max int) Option {
+	return func(c *config) { c.net.MinActive, c.net.MaxActive = min, max }
+}
+
+// WithBuckets sets hash-table bucket capacity and whether to use reservoir
+// sampling instead of FIFO eviction.
+func WithBuckets(capacity int, reservoir bool) Option {
+	return func(c *config) {
+		c.net.BucketCap = capacity
+		if reservoir {
+			c.net.BucketPolicy = 1 // lsh.Reservoir
+		}
+	}
+}
+
+// WithRebuildSchedule sets the initial hash-table rebuild period in batches
+// and its multiplicative growth (SLIDE's exponential backoff).
+func WithRebuildSchedule(every int, growth float64) Option {
+	return func(c *config) { c.net.RebuildEvery = every; c.net.RebuildGrowth = growth }
+}
+
+// WithLinearHidden makes the hidden layer linear (identity activation), the
+// word2vec configuration; default is ReLU.
+func WithLinearHidden() Option {
+	return func(c *config) { c.net.HiddenActivation = layer.Linear }
+}
+
+// WithHiddenStack inserts additional dense ReLU hidden layers between the
+// first hidden layer and the sampled output: the architecture becomes
+// input → hidden → dims... → output. The paper evaluates single-hidden
+// networks; deeper stacks are the natural SLIDE extension.
+func WithHiddenStack(dims ...int) Option {
+	return func(c *config) { c.net.HiddenLayers = append([]int(nil), dims...) }
+}
+
+// WithSeed fixes all randomness (initialization, hashing, sampling).
+func WithSeed(seed uint64) Option {
+	return func(c *config) { c.net.Seed = seed }
+}
+
+// Model is a trainable SLIDE network.
+type Model struct {
+	net    *network.Network
+	scores []float32
+}
+
+// New builds a model with the given layer sizes. Without a sampling option
+// (WithDWTA / WithSimHash / WithFullSoftmax) it defaults to DWTA with
+// K=6, L=50.
+func New(inputDim, hiddenDim, outputDim int, opts ...Option) (*Model, error) {
+	c := config{net: network.Config{
+		InputDim:  inputDim,
+		HiddenDim: hiddenDim,
+		OutputDim: outputDim,
+		Hash:      network.DWTA,
+		K:         6,
+		L:         50,
+	}}
+	for _, o := range opts {
+		o(&c)
+	}
+	net, err := network.New(&c.net)
+	if err != nil {
+		return nil, fmt.Errorf("slide: %w", err)
+	}
+	return &Model{net: net, scores: make([]float32, c.net.OutputDim)}, nil
+}
+
+// TrainStats reports one training call.
+type TrainStats struct {
+	// Samples processed.
+	Samples int
+	// MeanLoss is the mean sampled-softmax cross-entropy per sample.
+	MeanLoss float64
+	// MeanActive is the mean active-set size per sample — the sparsity the
+	// LSH sampling achieved (equals the output size under full softmax).
+	MeanActive float64
+}
+
+// ErrEmptyBatch is returned when a training call receives no samples.
+var ErrEmptyBatch = errors.New("slide: empty batch")
+
+// TrainBatch runs one HOGWILD gradient step over the samples.
+func (m *Model) TrainBatch(samples []Sample) (TrainStats, error) {
+	if len(samples) == 0 {
+		return TrainStats{}, ErrEmptyBatch
+	}
+	var b sparse.Builder
+	for i, s := range samples {
+		if len(s.Indices) != len(s.Values) {
+			return TrainStats{}, fmt.Errorf("slide: sample %d has %d indices but %d values",
+				i, len(s.Indices), len(s.Values))
+		}
+		b.Add(s.Indices, s.Values, s.Labels)
+	}
+	batch, err := b.CSR()
+	if err != nil {
+		return TrainStats{}, err
+	}
+	st := m.net.TrainBatch(batch)
+	return batchStats(st), nil
+}
+
+func batchStats(st network.BatchStats) TrainStats {
+	out := TrainStats{Samples: st.Samples}
+	if st.Samples > 0 {
+		out.MeanLoss = st.Loss / float64(st.Samples)
+		out.MeanActive = float64(st.ActiveSum) / float64(st.Samples)
+	}
+	return out
+}
+
+// TrainEpoch runs one shuffled epoch over the dataset in batches of the
+// given size and returns aggregate statistics.
+func (m *Model) TrainEpoch(train *Dataset, batchSize int) (TrainStats, error) {
+	if train == nil || train.Len() == 0 {
+		return TrainStats{}, ErrEmptyBatch
+	}
+	if batchSize <= 0 {
+		return TrainStats{}, fmt.Errorf("slide: batch size %d must be positive", batchSize)
+	}
+	// Seed the shuffle with the optimizer step so every epoch sees a fresh
+	// permutation while the overall run stays reproducible.
+	it := train.d.Iter(batchSize, sparse.Coalesced, uint64(m.net.Step())+1)
+	var agg network.BatchStats
+	for {
+		b, ok := it.Next()
+		if !ok {
+			break
+		}
+		st := m.net.TrainBatch(b)
+		agg.Samples += st.Samples
+		agg.Loss += st.Loss
+		agg.ActiveSum += st.ActiveSum
+	}
+	return batchStats(agg), nil
+}
+
+// Predict returns the top-k label ids for a sparse input, best first. It
+// runs the full output layer (exact).
+func (m *Model) Predict(indices []int32, values []float32, k int) []int32 {
+	return m.net.Predict(sparse.Vector{Indices: indices, Values: values}, k, m.scores)
+}
+
+// PredictSampled returns the top-k label ids ranked over the LSH-retrieved
+// candidates only — sub-linear approximate inference. Returns an error for
+// models built without LSH sampling.
+func (m *Model) PredictSampled(indices []int32, values []float32, k int) ([]int32, error) {
+	if m.net.Tables() == nil {
+		return nil, errors.New("slide: PredictSampled requires an LSH-sampled model")
+	}
+	return m.net.PredictSampled(sparse.Vector{Indices: indices, Values: values}, k), nil
+}
+
+// Scores writes the full output-layer logits for a sparse input into out
+// (len = output dimension). Not safe to call concurrently with training.
+func (m *Model) Scores(indices []int32, values []float32, out []float32) {
+	m.net.Scores(sparse.Vector{Indices: indices, Values: values}, out)
+}
+
+// Evaluate returns mean Precision@k over (up to) n samples of the dataset.
+func (m *Model) Evaluate(test *Dataset, n, k int) (float64, error) {
+	if test == nil || test.Len() == 0 {
+		return 0, ErrEmptyBatch
+	}
+	n = min(n, test.Len())
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := test.d.Sample(i)
+		m.net.Scores(v, m.scores)
+		sum += metrics.PrecisionAtK(m.scores, test.d.LabelsOf(i), k)
+	}
+	return sum / float64(n), nil
+}
+
+// Embedding copies the hidden-layer weight column of input feature i — the
+// learned embedding vector in word2vec-style models.
+func (m *Model) Embedding(i int) []float32 {
+	buf := make([]float32, m.net.Config().HiddenDim)
+	col := m.net.Hidden().Col(i, buf)
+	out := make([]float32, len(col))
+	copy(out, col)
+	return out
+}
+
+// Steps returns the number of optimizer steps applied so far.
+func (m *Model) Steps() int64 { return m.net.Step() }
+
+// Save writes a checkpoint (configuration, weights, optimizer state) to w.
+// Do not call concurrently with training.
+func (m *Model) Save(w io.Writer) error { return m.net.Save(w) }
+
+// SaveFile writes a checkpoint to a file.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("slide: %w", err)
+	}
+	if err := m.net.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load restores a model from a checkpoint written by Save. Hash tables are
+// rebuilt from the restored weights; training resumes at the saved
+// optimizer step.
+func Load(r io.Reader) (*Model, error) {
+	net, err := network.Load(r, 0)
+	if err != nil {
+		return nil, fmt.Errorf("slide: %w", err)
+	}
+	return &Model{net: net, scores: make([]float32, net.Config().OutputDim)}, nil
+}
+
+// LoadFile restores a model from a checkpoint file.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("slide: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// ActiveFraction returns MeanActive/outputDim for a stats value — the
+// effective sparsity.
+func (s TrainStats) ActiveFraction(outputDim int) float64 {
+	if outputDim == 0 {
+		return 0
+	}
+	return s.MeanActive / float64(outputDim)
+}
