@@ -18,6 +18,7 @@ import (
 	"github.com/slide-cpu/slide/internal/harness"
 	"github.com/slide-cpu/slide/internal/layer"
 	"github.com/slide-cpu/slide/internal/lsh"
+	"github.com/slide-cpu/slide/internal/network"
 	"github.com/slide-cpu/slide/internal/platform"
 	"github.com/slide-cpu/slide/internal/simd"
 	"github.com/slide-cpu/slide/internal/sparse"
@@ -297,6 +298,118 @@ func BenchmarkKernelAdam(b *testing.B) {
 			simd.AdamStepScalar(w, m, v, g, p)
 		}
 	})
+}
+
+// BenchmarkKernelDotManyBias measures the fused active-set forward kernel
+// against the per-row dispatching form it replaced (one Dot call + bias add
+// per active row). The active set size (64) and hidden width (128) mirror
+// the sampled output layer's hot-path shape.
+func BenchmarkKernelDotManyBias(b *testing.B) {
+	const nRows, dim, nAct = 512, 128, 64
+	rows := make([][]float32, nRows)
+	for i := range rows {
+		rows[i] = randF32(dim, uint64(i)+100)
+	}
+	bias := randF32(nRows, 31)
+	h := randF32(dim, 32)
+	rng := rand.New(rand.NewPCG(33, 1))
+	ids := make([]int32, nAct)
+	for i := range ids {
+		ids[i] = int32(rng.IntN(nRows))
+	}
+	out := make([]float32, nAct)
+	b.Run("Fused", func(b *testing.B) {
+		ks := simd.Active()
+		for i := 0; i < b.N; i++ {
+			ks.DotManyBias(rows, bias, ids, h, out)
+		}
+		sink = out[0]
+	})
+	b.Run("PerRowDispatch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for k, id := range ids {
+				out[k] = simd.Dot(rows[id], h) + bias[id]
+			}
+		}
+		sink = out[0]
+	})
+}
+
+// BenchmarkKernelAxpyTwo measures the fused backward walk (grad += gz·h and
+// dh += gz·w in one pass) against the two independent axpys it replaced.
+func BenchmarkKernelAxpyTwo(b *testing.B) {
+	const dim = 128
+	h := randF32(dim, 41)
+	w := randF32(dim, 42)
+	grad := randF32(dim, 43)
+	dh := randF32(dim, 44)
+	b.Run("Fused", func(b *testing.B) {
+		ks := simd.Active()
+		for i := 0; i < b.N; i++ {
+			ks.AxpyTwo(0.5, h, grad, w, dh)
+		}
+	})
+	b.Run("TwoAxpys", func(b *testing.B) {
+		ks := simd.Active()
+		for i := 0; i < b.N; i++ {
+			ks.Axpy(0.5, h, grad)
+			ks.Axpy(0.5, w, dh)
+		}
+	})
+}
+
+// BenchmarkKernelAdamZero measures the fused optimizer pass (ADAM step +
+// gradient clear in one walk) against the two-pass form it replaced. The
+// gradient is re-filled from gsrc each iteration (identical cost in both
+// variants): with a permanently zero gradient the moments decay into
+// denormals and the benchmark measures denormal arithmetic instead of the
+// kernel.
+func BenchmarkKernelAdamZero(b *testing.B) {
+	n := 4096
+	w := randF32(n, 51)
+	m := make([]float32, n)
+	v := make([]float32, n)
+	g := make([]float32, n)
+	gsrc := randF32(n, 52)
+	p := simd.NewAdamParams(1e-3, 0.9, 0.999, 1e-8, 3)
+	b.Run("Fused", func(b *testing.B) {
+		ks := simd.Active()
+		for i := 0; i < b.N; i++ {
+			copy(g, gsrc)
+			ks.AdamStepZero(w, m, v, g, p)
+		}
+	})
+	b.Run("StepThenZero", func(b *testing.B) {
+		ks := simd.Active()
+		for i := 0; i < b.N; i++ {
+			copy(g, gsrc)
+			ks.AdamStep(w, m, v, g, p)
+			simd.Zero(g)
+		}
+	})
+}
+
+// BenchmarkTrainStep measures one SLIDE TrainBatch end to end — the
+// batch-granularity hot path the fused kernels and one-shot dispatch target.
+// Shapes follow the Amazon-670K-like benchmark workload.
+func BenchmarkTrainStep(b *testing.B) {
+	w := benchWorkload(b)
+	opts := benchOpts()
+	cfg := w.NetworkConfig(opts, layer.FP32, layer.Contiguous)
+	net, err := network.New(&cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train := w.Train
+	it := train.Iter(w.Batch, sparse.Coalesced, opts.Seed)
+	batch, ok := it.Next()
+	if !ok {
+		b.Fatal("empty workload")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.TrainBatch(batch)
+	}
 }
 
 // BenchmarkKernelDotBF16 measures the §4.4 mixed-precision dot product.

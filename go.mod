@@ -1,0 +1,3 @@
+module github.com/slide-cpu/slide
+
+go 1.24

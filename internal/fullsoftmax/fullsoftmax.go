@@ -160,19 +160,20 @@ func parallelFor(n, workers int, f func(lo, hi int)) {
 // backward, dense ADAM over every output row.
 func (t *Trainer) TrainBatch(b sparse.Batch) BatchStats {
 	stats := BatchStats{Samples: b.Len()}
+	ks := simd.Active() // one dispatch resolution for the whole batch
 	for lo := 0; lo < b.Len(); lo += t.cfg.SampleChunk {
 		hi := min(lo+t.cfg.SampleChunk, b.Len())
-		stats.Loss += t.chunk(b, lo, hi)
+		stats.Loss += t.chunk(ks, b, lo, hi)
 	}
 	t.step++
 	p := simd.NewAdamParams(t.cfg.LR, t.cfg.Beta1, t.cfg.Beta2, t.cfg.Eps, t.step)
-	t.hidden.ApplyAdam(p, t.cfg.Workers)
-	t.output.ApplyAdamAll(p, t.cfg.Workers)
+	t.hidden.ApplyAdam(ks, p, t.cfg.Workers)
+	t.output.ApplyAdamAll(ks, p, t.cfg.Workers)
 	return stats
 }
 
 // chunk processes samples [lo,hi) of the batch and returns the summed loss.
-func (t *Trainer) chunk(b sparse.Batch, lo, hi int) float64 {
+func (t *Trainer) chunk(ks *simd.Kernels, b sparse.Batch, lo, hi int) float64 {
 	n := hi - lo
 	out := t.cfg.OutputDim
 	hd := t.cfg.HiddenDim
@@ -180,7 +181,7 @@ func (t *Trainer) chunk(b sparse.Batch, lo, hi int) float64 {
 	// 1. Hidden forward, parallel over samples.
 	parallelFor(n, t.cfg.Workers, func(s, e int) {
 		for i := s; i < e; i++ {
-			t.hidden.Forward(b.Sample(lo+i), t.h[i])
+			t.hidden.Forward(ks, b.Sample(lo+i), t.h[i])
 		}
 	})
 
@@ -189,7 +190,7 @@ func (t *Trainer) chunk(b sparse.Batch, lo, hi int) float64 {
 	parallelFor(out, t.cfg.Workers, func(s, e int) {
 		for id := s; id < e; id++ {
 			for i := 0; i < n; i++ {
-				t.logits[i*out+id] = t.output.Logit(int32(id), t.h[i], nil)
+				t.logits[i*out+id] = t.output.Logit(ks, int32(id), t.h[i], nil)
 			}
 		}
 	})
@@ -199,7 +200,7 @@ func (t *Trainer) chunk(b sparse.Batch, lo, hi int) float64 {
 	parallelFor(n, t.cfg.Workers, func(s, e int) {
 		for i := s; i < e; i++ {
 			row := t.logits[i*out : (i+1)*out]
-			maxL := simd.Max(row)
+			maxL := ks.Max(row)
 			var z float64
 			for k := range row {
 				z += math.Exp(float64(row[k] - maxL))
@@ -256,8 +257,8 @@ func (t *Trainer) chunk(b sparse.Batch, lo, hi int) float64 {
 					if gz == 0 {
 						continue
 					}
-					t.output.AccumulateOwnedRow(int32(id), gz, t.h[i])
-					simd.Axpy(gz, rowW, dhw[i*hd:(i+1)*hd])
+					t.output.AccumulateOwnedRow(ks, int32(id), gz, t.h[i])
+					ks.Axpy(gz, rowW, dhw[i*hd:(i+1)*hd])
 				}
 			}
 		}(w, s, e)
@@ -269,9 +270,9 @@ func (t *Trainer) chunk(b sparse.Batch, lo, hi int) float64 {
 		for i := s; i < e; i++ {
 			dh := t.dh[0][i*hd : (i+1)*hd]
 			for w := 1; w < len(t.dh); w++ {
-				simd.Add(t.dh[w][i*hd:(i+1)*hd], dh)
+				ks.Add(t.dh[w][i*hd:(i+1)*hd], dh)
 			}
-			t.hidden.Backward(b.Sample(lo+i), t.h[i], dh)
+			t.hidden.Backward(ks, b.Sample(lo+i), t.h[i], dh)
 		}
 	})
 	return loss
@@ -280,6 +281,7 @@ func (t *Trainer) chunk(b sparse.Batch, lo, hi int) float64 {
 // Scores computes the full logits for one sample into out (len OutputDim).
 // Not safe for concurrent use with training.
 func (t *Trainer) Scores(x sparse.Vector, out []float32) {
-	t.hidden.Forward(x, t.evalH)
-	t.output.ForwardAll(t.evalH, nil, out, t.cfg.Workers)
+	ks := simd.Active()
+	t.hidden.Forward(ks, x, t.evalH)
+	t.output.ForwardAll(ks, t.evalH, nil, out, t.cfg.Workers)
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/slide-cpu/slide/internal/metrics"
+	"github.com/slide-cpu/slide/internal/simd"
 	"github.com/slide-cpu/slide/internal/sparse"
 )
 
@@ -161,9 +162,9 @@ func TestScoresMatchManualForward(t *testing.T) {
 
 	// Manual forward through the layer accessors.
 	h := make([]float32, 10)
-	tr.Hidden().Forward(x, h)
+	tr.Hidden().Forward(simd.Active(), x, h)
 	for id := int32(0); id < 12; id++ {
-		want := tr.Output().Logit(id, h, nil)
+		want := tr.Output().Logit(simd.Active(), id, h, nil)
 		if scores[id] != want {
 			t.Errorf("score[%d] = %g, manual forward %g", id, scores[id], want)
 		}

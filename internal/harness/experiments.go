@@ -369,7 +369,10 @@ func Ablations(opts Options) (*Report, error) {
 		Header: []string{"Workers", "Epoch(s)", "Speedup vs 1"},
 	}
 	var oneWorker time.Duration
-	maxW := runtime.GOMAXPROCS(0)
+	// Always sweep at least 1→2 workers: goroutine-level HOGWILD interleaves
+	// even on a single core, and the table contract (and its test) expects
+	// the contrast row on single-CPU CI machines.
+	maxW := max(2, runtime.GOMAXPROCS(0))
 	for nw := 1; nw <= maxW; nw *= 2 {
 		o := opts
 		o.Workers = nw

@@ -126,6 +126,9 @@ func TestTable1(t *testing.T) {
 }
 
 func TestTable4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment regeneration; skipped in -short (race CI)")
+	}
 	rep, err := Table4(tinyOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -137,6 +140,9 @@ func TestTable4(t *testing.T) {
 }
 
 func TestFigure6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment regeneration; skipped in -short (race CI)")
+	}
 	rep, err := Figure6(tinyOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -157,6 +163,9 @@ func TestFigure6(t *testing.T) {
 }
 
 func TestTable2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment regeneration; skipped in -short (race CI)")
+	}
 	rep, err := Table2(tinyOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -193,6 +202,9 @@ func TestTable2(t *testing.T) {
 }
 
 func TestTable3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment regeneration; skipped in -short (race CI)")
+	}
 	rep, err := Table3(tinyOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -214,6 +226,9 @@ func TestTable3(t *testing.T) {
 }
 
 func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment regeneration; skipped in -short (race CI)")
+	}
 	rep, err := Ablations(tinyOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -233,6 +248,9 @@ func TestAblations(t *testing.T) {
 }
 
 func TestProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment regeneration; skipped in -short (race CI)")
+	}
 	rep, err := Profile(tinyOpts())
 	if err != nil {
 		t.Fatal(err)

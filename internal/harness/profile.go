@@ -6,6 +6,7 @@ import (
 
 	"github.com/slide-cpu/slide/internal/layer"
 	"github.com/slide-cpu/slide/internal/network"
+	"github.com/slide-cpu/slide/internal/simd"
 	"github.com/slide-cpu/slide/internal/sparse"
 )
 
@@ -27,6 +28,9 @@ func Profile(opts Options) (*Report, error) {
 	}
 	for _, w := range ws {
 		cfg := w.NetworkConfig(opts, layer.FP32, layer.Contiguous)
+		if raceDetectorEnabled {
+			cfg.Locked = true // defined behaviour under -race; see race_on.go
+		}
 		net, err := network.New(&cfg)
 		if err != nil {
 			return nil, err
@@ -59,15 +63,16 @@ func Profile(opts Options) (*Report, error) {
 		hidden := net.Hidden()
 		tables := net.Tables()
 		h := make([]float32, cfg.HiddenDim)
+		ks := simd.Active()
 
 		tHidden := collect(func(b sparse.Batch) {
 			for i := 0; i < b.Len(); i++ {
-				hidden.Forward(b.Sample(i), h)
+				hidden.Forward(ks, b.Sample(i), h)
 			}
 		})
 		tQuery := collect(func(b sparse.Batch) {
 			for i := 0; i < b.Len(); i++ {
-				hidden.Forward(b.Sample(i), h)
+				hidden.Forward(ks, b.Sample(i), h)
 				tables.QueryDense(h, func(int32) {})
 			}
 		}) - tHidden

@@ -1,0 +1,10 @@
+//go:build race
+
+package harness
+
+// raceDetectorEnabled reports whether this binary was built with -race.
+// Harness runs force the Locked gradient policy under the detector: the
+// default HOGWILD accumulation races benignly by design (as in SLIDE), and
+// the Locked striped-mutex mode exists exactly so race-instrumented runs
+// have defined behaviour.
+const raceDetectorEnabled = true

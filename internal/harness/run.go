@@ -99,6 +99,9 @@ func RunSLIDE(w *Workload, v Variant, opts Options) (*RunResult, error) {
 	defer simd.SetMode(prev)
 
 	cfg := w.NetworkConfig(opts, v.Precision, v.Placement)
+	if raceDetectorEnabled {
+		cfg.Locked = true // defined behaviour under -race; see race_on.go
+	}
 	net, err := network.New(&cfg)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s on %s: %w", v.Name, w.Name, err)

@@ -72,21 +72,22 @@ func (l *ColLayer) Options() Options { return l.opts }
 // Activation returns the layer non-linearity.
 func (l *ColLayer) Activation() Activation { return l.act }
 
-// Forward computes h = act(Wx + b) into h (len Out). Under the BF16
-// activation modes the result is additionally rounded through bfloat16, so
-// h carries exactly the values a hardware BF16 pipeline would produce.
-func (l *ColLayer) Forward(x sparse.Vector, h []float32) {
+// Forward computes h = act(Wx + b) into h (len Out) using the resolved
+// kernel table ks. Under the BF16 activation modes the result is
+// additionally rounded through bfloat16, so h carries exactly the values a
+// hardware BF16 pipeline would produce.
+func (l *ColLayer) Forward(ks *simd.Kernels, x sparse.Vector, h []float32) {
 	if len(h) != l.Out {
 		panic("layer: ColLayer.Forward output size mismatch")
 	}
 	copy(h, l.bias)
 	if l.opts.Precision == BF16Both {
 		for k, j := range x.Indices {
-			simd.AxpyBF16(x.Values[k], l.colsBF[j], h)
+			ks.AxpyBF16(x.Values[k], l.colsBF[j], h)
 		}
 	} else {
 		for k, j := range x.Indices {
-			simd.ScaleAccum(x.Values[k], l.cols[j], h)
+			ks.ScaleAccum(x.Values[k], l.cols[j], h)
 		}
 	}
 	if l.act == ReLU {
@@ -105,7 +106,7 @@ func (l *ColLayer) Forward(x sparse.Vector, h []float32) {
 // h, and the output gradient dh. For ReLU layers dh is masked in place where
 // the unit was inactive, so the caller must pass dh before any further use.
 // Safe for concurrent calls; the write policy follows Options.Locked.
-func (l *ColLayer) Backward(x sparse.Vector, h, dh []float32) {
+func (l *ColLayer) Backward(ks *simd.Kernels, x sparse.Vector, h, dh []float32) {
 	if len(h) != l.Out || len(dh) != l.Out {
 		panic("layer: ColLayer.Backward size mismatch")
 	}
@@ -117,11 +118,11 @@ func (l *ColLayer) Backward(x sparse.Vector, h, dh []float32) {
 		}
 	}
 	l.lk.lockBias()
-	simd.Add(dh, l.gbias)
+	ks.Add(dh, l.gbias)
 	l.lk.unlockBias()
 	for k, j := range x.Indices {
 		l.lk.lockRow(j)
-		simd.Axpy(x.Values[k], dh, l.grad[j])
+		ks.Axpy(x.Values[k], dh, l.grad[j])
 		l.lk.unlockRow(j)
 		l.touched.mark(j)
 	}
@@ -130,20 +131,22 @@ func (l *ColLayer) Backward(x sparse.Vector, h, dh []float32) {
 // ApplyAdam steps every touched column (plus the bias) with the fused
 // vector ADAM kernel of §4.3.1, zeroes the consumed gradients and clears the
 // touched set. Call only after all Backward calls for the batch completed.
-func (l *ColLayer) ApplyAdam(p simd.AdamParams, workers int) {
+// Step and clear stay two passes — the single-pass AdamStepZero fusion is a
+// measured negative result under the Go compiler (see DESIGN.md).
+func (l *ColLayer) ApplyAdam(ks *simd.Kernels, p simd.AdamParams, workers int) {
 	if l.opts.Precision == BF16Both {
 		l.touched.forEachParallel(workers, func(j int32) {
-			simd.AdamStepBF16(l.colsBF[j], l.m[j], l.v[j], l.grad[j], p)
+			ks.AdamStepBF16(l.colsBF[j], l.m[j], l.v[j], l.grad[j], p)
 			simd.Zero(l.grad[j])
 		})
 	} else {
 		l.touched.forEachParallel(workers, func(j int32) {
-			simd.AdamStep(l.cols[j], l.m[j], l.v[j], l.grad[j], p)
+			ks.AdamStep(l.cols[j], l.m[j], l.v[j], l.grad[j], p)
 			simd.Zero(l.grad[j])
 		})
 	}
 	l.touched.clear()
-	simd.AdamStep(l.bias, l.mb, l.vb, l.gbias, p)
+	ks.AdamStep(l.bias, l.mb, l.vb, l.gbias, p)
 	simd.Zero(l.gbias)
 }
 

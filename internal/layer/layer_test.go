@@ -10,6 +10,10 @@ import (
 	"github.com/slide-cpu/slide/internal/sparse"
 )
 
+// tks resolves the active kernel table, matching how the trainers call the
+// layer hot paths (one table per stretch of work).
+func tks() *simd.Kernels { return simd.Active() }
+
 func sampleVec(rng *rand.Rand, dim, nnz int) sparse.Vector {
 	used := map[int32]bool{}
 	idx := make([]int32, 0, nnz)
@@ -62,7 +66,7 @@ func TestColLayerForwardMatchesReference(t *testing.T) {
 			l := NewColLayer(40, 24, act, Options{Placement: place, Seed: 7})
 			x := sampleVec(rng, 40, 6)
 			h := make([]float32, 24)
-			l.Forward(x, h)
+			l.Forward(tks(), x, h)
 			ref := denseColRef(l, x)
 			for i := range h {
 				if math.Abs(float64(h[i])-ref[i]) > 1e-4 {
@@ -81,8 +85,8 @@ func TestColLayerPlacementEquivalence(t *testing.T) {
 	x := sampleVec(rng, 30, 5)
 	hc := make([]float32, 16)
 	hs := make([]float32, 16)
-	lc.Forward(x, hc)
-	ls.Forward(x, hs)
+	lc.Forward(tks(), x, hc)
+	ls.Forward(tks(), x, hs)
 	for i := range hc {
 		if hc[i] != hs[i] {
 			t.Fatalf("placement changed forward result at %d: %g vs %g", i, hc[i], hs[i])
@@ -97,8 +101,8 @@ func TestColLayerBF16ActRoundsActivations(t *testing.T) {
 	x := sampleVec(rng, 20, 4)
 	h32 := make([]float32, 8)
 	hbf := make([]float32, 8)
-	l32.Forward(x, h32)
-	lbf.Forward(x, hbf)
+	l32.Forward(tks(), x, h32)
+	lbf.Forward(tks(), x, hbf)
 	for i := range hbf {
 		want := bf16.RoundFloat32(h32[i])
 		if hbf[i] != want {
@@ -114,8 +118,8 @@ func TestColLayerBF16BothCloseToFP32(t *testing.T) {
 	x := sampleVec(rng, 25, 8)
 	h32 := make([]float32, 10)
 	hbb := make([]float32, 10)
-	l32.Forward(x, h32)
-	lbb.Forward(x, hbb)
+	l32.Forward(tks(), x, h32)
+	lbb.Forward(tks(), x, hbb)
 	for i := range h32 {
 		if math.Abs(float64(h32[i])-float64(hbb[i])) > 0.05*math.Max(1, math.Abs(float64(h32[i]))) {
 			t.Errorf("BF16Both diverged at %d: %g vs %g", i, hbb[i], h32[i])
@@ -127,10 +131,10 @@ func TestColLayerBackwardAccumulatesExactGradient(t *testing.T) {
 	l := NewColLayer(10, 6, Linear, Options{Seed: 1})
 	x := sparse.Vector{Indices: []int32{2, 7}, Values: []float32{0.5, -1.5}}
 	h := make([]float32, 6)
-	l.Forward(x, h)
+	l.Forward(tks(), x, h)
 	dh := []float32{1, 2, 3, 4, 5, 6}
 	want := append([]float32(nil), dh...)
-	l.Backward(x, h, dh)
+	l.Backward(tks(), x, h, dh)
 	// grad[j] must equal x_j * dh for the touched columns, zero elsewhere.
 	for j := 0; j < 10; j++ {
 		var xj float32
@@ -162,7 +166,7 @@ func TestColLayerReLUMasksGradient(t *testing.T) {
 	x := sparse.Vector{Indices: []int32{1}, Values: []float32{1}}
 	h := []float32{0, 0.5, 0} // units 0 and 2 inactive
 	dh := []float32{10, 20, 30}
-	l.Backward(x, h, dh)
+	l.Backward(tks(), x, h, dh)
 	if dh[0] != 0 || dh[2] != 0 {
 		t.Errorf("inactive units not masked: dh = %v", dh)
 	}
@@ -180,10 +184,10 @@ func TestColLayerApplyAdamMovesOnlyTouched(t *testing.T) {
 	}
 	x := sparse.Vector{Indices: []int32{3}, Values: []float32{2}}
 	h := make([]float32, 4)
-	l.Forward(x, h)
+	l.Forward(tks(), x, h)
 	dh := []float32{1, 1, 1, 1}
-	l.Backward(x, h, dh)
-	l.ApplyAdam(simd.NewAdamParams(0.01, 0.9, 0.999, 1e-8, 1), 2)
+	l.Backward(tks(), x, h, dh)
+	l.ApplyAdam(tks(), simd.NewAdamParams(0.01, 0.9, 0.999, 1e-8, 1), 2)
 
 	for j := 0; j < 8; j++ {
 		col := l.Col(j, buf)
@@ -221,7 +225,7 @@ func TestRowLayerLogitMatchesDot(t *testing.T) {
 	buf := make([]float32, 16)
 	for id := int32(0); id < 12; id++ {
 		want := simd.DotScalar(l.RowF32(int(id), buf), h) + l.Bias()[id]
-		got := l.Logit(id, h, nil)
+		got := l.Logit(tks(), id, h, nil)
 		if math.Abs(float64(got-want)) > 1e-4 {
 			t.Errorf("Logit(%d) = %g, want %g", id, got, want)
 		}
@@ -240,9 +244,9 @@ func TestRowLayerPrecisionLogits(t *testing.T) {
 	lact := NewRowLayer(32, 6, Options{Precision: BF16Act, Seed: 15})
 	lboth := NewRowLayer(32, 6, Options{Precision: BF16Both, Seed: 15})
 	for id := int32(0); id < 6; id++ {
-		ref := float64(l32.Logit(id, h, nil))
-		a := float64(lact.Logit(id, h, hBF))
-		b := float64(lboth.Logit(id, h, hBF))
+		ref := float64(l32.Logit(tks(), id, h, nil))
+		a := float64(lact.Logit(tks(), id, h, hBF))
+		b := float64(lboth.Logit(tks(), id, h, hBF))
 		if math.Abs(a-ref) > 0.05*math.Max(1, math.Abs(ref)) {
 			t.Errorf("BF16Act logit %d = %g, fp32 %g", id, a, ref)
 		}
@@ -258,7 +262,7 @@ func TestRowLayerAccumulateAndAdam(t *testing.T) {
 	dh := make([]float32, 8)
 	rowBefore := append([]float32(nil), l.RowF32(2, nil)...)
 
-	l.Accumulate(2, 0.5, h, nil, dh)
+	l.Accumulate(tks(), 2, 0.5, h, nil, dh)
 	// grad row = gz*h, bias grad = gz, dh = gz*W[2].
 	for i := range h {
 		if g := l.grad[2][i]; math.Abs(float64(g-0.5*h[i])) > 1e-6 {
@@ -276,7 +280,7 @@ func TestRowLayerAccumulateAndAdam(t *testing.T) {
 		t.Errorf("TouchedRows = %d, want 1", l.TouchedRows())
 	}
 
-	l.ApplyAdam(simd.NewAdamParams(0.01, 0.9, 0.999, 1e-8, 1), 2)
+	l.ApplyAdam(tks(), simd.NewAdamParams(0.01, 0.9, 0.999, 1e-8, 1), 2)
 	moved := false
 	row := l.RowF32(2, nil)
 	for i := range row {
@@ -297,12 +301,12 @@ func TestRowLayerApplyAdamAllEqualsSparseWhenAllTouched(t *testing.T) {
 	a, b := mk(), mk()
 	h := []float32{1, -1, 2, -2, 3, -3}
 	for id := int32(0); id < 9; id++ {
-		a.Accumulate(id, float32(id)*0.1, h, nil, nil)
-		b.Accumulate(id, float32(id)*0.1, h, nil, nil)
+		a.Accumulate(tks(), id, float32(id)*0.1, h, nil, nil)
+		b.Accumulate(tks(), id, float32(id)*0.1, h, nil, nil)
 	}
 	p := simd.NewAdamParams(0.01, 0.9, 0.999, 1e-8, 1)
-	a.ApplyAdam(p, 2)
-	b.ApplyAdamAll(p, 2)
+	a.ApplyAdam(tks(), p, 2)
+	b.ApplyAdamAll(tks(), p, 2)
 	for id := 0; id < 9; id++ {
 		ra, rb := a.RowF32(id, nil), b.RowF32(id, nil)
 		for i := range ra {
@@ -324,9 +328,9 @@ func TestRowLayerForwardAll(t *testing.T) {
 		h[i] = float32(rng.NormFloat64())
 	}
 	out := make([]float32, 40)
-	l.ForwardAll(h, nil, out, 3)
+	l.ForwardAll(tks(), h, nil, out, 3)
 	for id := int32(0); id < 40; id++ {
-		want := l.Logit(id, h, nil)
+		want := l.Logit(tks(), id, h, nil)
 		if out[id] != want {
 			t.Errorf("ForwardAll[%d] = %g, want %g", id, out[id], want)
 		}
@@ -350,9 +354,9 @@ func TestGradientCheckEndToEnd(t *testing.T) {
 
 	loss := func() float64 {
 		h := make([]float32, hid)
-		hiddenL.Forward(x, h)
+		hiddenL.Forward(tks(), x, h)
 		logits := make([]float32, out)
-		outputL.ForwardActive(active, h, nil, logits)
+		outputL.ForwardActive(tks(), active, h, nil, logits)
 		maxL := float64(logits[0])
 		for _, l := range logits {
 			if float64(l) > maxL {
@@ -368,9 +372,9 @@ func TestGradientCheckEndToEnd(t *testing.T) {
 
 	// Analytic backward.
 	h := make([]float32, hid)
-	hiddenL.Forward(x, h)
+	hiddenL.Forward(tks(), x, h)
 	logits := make([]float32, out)
-	outputL.ForwardActive(active, h, nil, logits)
+	outputL.ForwardActive(tks(), active, h, nil, logits)
 	maxL := logits[0]
 	for _, l := range logits {
 		if l > maxL {
@@ -386,9 +390,9 @@ func TestGradientCheckEndToEnd(t *testing.T) {
 	dh := make([]float32, hid)
 	for k, id := range active {
 		gz := probs[k]/float32(z) - b2f(k == target)
-		outputL.Accumulate(id, gz, h, nil, dh)
+		outputL.Accumulate(tks(), id, gz, h, nil, dh)
 	}
-	hiddenL.Backward(x, h, dh)
+	hiddenL.Backward(tks(), x, h, dh)
 
 	const eps = 1e-3
 	checkGrad := func(name string, w *float32, analytic float32) {

@@ -63,31 +63,37 @@ func NewRowLayer(in, out int, o Options) *RowLayer {
 // Options returns the construction options.
 func (l *RowLayer) Options() Options { return l.opts }
 
-// Logit computes neuron id's pre-activation for the dense input h. hBF is
-// the bfloat16 rendering of h, required (non-nil) under the BF16 modes and
-// ignored under FP32.
-func (l *RowLayer) Logit(id int32, h []float32, hBF []bf16.BF16) float32 {
+// Logit computes neuron id's pre-activation for the dense input h using the
+// resolved kernel table ks. hBF is the bfloat16 rendering of h, required
+// (non-nil) under the BF16 modes and ignored under FP32.
+func (l *RowLayer) Logit(ks *simd.Kernels, id int32, h []float32, hBF []bf16.BF16) float32 {
 	switch l.opts.Precision {
 	case BF16Act:
-		return simd.DotBF16F32(hBF, l.rows[id]) + l.bias[id]
+		return ks.DotBF16F32(hBF, l.rows[id]) + l.bias[id]
 	case BF16Both:
-		return simd.DotBF16(l.rowsBF[id], hBF) + l.bias[id]
+		return ks.DotBF16(l.rowsBF[id], hBF) + l.bias[id]
 	default:
-		return simd.Dot(l.rows[id], h) + l.bias[id]
+		return ks.Dot(l.rows[id], h) + l.bias[id]
 	}
 }
 
 // ForwardActive fills logits[k] with Logit(active[k]) for each active
-// neuron. One independent dot per row: BenchmarkKernelDot4 shows the
-// intrinsics-style four-row register blocking (simd.Dot4) is slower than
-// independent dots under the Go compiler, so the simple loop is the fast
-// path here.
-func (l *RowLayer) ForwardActive(active []int32, h []float32, hBF []bf16.BF16, logits []float32) {
+// neuron — one fused DotManyBias call over the whole active set, so the
+// per-row cost is a direct dot-product invocation with no dispatch.
+// Independent dots per row remain the inner structure: BenchmarkKernelDot4
+// shows the intrinsics-style four-row register blocking (simd.Dot4) is
+// slower than independent dots under the Go compiler.
+func (l *RowLayer) ForwardActive(ks *simd.Kernels, active []int32, h []float32, hBF []bf16.BF16, logits []float32) {
 	if len(logits) < len(active) {
 		panic("layer: ForwardActive logits buffer too short")
 	}
-	for k, id := range active {
-		logits[k] = l.Logit(id, h, hBF)
+	switch l.opts.Precision {
+	case BF16Act:
+		ks.DotManyBiasBF16Act(l.rows, l.bias, active, hBF, logits)
+	case BF16Both:
+		ks.DotManyBiasBF16(l.rowsBF, l.bias, active, hBF, logits)
+	default:
+		ks.DotManyBias(l.rows, l.bias, active, h, logits)
 	}
 }
 
@@ -96,12 +102,18 @@ func (l *RowLayer) ForwardActive(active []int32, h []float32, hBF []bf16.BF16, l
 // dh += gz·W[id]. dh is worker-private; the shared gradient rows follow the
 // layer's write policy. Weights are only read here — they change exclusively
 // in ApplyAdam, which the trainer serializes against Backward.
-func (l *RowLayer) Accumulate(id int32, gz float32, h []float32, hBF []bf16.BF16, dh []float32) {
+//
+// The two axpys stay separate on purpose: BenchmarkKernelAxpyTwo shows the
+// fused one-walk form (simd.AxpyTwo) is ~20% slower than two independent
+// axpys under the Go compiler — the four live slice pointers defeat the
+// scheduler the way Dot4's row blocking does (see DESIGN.md "Known
+// divergences").
+func (l *RowLayer) Accumulate(ks *simd.Kernels, id int32, gz float32, h []float32, hBF []bf16.BF16, dh []float32) {
 	l.lk.lockRow(id)
 	if l.opts.Precision == FP32 {
-		simd.Axpy(gz, h, l.grad[id])
+		ks.Axpy(gz, h, l.grad[id])
 	} else {
-		simd.AxpyBF16(gz, hBF, l.grad[id])
+		ks.AxpyBF16(gz, hBF, l.grad[id])
 	}
 	l.gbias[id] += gz
 	l.lk.unlockRow(id)
@@ -109,9 +121,9 @@ func (l *RowLayer) Accumulate(id int32, gz float32, h []float32, hBF []bf16.BF16
 
 	if dh != nil {
 		if l.opts.Precision == BF16Both {
-			simd.AxpyBF16(gz, l.rowsBF[id], dh)
+			ks.AxpyBF16(gz, l.rowsBF[id], dh)
 		} else {
-			simd.Axpy(gz, l.rows[id], dh)
+			ks.Axpy(gz, l.rows[id], dh)
 		}
 	}
 }
@@ -121,24 +133,28 @@ func (l *RowLayer) Accumulate(id int32, gz float32, h []float32, hBF []bf16.BF16
 // exclusively (the dense baseline tiles disjoint row ranges over workers)
 // and must apply the update with ApplyAdamAll, which ignores the touched
 // set. FP32 storage only.
-func (l *RowLayer) AccumulateOwnedRow(id int32, gz float32, h []float32) {
-	simd.Axpy(gz, h, l.grad[id])
+func (l *RowLayer) AccumulateOwnedRow(ks *simd.Kernels, id int32, gz float32, h []float32) {
+	ks.Axpy(gz, h, l.grad[id])
 	l.gbias[id] += gz
 }
 
 // ApplyAdam steps every touched row and its bias, zeroes consumed gradients
-// and clears the touched set.
-func (l *RowLayer) ApplyAdam(p simd.AdamParams, workers int) {
+// and clears the touched set. The step and the gradient clear stay separate
+// passes on purpose: BenchmarkKernelAdamZero and the row-walk experiments in
+// DESIGN.md show the single-pass fusion (simd.AdamStepZero) is ~4-7% slower
+// under the Go compiler, whose runtime memclr beats an inline zeroing store
+// in the update loop (see DESIGN.md "Known divergences").
+func (l *RowLayer) ApplyAdam(ks *simd.Kernels, p simd.AdamParams, workers int) {
 	if l.opts.Precision == BF16Both {
 		l.touched.forEachParallel(workers, func(id int32) {
-			simd.AdamStepBF16(l.rowsBF[id], l.m[id], l.v[id], l.grad[id], p)
+			ks.AdamStepBF16(l.rowsBF[id], l.m[id], l.v[id], l.grad[id], p)
 			simd.Zero(l.grad[id])
 			adamScalar(&l.bias[id], &l.mb[id], &l.vb[id], l.gbias[id], p)
 			l.gbias[id] = 0
 		})
 	} else {
 		l.touched.forEachParallel(workers, func(id int32) {
-			simd.AdamStep(l.rows[id], l.m[id], l.v[id], l.grad[id], p)
+			ks.AdamStep(l.rows[id], l.m[id], l.v[id], l.grad[id], p)
 			simd.Zero(l.grad[id])
 			adamScalar(&l.bias[id], &l.mb[id], &l.vb[id], l.gbias[id], p)
 			l.gbias[id] = 0
@@ -154,7 +170,7 @@ func (l *RowLayer) TouchedRows() int { return l.touched.count() }
 // full-softmax baseline, where all parameters change every batch. Rows are
 // tiled across workers; consumed gradients are zeroed and the touched set
 // cleared.
-func (l *RowLayer) ApplyAdamAll(p simd.AdamParams, workers int) {
+func (l *RowLayer) ApplyAdamAll(ks *simd.Kernels, p simd.AdamParams, workers int) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -171,9 +187,9 @@ func (l *RowLayer) ApplyAdamAll(p simd.AdamParams, workers int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
 				if l.opts.Precision == BF16Both {
-					simd.AdamStepBF16(l.rowsBF[i], l.m[i], l.v[i], l.grad[i], p)
+					ks.AdamStepBF16(l.rowsBF[i], l.m[i], l.v[i], l.grad[i], p)
 				} else {
-					simd.AdamStep(l.rows[i], l.m[i], l.v[i], l.grad[i], p)
+					ks.AdamStep(l.rows[i], l.m[i], l.v[i], l.grad[i], p)
 				}
 				simd.Zero(l.grad[i])
 				adamScalar(&l.bias[i], &l.mb[i], &l.vb[i], l.gbias[i], p)
@@ -188,7 +204,7 @@ func (l *RowLayer) ApplyAdamAll(p simd.AdamParams, workers int) {
 // ForwardAll computes every neuron's logit into out (len Out) — the full
 // softmax pass used for evaluation and by the dense baseline. Rows are
 // tiled across workers.
-func (l *RowLayer) ForwardAll(h []float32, hBF []bf16.BF16, out []float32, workers int) {
+func (l *RowLayer) ForwardAll(ks *simd.Kernels, h []float32, hBF []bf16.BF16, out []float32, workers int) {
 	if len(out) != l.Out {
 		panic("layer: ForwardAll output size mismatch")
 	}
@@ -207,7 +223,7 @@ func (l *RowLayer) ForwardAll(h []float32, hBF []bf16.BF16, out []float32, worke
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
-				out[i] = l.Logit(int32(i), h, hBF)
+				out[i] = l.Logit(ks, int32(i), h, hBF)
 			}
 		}(lo, hi)
 	}

@@ -17,12 +17,12 @@ func trainCol(l *ColLayer, seed uint64) {
 	dh := make([]float32, l.Out)
 	for step := 1; step <= 4; step++ {
 		x := sampleVec(rng, l.In, 3)
-		l.Forward(x, h)
+		l.Forward(tks(), x, h)
 		for i := range dh {
 			dh[i] = float32(rng.NormFloat64())
 		}
-		l.Backward(x, h, dh)
-		l.ApplyAdam(simd.NewAdamParams(0.01, 0.9, 0.999, 1e-8, int64(step)), 1)
+		l.Backward(tks(), x, h, dh)
+		l.ApplyAdam(tks(), simd.NewAdamParams(0.01, 0.9, 0.999, 1e-8, int64(step)), 1)
 	}
 }
 
@@ -38,8 +38,8 @@ func trainRow(l *RowLayer, seed uint64) {
 			hBF = bf16.FromSlice(h)
 		}
 		id := int32(rng.IntN(l.Out))
-		l.Accumulate(id, float32(rng.NormFloat64()), h, hBF, nil)
-		l.ApplyAdam(simd.NewAdamParams(0.01, 0.9, 0.999, 1e-8, int64(step)), 1)
+		l.Accumulate(tks(), id, float32(rng.NormFloat64()), h, hBF, nil)
+		l.ApplyAdam(tks(), simd.NewAdamParams(0.01, 0.9, 0.999, 1e-8, int64(step)), 1)
 	}
 }
 
@@ -60,8 +60,8 @@ func TestColLayerSerializeRoundTrip(t *testing.T) {
 		x := sampleVec(rng, 12, 4)
 		h1 := make([]float32, 8)
 		h2 := make([]float32, 8)
-		src.Forward(x, h1)
-		dst.Forward(x, h2)
+		src.Forward(tks(), x, h1)
+		dst.Forward(tks(), x, h2)
 		for i := range h1 {
 			if h1[i] != h2[i] {
 				t.Fatalf("%v: forward diverged after round trip at %d", prec, i)
@@ -99,7 +99,7 @@ func TestRowLayerSerializeRoundTrip(t *testing.T) {
 			hBF = bf16.FromSlice(h)
 		}
 		for id := int32(0); id < 6; id++ {
-			if src.Logit(id, h, hBF) != dst.Logit(id, h, hBF) {
+			if src.Logit(tks(), id, h, hBF) != dst.Logit(tks(), id, h, hBF) {
 				t.Fatalf("%v: logit %d diverged after round trip", prec, id)
 			}
 		}
@@ -168,7 +168,7 @@ func TestSerializeStreamComposition(t *testing.T) {
 	}
 	h := []float32{1, 2, 3, 4}
 	for id := int32(0); id < 9; id++ {
-		if b.Logit(id, h, nil) != b2.Logit(id, h, nil) {
+		if b.Logit(tks(), id, h, nil) != b2.Logit(tks(), id, h, nil) {
 			t.Fatalf("row layer diverged at %d", id)
 		}
 	}

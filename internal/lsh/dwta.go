@@ -200,11 +200,15 @@ func (d *DWTA) HashDense(vals []float32, out []uint32) {
 			s.gathered[p] = neg
 		}
 	}
+	// Resolve the kernel table once per hash: the bin loop below runs k*l
+	// ArgMax calls, and the dispatching wrapper would re-read the atomic
+	// mode switch in every one.
+	argMax := simd.Active().ArgMax
 	nbins := d.k * d.l
 	for b := 0; b < nbins; b++ {
 		lo := b << d.slotBit
 		bin := s.gathered[lo : lo+d.binSize]
-		w := simd.ArgMax(bin)
+		w := argMax(bin)
 		if math.IsInf(float64(bin[w]), -1) {
 			s.binWinner[b] = -1
 		} else {

@@ -37,8 +37,11 @@ type Network struct {
 	all     []int32 // precomputed full active set for NoSampling
 }
 
-// workerScratch holds one HOGWILD worker's private buffers.
+// workerScratch holds one HOGWILD worker's private buffers, plus the kernel
+// table resolved once at the start of the batch (one atomic mode load per
+// batch instead of one per kernel call).
 type workerScratch struct {
+	ks *simd.Kernels
 	// acts[0] is the first hidden layer's activation; acts[i] the i-th
 	// stacked layer's. dhs mirror them with gradients.
 	acts   [][]float32
@@ -186,10 +189,10 @@ func (n *Network) rebuildTables() {
 // forwardStack runs the hidden layer and the dense middle stack, leaving
 // the output-layer input in ws.last() (and ws.hBF under the BF16 modes).
 func (n *Network) forwardStack(ws *workerScratch, x sparse.Vector) {
-	n.hidden.Forward(x, ws.acts[0])
+	n.hidden.Forward(ws.ks, x, ws.acts[0])
 	for i, ml := range n.middle {
 		in, out := ws.acts[i], ws.acts[i+1]
-		ml.ForwardActive(n.middleAll[i], in, nil, out)
+		ml.ForwardActive(ws.ks, n.middleAll[i], in, nil, out)
 		for j := range out { // stacked layers are ReLU
 			if out[j] < 0 {
 				out[j] = 0
@@ -214,11 +217,11 @@ func (n *Network) backwardStack(ws *workerScratch, x sparse.Vector) {
 				continue
 			}
 			if gz := dh[r]; gz != 0 {
-				ml.Accumulate(int32(r), gz, ws.acts[i], nil, prev)
+				ml.Accumulate(ws.ks, int32(r), gz, ws.acts[i], nil, prev)
 			}
 		}
 	}
-	n.hidden.Backward(x, ws.acts[0], ws.dhs[0])
+	n.hidden.Backward(ws.ks, x, ws.acts[0], ws.dhs[0])
 }
 
 // sampleActive fills ws.active for one sample: true labels first (never
@@ -289,10 +292,10 @@ func (n *Network) trainSample(ws *workerScratch, x sparse.Vector, labels []int32
 	}
 	logits := ws.logits[:na]
 	probs := ws.probs[:na]
-	n.output.ForwardActive(active, ws.last(), ws.hBF, logits)
+	n.output.ForwardActive(ws.ks, active, ws.last(), ws.hBF, logits)
 
 	// Numerically stable softmax over the active set.
-	maxLogit := simd.Max(logits)
+	maxLogit := ws.ks.Max(logits)
 	var z float64
 	for k, l := range logits {
 		e := math.Exp(float64(l - maxLogit))
@@ -300,7 +303,7 @@ func (n *Network) trainSample(ws *workerScratch, x sparse.Vector, labels []int32
 		z += e
 	}
 	invZ := float32(1 / z)
-	simd.Scale(invZ, probs)
+	ws.ks.Scale(invZ, probs)
 
 	// Cross-entropy target: uniform over the sample's labels.
 	nLab := len(labels)
@@ -323,7 +326,7 @@ func (n *Network) trainSample(ws *workerScratch, x sparse.Vector, labels []int32
 			gz -= t
 			loss -= float64(t) * (float64(logits[k]) - logZ)
 		}
-		n.output.Accumulate(id, gz, ws.last(), ws.hBF, ws.dhLast())
+		n.output.Accumulate(ws.ks, id, gz, ws.last(), ws.hBF, ws.dhLast())
 	}
 
 	n.backwardStack(ws, x)
@@ -349,6 +352,9 @@ type BatchStats struct {
 // touched rows/columns. It then advances the hash-table rebuild schedule.
 func (n *Network) TrainBatch(b sparse.Batch) BatchStats {
 	stats := BatchStats{Samples: b.Len()}
+	// Resolve the kernel table once for the whole batch: every per-row call
+	// below goes through this table, not the atomic-dispatching wrappers.
+	ks := simd.Active()
 	nw := min(n.cfg.Workers, b.Len())
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -357,6 +363,7 @@ func (n *Network) TrainBatch(b sparse.Batch) BatchStats {
 		go func(w int) {
 			defer wg.Done()
 			ws := n.workers[w]
+			ws.ks = ks
 			var loss float64
 			var activeSum int64
 			for i := w; i < b.Len(); i += nw {
@@ -374,14 +381,14 @@ func (n *Network) TrainBatch(b sparse.Batch) BatchStats {
 
 	n.step++
 	p := simd.NewAdamParams(n.cfg.LR, n.cfg.Beta1, n.cfg.Beta2, n.cfg.Eps, n.step)
-	n.hidden.ApplyAdam(p, n.cfg.Workers)
+	n.hidden.ApplyAdam(ks, p, n.cfg.Workers)
 	for _, ml := range n.middle {
-		ml.ApplyAdamAll(p, n.cfg.Workers) // dense stack: every row touched
+		ml.ApplyAdamAll(ks, p, n.cfg.Workers) // dense stack: every row touched
 	}
 	if n.cfg.NoSampling {
-		n.output.ApplyAdamAll(p, n.cfg.Workers)
+		n.output.ApplyAdamAll(ks, p, n.cfg.Workers)
 	} else {
-		n.output.ApplyAdam(p, n.cfg.Workers)
+		n.output.ApplyAdam(ks, p, n.cfg.Workers)
 	}
 
 	if n.tables != nil {
@@ -401,8 +408,9 @@ func (n *Network) TrainBatch(b sparse.Batch) BatchStats {
 // for concurrent use with training.
 func (n *Network) Scores(x sparse.Vector, out []float32) {
 	ws := n.workers[0]
+	ws.ks = simd.Active()
 	n.forwardStack(ws, x)
-	n.output.ForwardAll(ws.last(), ws.hBF, out, n.cfg.Workers)
+	n.output.ForwardAll(ws.ks, ws.last(), ws.hBF, out, n.cfg.Workers)
 }
 
 // Predict returns the top-k scoring label ids for one sample, highest first.
@@ -424,6 +432,7 @@ func (n *Network) PredictSampled(x sparse.Vector, k int) []int32 {
 		panic("network: PredictSampled requires LSH sampling")
 	}
 	ws := n.workers[0]
+	ws.ks = simd.Active()
 	n.forwardStack(ws, x)
 	n.sampleActive(ws, nil)
 	na := len(ws.active)
@@ -431,7 +440,7 @@ func (n *Network) PredictSampled(x sparse.Vector, k int) []int32 {
 		return nil
 	}
 	logits := ws.logits[:na]
-	n.output.ForwardActive(ws.active, ws.last(), ws.hBF, logits)
+	n.output.ForwardActive(ws.ks, ws.active, ws.last(), ws.hBF, logits)
 	top := metrics.TopK(logits, k)
 	out := make([]int32, len(top))
 	for i, pos := range top {

@@ -55,23 +55,31 @@ func DotBF16(a, b []bf16.BF16) float32 {
 		panic("simd: DotBF16 length mismatch")
 	}
 	if vectorized() {
-		n := len(a)
-		b = b[:n]
-		var s0, s1 float32
-		i := 0
-		for ; i+8 <= n; i += 8 {
-			x := a[i : i+8 : i+8]
-			y := b[i : i+8 : i+8]
-			s0 += x[0].Float32()*y[0].Float32() + x[1].Float32()*y[1].Float32() +
-				x[2].Float32()*y[2].Float32() + x[3].Float32()*y[3].Float32()
-			s1 += x[4].Float32()*y[4].Float32() + x[5].Float32()*y[5].Float32() +
-				x[6].Float32()*y[6].Float32() + x[7].Float32()*y[7].Float32()
-		}
-		for ; i < n; i++ {
-			s0 += a[i].Float32() * b[i].Float32()
-		}
-		return s0 + s1
+		return dotBF16BothVec(a, b)
 	}
+	return dotBF16BothScalar(a, b)
+}
+
+func dotBF16BothVec(a, b []bf16.BF16) float32 {
+	n := len(a)
+	b = b[:n]
+	var s0, s1 float32
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		x := a[i : i+8 : i+8]
+		y := b[i : i+8 : i+8]
+		s0 += x[0].Float32()*y[0].Float32() + x[1].Float32()*y[1].Float32() +
+			x[2].Float32()*y[2].Float32() + x[3].Float32()*y[3].Float32()
+		s1 += x[4].Float32()*y[4].Float32() + x[5].Float32()*y[5].Float32() +
+			x[6].Float32()*y[6].Float32() + x[7].Float32()*y[7].Float32()
+	}
+	for ; i < n; i++ {
+		s0 += a[i].Float32() * b[i].Float32()
+	}
+	return s0 + s1
+}
+
+func dotBF16BothScalar(a, b []bf16.BF16) float32 {
 	var s float32
 	for i := range a {
 		s += a[i].Float32() * b[i].Float32()
@@ -85,21 +93,29 @@ func AxpyBF16(alpha float32, x []bf16.BF16, y []float32) {
 		panic("simd: AxpyBF16 length mismatch")
 	}
 	if vectorized() {
-		n := len(x)
-		y = y[:n]
-		i := 0
-		for ; i+Width <= n; i += Width {
-			xx := x[i : i+Width : i+Width]
-			yy := y[i : i+Width : i+Width]
-			for k := 0; k < Width; k++ {
-				yy[k] += alpha * xx[k].Float32()
-			}
-		}
-		for ; i < n; i++ {
-			y[i] += alpha * x[i].Float32()
-		}
+		axpyBF16Vec(alpha, x, y)
 		return
 	}
+	axpyBF16Scalar(alpha, x, y)
+}
+
+func axpyBF16Vec(alpha float32, x []bf16.BF16, y []float32) {
+	n := len(x)
+	y = y[:n]
+	i := 0
+	for ; i+Width <= n; i += Width {
+		xx := x[i : i+Width : i+Width]
+		yy := y[i : i+Width : i+Width]
+		for k := 0; k < Width; k++ {
+			yy[k] += alpha * xx[k].Float32()
+		}
+	}
+	for ; i < n; i++ {
+		y[i] += alpha * x[i].Float32()
+	}
+}
+
+func axpyBF16Scalar(alpha float32, x []bf16.BF16, y []float32) {
 	for i := range x {
 		y[i] += alpha * x[i].Float32()
 	}
@@ -108,12 +124,18 @@ func AxpyBF16(alpha float32, x []bf16.BF16, y []float32) {
 // AdamStepBF16 applies one fused ADAM update to weights stored in bfloat16
 // (mode 1). The first and second moments stay in float32; each weight lane is
 // expanded, updated, and re-rounded to BF16 (round-to-nearest-even), exactly
-// what an AVX512-BF16 pipeline does around its FP32 accumulators.
+// what an AVX512-BF16 pipeline does around its FP32 accumulators. The
+// element-local math is identical under both kernel modes, so a single
+// implementation backs both table entries.
 func AdamStepBF16(w []bf16.BF16, m, v, g []float32, p AdamParams) {
 	n := len(w)
 	if len(m) != n || len(v) != n || len(g) != n {
 		panic("simd: AdamStepBF16 length mismatch")
 	}
+	adamStepBF16(w, m, v, g, p)
+}
+
+func adamStepBF16(w []bf16.BF16, m, v, g []float32, p AdamParams) {
 	omb1 := 1 - p.Beta1
 	omb2 := 1 - p.Beta2
 	for i := range w {
@@ -123,5 +145,101 @@ func AdamStepBF16(w []bf16.BF16, m, v, g []float32, p AdamParams) {
 		m[i] = mk
 		v[i] = vk
 		w[i] = bf16.FromFloat32(w[i].Float32() - p.CorrLR*mk/(sqrt32(vk)+p.Eps))
+	}
+}
+
+// AdamStepZeroBF16 is AdamStepBF16 fused with the gradient clear: each lane
+// of g is consumed and zeroed in the same pass, so a touched BF16 weight row
+// is walked once per batch instead of twice (AdamStepBF16 then Zero).
+func AdamStepZeroBF16(w []bf16.BF16, m, v, g []float32, p AdamParams) {
+	n := len(w)
+	if len(m) != n || len(v) != n || len(g) != n {
+		panic("simd: AdamStepZeroBF16 length mismatch")
+	}
+	adamStepZeroBF16(w, m, v, g, p)
+}
+
+func adamStepZeroBF16(w []bf16.BF16, m, v, g []float32, p AdamParams) {
+	omb1 := 1 - p.Beta1
+	omb2 := 1 - p.Beta2
+	for i := range w {
+		gk := g[i]
+		g[i] = 0
+		mk := p.Beta1*m[i] + omb1*gk
+		vk := p.Beta2*v[i] + omb2*gk*gk
+		m[i] = mk
+		v[i] = vk
+		w[i] = bf16.FromFloat32(w[i].Float32() - p.CorrLR*mk/(sqrt32(vk)+p.Eps))
+	}
+}
+
+// DotManyBiasBF16Act computes out[k] = hBF·rows[ids[k]] + bias[ids[k]] for a
+// whole active set under the BF16-activation mode (FP32 weights, BF16
+// activation). See DotManyBias for the dispatch-amortization rationale.
+func DotManyBiasBF16Act(rows [][]float32, bias []float32, ids []int32, hBF []bf16.BF16, out []float32) {
+	if len(out) < len(ids) {
+		panic("simd: DotManyBiasBF16Act output buffer too short")
+	}
+	if vectorized() {
+		dotManyBiasBF16ActVec(rows, bias, ids, hBF, out)
+		return
+	}
+	dotManyBiasBF16ActScalar(rows, bias, ids, hBF, out)
+}
+
+func dotManyBiasBF16ActVec(rows [][]float32, bias []float32, ids []int32, hBF []bf16.BF16, out []float32) {
+	out = out[:len(ids)]
+	for k, id := range ids {
+		r := rows[id]
+		if len(r) != len(hBF) {
+			panic("simd: DotManyBiasBF16Act row length mismatch")
+		}
+		out[k] = dotBF16Vec(hBF, r) + bias[id]
+	}
+}
+
+func dotManyBiasBF16ActScalar(rows [][]float32, bias []float32, ids []int32, hBF []bf16.BF16, out []float32) {
+	out = out[:len(ids)]
+	for k, id := range ids {
+		r := rows[id]
+		if len(r) != len(hBF) {
+			panic("simd: DotManyBiasBF16Act row length mismatch")
+		}
+		out[k] = dotBF16Scalar(hBF, r) + bias[id]
+	}
+}
+
+// DotManyBiasBF16 computes out[k] = rows[ids[k]]·hBF + bias[ids[k]] for a
+// whole active set under the BF16-both mode (BF16 weights and activation).
+func DotManyBiasBF16(rows [][]bf16.BF16, bias []float32, ids []int32, hBF []bf16.BF16, out []float32) {
+	if len(out) < len(ids) {
+		panic("simd: DotManyBiasBF16 output buffer too short")
+	}
+	if vectorized() {
+		dotManyBiasBF16Vec(rows, bias, ids, hBF, out)
+		return
+	}
+	dotManyBiasBF16Scalar(rows, bias, ids, hBF, out)
+}
+
+func dotManyBiasBF16Vec(rows [][]bf16.BF16, bias []float32, ids []int32, hBF []bf16.BF16, out []float32) {
+	out = out[:len(ids)]
+	for k, id := range ids {
+		r := rows[id]
+		if len(r) != len(hBF) {
+			panic("simd: DotManyBiasBF16 row length mismatch")
+		}
+		out[k] = dotBF16BothVec(r, hBF) + bias[id]
+	}
+}
+
+func dotManyBiasBF16Scalar(rows [][]bf16.BF16, bias []float32, ids []int32, hBF []bf16.BF16, out []float32) {
+	out = out[:len(ids)]
+	for k, id := range ids {
+		r := rows[id]
+		if len(r) != len(hBF) {
+			panic("simd: DotManyBiasBF16 row length mismatch")
+		}
+		out[k] = dotBF16BothScalar(r, hBF) + bias[id]
 	}
 }

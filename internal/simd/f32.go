@@ -183,19 +183,27 @@ func axpyScalar(alpha float32, x, y []float32) {
 // Scale multiplies every element of x by alpha in place.
 func Scale(alpha float32, x []float32) {
 	if vectorized() {
-		n := len(x)
-		i := 0
-		for ; i+Width <= n; i += Width {
-			xx := x[i : i+Width : i+Width]
-			for k := 0; k < Width; k++ {
-				xx[k] *= alpha
-			}
-		}
-		for ; i < n; i++ {
-			x[i] *= alpha
-		}
+		scaleVec(alpha, x)
 		return
 	}
+	scaleScalar(alpha, x)
+}
+
+func scaleVec(alpha float32, x []float32) {
+	n := len(x)
+	i := 0
+	for ; i+Width <= n; i += Width {
+		xx := x[i : i+Width : i+Width]
+		for k := 0; k < Width; k++ {
+			xx[k] *= alpha
+		}
+	}
+	for ; i < n; i++ {
+		x[i] *= alpha
+	}
+}
+
+func scaleScalar(alpha float32, x []float32) {
 	for i := range x {
 		x[i] *= alpha
 	}
@@ -207,21 +215,29 @@ func Add(x, y []float32) {
 		panic("simd: Add length mismatch")
 	}
 	if vectorized() {
-		n := len(x)
-		y = y[:n]
-		i := 0
-		for ; i+Width <= n; i += Width {
-			xx := x[i : i+Width : i+Width]
-			yy := y[i : i+Width : i+Width]
-			for k := 0; k < Width; k++ {
-				yy[k] += xx[k]
-			}
-		}
-		for ; i < n; i++ {
-			y[i] += x[i]
-		}
+		addVec(x, y)
 		return
 	}
+	addScalar(x, y)
+}
+
+func addVec(x, y []float32) {
+	n := len(x)
+	y = y[:n]
+	i := 0
+	for ; i+Width <= n; i += Width {
+		xx := x[i : i+Width : i+Width]
+		yy := y[i : i+Width : i+Width]
+		for k := 0; k < Width; k++ {
+			yy[k] += xx[k]
+		}
+	}
+	for ; i < n; i++ {
+		y[i] += x[i]
+	}
+}
+
+func addScalar(x, y []float32) {
 	for i := range x {
 		y[i] += x[i]
 	}
@@ -243,21 +259,29 @@ func Zero(x []float32) {
 // Sum returns the sum of the elements of x (AVX reduce-sum).
 func Sum(x []float32) float32 {
 	if vectorized() {
-		var s0, s1, s2, s3 float32
-		n := len(x)
-		i := 0
-		for ; i+Width <= n; i += Width {
-			xx := x[i : i+Width : i+Width]
-			s0 += xx[0] + xx[1] + xx[2] + xx[3]
-			s1 += xx[4] + xx[5] + xx[6] + xx[7]
-			s2 += xx[8] + xx[9] + xx[10] + xx[11]
-			s3 += xx[12] + xx[13] + xx[14] + xx[15]
-		}
-		for ; i < n; i++ {
-			s0 += x[i]
-		}
-		return (s0 + s1) + (s2 + s3)
+		return sumVec(x)
 	}
+	return sumScalar(x)
+}
+
+func sumVec(x []float32) float32 {
+	var s0, s1, s2, s3 float32
+	n := len(x)
+	i := 0
+	for ; i+Width <= n; i += Width {
+		xx := x[i : i+Width : i+Width]
+		s0 += xx[0] + xx[1] + xx[2] + xx[3]
+		s1 += xx[4] + xx[5] + xx[6] + xx[7]
+		s2 += xx[8] + xx[9] + xx[10] + xx[11]
+		s3 += xx[12] + xx[13] + xx[14] + xx[15]
+	}
+	for ; i < n; i++ {
+		s0 += x[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+func sumScalar(x []float32) float32 {
 	var s float32
 	for _, v := range x {
 		s += v

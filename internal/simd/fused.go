@@ -1,0 +1,161 @@
+package simd
+
+// This file holds the fused batch kernels: single-pass combinations of the
+// primitive kernels that cut per-row call overhead and memory traffic in the
+// training hot path. Each one exists because the per-row form pays a cost the
+// paper's intrinsics code never does — a dispatch per dot product
+// (DotManyBias), two walks over the same cache lines in the backward pass
+// (AxpyTwo), or two passes over every touched gradient row in the optimizer
+// (AdamStepZero). The exported wrappers dispatch on the package mode for
+// standalone use; the hot path reaches the mode-resolved implementations
+// through the Kernels table (see kernels.go) so the atomic mode load happens
+// once per batch, not once per row.
+
+// DotManyBias fills out[k] = rows[ids[k]]·h + bias[ids[k]] for every id in
+// ids — the whole Algorithm 1 forward pass over one active set in a single
+// call. Compared with one Dot call per active row it amortizes the dispatch,
+// the wrapper-level length panic checks, and the bias gather. Every
+// referenced row must have len(h) elements; out must have at least len(ids).
+func DotManyBias(rows [][]float32, bias []float32, ids []int32, h, out []float32) {
+	if len(out) < len(ids) {
+		panic("simd: DotManyBias output buffer too short")
+	}
+	if vectorized() {
+		dotManyBiasVec(rows, bias, ids, h, out)
+		return
+	}
+	dotManyBiasScalar(rows, bias, ids, h, out)
+}
+
+func dotManyBiasVec(rows [][]float32, bias []float32, ids []int32, h, out []float32) {
+	out = out[:len(ids)]
+	for k, id := range ids {
+		r := rows[id]
+		if len(r) != len(h) {
+			panic("simd: DotManyBias row length mismatch")
+		}
+		out[k] = dotVec(r, h) + bias[id]
+	}
+}
+
+func dotManyBiasScalar(rows [][]float32, bias []float32, ids []int32, h, out []float32) {
+	out = out[:len(ids)]
+	for k, id := range ids {
+		r := rows[id]
+		if len(r) != len(h) {
+			panic("simd: DotManyBias row length mismatch")
+		}
+		out[k] = dotScalar(r, h) + bias[id]
+	}
+}
+
+// AxpyTwo fuses the two axpys of the Algorithm 1 backward pass into one
+// walk: grad += gz*h (the weight-gradient accumulation) and dh += gz*w (the
+// input-gradient accumulation) share loop control and the broadcast of gz.
+// All four slices must have equal length. Aliasing between (h, grad) and
+// (w, dh) pairs is not supported.
+func AxpyTwo(gz float32, h, grad, w, dh []float32) {
+	n := len(h)
+	if len(grad) != n || len(w) != n || len(dh) != n {
+		panic("simd: AxpyTwo length mismatch")
+	}
+	if vectorized() {
+		axpyTwoVec(gz, h, grad, w, dh)
+		return
+	}
+	axpyTwoScalar(gz, h, grad, w, dh)
+}
+
+func axpyTwoVec(gz float32, h, grad, w, dh []float32) {
+	n := len(h)
+	grad = grad[:n]
+	w = w[:n]
+	dh = dh[:n]
+	i := 0
+	for ; i+Width <= n; i += Width {
+		hh := h[i : i+Width : i+Width]
+		gg := grad[i : i+Width : i+Width]
+		ww := w[i : i+Width : i+Width]
+		dd := dh[i : i+Width : i+Width]
+		for k := 0; k < Width; k++ {
+			gg[k] += gz * hh[k]
+			dd[k] += gz * ww[k]
+		}
+	}
+	for ; i < n; i++ {
+		grad[i] += gz * h[i]
+		dh[i] += gz * w[i]
+	}
+}
+
+func axpyTwoScalar(gz float32, h, grad, w, dh []float32) {
+	for i := range h {
+		grad[i] += gz * h[i]
+		dh[i] += gz * w[i]
+	}
+}
+
+// AdamStepZero is AdamStep fused with the gradient clear: each gradient lane
+// is consumed and zeroed in the same pass, so a touched row is walked once
+// per batch instead of twice (AdamStep then Zero) — halving the traffic over
+// the gradient row and saving one full pass over (w, m, v) re-fetches when
+// the row has fallen out of cache between the two walks.
+func AdamStepZero(w, m, v, g []float32, p AdamParams) {
+	n := len(w)
+	if len(m) != n || len(v) != n || len(g) != n {
+		panic("simd: AdamStepZero length mismatch")
+	}
+	if vectorized() {
+		adamZeroVec(w, m, v, g, p)
+		return
+	}
+	adamZeroScalar(w, m, v, g, p)
+}
+
+func adamZeroVec(w, m, v, g []float32, p AdamParams) {
+	n := len(w)
+	m = m[:n]
+	v = v[:n]
+	g = g[:n]
+	omb1 := 1 - p.Beta1
+	omb2 := 1 - p.Beta2
+	i := 0
+	for ; i+Width <= n; i += Width {
+		ww := w[i : i+Width : i+Width]
+		mm := m[i : i+Width : i+Width]
+		vv := v[i : i+Width : i+Width]
+		gg := g[i : i+Width : i+Width]
+		for k := 0; k < Width; k++ {
+			gk := gg[k]
+			gg[k] = 0
+			mk := p.Beta1*mm[k] + omb1*gk
+			vk := p.Beta2*vv[k] + omb2*gk*gk
+			mm[k] = mk
+			vv[k] = vk
+			ww[k] -= p.CorrLR * mk / (sqrt32(vk) + p.Eps)
+		}
+	}
+	for ; i < n; i++ {
+		gk := g[i]
+		g[i] = 0
+		mk := p.Beta1*m[i] + omb1*gk
+		vk := p.Beta2*v[i] + omb2*gk*gk
+		m[i] = mk
+		v[i] = vk
+		w[i] -= p.CorrLR * mk / (sqrt32(vk) + p.Eps)
+	}
+}
+
+func adamZeroScalar(w, m, v, g []float32, p AdamParams) {
+	omb1 := 1 - p.Beta1
+	omb2 := 1 - p.Beta2
+	for i := range w {
+		gk := g[i]
+		g[i] = 0
+		mk := p.Beta1*m[i] + omb1*gk
+		vk := p.Beta2*v[i] + omb2*gk*gk
+		m[i] = mk
+		v[i] = vk
+		w[i] -= p.CorrLR * mk / (sqrt32(vk) + p.Eps)
+	}
+}

@@ -1,0 +1,317 @@
+package simd
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"github.com/slide-cpu/slide/internal/bf16"
+)
+
+// fusedLens are the equivalence-test lengths: empty, sub-width, one lane shy
+// of a block, exact blocks, and block+remainder tails.
+var fusedLens = []int{0, 1, 15, 16, 17, 33}
+
+func randRows(rng *rand.Rand, n, dim int) [][]float32 {
+	rows := make([][]float32, n)
+	for i := range rows {
+		rows[i] = randSlice(rng, dim)
+	}
+	return rows
+}
+
+// TestDotManyBiasMatchesScalarReference checks the fused forward kernel
+// against per-row scalar dots in both modes and all three precisions.
+func TestDotManyBiasMatchesScalarReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	for _, m := range []Mode{Vector, Scalar} {
+		withMode(t, m, func() {
+			for _, dim := range fusedLens {
+				const nRows = 7
+				rows := randRows(rng, nRows, dim)
+				bias := randSlice(rng, nRows)
+				h := randSlice(rng, dim)
+				hBF := bf16.FromSlice(h)
+				ids := []int32{3, 0, 6, 3, 1} // repeats allowed
+				out := make([]float32, len(ids))
+
+				DotManyBias(rows, bias, ids, h, out)
+				for k, id := range ids {
+					want := dotScalar(rows[id], h) + bias[id]
+					if !approxEqual(float64(out[k]), float64(want), 1e-4) {
+						t.Errorf("%v dim=%d: DotManyBias[%d]=%g want %g", m, dim, k, out[k], want)
+					}
+				}
+
+				// BF16Act: FP32 rows against the BF16 activation.
+				DotManyBiasBF16Act(rows, bias, ids, hBF, out)
+				for k, id := range ids {
+					want := dotScalar(rows[id], bf16.ToSlice(hBF)) + bias[id]
+					if !approxEqual(float64(out[k]), float64(want), 1e-4) {
+						t.Errorf("%v dim=%d: DotManyBiasBF16Act[%d]=%g want %g", m, dim, k, out[k], want)
+					}
+				}
+
+				// BF16Both: BF16 rows against the BF16 activation.
+				rowsBF := make([][]bf16.BF16, nRows)
+				for i := range rowsBF {
+					rowsBF[i] = bf16.FromSlice(rows[i])
+				}
+				DotManyBiasBF16(rowsBF, bias, ids, hBF, out)
+				for k, id := range ids {
+					want := dotScalar(bf16.ToSlice(rowsBF[id]), bf16.ToSlice(hBF)) + bias[id]
+					if !approxEqual(float64(out[k]), float64(want), 1e-4) {
+						t.Errorf("%v dim=%d: DotManyBiasBF16[%d]=%g want %g", m, dim, k, out[k], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDotManyBiasPanics(t *testing.T) {
+	rows := [][]float32{{1, 2}, {3, 4}}
+	bias := []float32{0, 0}
+	h := []float32{1, 1}
+	for name, f := range map[string]func(){
+		"short out":    func() { DotManyBias(rows, bias, []int32{0, 1}, h, make([]float32, 1)) },
+		"row mismatch": func() { DotManyBias(rows, bias, []int32{0}, []float32{1}, make([]float32, 1)) },
+		"short out bf16act": func() {
+			DotManyBiasBF16Act(rows, bias, []int32{0, 1}, make([]bf16.BF16, 2), make([]float32, 1))
+		},
+		"short out bf16": func() {
+			DotManyBiasBF16([][]bf16.BF16{{0}}, bias, []int32{0, 0}, make([]bf16.BF16, 1), make([]float32, 1))
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestAxpyTwoMatchesTwoAxpys checks the fused backward walk against two
+// independent scalar axpys across odd lengths and both modes.
+func TestAxpyTwoMatchesTwoAxpys(t *testing.T) {
+	rng := rand.New(rand.NewPCG(33, 34))
+	for _, m := range []Mode{Vector, Scalar} {
+		withMode(t, m, func() {
+			for _, n := range fusedLens {
+				h := randSlice(rng, n)
+				w := randSlice(rng, n)
+				grad0 := randSlice(rng, n)
+				dh0 := randSlice(rng, n)
+				gz := float32(rng.NormFloat64())
+
+				grad := append([]float32(nil), grad0...)
+				dh := append([]float32(nil), dh0...)
+				AxpyTwo(gz, h, grad, w, dh)
+
+				wantGrad := append([]float32(nil), grad0...)
+				wantDh := append([]float32(nil), dh0...)
+				axpyScalar(gz, h, wantGrad)
+				axpyScalar(gz, w, wantDh)
+				for i := 0; i < n; i++ {
+					if !approxEqual(float64(grad[i]), float64(wantGrad[i]), 1e-5) {
+						t.Errorf("%v n=%d: grad[%d]=%g want %g", m, n, i, grad[i], wantGrad[i])
+					}
+					if !approxEqual(float64(dh[i]), float64(wantDh[i]), 1e-5) {
+						t.Errorf("%v n=%d: dh[%d]=%g want %g", m, n, i, dh[i], wantDh[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestAxpyTwoMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AxpyTwo length mismatch did not panic")
+		}
+	}()
+	AxpyTwo(1, make([]float32, 2), make([]float32, 2), make([]float32, 3), make([]float32, 2))
+}
+
+// TestAdamStepZeroMatchesStepThenZero checks that the fused optimizer pass
+// is bit-identical to AdamStep followed by Zero, in both modes and across
+// odd lengths, and that it clears the gradient.
+func TestAdamStepZeroMatchesStepThenZero(t *testing.T) {
+	rng := rand.New(rand.NewPCG(35, 36))
+	p := NewAdamParams(0.01, 0.9, 0.999, 1e-8, 3)
+	for _, m := range []Mode{Vector, Scalar} {
+		withMode(t, m, func() {
+			for _, n := range fusedLens {
+				w0 := randSlice(rng, n)
+				m0 := randSlice(rng, n)
+				v0 := randSlice(rng, n)
+				for i := range v0 {
+					v0[i] = v0[i] * v0[i] // second moment must be non-negative
+				}
+				g0 := randSlice(rng, n)
+
+				wf := append([]float32(nil), w0...)
+				mf := append([]float32(nil), m0...)
+				vf := append([]float32(nil), v0...)
+				gf := append([]float32(nil), g0...)
+				AdamStepZero(wf, mf, vf, gf, p)
+
+				wr := append([]float32(nil), w0...)
+				mr := append([]float32(nil), m0...)
+				vr := append([]float32(nil), v0...)
+				gr := append([]float32(nil), g0...)
+				adamScalar(wr, mr, vr, gr, p)
+				Zero(gr)
+
+				for i := 0; i < n; i++ {
+					if wf[i] != wr[i] || mf[i] != mr[i] || vf[i] != vr[i] {
+						t.Errorf("%v n=%d i=%d: fused (%g,%g,%g) reference (%g,%g,%g)",
+							m, n, i, wf[i], mf[i], vf[i], wr[i], mr[i], vr[i])
+					}
+					if gf[i] != 0 {
+						t.Errorf("%v n=%d: gradient lane %d not cleared: %g", m, n, i, gf[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAdamStepZeroBF16MatchesStepThenZero is the BF16Both-precision analog.
+func TestAdamStepZeroBF16MatchesStepThenZero(t *testing.T) {
+	rng := rand.New(rand.NewPCG(37, 38))
+	p := NewAdamParams(0.01, 0.9, 0.999, 1e-8, 2)
+	for _, m := range []Mode{Vector, Scalar} {
+		withMode(t, m, func() {
+			for _, n := range fusedLens {
+				w0 := bf16.FromSlice(randSlice(rng, n))
+				m0 := randSlice(rng, n)
+				v0 := randSlice(rng, n)
+				for i := range v0 {
+					v0[i] = v0[i] * v0[i]
+				}
+				g0 := randSlice(rng, n)
+
+				wf := append([]bf16.BF16(nil), w0...)
+				mf := append([]float32(nil), m0...)
+				vf := append([]float32(nil), v0...)
+				gf := append([]float32(nil), g0...)
+				AdamStepZeroBF16(wf, mf, vf, gf, p)
+
+				wr := append([]bf16.BF16(nil), w0...)
+				mr := append([]float32(nil), m0...)
+				vr := append([]float32(nil), v0...)
+				gr := append([]float32(nil), g0...)
+				AdamStepBF16(wr, mr, vr, gr, p)
+				Zero(gr)
+
+				for i := 0; i < n; i++ {
+					if wf[i] != wr[i] || mf[i] != mr[i] || vf[i] != vr[i] {
+						t.Errorf("%v n=%d i=%d: fused BF16 diverged from step-then-zero", m, n, i)
+					}
+					if gf[i] != 0 {
+						t.Errorf("%v n=%d: BF16 gradient lane %d not cleared: %g", m, n, i, gf[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestAdamStepZeroMismatchPanics(t *testing.T) {
+	p := NewAdamParams(0.1, 0.9, 0.999, 1e-8, 1)
+	for name, f := range map[string]func(){
+		"AdamStepZero": func() {
+			AdamStepZero(make([]float32, 2), make([]float32, 1), make([]float32, 2), make([]float32, 2), p)
+		},
+		"AdamStepZeroBF16": func() {
+			AdamStepZeroBF16(make([]bf16.BF16, 2), make([]float32, 1), make([]float32, 2), make([]float32, 2), p)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s mismatch did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestKernelTableResolvesMode checks that Active and ForMode return tables
+// whose entries match the mode-specific implementations, and that SetMode
+// still flips which table Active returns (the Table-4 ablation contract).
+func TestKernelTableResolvesMode(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{4, 5, 6}
+	for _, m := range []Mode{Vector, Scalar} {
+		withMode(t, m, func() {
+			ks := Active()
+			if ks.Mode != m {
+				t.Fatalf("Active().Mode = %v under SetMode(%v)", ks.Mode, m)
+			}
+			if ks != ForMode(m) {
+				t.Errorf("Active() and ForMode(%v) disagree", m)
+			}
+			if got := ks.Dot(a, b); got != 32 {
+				t.Errorf("%v table Dot = %g, want 32", m, got)
+			}
+		})
+	}
+	// Both tables must produce equivalent results on every shared entry.
+	rng := rand.New(rand.NewPCG(39, 40))
+	x := randSlice(rng, 37)
+	y := randSlice(rng, 37)
+	vec, sca := ForMode(Vector), ForMode(Scalar)
+	if !approxEqual(float64(vec.Dot(x, y)), float64(sca.Dot(x, y)), 1e-4) {
+		t.Error("table Dot entries disagree between modes")
+	}
+	if !approxEqual(float64(vec.Sum(x)), float64(sca.Sum(x)), 1e-4) {
+		t.Error("table Sum entries disagree between modes")
+	}
+	if vec.ArgMax(x) != sca.ArgMax(x) {
+		t.Error("table ArgMax entries disagree between modes")
+	}
+}
+
+// FuzzDotManyBias cross-checks the fused forward kernel against per-element
+// scalar math on fuzz-generated rows, ids and activations.
+func FuzzDotManyBias(f *testing.F) {
+	f.Add(uint64(1), 8, 5, 3)
+	f.Add(uint64(42), 0, 1, 1)
+	f.Add(uint64(7), 17, 4, 9)
+	f.Fuzz(func(t *testing.T, seed uint64, dim, nRows, nIDs int) {
+		if dim < 0 || dim > 512 || nRows < 1 || nRows > 64 || nIDs < 0 || nIDs > 256 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewPCG(seed, 99))
+		rows := randRows(rng, nRows, dim)
+		bias := randSlice(rng, nRows)
+		h := randSlice(rng, dim)
+		ids := make([]int32, nIDs)
+		for i := range ids {
+			ids[i] = int32(rng.IntN(nRows))
+		}
+		out := make([]float32, nIDs)
+		for _, m := range []Mode{Vector, Scalar} {
+			withModeQuick(m, func() {
+				DotManyBias(rows, bias, ids, h, out)
+			})
+			for k, id := range ids {
+				var want float64
+				for i := 0; i < dim; i++ {
+					want += float64(rows[id][i]) * float64(h[i])
+				}
+				want += float64(bias[id])
+				if math.Abs(float64(out[k])-want) > 1e-2*math.Max(1, math.Abs(want)) {
+					t.Fatalf("%v: out[%d]=%g, float64 reference %g", m, k, out[k], want)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package simd
+
+import "github.com/slide-cpu/slide/internal/bf16"
+
+// Kernels is a mode-resolved function-pointer table over every hot-path
+// kernel. The dispatching package-level wrappers (Dot, Axpy, AdamStep, …)
+// re-read the atomic mode switch on every call, which is fine for cold code
+// but measurable when ForwardActive issues one call per active row. The
+// training loop instead calls Active() once per batch and invokes the
+// resolved table for every row in that batch — the structure the paper's
+// intrinsics code gets for free from compile-time dispatch, with SetMode kept
+// as the Table-4 ablation switch that decides which table Active returns.
+//
+// Entries point at the mode-specific implementations directly (dotVec,
+// dotScalar, …), never at the dispatching wrappers, so no table entry hides
+// an atomic load.
+type Kernels struct {
+	// Mode records which implementation set this table holds.
+	Mode Mode
+
+	// Primitive float32 kernels (§4.2–4.3).
+	Dot        func(a, b []float32) float32
+	Axpy       func(alpha float32, x, y []float32)
+	ScaleAccum func(v float32, w, y []float32)
+	Add        func(x, y []float32)
+	Scale      func(alpha float32, x []float32)
+	Sum        func(x []float32) float32
+	Max        func(x []float32) float32
+	ArgMax     func(x []float32) int
+	AdamStep   func(w, m, v, g []float32, p AdamParams)
+
+	// Fused batch kernels (see fused.go).
+	DotManyBias  func(rows [][]float32, bias []float32, ids []int32, h, out []float32)
+	AxpyTwo      func(gz float32, h, grad, w, dh []float32)
+	AdamStepZero func(w, m, v, g []float32, p AdamParams)
+
+	// Mixed-precision kernels (§4.4).
+	DotBF16F32         func(a []bf16.BF16, b []float32) float32
+	DotBF16            func(a, b []bf16.BF16) float32
+	AxpyBF16           func(alpha float32, x []bf16.BF16, y []float32)
+	AdamStepBF16       func(w []bf16.BF16, m, v, g []float32, p AdamParams)
+	AdamStepZeroBF16   func(w []bf16.BF16, m, v, g []float32, p AdamParams)
+	DotManyBiasBF16Act func(rows [][]float32, bias []float32, ids []int32, hBF []bf16.BF16, out []float32)
+	DotManyBiasBF16    func(rows [][]bf16.BF16, bias []float32, ids []int32, hBF []bf16.BF16, out []float32)
+}
+
+// vectorKernels is the 16-lane (AVX-512 substitute) table.
+var vectorKernels = Kernels{
+	Mode:       Vector,
+	Dot:        dotVec,
+	Axpy:       axpyVec,
+	ScaleAccum: axpyVec, // Algorithm 2's column step is an axpy by another name
+	Add:        addVec,
+	Scale:      scaleVec,
+	Sum:        sumVec,
+	Max:        Max, // single dispatch-free implementation serves both modes
+	ArgMax:     argMaxVec,
+	AdamStep:   adamVec,
+
+	DotManyBias:  dotManyBiasVec,
+	AxpyTwo:      axpyTwoVec,
+	AdamStepZero: adamZeroVec,
+
+	DotBF16F32:         dotBF16Vec,
+	DotBF16:            dotBF16BothVec,
+	AxpyBF16:           axpyBF16Vec,
+	AdamStepBF16:       adamStepBF16,
+	AdamStepZeroBF16:   adamStepZeroBF16,
+	DotManyBiasBF16Act: dotManyBiasBF16ActVec,
+	DotManyBiasBF16:    dotManyBiasBF16Vec,
+}
+
+// scalarKernels is the naive one-element-at-a-time table (the "-no-avx"
+// ablation build).
+var scalarKernels = Kernels{
+	Mode:       Scalar,
+	Dot:        dotScalar,
+	Axpy:       axpyScalar,
+	ScaleAccum: axpyScalar,
+	Add:        addScalar,
+	Scale:      scaleScalar,
+	Sum:        sumScalar,
+	Max:        Max,
+	ArgMax:     argMaxScalar,
+	AdamStep:   adamScalar,
+
+	DotManyBias:  dotManyBiasScalar,
+	AxpyTwo:      axpyTwoScalar,
+	AdamStepZero: adamZeroScalar,
+
+	DotBF16F32:         dotBF16Scalar,
+	DotBF16:            dotBF16BothScalar,
+	AxpyBF16:           axpyBF16Scalar,
+	AdamStepBF16:       adamStepBF16, // element-local math: one impl serves both modes
+	AdamStepZeroBF16:   adamStepZeroBF16,
+	DotManyBiasBF16Act: dotManyBiasBF16ActScalar,
+	DotManyBiasBF16:    dotManyBiasBF16Scalar,
+}
+
+// Active resolves the current kernel mode with a single atomic load and
+// returns the matching table. Call it once per batch (or once per otherwise
+// long-lived stretch of work) and use the returned table for every kernel
+// invocation in that stretch; kernels already resolved keep their
+// implementation if SetMode flips mid-flight, the same in-flight contract
+// SetMode has always had.
+func Active() *Kernels {
+	if vectorized() {
+		return &vectorKernels
+	}
+	return &scalarKernels
+}
+
+// ForMode returns the kernel table for an explicit mode, independent of the
+// package-level switch (ablation harnesses, equivalence tests).
+func ForMode(m Mode) *Kernels {
+	if m == Scalar {
+		return &scalarKernels
+	}
+	return &vectorKernels
+}

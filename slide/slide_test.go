@@ -82,6 +82,9 @@ func TestFullSoftmaxOption(t *testing.T) {
 }
 
 func TestOptionCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-config end-to-end training; skipped in -short (race CI)")
+	}
 	train, _ := tinyData(t)
 	for name, opt := range map[string]Option{
 		"simhash":    WithSimHash(4, 8),
@@ -219,6 +222,9 @@ func TestTrainBatchDirect(t *testing.T) {
 }
 
 func TestEmbedding(t *testing.T) {
+	if testing.Short() {
+		t.Skip("embedding training loop; skipped in -short (race CI)")
+	}
 	m, err := New(50, 12, 10, WithLinearHidden(), WithWorkers(1), WithSeed(6))
 	if err != nil {
 		t.Fatal(err)
