@@ -9,7 +9,11 @@
 package repro_test
 
 import (
+	"fmt"
 	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"github.com/slide-cpu/slide/internal/bf16"
@@ -18,6 +22,7 @@ import (
 	"github.com/slide-cpu/slide/internal/harness"
 	"github.com/slide-cpu/slide/internal/layer"
 	"github.com/slide-cpu/slide/internal/lsh"
+	"github.com/slide-cpu/slide/internal/metrics"
 	"github.com/slide-cpu/slide/internal/network"
 	"github.com/slide-cpu/slide/internal/platform"
 	"github.com/slide-cpu/slide/internal/simd"
@@ -535,6 +540,72 @@ func BenchmarkSimHash(b *testing.B) {
 			s.HashDense(act, out)
 		}
 	})
+}
+
+// BenchmarkPredictorThroughput measures concurrent serving from one
+// immutable snapshot: g goroutines issue exact Predict calls against a
+// shared Predictor (per-call scratch from its pool). The 1-goroutine run is
+// the single-request latency baseline; the GOMAXPROCS run is the saturation
+// throughput the snapshot API exists for.
+func BenchmarkPredictorThroughput(b *testing.B) {
+	w := benchWorkload(b)
+	opts := benchOpts()
+	cfg := w.NetworkConfig(opts, layer.FP32, layer.Contiguous)
+	net, err := network.New(&cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	it := w.Train.Iter(w.Batch, sparse.Coalesced, opts.Seed)
+	for i := 0; i < 5; i++ {
+		batch, ok := it.Next()
+		if !ok {
+			break
+		}
+		net.TrainBatch(batch)
+	}
+	pred := net.Snapshot()
+	test := w.Test
+	seen := map[int]bool{}
+	for _, g := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		if seen[g] {
+			continue
+		}
+		seen[g] = true
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for r := 0; r < g; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := next.Add(1) - 1
+						if i >= int64(b.N) {
+							return
+						}
+						pred.Predict(test.Sample(int(i)%test.Len()), 5)
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkTopK measures the serving-path ranking step: heap-based top-k
+// selection over a full score vector, allocation-free via TopKInto.
+func BenchmarkTopK(b *testing.B) {
+	scores := randF32(16384, 77)
+	for _, k := range []int{1, 10, 128} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			buf := make([]int32, 0, k)
+			for i := 0; i < b.N; i++ {
+				buf = metrics.TopKInto(scores, k, buf[:0])
+			}
+			sink = float32(buf[0])
+		})
+	}
 }
 
 // sink defeats dead-code elimination in kernel benchmarks.

@@ -1,0 +1,159 @@
+// Command slide-serve is an HTTP JSON prediction server over a SLIDE model
+// — the heavy-traffic deployment scenario the snapshot API exists for.
+// It serves every request from an immutable Predictor snapshot, so request
+// handling scales across cores with no locks in the inference path, and a
+// background trainer (demo mode) can keep improving the model, publishing a
+// fresh snapshot every few batches.
+//
+// Serve a trained checkpoint:
+//
+//	slide-serve -model model.slide -addr :8080
+//
+// Or run the self-contained demo (synthetic Amazon-670K-like workload,
+// online training with periodic snapshot refresh):
+//
+//	slide-serve -demo -demo-scale 1e-6 -refresh 20
+//
+// Endpoints:
+//
+//	POST /predict        {"indices":[...],"values":[...],"k":5,"sampled":false}
+//	POST /predict/batch  {"samples":[{"indices":[...]},...],"k":5}
+//	GET  /healthz
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/slide-cpu/slide/slide"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		modelPath = flag.String("model", "", "checkpoint to serve (written by Model.SaveFile)")
+		k         = flag.Int("k", 5, "default top-k when a request omits k")
+		demo      = flag.Bool("demo", false, "train a synthetic model instead of loading a checkpoint")
+		demoScale = flag.Float64("demo-scale", 1e-6, "demo workload scale (fraction of Amazon-670K dims)")
+		refresh   = flag.Int("refresh", 20, "demo: batches between snapshot refreshes (0 = freeze after warmup)")
+		seed      = flag.Uint64("seed", 42, "demo RNG seed")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("slide-serve: ")
+
+	if err := run(*addr, *modelPath, *k, *demo, *demoScale, *refresh, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr, modelPath string, k int, demo bool, demoScale float64, refresh int, seed uint64) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var (
+		srv     *server
+		trainer func(ctx context.Context) // nil when serving a frozen checkpoint
+	)
+	switch {
+	case demo:
+		m, train, err := demoModel(demoScale, seed)
+		if err != nil {
+			return err
+		}
+		srv = newServer(m.Snapshot(), m.Steps(), k)
+		if refresh > 0 {
+			trainer = func(ctx context.Context) {
+				backgroundTrain(ctx, m, train, refresh, srv)
+			}
+		}
+	case modelPath != "":
+		m, err := slide.LoadFile(modelPath)
+		if err != nil {
+			return err
+		}
+		srv = newServer(m.Snapshot(), m.Steps(), k)
+		log.Printf("loaded %s (%d labels, step %d)", modelPath, srv.pred.Load().NumLabels(), m.Steps())
+	default:
+		return errors.New("either -model or -demo is required")
+	}
+
+	if trainer != nil {
+		go trainer(ctx)
+	}
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv.mux()}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", addr)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return httpSrv.Shutdown(shutCtx)
+}
+
+// demoModel builds and warm-trains a model on the synthetic Amazon-670K-like
+// workload.
+func demoModel(scale float64, seed uint64) (*slide.Model, *slide.Dataset, error) {
+	train, _, err := slide.AmazonLike(scale, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := slide.New(train.Features(), 32, train.NumLabels(),
+		slide.WithDWTA(3, 10),
+		slide.WithLearningRate(0.01),
+		slide.WithSeed(seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := m.TrainEpoch(train, 64); err != nil {
+		return nil, nil, err
+	}
+	log.Printf("demo model ready: %d features, %d labels, %d samples (scale %g)",
+		train.Features(), train.NumLabels(), train.Len(), scale)
+	return m, train, nil
+}
+
+// backgroundTrain keeps stepping the model and publishes a fresh snapshot
+// every refresh batches. Training and snapshotting stay on this single
+// goroutine (their documented contract); the serving side reads the
+// published snapshots concurrently.
+func backgroundTrain(ctx context.Context, m *slide.Model, train *slide.Dataset, refresh int, srv *server) {
+	it := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		batch := make([]slide.Sample, 0, 64)
+		for i := 0; i < 64; i++ {
+			batch = append(batch, train.Sample((it*64+i)%train.Len()))
+		}
+		if _, err := m.TrainBatch(batch); err != nil {
+			log.Printf("background training stopped: %v", err)
+			return
+		}
+		it++
+		if it%refresh == 0 {
+			srv.swap(m.Snapshot(), m.Steps())
+		}
+	}
+}

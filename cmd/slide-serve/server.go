@@ -1,0 +1,209 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"github.com/slide-cpu/slide/slide"
+)
+
+// server routes prediction traffic onto the current Predictor snapshot.
+// The snapshot is swapped atomically by the (optional) background trainer,
+// so request handlers never block on training and never see a half-updated
+// model — the concurrency story is entirely the Predictor's.
+type server struct {
+	pred     atomic.Pointer[slide.Predictor]
+	defaultK int
+	// snapshotSteps mirrors the optimizer step count of the current
+	// snapshot, for /healthz observability.
+	snapshotSteps atomic.Int64
+}
+
+func newServer(p *slide.Predictor, steps int64, defaultK int) *server {
+	s := &server{defaultK: defaultK}
+	s.swap(p, steps)
+	return s
+}
+
+// swap publishes a new snapshot; in-flight requests finish on the old one.
+func (s *server) swap(p *slide.Predictor, steps int64) {
+	s.pred.Store(p)
+	s.snapshotSteps.Store(steps)
+}
+
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /predict", s.handlePredict)
+	mux.HandleFunc("POST /predict/batch", s.handlePredictBatch)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// predictRequest is one inference request. Values may be omitted, in which
+// case every index gets weight 1 (set-valued features). Sampled selects
+// sub-linear LSH inference; on models without LSH tables the server falls
+// back to the exact path and reports sampled=false in the response.
+type predictRequest struct {
+	Indices []int32   `json:"indices"`
+	Values  []float32 `json:"values,omitempty"`
+	K       int       `json:"k,omitempty"`
+	Sampled bool      `json:"sampled,omitempty"`
+}
+
+type predictResponse struct {
+	Labels []int32 `json:"labels"`
+	// Sampled reports whether LSH-sampled retrieval actually served the
+	// request (false when the request asked for it but the model has no
+	// tables and the server fell back to exact ranking).
+	Sampled bool `json:"sampled"`
+}
+
+type batchRequest struct {
+	Samples []predictRequest `json:"samples"`
+	K       int              `json:"k,omitempty"`
+	Sampled bool             `json:"sampled,omitempty"`
+}
+
+type batchResponse struct {
+	Labels  [][]int32 `json:"labels"`
+	Sampled bool      `json:"sampled"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// normalize validates one request (including untrusted feature indices,
+// which would otherwise panic deep in the forward pass) and fills defaults.
+func (s *server) normalize(r *predictRequest, p *slide.Predictor) error {
+	if len(r.Indices) == 0 {
+		return fmt.Errorf("indices must be non-empty")
+	}
+	features := int32(p.NumFeatures())
+	for i, idx := range r.Indices {
+		if idx < 0 || idx >= features {
+			return fmt.Errorf("index %d (position %d) out of range [0, %d)", idx, i, features)
+		}
+	}
+	if r.Values == nil {
+		r.Values = make([]float32, len(r.Indices))
+		for i := range r.Values {
+			r.Values[i] = 1
+		}
+	}
+	if len(r.Values) != len(r.Indices) {
+		return fmt.Errorf("%d indices but %d values", len(r.Indices), len(r.Values))
+	}
+	if r.K <= 0 {
+		r.K = s.defaultK
+	}
+	if r.K > p.NumLabels() {
+		r.K = p.NumLabels()
+	}
+	return nil
+}
+
+// predictOne serves one sample, honoring the sampled flag with exact
+// fallback. Returns the labels and whether sampled retrieval was used.
+func predictOne(p *slide.Predictor, r *predictRequest) ([]int32, bool) {
+	if r.Sampled {
+		labels, err := p.PredictSampled(r.Indices, r.Values, r.K)
+		if err == nil {
+			return labels, true
+		}
+		// ErrNoSampling: model has no LSH tables — exact is the right call.
+	}
+	return p.Predict(r.Indices, r.Values, r.K), false
+}
+
+func (s *server) handlePredict(w http.ResponseWriter, req *http.Request) {
+	var pr predictRequest
+	if err := json.NewDecoder(req.Body).Decode(&pr); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	p := s.pred.Load()
+	if err := s.normalize(&pr, p); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	labels, sampled := predictOne(p, &pr)
+	writeJSON(w, http.StatusOK, predictResponse{Labels: labels, Sampled: sampled})
+}
+
+func (s *server) handlePredictBatch(w http.ResponseWriter, req *http.Request) {
+	var br batchRequest
+	if err := json.NewDecoder(req.Body).Decode(&br); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if len(br.Samples) == 0 {
+		writeError(w, http.StatusBadRequest, "samples must be non-empty")
+		return
+	}
+	p := s.pred.Load()
+	for i := range br.Samples {
+		if br.Samples[i].K == 0 {
+			br.Samples[i].K = br.K
+		}
+		br.Samples[i].Sampled = br.Samples[i].Sampled || br.Sampled
+		if err := s.normalize(&br.Samples[i], p); err != nil {
+			writeError(w, http.StatusBadRequest, "sample %d: %v", i, err)
+			return
+		}
+	}
+	// The fused parallel batch path serves one (exact, single-k) shape; a
+	// batch mixing per-sample k or requesting sampled retrieval anywhere is
+	// served sample by sample so every per-sample option is honored.
+	fused := true
+	for i := range br.Samples {
+		if br.Samples[i].Sampled || br.Samples[i].K != br.Samples[0].K {
+			fused = false
+			break
+		}
+	}
+	resp := batchResponse{Labels: make([][]int32, len(br.Samples))}
+	if fused {
+		samples := make([]slide.Sample, len(br.Samples))
+		for i, r := range br.Samples {
+			samples[i] = slide.Sample{Indices: r.Indices, Values: r.Values}
+		}
+		labels, err := p.PredictBatch(samples, br.Samples[0].K)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		resp.Labels = labels
+	} else {
+		// Sampled reports whether sampled retrieval served every sample.
+		resp.Sampled = true
+		for i := range br.Samples {
+			var sampled bool
+			resp.Labels[i], sampled = predictOne(p, &br.Samples[i])
+			resp.Sampled = resp.Sampled && sampled
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	p := s.pred.Load()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"labels":  p.NumLabels(),
+		"sampled": p.Sampled(),
+		"steps":   s.snapshotSteps.Load(),
+	})
+}

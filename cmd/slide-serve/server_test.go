@@ -1,0 +1,291 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/slide-cpu/slide/slide"
+)
+
+// testPredictor trains a tiny model through the public API and snapshots it.
+func testPredictor(t *testing.T, opts ...slide.Option) (*slide.Predictor, *slide.Dataset) {
+	t.Helper()
+	train, test, err := slide.AmazonLike(1e-9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := []slide.Option{
+		slide.WithLearningRate(0.01),
+		slide.WithWorkers(1),
+		slide.WithSeed(9),
+	}
+	m, err := slide.New(train.Features(), 16, train.NumLabels(), append(base, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.TrainEpoch(train, 64); err != nil {
+		t.Fatal(err)
+	}
+	return m.Snapshot(), test
+}
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestServePredictRoundTrip(t *testing.T) {
+	p, test := testPredictor(t, slide.WithDWTA(3, 8))
+	srv := newServer(p, 10, 5)
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	s := test.Sample(0)
+	resp, body := postJSON(t, ts, "/predict", predictRequest{Indices: s.Indices, Values: s.Values, K: 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var pr predictResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Labels) != 3 || pr.Sampled {
+		t.Errorf("response %+v", pr)
+	}
+	// Server output matches direct Predictor output exactly.
+	want := p.Predict(s.Indices, s.Values, 3)
+	for i := range want {
+		if pr.Labels[i] != want[i] {
+			t.Errorf("served %v, predictor %v", pr.Labels, want)
+		}
+	}
+
+	// Omitted values default to 1.0 per index; omitted k uses the default.
+	resp, body = postJSON(t, ts, "/predict", predictRequest{Indices: s.Indices})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Labels) != 5 {
+		t.Errorf("default-k response has %d labels, want 5", len(pr.Labels))
+	}
+}
+
+func TestServeSampledAndFallback(t *testing.T) {
+	// On an LSH model, sampled requests are served sampled.
+	p, test := testPredictor(t, slide.WithDWTA(3, 8))
+	srv := newServer(p, 10, 5)
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	s := test.Sample(0)
+	resp, body := postJSON(t, ts, "/predict", predictRequest{Indices: s.Indices, Values: s.Values, K: 2, Sampled: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var pr predictResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Sampled {
+		t.Error("LSH model did not serve a sampled request sampled")
+	}
+
+	// On a dense model, a sampled request falls back to the exact path
+	// instead of erroring (the documented ErrNoSampling fallback).
+	dense, _ := testPredictor(t, slide.WithFullSoftmax())
+	srv2 := newServer(dense, 10, 5)
+	ts2 := httptest.NewServer(srv2.mux())
+	defer ts2.Close()
+
+	resp, body = postJSON(t, ts2, "/predict", predictRequest{Indices: s.Indices, Values: s.Values, K: 2, Sampled: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fallback status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Sampled {
+		t.Error("dense model claimed sampled retrieval")
+	}
+	want := dense.Predict(s.Indices, s.Values, 2)
+	if len(pr.Labels) != len(want) {
+		t.Fatalf("fallback labels %v, want %v", pr.Labels, want)
+	}
+	for i := range want {
+		if pr.Labels[i] != want[i] {
+			t.Errorf("fallback labels %v, want exact %v", pr.Labels, want)
+		}
+	}
+}
+
+func TestServePredictBatch(t *testing.T) {
+	p, test := testPredictor(t, slide.WithDWTA(3, 8))
+	srv := newServer(p, 10, 5)
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	var reqs []predictRequest
+	for i := 0; i < 4; i++ {
+		s := test.Sample(i % test.Len())
+		reqs = append(reqs, predictRequest{Indices: s.Indices, Values: s.Values})
+	}
+	resp, body := postJSON(t, ts, "/predict/batch", batchRequest{Samples: reqs, K: 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var br batchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Labels) != 4 {
+		t.Fatalf("batch returned %d results", len(br.Labels))
+	}
+	for i, r := range reqs {
+		want := p.Predict(r.Indices, r.Values, 2)
+		for j := range want {
+			if br.Labels[i][j] != want[j] {
+				t.Errorf("batch[%d] = %v, want %v", i, br.Labels[i], want)
+			}
+		}
+	}
+}
+
+func TestServeBatchHonorsPerSampleOptions(t *testing.T) {
+	p, test := testPredictor(t, slide.WithDWTA(3, 8))
+	srv := newServer(p, 10, 5)
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	s0, s1 := test.Sample(0), test.Sample(1)
+	// Mixed batch: per-sample k and a per-sample sampled flag, no top-level
+	// overrides — both must be honored (served per sample, not fused).
+	resp, body := postJSON(t, ts, "/predict/batch", batchRequest{Samples: []predictRequest{
+		{Indices: s0.Indices, Values: s0.Values, K: 1},
+		{Indices: s1.Indices, Values: s1.Values, K: 4, Sampled: true},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var br batchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Labels) != 2 || len(br.Labels[0]) != 1 {
+		t.Errorf("per-sample k dropped: %v", br.Labels)
+	}
+	if br.Sampled {
+		t.Error("mixed batch claimed fully sampled service")
+	}
+	if want := p.Predict(s0.Indices, s0.Values, 1); br.Labels[0][0] != want[0] {
+		t.Errorf("sample 0: %v, want %v", br.Labels[0], want)
+	}
+	if got, _ := p.PredictSampled(s1.Indices, s1.Values, 4); len(br.Labels[1]) != len(got) {
+		t.Errorf("sample 1 sampled result has %d labels, want %d", len(br.Labels[1]), len(got))
+	}
+
+	// Top-level sampled on an LSH model: response reports sampled=true.
+	resp, body = postJSON(t, ts, "/predict/batch", batchRequest{
+		Samples: []predictRequest{{Indices: s0.Indices, Values: s0.Values}},
+		K:       2, Sampled: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if !br.Sampled {
+		t.Error("all-sampled batch reported sampled=false")
+	}
+}
+
+func TestServeErrorsAndHealth(t *testing.T) {
+	p, test := testPredictor(t, slide.WithDWTA(3, 8))
+	srv := newServer(p, 10, 5)
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	// Malformed JSON.
+	resp, err := ts.Client().Post(ts.URL+"/predict", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d", resp.StatusCode)
+	}
+
+	// Mismatched lengths.
+	r, body := postJSON(t, ts, "/predict", predictRequest{Indices: []int32{1, 2}, Values: []float32{1}})
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("mismatched lengths: status %d, body %s", r.StatusCode, body)
+	}
+
+	// Empty indices.
+	r, _ = postJSON(t, ts, "/predict", predictRequest{})
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty indices: status %d", r.StatusCode)
+	}
+
+	// Out-of-range and negative feature indices must 400, not panic the
+	// handler deep in the forward pass.
+	r, body = postJSON(t, ts, "/predict", predictRequest{Indices: []int32{99999999}, Values: []float32{1}})
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("out-of-range index: status %d, body %s", r.StatusCode, body)
+	}
+	r, _ = postJSON(t, ts, "/predict", predictRequest{Indices: []int32{-1}, Values: []float32{1}})
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative index: status %d", r.StatusCode)
+	}
+	r, _ = postJSON(t, ts, "/predict/batch", batchRequest{Samples: []predictRequest{
+		{Indices: []int32{1}}, {Indices: []int32{99999999}},
+	}})
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("out-of-range batch index: status %d", r.StatusCode)
+	}
+
+	// Empty batch.
+	r, _ = postJSON(t, ts, "/predict/batch", batchRequest{})
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d", r.StatusCode)
+	}
+
+	// Health endpoint reflects the snapshot.
+	hr, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var health map[string]any
+	if err := json.NewDecoder(hr.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "ok" || int(health["labels"].(float64)) != test.NumLabels() {
+		t.Errorf("health = %v", health)
+	}
+
+	// Snapshot swap: requests keep working, steps advance.
+	srv.swap(p, 99)
+	if got := srv.snapshotSteps.Load(); got != 99 {
+		t.Errorf("steps after swap = %d", got)
+	}
+}

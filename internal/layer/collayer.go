@@ -38,6 +38,11 @@ type ColLayer struct {
 	mb, vb  []float32
 	touched *touchSet
 	lk      locks
+
+	// fwd is the live forward view over the storage above; Forward and
+	// ForwardView go through it, so training and serving consume the same
+	// forward implementation.
+	fwd ColWeights
 }
 
 // NewColLayer builds a column-major layer with in inputs and out neurons.
@@ -63,6 +68,8 @@ func NewColLayer(in, out int, act Activation, o Options) *ColLayer {
 	l.vb = make([]float32, out)
 	l.touched = newTouchSet(in)
 	l.lk.enabled = o.Locked
+	l.fwd = ColWeights{In: in, Out: out, prec: o.Precision, act: act,
+		cols: l.cols, colsBF: l.colsBF, bias: l.bias}
 	return l
 }
 
@@ -72,34 +79,11 @@ func (l *ColLayer) Options() Options { return l.opts }
 // Activation returns the layer non-linearity.
 func (l *ColLayer) Activation() Activation { return l.act }
 
-// Forward computes h = act(Wx + b) into h (len Out) using the resolved
-// kernel table ks. Under the BF16 activation modes the result is
-// additionally rounded through bfloat16, so h carries exactly the values a
-// hardware BF16 pipeline would produce.
+// Forward computes h = act(Wx + b) into h (len Out); see
+// ColWeights.Forward, which implements the pass for both the training path
+// and snapshot serving.
 func (l *ColLayer) Forward(ks *simd.Kernels, x sparse.Vector, h []float32) {
-	if len(h) != l.Out {
-		panic("layer: ColLayer.Forward output size mismatch")
-	}
-	copy(h, l.bias)
-	if l.opts.Precision == BF16Both {
-		for k, j := range x.Indices {
-			ks.AxpyBF16(x.Values[k], l.colsBF[j], h)
-		}
-	} else {
-		for k, j := range x.Indices {
-			ks.ScaleAccum(x.Values[k], l.cols[j], h)
-		}
-	}
-	if l.act == ReLU {
-		for i := range h {
-			if h[i] < 0 {
-				h[i] = 0
-			}
-		}
-	}
-	if l.opts.Precision != FP32 {
-		bf16.RoundSlice(h)
-	}
+	l.fwd.Forward(ks, x, h)
 }
 
 // Backward accumulates gradients given the input x, the forward activation

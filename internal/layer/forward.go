@@ -1,0 +1,233 @@
+package layer
+
+import (
+	"sync"
+
+	"github.com/slide-cpu/slide/internal/bf16"
+	"github.com/slide-cpu/slide/internal/mem"
+	"github.com/slide-cpu/slide/internal/simd"
+	"github.com/slide-cpu/slide/internal/sparse"
+)
+
+// Read-only forward views. The forward-pass math for both layer kinds lives
+// on ColWeights/RowWeights — parameter storage plus the forward kernels,
+// nothing mutable. A view comes in two flavors:
+//
+//   - ForwardView aliases the live training storage. The training loop and
+//     the single-threaded Model inference path consume this one; it sees
+//     every ApplyAdam update and inherits the layer's concurrency contract
+//     (no forward concurrent with weight updates).
+//   - SnapshotWeights deep-copies the parameters into fresh contiguous
+//     storage. Predictor snapshots consume this one: it never changes after
+//     construction, so any number of goroutines may forward through it while
+//     training continues on the source layer.
+//
+// ADAM moments, gradients, and the touched set are training state and are
+// never part of a view.
+
+// ColWeights is a read-only forward view of a ColLayer (column-major hidden
+// layer): weights, bias, activation, precision.
+type ColWeights struct {
+	// In is the input (sparse feature) dimension; Out the neuron count.
+	In, Out int
+
+	prec   Precision
+	act    Activation
+	cols   [][]float32
+	colsBF [][]bf16.BF16
+	bias   []float32
+}
+
+// ForwardView returns a view aliasing the layer's live storage. It reflects
+// every subsequent weight update; the caller must not forward through it
+// concurrently with ApplyAdam.
+func (l *ColLayer) ForwardView() *ColWeights { return &l.fwd }
+
+// SnapshotWeights deep-copies the current parameters into an immutable
+// contiguous view. Do not call concurrently with ApplyAdam (same contract
+// as Serialize); the returned view is safe for unlimited concurrent reads
+// afterwards.
+func (l *ColLayer) SnapshotWeights() *ColWeights {
+	w := &ColWeights{In: l.In, Out: l.Out, prec: l.opts.Precision, act: l.act}
+	if l.opts.Precision == BF16Both {
+		w.colsBF = copy2DBF16(l.colsBF)
+	} else {
+		w.cols = copy2D(l.cols)
+	}
+	w.bias = append([]float32(nil), l.bias...)
+	return w
+}
+
+// Precision returns the storage precision of the view.
+func (w *ColWeights) Precision() Precision { return w.prec }
+
+// Forward computes h = act(Wx + b) into h (len Out) using the resolved
+// kernel table ks. Under the BF16 activation modes the result is
+// additionally rounded through bfloat16, so h carries exactly the values a
+// hardware BF16 pipeline would produce.
+func (w *ColWeights) Forward(ks *simd.Kernels, x sparse.Vector, h []float32) {
+	if len(h) != w.Out {
+		panic("layer: ColWeights.Forward output size mismatch")
+	}
+	copy(h, w.bias)
+	if w.prec == BF16Both {
+		for k, j := range x.Indices {
+			ks.AxpyBF16(x.Values[k], w.colsBF[j], h)
+		}
+	} else {
+		for k, j := range x.Indices {
+			ks.ScaleAccum(x.Values[k], w.cols[j], h)
+		}
+	}
+	if w.act == ReLU {
+		for i := range h {
+			if h[i] < 0 {
+				h[i] = 0
+			}
+		}
+	}
+	if w.prec != FP32 {
+		bf16.RoundSlice(h)
+	}
+}
+
+// RowWeights is a read-only forward view of a RowLayer (row-major wide
+// layer): weights, bias, precision.
+type RowWeights struct {
+	// In is the input (hidden) dimension; Out the neuron/label count.
+	In, Out int
+
+	prec   Precision
+	rows   [][]float32
+	rowsBF [][]bf16.BF16
+	bias   []float32
+}
+
+// ForwardView returns a view aliasing the layer's live storage. It reflects
+// every subsequent weight update; the caller must not forward through it
+// concurrently with ApplyAdam.
+func (l *RowLayer) ForwardView() *RowWeights { return &l.fwd }
+
+// SnapshotWeights deep-copies the current parameters into an immutable
+// contiguous view. Do not call concurrently with ApplyAdam; the returned
+// view is safe for unlimited concurrent reads afterwards.
+func (l *RowLayer) SnapshotWeights() *RowWeights {
+	w := &RowWeights{In: l.In, Out: l.Out, prec: l.opts.Precision}
+	if l.opts.Precision == BF16Both {
+		w.rowsBF = copy2DBF16(l.rowsBF)
+	} else {
+		w.rows = copy2D(l.rows)
+	}
+	w.bias = append([]float32(nil), l.bias...)
+	return w
+}
+
+// Precision returns the storage precision of the view.
+func (w *RowWeights) Precision() Precision { return w.prec }
+
+// Logit computes neuron id's pre-activation for the dense input h using the
+// resolved kernel table ks. hBF is the bfloat16 rendering of h, required
+// (non-nil) under the BF16 modes and ignored under FP32.
+func (w *RowWeights) Logit(ks *simd.Kernels, id int32, h []float32, hBF []bf16.BF16) float32 {
+	switch w.prec {
+	case BF16Act:
+		return ks.DotBF16F32(hBF, w.rows[id]) + w.bias[id]
+	case BF16Both:
+		return ks.DotBF16(w.rowsBF[id], hBF) + w.bias[id]
+	default:
+		return ks.Dot(w.rows[id], h) + w.bias[id]
+	}
+}
+
+// ForwardActive fills logits[k] with Logit(active[k]) for each active
+// neuron — one fused DotManyBias call over the whole active set, so the
+// per-row cost is a direct dot-product invocation with no dispatch.
+// Independent dots per row remain the inner structure: BenchmarkKernelDot4
+// shows the intrinsics-style four-row register blocking (simd.Dot4) is
+// slower than independent dots under the Go compiler.
+func (w *RowWeights) ForwardActive(ks *simd.Kernels, active []int32, h []float32, hBF []bf16.BF16, logits []float32) {
+	if len(logits) < len(active) {
+		panic("layer: ForwardActive logits buffer too short")
+	}
+	switch w.prec {
+	case BF16Act:
+		ks.DotManyBiasBF16Act(w.rows, w.bias, active, hBF, logits)
+	case BF16Both:
+		ks.DotManyBiasBF16(w.rowsBF, w.bias, active, hBF, logits)
+	default:
+		ks.DotManyBias(w.rows, w.bias, active, h, logits)
+	}
+}
+
+// ForwardAll computes every neuron's logit into out (len Out) — the full
+// softmax pass used for evaluation and by the dense baseline. Rows are
+// tiled across workers; workers <= 1 runs inline (the serving path, where
+// parallelism comes from concurrent calls rather than per-call fan-out).
+func (w *RowWeights) ForwardAll(ks *simd.Kernels, h []float32, hBF []bf16.BF16, out []float32, workers int) {
+	if len(out) != w.Out {
+		panic("layer: ForwardAll output size mismatch")
+	}
+	if workers <= 1 {
+		for i := range out {
+			out[i] = w.Logit(ks, int32(i), h, hBF)
+		}
+		return
+	}
+	per := (w.Out + workers - 1) / workers
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		lo := wk * per
+		hi := min(lo+per, w.Out)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = w.Logit(ks, int32(i), h, hBF)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// RowF32 returns neuron i's weight vector as float32. For BF16Both it is
+// expanded into buf (len >= In); otherwise a direct view is returned.
+// Read-only; used by the LSH rebuild to hash current weights.
+func (w *RowWeights) RowF32(i int, buf []float32) []float32 {
+	if w.prec == BF16Both {
+		buf = buf[:w.In]
+		bf16.Expand(buf, w.rowsBF[i])
+		return buf
+	}
+	return w.rows[i]
+}
+
+// copy2D deep-copies a weight matrix into one contiguous block (snapshots
+// always use the optimized placement regardless of the source layout).
+func copy2D(src [][]float32) [][]float32 {
+	if len(src) == 0 {
+		return nil
+	}
+	vecLen := len(src[0])
+	views, _ := mem.Contiguous2D(len(src), vecLen)
+	for i, v := range src {
+		copy(views[i], v)
+	}
+	return views
+}
+
+func copy2DBF16(src [][]bf16.BF16) [][]bf16.BF16 {
+	if len(src) == 0 {
+		return nil
+	}
+	vecLen := len(src[0])
+	backing := make([]bf16.BF16, len(src)*vecLen)
+	views := make([][]bf16.BF16, len(src))
+	for i, v := range src {
+		views[i] = backing[i*vecLen : (i+1)*vecLen : (i+1)*vecLen]
+		copy(views[i], v)
+	}
+	return views
+}

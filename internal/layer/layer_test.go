@@ -438,6 +438,78 @@ func b2f(b bool) float32 {
 	return 0
 }
 
+func TestSnapshotWeightsAreImmutable(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	for _, prec := range []Precision{FP32, BF16Act, BF16Both} {
+		for _, place := range []Placement{Contiguous, Scattered} {
+			col := NewColLayer(10, 8, ReLU, Options{Precision: prec, Placement: place, Seed: 41})
+			row := NewRowLayer(8, 6, Options{Precision: prec, Placement: place, Seed: 43})
+
+			x := sampleVec(rng, 10, 4)
+			h := make([]float32, 8)
+			col.Forward(tks(), x, h)
+			var hBF []bf16.BF16
+			if prec != FP32 {
+				hBF = bf16.FromSlice(h)
+			}
+			logits := make([]float32, 6)
+			row.ForwardAll(tks(), h, hBF, logits, 1)
+
+			colSnap := col.SnapshotWeights()
+			rowSnap := row.SnapshotWeights()
+
+			// Snapshot forward matches the live layer exactly.
+			h2 := make([]float32, 8)
+			colSnap.Forward(tks(), x, h2)
+			logits2 := make([]float32, 6)
+			rowSnap.ForwardAll(tks(), h2, hBF, logits2, 1)
+			for i := range h {
+				if h[i] != h2[i] {
+					t.Fatalf("%v/%v: snapshot hidden[%d] = %g, live %g", prec, place, i, h2[i], h[i])
+				}
+			}
+			for i := range logits {
+				if logits[i] != logits2[i] {
+					t.Fatalf("%v/%v: snapshot logit[%d] = %g, live %g", prec, place, i, logits2[i], logits[i])
+				}
+			}
+
+			// Train the live layers: snapshots must not move.
+			dh := make([]float32, 8)
+			for i := range dh {
+				dh[i] = float32(rng.NormFloat64())
+			}
+			col.Backward(tks(), x, h, dh)
+			row.Accumulate(tks(), 2, 0.7, h, hBF, nil)
+			p := simd.NewAdamParams(0.1, 0.9, 0.999, 1e-8, 1)
+			col.ApplyAdam(tks(), p, 1)
+			row.ApplyAdam(tks(), p, 1)
+
+			colSnap.Forward(tks(), x, h2)
+			rowSnap.ForwardAll(tks(), h2, hBF, logits2, 1)
+			for i := range logits {
+				if logits[i] != logits2[i] {
+					t.Fatalf("%v/%v: snapshot logit[%d] moved after live training: %g -> %g",
+						prec, place, i, logits[i], logits2[i])
+				}
+			}
+
+			// The live view, by contrast, tracks the update.
+			hLive := make([]float32, 8)
+			col.ForwardView().Forward(tks(), x, hLive)
+			changed := false
+			for i := range hLive {
+				if hLive[i] != h[i] {
+					changed = true
+				}
+			}
+			if !changed && x.Indices != nil {
+				t.Errorf("%v/%v: live view did not track the weight update", prec, place)
+			}
+		}
+	}
+}
+
 func TestTouchSet(t *testing.T) {
 	ts := newTouchSet(100)
 	for _, id := range []int32{0, 31, 32, 63, 64, 99} {

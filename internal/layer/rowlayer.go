@@ -32,6 +32,11 @@ type RowLayer struct {
 	mb, vb  []float32
 	touched *touchSet
 	lk      locks
+
+	// fwd is the live forward view over the storage above; the forward
+	// methods and ForwardView go through it, so training and serving consume
+	// the same forward implementation.
+	fwd RowWeights
 }
 
 // NewRowLayer builds a row-major layer with in inputs and out neurons.
@@ -57,44 +62,25 @@ func NewRowLayer(in, out int, o Options) *RowLayer {
 	l.vb = make([]float32, out)
 	l.touched = newTouchSet(out)
 	l.lk.enabled = o.Locked
+	l.fwd = RowWeights{In: in, Out: out, prec: o.Precision,
+		rows: l.rows, rowsBF: l.rowsBF, bias: l.bias}
 	return l
 }
 
 // Options returns the construction options.
 func (l *RowLayer) Options() Options { return l.opts }
 
-// Logit computes neuron id's pre-activation for the dense input h using the
-// resolved kernel table ks. hBF is the bfloat16 rendering of h, required
-// (non-nil) under the BF16 modes and ignored under FP32.
+// Logit computes neuron id's pre-activation for the dense input h; see
+// RowWeights.Logit, which implements the pass for both the training path
+// and snapshot serving.
 func (l *RowLayer) Logit(ks *simd.Kernels, id int32, h []float32, hBF []bf16.BF16) float32 {
-	switch l.opts.Precision {
-	case BF16Act:
-		return ks.DotBF16F32(hBF, l.rows[id]) + l.bias[id]
-	case BF16Both:
-		return ks.DotBF16(l.rowsBF[id], hBF) + l.bias[id]
-	default:
-		return ks.Dot(l.rows[id], h) + l.bias[id]
-	}
+	return l.fwd.Logit(ks, id, h, hBF)
 }
 
 // ForwardActive fills logits[k] with Logit(active[k]) for each active
-// neuron — one fused DotManyBias call over the whole active set, so the
-// per-row cost is a direct dot-product invocation with no dispatch.
-// Independent dots per row remain the inner structure: BenchmarkKernelDot4
-// shows the intrinsics-style four-row register blocking (simd.Dot4) is
-// slower than independent dots under the Go compiler.
+// neuron; see RowWeights.ForwardActive.
 func (l *RowLayer) ForwardActive(ks *simd.Kernels, active []int32, h []float32, hBF []bf16.BF16, logits []float32) {
-	if len(logits) < len(active) {
-		panic("layer: ForwardActive logits buffer too short")
-	}
-	switch l.opts.Precision {
-	case BF16Act:
-		ks.DotManyBiasBF16Act(l.rows, l.bias, active, hBF, logits)
-	case BF16Both:
-		ks.DotManyBiasBF16(l.rowsBF, l.bias, active, hBF, logits)
-	default:
-		ks.DotManyBias(l.rows, l.bias, active, h, logits)
-	}
+	l.fwd.ForwardActive(ks, active, h, hBF, logits)
 }
 
 // Accumulate adds one sample's contribution for active neuron id with logit
@@ -202,44 +188,17 @@ func (l *RowLayer) ApplyAdamAll(ks *simd.Kernels, p simd.AdamParams, workers int
 }
 
 // ForwardAll computes every neuron's logit into out (len Out) — the full
-// softmax pass used for evaluation and by the dense baseline. Rows are
-// tiled across workers.
+// softmax pass used for evaluation and by the dense baseline; see
+// RowWeights.ForwardAll.
 func (l *RowLayer) ForwardAll(ks *simd.Kernels, h []float32, hBF []bf16.BF16, out []float32, workers int) {
-	if len(out) != l.Out {
-		panic("layer: ForwardAll output size mismatch")
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	per := (l.Out + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * per
-		hi := min(lo+per, l.Out)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				out[i] = l.Logit(ks, int32(i), h, hBF)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	l.fwd.ForwardAll(ks, h, hBF, out, workers)
 }
 
 // RowF32 returns neuron i's weight vector as float32. For BF16Both it is
 // expanded into buf (len >= In); otherwise a direct view is returned.
 // Read-only; used by the LSH rebuild to hash current weights.
 func (l *RowLayer) RowF32(i int, buf []float32) []float32 {
-	if l.opts.Precision == BF16Both {
-		buf = buf[:l.In]
-		bf16.Expand(buf, l.rowsBF[i])
-		return buf
-	}
-	return l.rows[i]
+	return l.fwd.RowF32(i, buf)
 }
 
 // Bias returns the bias vector (read-only view).

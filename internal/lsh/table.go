@@ -95,6 +95,30 @@ func (t *Table) Query(h uint32) []int32 {
 	return t.buckets[h&t.mask]
 }
 
+// Clone deep-copies the table: the clone's buckets share no storage with
+// the original, so the two evolve independently. Lifetime insert counts are
+// reset — a clone serves read-mostly snapshot queries, and fresh counts only
+// shift where a *subsequent* eviction lands, never what is currently stored.
+// The caller provides synchronization against concurrent Inserts (TableSet
+// clones under its read lock).
+func (t *Table) Clone() *Table {
+	c := &Table{
+		bits:      t.bits,
+		mask:      t.mask,
+		bucketCap: t.bucketCap,
+		policy:    t.policy,
+		seed:      t.seed,
+		buckets:   make([][]int32, len(t.buckets)),
+		counts:    make([]uint32, len(t.counts)),
+	}
+	for i, b := range t.buckets {
+		if len(b) > 0 {
+			c.buckets[i] = append([]int32(nil), b...)
+		}
+	}
+	return c
+}
+
 // Clear empties every bucket, keeping allocated capacity for the next build.
 func (t *Table) Clear() {
 	for i := range t.buckets {

@@ -288,6 +288,62 @@ func TestTableSetConcurrentQueryRebuild(t *testing.T) {
 	wg.Wait()
 }
 
+func TestTableSetCloneIsIndependent(t *testing.T) {
+	d, err := NewDWTA(DWTAConfig{K: 2, L: 6, Dim: 16, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTableSet(d, 32, FIFO, 3)
+	rng := rand.New(rand.NewPCG(5, 6))
+	n := 30
+	weights := make([][]float32, n)
+	for i := range weights {
+		weights[i] = make([]float32, 16)
+		for j := range weights[i] {
+			weights[i][j] = float32(rng.NormFloat64())
+		}
+	}
+	ts.RebuildDense(n, 16, func(i int, _ []float32) []float32 { return weights[i] }, 2)
+
+	collect := func(set *TableSet, q []float32) map[int32]bool {
+		got := map[int32]bool{}
+		set.QueryDense(q, func(id int32) { got[id] = true })
+		return got
+	}
+	clone := ts.Clone()
+	for i := range weights {
+		a, b := collect(ts, weights[i]), collect(clone, weights[i])
+		if len(a) != len(b) {
+			t.Fatalf("query %d: clone returned %d ids, original %d", i, len(b), len(a))
+		}
+		for id := range a {
+			if !b[id] {
+				t.Fatalf("query %d: clone missing id %d", i, id)
+			}
+		}
+	}
+
+	// Rebuild the original over half the neurons: the clone must keep
+	// serving the old contents.
+	ts.RebuildDense(n/2, 16, func(i int, _ []float32) []float32 { return weights[i] }, 2)
+	if !collect(clone, weights[n-1])[int32(n-1)] {
+		t.Error("clone lost an id after the original was rebuilt")
+	}
+	if collect(ts, weights[n-1])[int32(n-1)] {
+		t.Error("original still serves an id dropped by its rebuild")
+	}
+
+	// Inserting into the clone must not leak into the original.
+	extra := make([]float32, 16)
+	for j := range extra {
+		extra[j] = float32(rng.NormFloat64())
+	}
+	clone.InsertDense(int32(999), extra)
+	if collect(ts, extra)[999] {
+		t.Error("insert into clone reached the original")
+	}
+}
+
 func TestDedup(t *testing.T) {
 	d := NewDedup(10)
 	d.Begin()

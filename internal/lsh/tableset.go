@@ -37,6 +37,27 @@ func NewTableSet(h Hasher, bucketCap int, policy BucketPolicy, seed uint64) *Tab
 // Hasher returns the hasher feeding the tables.
 func (ts *TableSet) Hasher() Hasher { return ts.hasher }
 
+// Clone returns a deep copy of the current table contents under the read
+// lock: a point-in-time snapshot that later rebuilds or inserts on the
+// original never touch. The hasher is shared — hashers are immutable after
+// construction and use pooled scratch, so concurrent queries through both
+// sets are safe. Predictor snapshots query the clone while training keeps
+// rebuilding the original.
+func (ts *TableSet) Clone() *TableSet {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	c := &TableSet{hasher: ts.hasher}
+	c.tables = make([]*Table, len(ts.tables))
+	for i, t := range ts.tables {
+		c.tables[i] = t.Clone()
+	}
+	c.hashBuf.New = func() any {
+		b := make([]uint32, ts.hasher.Tables())
+		return &b
+	}
+	return c
+}
+
 // Tables returns L.
 func (ts *TableSet) Tables() int { return len(ts.tables) }
 

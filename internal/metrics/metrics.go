@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
 	"time"
 )
 
@@ -20,31 +19,83 @@ func TopK(scores []float32, k int) []int32 {
 	if k <= 0 {
 		return nil
 	}
-	type pair struct {
-		idx   int32
-		score float32
+	return TopKInto(scores, k, make([]int32, 0, k))
+}
+
+// TopKInto is TopK with caller-provided storage: the selection runs in
+// out's backing array and the result (highest score first, ties toward the
+// lower index) is returned as a slice of it. Allocation-free when
+// cap(out) >= min(k, len(scores)) — the hot ranking step of the serving
+// path. out's previous contents are ignored.
+//
+// The selection keeps a size-k min-heap of candidate indices ordered by
+// (score, -index), so a full ranking costs O(n log k) with an O(1) reject
+// for the common below-threshold case.
+func TopKInto(scores []float32, k int, out []int32) []int32 {
+	if k > len(scores) {
+		k = len(scores)
 	}
-	// Partial selection: maintain the k best in a small sorted buffer.
-	best := make([]pair, 0, k)
-	for i, s := range scores {
-		if len(best) == k && s <= best[k-1].score {
+	if k <= 0 {
+		return out[:0]
+	}
+	h := out[:0]
+	// worse reports whether index a ranks strictly below index b: lower
+	// score, or equal score with the higher index. It is a total order, so
+	// the heap-sorted output is deterministic.
+	worse := func(a, b int32) bool {
+		sa, sb := scores[a], scores[b]
+		return sa < sb || (sa == sb && a > b)
+	}
+	for i := range scores {
+		c := int32(i)
+		if len(h) < k {
+			// Sift up.
+			h = append(h, c)
+			j := len(h) - 1
+			for j > 0 {
+				parent := (j - 1) / 2
+				if !worse(h[j], h[parent]) {
+					break
+				}
+				h[j], h[parent] = h[parent], h[j]
+				j = parent
+			}
 			continue
 		}
-		p := pair{int32(i), s}
-		pos := sort.Search(len(best), func(j int) bool {
-			return best[j].score < p.score
-		})
-		if len(best) < k {
-			best = append(best, pair{})
+		// Candidates iterate in ascending index order, so an incoming score
+		// equal to the current k-th best is always worse (higher index) and
+		// rejected here — the tie-toward-lower-index rule falls out for free.
+		if !worse(h[0], c) {
+			continue
 		}
-		copy(best[pos+1:], best[pos:len(best)-1])
-		best[pos] = p
+		h[0] = c
+		siftDown(h, 0, worse)
 	}
-	out := make([]int32, len(best))
-	for i, p := range best {
-		out[i] = p.idx
+	// Heap-sort in place: repeatedly move the current worst to the back,
+	// leaving the slice ordered best-first.
+	for end := len(h) - 1; end > 0; end-- {
+		h[0], h[end] = h[end], h[0]
+		siftDown(h[:end], 0, worse)
 	}
-	return out
+	return h
+}
+
+func siftDown(h []int32, j int, worse func(a, b int32) bool) {
+	for {
+		l := 2*j + 1
+		if l >= len(h) {
+			return
+		}
+		min := l
+		if r := l + 1; r < len(h) && worse(h[r], h[l]) {
+			min = r
+		}
+		if !worse(h[min], h[j]) {
+			return
+		}
+		h[j], h[min] = h[min], h[j]
+		j = min
+	}
 }
 
 // PrecisionAtK computes P@k for one sample: the fraction of the k

@@ -77,6 +77,88 @@ func TestTopKMatchesSortReference(t *testing.T) {
 	}
 }
 
+// referenceTopK is the pre-heap insertion-sort implementation, kept as the
+// oracle for exact output equality (order and tie-breaking included).
+func referenceTopK(scores []float32, k int) []int32 {
+	if k > len(scores) {
+		k = len(scores)
+	}
+	if k <= 0 {
+		return nil
+	}
+	type pair struct {
+		idx   int32
+		score float32
+	}
+	best := make([]pair, 0, k)
+	for i, s := range scores {
+		if len(best) == k && s <= best[k-1].score {
+			continue
+		}
+		p := pair{int32(i), s}
+		pos := sort.Search(len(best), func(j int) bool {
+			return best[j].score < p.score
+		})
+		if len(best) < k {
+			best = append(best, pair{})
+		}
+		copy(best[pos+1:], best[pos:len(best)-1])
+		best[pos] = p
+	}
+	out := make([]int32, len(best))
+	for i, p := range best {
+		out[i] = p.idx
+	}
+	return out
+}
+
+func TestTopKMatchesInsertionReference(t *testing.T) {
+	// The heap selection must be bit-identical to the insertion-sort
+	// reference — same order, same tie-breaks — across sizes, duplicate-heavy
+	// inputs, and every k. Serving equivalence (Predictor vs Model) depends
+	// on this.
+	rng := rand.New(rand.NewPCG(7, 9))
+	for _, n := range []int{0, 1, 2, 7, 64, 513} {
+		for trial := 0; trial < 20; trial++ {
+			scores := make([]float32, n)
+			for i := range scores {
+				// Coarse quantization forces many exact ties.
+				scores[i] = float32(rng.IntN(8))
+			}
+			for _, k := range []int{0, 1, 2, 3, n / 2, n, n + 3} {
+				got := TopKInto(scores, k, make([]int32, 0, 16))
+				want := referenceTopK(scores, k)
+				if len(got) != len(want) {
+					t.Fatalf("n=%d k=%d: got %v, want %v", n, k, got, want)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("n=%d k=%d: got %v, want %v", n, k, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTopKIntoAllocationFree(t *testing.T) {
+	scores := make([]float32, 2048)
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := range scores {
+		scores[i] = rng.Float32()
+	}
+	buf := make([]int32, 0, 32)
+	allocs := testing.AllocsPerRun(50, func() {
+		buf = TopKInto(scores, 10, buf[:0])
+	})
+	if allocs != 0 {
+		t.Errorf("TopKInto allocated %.1f times per run with sufficient buffer", allocs)
+	}
+	if len(buf) != 10 {
+		t.Errorf("TopKInto returned %d results, want 10", len(buf))
+	}
+}
+
 func TestPrecisionAtK(t *testing.T) {
 	scores := []float32{0.1, 0.9, 0.3, 0.7, 0.5}
 	// top1 = 1; top3 = {1,3,4}

@@ -1,0 +1,176 @@
+package network
+
+import (
+	"math/rand/v2"
+
+	"github.com/slide-cpu/slide/internal/bf16"
+	"github.com/slide-cpu/slide/internal/layer"
+	"github.com/slide-cpu/slide/internal/lsh"
+	"github.com/slide-cpu/slide/internal/metrics"
+	"github.com/slide-cpu/slide/internal/simd"
+	"github.com/slide-cpu/slide/internal/sparse"
+)
+
+// forwardState is the read-only half of the network: everything the forward
+// pass and LSH retrieval consume, none of the optimizer state. Both
+// execution paths run on it —
+//
+//   - training holds a *live* forwardState whose layer views alias the
+//     mutable weights (updates are visible batch to batch), and
+//   - Predictor snapshots hold a *frozen* forwardState whose views are deep
+//     copies and whose table set is a clone, immutable for its lifetime and
+//     therefore safe for any number of concurrent readers.
+//
+// All per-call mutable state lives in scratch, never here.
+type forwardState struct {
+	cfg    Config
+	hidden *layer.ColWeights
+	middle []*layer.RowWeights
+	output *layer.RowWeights
+	tables *lsh.TableSet // nil when sampling is disabled
+
+	// middleAll[i] lists every row id of middle layer i (dense forward).
+	middleAll [][]int32
+	// dims holds the hidden widths: HiddenDim then HiddenLayers.
+	dims []int
+	// lastDim is the width of the activation feeding the output layer.
+	lastDim int
+	// all is the precomputed full active set for NoSampling.
+	all []int32
+}
+
+// scratch holds the mutable buffers of one forward (and, for training
+// workers, backward) pass. Training owns one per HOGWILD worker for the
+// whole run; Predictors draw them from a sync.Pool per call.
+type scratch struct {
+	ks *simd.Kernels
+	// acts[0] is the first hidden layer's activation; acts[i] the i-th
+	// stacked layer's. dhs mirror them with gradients (training only).
+	acts   [][]float32
+	dhs    [][]float32
+	hBF    []bf16.BF16 // bfloat16 view of the last activation
+	active []int32
+	logits []float32
+	probs  []float32 // training only
+	dedup  *lsh.Dedup
+	rng    *rand.Rand
+}
+
+// newScratch sizes a scratch set for this network shape. train additionally
+// allocates the backward buffers; stream separates the random top-up
+// sequences of sibling scratches.
+func (f *forwardState) newScratch(train bool, seed, stream uint64) *scratch {
+	// Buffers are sized for the worst case (every neuron active): MaxActive
+	// caps the usual path, but labels are never dropped, so a pathological
+	// sample could exceed it.
+	actCap := f.cfg.OutputDim
+	ws := &scratch{
+		active: make([]int32, 0, actCap),
+		logits: make([]float32, actCap),
+		dedup:  lsh.NewDedup(f.cfg.OutputDim),
+		rng:    rand.New(rand.NewPCG(seed, stream)),
+	}
+	for _, d := range f.dims {
+		ws.acts = append(ws.acts, make([]float32, d))
+		if train {
+			ws.dhs = append(ws.dhs, make([]float32, d))
+		}
+	}
+	if train {
+		ws.probs = make([]float32, actCap)
+	}
+	if f.cfg.Precision != layer.FP32 {
+		ws.hBF = make([]bf16.BF16, f.lastDim)
+	}
+	return ws
+}
+
+// last returns the activation feeding the output layer.
+func (ws *scratch) last() []float32 { return ws.acts[len(ws.acts)-1] }
+
+// dhLast returns the gradient buffer for the output layer's input.
+func (ws *scratch) dhLast() []float32 { return ws.dhs[len(ws.dhs)-1] }
+
+// forwardStack runs the hidden layer and the dense middle stack, leaving
+// the output-layer input in ws.last() (and ws.hBF under the BF16 modes).
+func (f *forwardState) forwardStack(ws *scratch, x sparse.Vector) {
+	f.hidden.Forward(ws.ks, x, ws.acts[0])
+	for i, ml := range f.middle {
+		in, out := ws.acts[i], ws.acts[i+1]
+		ml.ForwardActive(ws.ks, f.middleAll[i], in, nil, out)
+		for j := range out { // stacked layers are ReLU
+			if out[j] < 0 {
+				out[j] = 0
+			}
+		}
+	}
+	if ws.hBF != nil {
+		bf16.Convert(ws.hBF, ws.last())
+	}
+}
+
+// sampleActive fills ws.active for one sample: true labels first (never
+// dropped), then LSH candidates, then random top-up to MinActive, capped at
+// MaxActive. Returns the number of label entries at the head of the slice.
+func (f *forwardState) sampleActive(ws *scratch, labels []int32) int {
+	ws.active = ws.active[:0]
+	ws.dedup.Begin()
+	for _, y := range labels {
+		if int(y) < f.cfg.OutputDim && !ws.dedup.Seen(y) {
+			ws.active = append(ws.active, y)
+		}
+	}
+	nLabels := len(ws.active)
+
+	limit := f.cfg.MaxActive
+	if limit > 0 && nLabels > limit {
+		limit = nLabels // labels always survive
+	}
+	if f.tables != nil {
+		f.tables.QueryDense(ws.last(), func(id int32) {
+			if limit > 0 && len(ws.active) >= limit {
+				return
+			}
+			if !ws.dedup.Seen(id) {
+				ws.active = append(ws.active, id)
+			}
+		})
+	}
+
+	// Random top-up: keeps gradient flowing when buckets run cold early in
+	// training (SLIDE's random fill).
+	for len(ws.active) < f.cfg.MinActive {
+		id := int32(ws.rng.IntN(f.cfg.OutputDim))
+		if !ws.dedup.Seen(id) {
+			ws.active = append(ws.active, id)
+		}
+	}
+	return nLabels
+}
+
+// scoresInto computes the full output-layer logits for one sample into out
+// (len OutputDim), tiling the output rows over workers (<=1 runs inline).
+func (f *forwardState) scoresInto(ws *scratch, x sparse.Vector, out []float32, workers int) {
+	f.forwardStack(ws, x)
+	f.output.ForwardAll(ws.ks, ws.last(), ws.hBF, out, workers)
+}
+
+// predictSampled ranks the LSH-retrieved candidate set for one sample and
+// returns the top-k ids, highest logit first. Caller guarantees tables are
+// present.
+func (f *forwardState) predictSampled(ws *scratch, x sparse.Vector, k int) []int32 {
+	f.forwardStack(ws, x)
+	f.sampleActive(ws, nil)
+	na := len(ws.active)
+	if na == 0 {
+		return nil
+	}
+	logits := ws.logits[:na]
+	f.output.ForwardActive(ws.ks, ws.active, ws.last(), ws.hBF, logits)
+	top := metrics.TopK(logits, k)
+	out := make([]int32, len(top))
+	for i, pos := range top {
+		out[i] = ws.active[pos]
+	}
+	return out
+}

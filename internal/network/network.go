@@ -3,10 +3,8 @@ package network
 import (
 	"fmt"
 	"math"
-	"math/rand/v2"
 	"sync"
 
-	"github.com/slide-cpu/slide/internal/bf16"
 	"github.com/slide-cpu/slide/internal/layer"
 	"github.com/slide-cpu/slide/internal/lsh"
 	"github.com/slide-cpu/slide/internal/metrics"
@@ -17,6 +15,12 @@ import (
 // Network is a two-layer SLIDE model: sparse input → hidden (ColLayer,
 // Algorithm 2) → wide output (RowLayer, Algorithm 1) with LSH-sampled
 // softmax cross-entropy.
+//
+// The network owns the mutable training state (layers with gradients and
+// optimizer moments, the rebuild schedule). Everything the forward pass
+// reads lives in a forwardState (see forward.go): training consumes the
+// live one, and Snapshot copies it into an immutable Predictor for
+// concurrency-safe serving.
 type Network struct {
 	cfg    Config
 	hidden *layer.ColLayer
@@ -24,8 +28,14 @@ type Network struct {
 	output *layer.RowLayer
 	tables *lsh.TableSet // nil when cfg.NoSampling
 
-	// middleAll[i] lists every row id of middle layer i (dense forward).
-	middleAll [][]int32
+	// fwd is the live read-only view consumed by the training forward pass
+	// and the single-threaded inference compatibility path.
+	fwd *forwardState
+	// live serves Scores/Predict/PredictSampled over fwd. Like every read
+	// of the live weights, it must not run concurrently with TrainBatch —
+	// Snapshot is the concurrency-safe path.
+	live *Predictor
+
 	// lastDim is the width of the activation feeding the output layer.
 	lastDim int
 
@@ -33,32 +43,8 @@ type Network struct {
 	sinceRebuild  int
 	rebuildPeriod float64
 
-	workers []*workerScratch
-	all     []int32 // precomputed full active set for NoSampling
+	workers []*scratch
 }
-
-// workerScratch holds one HOGWILD worker's private buffers, plus the kernel
-// table resolved once at the start of the batch (one atomic mode load per
-// batch instead of one per kernel call).
-type workerScratch struct {
-	ks *simd.Kernels
-	// acts[0] is the first hidden layer's activation; acts[i] the i-th
-	// stacked layer's. dhs mirror them with gradients.
-	acts   [][]float32
-	dhs    [][]float32
-	hBF    []bf16.BF16 // bfloat16 view of the last activation
-	active []int32
-	logits []float32
-	probs  []float32
-	dedup  *lsh.Dedup
-	rng    *rand.Rand
-}
-
-// last returns the activation feeding the output layer.
-func (ws *workerScratch) last() []float32 { return ws.acts[len(ws.acts)-1] }
-
-// dhLast returns the gradient buffer for the output layer's input.
-func (ws *workerScratch) dhLast() []float32 { return ws.dhs[len(ws.dhs)-1] }
 
 // New builds a SLIDE network from cfg (validated and defaulted in place).
 func New(cfg *Config) (*Network, error) {
@@ -86,6 +72,7 @@ func New(cfg *Config) (*Network, error) {
 	}
 	// Stacked dense hidden layers stay FP32: the quantization modes target
 	// the memory-bound wide layers, not the small dense middle (§4.4).
+	var middleAll [][]int32
 	for i := 1; i < len(dims); i++ {
 		mOpts := opts
 		mOpts.Seed = splitSeed(cfg.Seed, 16+uint64(i))
@@ -95,7 +82,7 @@ func New(cfg *Config) (*Network, error) {
 		for r := range all {
 			all[r] = int32(r)
 		}
-		n.middleAll = append(n.middleAll, all)
+		middleAll = append(middleAll, all)
 	}
 
 	if !cfg.NoSampling && !cfg.UniformSampling {
@@ -124,36 +111,41 @@ func New(cfg *Config) (*Network, error) {
 			return nil, err
 		}
 		n.tables = lsh.NewTableSet(hasher, cfg.BucketCap, cfg.BucketPolicy, splitSeed(cfg.Seed, 4))
-		n.rebuildTables()
 	}
+
+	var all []int32
 	if cfg.NoSampling {
-		n.all = make([]int32, cfg.OutputDim)
-		for i := range n.all {
-			n.all[i] = int32(i)
+		all = make([]int32, cfg.OutputDim)
+		for i := range all {
+			all[i] = int32(i)
 		}
 	}
 
-	n.workers = make([]*workerScratch, cfg.Workers)
-	// Buffers are sized for the worst case (every neuron active): MaxActive
-	// caps the usual path, but labels are never dropped, so a pathological
-	// sample could exceed it.
-	actCap := cfg.OutputDim
+	// The live forward view: layer views alias the training weights, so
+	// every ApplyAdam is visible to the next forward pass.
+	var middleViews []*layer.RowWeights
+	for _, ml := range n.middle {
+		middleViews = append(middleViews, ml.ForwardView())
+	}
+	n.fwd = &forwardState{
+		cfg:       *cfg,
+		hidden:    n.hidden.ForwardView(),
+		middle:    middleViews,
+		output:    n.output.ForwardView(),
+		tables:    n.tables,
+		middleAll: middleAll,
+		dims:      dims,
+		lastDim:   lastDim,
+		all:       all,
+	}
+	if n.tables != nil {
+		n.rebuildTables()
+	}
+	n.live = newPredictor(n.fwd, splitSeed(cfg.Seed, 7))
+
+	n.workers = make([]*scratch, cfg.Workers)
 	for w := range n.workers {
-		ws := &workerScratch{
-			active: make([]int32, 0, actCap),
-			logits: make([]float32, actCap),
-			probs:  make([]float32, actCap),
-			dedup:  lsh.NewDedup(cfg.OutputDim),
-			rng:    rand.New(rand.NewPCG(splitSeed(cfg.Seed, 5), uint64(w))),
-		}
-		for _, d := range dims {
-			ws.acts = append(ws.acts, make([]float32, d))
-			ws.dhs = append(ws.dhs, make([]float32, d))
-		}
-		if cfg.Precision != layer.FP32 {
-			ws.hBF = make([]bf16.BF16, lastDim)
-		}
-		n.workers[w] = ws
+		n.workers[w] = n.fwd.newScratch(true, splitSeed(cfg.Seed, 5), uint64(w))
 	}
 	return n, nil
 }
@@ -186,27 +178,9 @@ func (n *Network) rebuildTables() {
 	n.tables.RebuildDense(n.cfg.OutputDim, n.lastDim, n.output.RowF32, n.cfg.Workers)
 }
 
-// forwardStack runs the hidden layer and the dense middle stack, leaving
-// the output-layer input in ws.last() (and ws.hBF under the BF16 modes).
-func (n *Network) forwardStack(ws *workerScratch, x sparse.Vector) {
-	n.hidden.Forward(ws.ks, x, ws.acts[0])
-	for i, ml := range n.middle {
-		in, out := ws.acts[i], ws.acts[i+1]
-		ml.ForwardActive(ws.ks, n.middleAll[i], in, nil, out)
-		for j := range out { // stacked layers are ReLU
-			if out[j] < 0 {
-				out[j] = 0
-			}
-		}
-	}
-	if ws.hBF != nil {
-		bf16.Convert(ws.hBF, ws.last())
-	}
-}
-
 // backwardStack propagates ws.dhLast() through the middle stack and into
 // the first hidden layer's gradient buffers.
-func (n *Network) backwardStack(ws *workerScratch, x sparse.Vector) {
+func (n *Network) backwardStack(ws *scratch, x sparse.Vector) {
 	for i := len(n.middle) - 1; i >= 0; i-- {
 		ml := n.middle[i]
 		act, dh := ws.acts[i+1], ws.dhs[i+1]
@@ -224,49 +198,10 @@ func (n *Network) backwardStack(ws *workerScratch, x sparse.Vector) {
 	n.hidden.Backward(ws.ks, x, ws.acts[0], ws.dhs[0])
 }
 
-// sampleActive fills ws.active for one sample: true labels first (never
-// dropped), then LSH candidates, then random top-up to MinActive, capped at
-// MaxActive. Returns the number of label entries at the head of the slice.
-func (n *Network) sampleActive(ws *workerScratch, labels []int32) int {
-	ws.active = ws.active[:0]
-	ws.dedup.Begin()
-	for _, y := range labels {
-		if int(y) < n.cfg.OutputDim && !ws.dedup.Seen(y) {
-			ws.active = append(ws.active, y)
-		}
-	}
-	nLabels := len(ws.active)
-
-	limit := n.cfg.MaxActive
-	if limit > 0 && nLabels > limit {
-		limit = nLabels // labels always survive
-	}
-	if n.tables != nil {
-		n.tables.QueryDense(ws.last(), func(id int32) {
-			if limit > 0 && len(ws.active) >= limit {
-				return
-			}
-			if !ws.dedup.Seen(id) {
-				ws.active = append(ws.active, id)
-			}
-		})
-	}
-
-	// Random top-up: keeps gradient flowing when buckets run cold early in
-	// training (SLIDE's random fill).
-	for len(ws.active) < n.cfg.MinActive {
-		id := int32(ws.rng.IntN(n.cfg.OutputDim))
-		if !ws.dedup.Seen(id) {
-			ws.active = append(ws.active, id)
-		}
-	}
-	return nLabels
-}
-
 // trainSample processes one sample end to end (forward, sampled softmax,
 // backward) and returns its loss and active-set size.
-func (n *Network) trainSample(ws *workerScratch, x sparse.Vector, labels []int32) (float64, int) {
-	n.forwardStack(ws, x)
+func (n *Network) trainSample(ws *scratch, x sparse.Vector, labels []int32) (float64, int) {
+	n.fwd.forwardStack(ws, x)
 
 	var nLabels int
 	if n.cfg.NoSampling {
@@ -279,12 +214,12 @@ func (n *Network) trainSample(ws *workerScratch, x sparse.Vector, labels []int32
 		}
 		nLabels = -1 // labels identified via dedup stamps below
 	} else {
-		nLabels = n.sampleActive(ws, labels)
+		nLabels = n.fwd.sampleActive(ws, labels)
 	}
 
 	active := ws.active
 	if n.cfg.NoSampling {
-		active = n.all
+		active = n.fwd.all
 	}
 	na := len(active)
 	if na == 0 {
@@ -405,15 +340,13 @@ func (n *Network) TrainBatch(b sparse.Batch) BatchStats {
 
 // Scores computes the full output-layer logits for one sample into out
 // (len OutputDim) — the exact forward pass used for evaluation. Not safe
-// for concurrent use with training.
+// for concurrent use with training; serve from Snapshot for that.
 func (n *Network) Scores(x sparse.Vector, out []float32) {
-	ws := n.workers[0]
-	ws.ks = simd.Active()
-	n.forwardStack(ws, x)
-	n.output.ForwardAll(ws.ks, ws.last(), ws.hBF, out, n.cfg.Workers)
+	n.live.scoresWorkers(x, out, n.cfg.Workers)
 }
 
 // Predict returns the top-k scoring label ids for one sample, highest first.
+// Not safe for concurrent use with training; serve from Snapshot for that.
 func (n *Network) Predict(x sparse.Vector, k int, scores []float32) []int32 {
 	if len(scores) != n.cfg.OutputDim {
 		panic("network: Predict scores buffer must have OutputDim length")
@@ -424,27 +357,9 @@ func (n *Network) Predict(x sparse.Vector, k int, scores []float32) []int32 {
 
 // PredictSampled returns the top-k label ids ranked only over the LSH-
 // retrieved candidate set — sub-linear inference, the deployment-time
-// counterpart of SLIDE's sampled training. Requires LSH sampling; panics
-// under NoSampling/UniformSampling (full Predict is the right call there).
-// Not safe for concurrent use with training.
-func (n *Network) PredictSampled(x sparse.Vector, k int) []int32 {
-	if n.tables == nil {
-		panic("network: PredictSampled requires LSH sampling")
-	}
-	ws := n.workers[0]
-	ws.ks = simd.Active()
-	n.forwardStack(ws, x)
-	n.sampleActive(ws, nil)
-	na := len(ws.active)
-	if na == 0 {
-		return nil
-	}
-	logits := ws.logits[:na]
-	n.output.ForwardActive(ws.ks, ws.active, ws.last(), ws.hBF, logits)
-	top := metrics.TopK(logits, k)
-	out := make([]int32, len(top))
-	for i, pos := range top {
-		out[i] = ws.active[pos]
-	}
-	return out
+// counterpart of SLIDE's sampled training. Returns ErrNoSampling under
+// NoSampling/UniformSampling (full Predict is the right call there).
+// Not safe for concurrent use with training; serve from Snapshot for that.
+func (n *Network) PredictSampled(x sparse.Vector, k int) ([]int32, error) {
+	return n.live.PredictSampled(x, k)
 }

@@ -2,6 +2,7 @@ package network
 
 import (
 	"bytes"
+	"errors"
 	"math/rand/v2"
 	"testing"
 
@@ -527,7 +528,10 @@ func TestPredictSampled(t *testing.T) {
 	agree := 0
 	for i := 0; i < eval.Len(); i++ {
 		exact := n.Predict(eval.Sample(i), 1, scores)
-		sampled := n.PredictSampled(eval.Sample(i), 1)
+		sampled, err := n.PredictSampled(eval.Sample(i), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(exact) == 1 && len(sampled) >= 1 && exact[0] == sampled[0] {
 			agree++
 		}
@@ -538,7 +542,10 @@ func TestPredictSampled(t *testing.T) {
 
 	// Ranked output is consistent: first sampled prediction has the highest
 	// logit among returned ids.
-	out := n.PredictSampled(eval.Sample(0), 3)
+	out, err := n.PredictSampled(eval.Sample(0), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(out) > 1 {
 		n.Scores(eval.Sample(0), scores)
 		if scores[out[0]] < scores[out[1]] {
@@ -547,18 +554,27 @@ func TestPredictSampled(t *testing.T) {
 	}
 }
 
-func TestPredictSampledPanicsWithoutLSH(t *testing.T) {
-	cfg := Config{InputDim: 10, HiddenDim: 4, OutputDim: 8, NoSampling: true, Workers: 1}
-	n, err := New(&cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer func() {
-		if recover() == nil {
-			t.Error("PredictSampled without LSH did not panic")
+func TestPredictSampledErrorsWithoutLSH(t *testing.T) {
+	// Both non-LSH modes must return the documented error — not panic — so
+	// callers can fall back to the exact path.
+	for name, cfg := range map[string]Config{
+		"no-sampling": {InputDim: 10, HiddenDim: 4, OutputDim: 8, NoSampling: true, Workers: 1},
+		"uniform":     {InputDim: 10, HiddenDim: 4, OutputDim: 8, UniformSampling: true, Workers: 1},
+	} {
+		n, err := New(&cfg)
+		if err != nil {
+			t.Fatal(err)
 		}
-	}()
-	n.PredictSampled(sparse.Vector{}, 1)
+		x := sparse.Vector{Indices: []int32{1}, Values: []float32{1}}
+		if _, err := n.PredictSampled(x, 1); !errors.Is(err, ErrNoSampling) {
+			t.Errorf("%s: PredictSampled error = %v, want ErrNoSampling", name, err)
+		}
+		// The fallback-to-exact path keeps working on the same model.
+		scores := make([]float32, 8)
+		if got := n.Predict(x, 2, scores); len(got) != 2 {
+			t.Errorf("%s: exact fallback Predict returned %v", name, got)
+		}
+	}
 }
 
 func TestEmptyLabelSample(t *testing.T) {

@@ -1,0 +1,165 @@
+package network
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/slide-cpu/slide/internal/metrics"
+	"github.com/slide-cpu/slide/internal/simd"
+	"github.com/slide-cpu/slide/internal/sparse"
+)
+
+// ErrNoSampling is returned by PredictSampled on models built without LSH
+// sampling (NoSampling or UniformSampling): there is no candidate structure
+// to retrieve from, so exact Predict is the right call.
+var ErrNoSampling = errors.New("network: PredictSampled requires an LSH-sampled model")
+
+// Predictor serves inference from one forwardState with per-call scratch
+// drawn from a pool. Over a snapshot state (Network.Snapshot) every method
+// is safe for unbounded concurrent use, including concurrently with
+// continued training on the source network. Over the live state
+// (the network's own compatibility path) it inherits the network's
+// single-threaded contract with training.
+type Predictor struct {
+	fwd    *forwardState
+	seed   uint64
+	stream atomic.Uint64
+	pool   sync.Pool // *scratch
+}
+
+func newPredictor(f *forwardState, seed uint64) *Predictor {
+	p := &Predictor{fwd: f, seed: seed}
+	p.pool.New = func() any {
+		// Distinct streams keep sibling scratches' random top-up sequences
+		// (PredictSampled on cold buckets) decorrelated.
+		return f.newScratch(false, seed, p.stream.Add(1))
+	}
+	return p
+}
+
+// Snapshot produces an immutable Predictor over a deep copy of the current
+// weights and a clone of the LSH tables. Call it between TrainBatch calls
+// (the same contract as Save); afterwards the Predictor is fully
+// independent — training continues on the network without ever touching
+// the snapshot, and any number of goroutines may serve from it.
+func (n *Network) Snapshot() *Predictor {
+	f := &forwardState{
+		cfg:       n.cfg,
+		hidden:    n.hidden.SnapshotWeights(),
+		output:    n.output.SnapshotWeights(),
+		middleAll: n.fwd.middleAll, // immutable index lists, shared
+		dims:      n.fwd.dims,
+		lastDim:   n.lastDim,
+		all:       n.fwd.all,
+	}
+	for _, ml := range n.middle {
+		f.middle = append(f.middle, ml.SnapshotWeights())
+	}
+	if n.tables != nil {
+		f.tables = n.tables.Clone()
+	}
+	// Fold the optimizer step into the seed so successive snapshots draw
+	// different (still deterministic) random top-up streams.
+	return newPredictor(f, splitSeed(n.cfg.Seed, 6)^uint64(n.step))
+}
+
+// Config returns the configuration of the snapshotted network.
+func (p *Predictor) Config() Config { return p.fwd.cfg }
+
+// Sampled reports whether the predictor carries LSH tables, i.e. whether
+// PredictSampled is available.
+func (p *Predictor) Sampled() bool { return p.fwd.tables != nil }
+
+func (p *Predictor) get() *scratch {
+	ws := p.pool.Get().(*scratch)
+	ws.ks = simd.Active()
+	return ws
+}
+
+// Scores computes the full output-layer logits for one sample into out
+// (len OutputDim) — the exact forward pass.
+func (p *Predictor) Scores(x sparse.Vector, out []float32) {
+	p.scoresWorkers(x, out, 1)
+}
+
+// scoresWorkers is Scores with the output rows tiled over workers — the
+// network's single-caller evaluation path keeps its intra-call parallelism;
+// concurrent serving uses workers=1 and scales across calls instead.
+func (p *Predictor) scoresWorkers(x sparse.Vector, out []float32, workers int) {
+	if len(out) != p.fwd.cfg.OutputDim {
+		panic("network: Scores buffer must have OutputDim length")
+	}
+	ws := p.get()
+	defer p.pool.Put(ws)
+	p.fwd.scoresInto(ws, x, out, workers)
+}
+
+// Predict returns the top-k scoring label ids for one sample, highest
+// first. The full output layer is ranked (exact inference); results are
+// bit-identical to Network.Predict on the same weights.
+func (p *Predictor) Predict(x sparse.Vector, k int) []int32 {
+	ws := p.get()
+	defer p.pool.Put(ws)
+	p.fwd.forwardStack(ws, x)
+	scores := ws.logits[:p.fwd.cfg.OutputDim]
+	p.fwd.output.ForwardAll(ws.ks, ws.last(), ws.hBF, scores, 1)
+	// Rank in place in the pooled active buffer, then hand back a fresh
+	// slice the caller may retain.
+	top := metrics.TopKInto(scores, k, ws.active[:0])
+	out := make([]int32, len(top))
+	copy(out, top)
+	return out
+}
+
+// PredictSampled returns the top-k label ids ranked only over the LSH-
+// retrieved candidate set — sub-linear inference, the deployment-time
+// counterpart of SLIDE's sampled training. Returns ErrNoSampling for
+// models built without LSH tables.
+func (p *Predictor) PredictSampled(x sparse.Vector, k int) ([]int32, error) {
+	if p.fwd.tables == nil {
+		return nil, ErrNoSampling
+	}
+	ws := p.get()
+	defer p.pool.Put(ws)
+	return p.fwd.predictSampled(ws, x, k), nil
+}
+
+// PredictBatch runs exact top-k prediction over a batch of samples,
+// fanning the samples out across GOMAXPROCS goroutines (each drawing its
+// own scratch from the pool). out[i] corresponds to xs[i].
+func (p *Predictor) PredictBatch(xs []sparse.Vector, k int) [][]int32 {
+	out := make([][]int32, len(xs))
+	nw := min(runtime.GOMAXPROCS(0), len(xs))
+	if nw <= 1 {
+		for i, x := range xs {
+			out[i] = p.Predict(x, k)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(xs); i += nw {
+				out[i] = p.Predict(xs[i], k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out
+}
+
+// PrecisionAtK scores one labelled sample: the fraction of the k top
+// predictions that are true labels. The building block of the parallel
+// evaluation loop.
+func (p *Predictor) PrecisionAtK(x sparse.Vector, labels []int32, k int) float64 {
+	ws := p.get()
+	defer p.pool.Put(ws)
+	p.fwd.forwardStack(ws, x)
+	scores := ws.logits[:p.fwd.cfg.OutputDim]
+	p.fwd.output.ForwardAll(ws.ks, ws.last(), ws.hBF, scores, 1)
+	return metrics.PrecisionAtK(scores, labels, k)
+}

@@ -1,0 +1,112 @@
+package slide
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/slide-cpu/slide/internal/network"
+	"github.com/slide-cpu/slide/internal/sparse"
+)
+
+// Predictor is an immutable snapshot of a model's weights and LSH tables
+// that serves inference concurrently: any number of goroutines may call any
+// method at the same time, including while the source Model keeps training.
+// Per-call scratch is drawn from an internal pool, so steady-state serving
+// does not allocate beyond the returned result slices.
+//
+// A Predictor never changes — to pick up newer weights, take a fresh
+// Snapshot and swap it in (e.g. via atomic.Pointer; see cmd/slide-serve).
+type Predictor struct {
+	p   *network.Predictor
+	out int
+}
+
+// Snapshot deep-copies the model's current weights and LSH tables into a
+// Predictor. Call it between training calls — like Save, it must not run
+// concurrently with TrainBatch/TrainEpoch — but once it returns, the
+// snapshot is fully independent of further training.
+func (m *Model) Snapshot() *Predictor {
+	return &Predictor{p: m.net.Snapshot(), out: m.net.Config().OutputDim}
+}
+
+// NumLabels returns the output dimensionality (the label-space size).
+func (p *Predictor) NumLabels() int { return p.out }
+
+// NumFeatures returns the input dimensionality — the exclusive upper bound
+// on valid feature indices. Serving front ends should validate untrusted
+// indices against it before calling Predict.
+func (p *Predictor) NumFeatures() int { return p.p.Config().InputDim }
+
+// Sampled reports whether the snapshot carries LSH tables, i.e. whether
+// PredictSampled is available.
+func (p *Predictor) Sampled() bool { return p.p.Sampled() }
+
+// Predict returns the top-k label ids for a sparse input, best first. It
+// ranks the full output layer (exact inference); results are bit-identical
+// to Model.Predict on the same weights.
+func (p *Predictor) Predict(indices []int32, values []float32, k int) []int32 {
+	return p.p.Predict(sparse.Vector{Indices: indices, Values: values}, k)
+}
+
+// PredictSampled returns the top-k label ids ranked over the LSH-retrieved
+// candidates only — sub-linear approximate inference. Returns ErrNoSampling
+// for snapshots of models built without LSH sampling; callers should fall
+// back to the exact Predict.
+func (p *Predictor) PredictSampled(indices []int32, values []float32, k int) ([]int32, error) {
+	out, err := p.p.PredictSampled(sparse.Vector{Indices: indices, Values: values}, k)
+	if err != nil {
+		return nil, ErrNoSampling
+	}
+	return out, nil
+}
+
+// Scores writes the full output-layer logits for a sparse input into out
+// (len = NumLabels).
+func (p *Predictor) Scores(indices []int32, values []float32, out []float32) {
+	p.p.Scores(sparse.Vector{Indices: indices, Values: values}, out)
+}
+
+// PredictBatch runs exact top-k prediction for every sample (Labels fields
+// are ignored), fanning the batch out across GOMAXPROCS goroutines. The
+// result is index-aligned with samples.
+func (p *Predictor) PredictBatch(samples []Sample, k int) ([][]int32, error) {
+	xs := make([]sparse.Vector, len(samples))
+	for i, s := range samples {
+		if len(s.Indices) != len(s.Values) {
+			return nil, fmt.Errorf("slide: sample %d has %d indices but %d values",
+				i, len(s.Indices), len(s.Values))
+		}
+		xs[i] = sparse.Vector{Indices: s.Indices, Values: s.Values}
+	}
+	return p.p.PredictBatch(xs, k), nil
+}
+
+// Evaluate returns mean Precision@k over (up to) n samples of the dataset,
+// scoring samples in parallel across GOMAXPROCS goroutines. The result is
+// deterministic (per-sample precisions are reduced in sample order) and
+// equals Model.Evaluate on the same weights.
+func (p *Predictor) Evaluate(test *Dataset, n, k int) (float64, error) {
+	if test == nil || test.Len() == 0 {
+		return 0, ErrEmptyBatch
+	}
+	n = min(n, test.Len())
+	per := make([]float64, n)
+	nw := min(runtime.GOMAXPROCS(0), n)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += nw {
+				per[i] = p.p.PrecisionAtK(test.d.Sample(i), test.d.LabelsOf(i), k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var sum float64
+	for _, v := range per {
+		sum += v
+	}
+	return sum / float64(n), nil
+}

@@ -5,7 +5,7 @@
 // BF16 quantization modes, and HOGWILD-style asynchronous data parallelism
 // (Daghaghi et al., "Accelerating SLIDE Deep Learning on Modern CPUs").
 //
-// Quick start:
+// Quick start — train, snapshot, serve:
 //
 //	train, test, _ := slide.AmazonLike(0.01, 42)
 //	m, _ := slide.New(train.Features(), 128, train.NumLabels(),
@@ -16,8 +16,18 @@
 //	}
 //	p1, _ := m.Evaluate(test, 500, 1)
 //
-// See the examples/ directory for full programs and cmd/slide-bench for the
-// paper's experiment harness.
+//	// Freeze the current weights into an immutable Predictor and serve it
+//	// from any number of goroutines — even while m keeps training.
+//	p := m.Snapshot()
+//	go func() { m.TrainEpoch(train, 256) }()
+//	s := test.Sample(0)
+//	top := p.Predict(s.Indices, s.Values, 5)       // exact top-5
+//	approx, _ := p.PredictSampled(s.Indices, s.Values, 5) // sub-linear LSH inference
+//	_, _ = top, approx
+//
+// See the examples/ directory for full programs, cmd/slide-serve for the
+// HTTP serving front end, and cmd/slide-bench for the paper's experiment
+// harness.
 package slide
 
 import (
@@ -27,6 +37,7 @@ import (
 	"os"
 
 	"github.com/slide-cpu/slide/internal/layer"
+	"github.com/slide-cpu/slide/internal/lsh"
 	"github.com/slide-cpu/slide/internal/metrics"
 	"github.com/slide-cpu/slide/internal/network"
 	"github.com/slide-cpu/slide/internal/simd"
@@ -192,14 +203,42 @@ func WithActiveSet(min, max int) Option {
 	return func(c *config) { c.net.MinActive, c.net.MaxActive = min, max }
 }
 
-// WithBuckets sets hash-table bucket capacity and whether to use reservoir
-// sampling instead of FIFO eviction.
-func WithBuckets(capacity int, reservoir bool) Option {
+// BucketPolicy selects how a full LSH hash bucket absorbs a new insertion.
+type BucketPolicy int
+
+const (
+	// FIFO overwrites the oldest entry (SLIDE's default policy).
+	FIFO BucketPolicy = iota
+	// Reservoir keeps a uniform sample of everything ever inserted.
+	Reservoir
+)
+
+// String implements fmt.Stringer.
+func (p BucketPolicy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case Reservoir:
+		return "reservoir"
+	default:
+		return "unknown"
+	}
+}
+
+// lshPolicy maps the public policy onto the internal lsh constant.
+func (p BucketPolicy) lshPolicy() lsh.BucketPolicy {
+	if p == Reservoir {
+		return lsh.Reservoir
+	}
+	return lsh.FIFO
+}
+
+// WithBuckets sets hash-table bucket capacity and the eviction policy a
+// full bucket applies (default FIFO).
+func WithBuckets(capacity int, policy BucketPolicy) Option {
 	return func(c *config) {
 		c.net.BucketCap = capacity
-		if reservoir {
-			c.net.BucketPolicy = 1 // lsh.Reservoir
-		}
+		c.net.BucketPolicy = policy.lshPolicy()
 	}
 }
 
@@ -228,7 +267,11 @@ func WithSeed(seed uint64) Option {
 	return func(c *config) { c.net.Seed = seed }
 }
 
-// Model is a trainable SLIDE network.
+// Model is a trainable SLIDE network. Its inference methods (Predict,
+// PredictSampled, Scores, Evaluate) are thin wrappers over a private
+// predictor reading the live weights — convenient between training calls,
+// but not safe concurrently with them. Snapshot freezes the weights into a
+// Predictor that serves any number of goroutines while training continues.
 type Model struct {
 	net    *network.Network
 	scores []float32
@@ -326,20 +369,29 @@ func (m *Model) TrainEpoch(train *Dataset, batchSize int) (TrainStats, error) {
 	return batchStats(agg), nil
 }
 
+// ErrNoSampling is returned by PredictSampled on models built without LSH
+// sampling (WithFullSoftmax / WithUniformSampling): there is no candidate
+// structure to retrieve from, and callers should fall back to the exact
+// Predict.
+var ErrNoSampling = errors.New("slide: PredictSampled requires an LSH-sampled model")
+
 // Predict returns the top-k label ids for a sparse input, best first. It
-// runs the full output layer (exact).
+// runs the full output layer (exact). Like all Model inference it reads the
+// live weights and is not safe concurrently with training — use Snapshot
+// for a concurrency-safe Predictor.
 func (m *Model) Predict(indices []int32, values []float32, k int) []int32 {
 	return m.net.Predict(sparse.Vector{Indices: indices, Values: values}, k, m.scores)
 }
 
 // PredictSampled returns the top-k label ids ranked over the LSH-retrieved
-// candidates only — sub-linear approximate inference. Returns an error for
-// models built without LSH sampling.
+// candidates only — sub-linear approximate inference. Returns ErrNoSampling
+// for models built without LSH sampling.
 func (m *Model) PredictSampled(indices []int32, values []float32, k int) ([]int32, error) {
-	if m.net.Tables() == nil {
-		return nil, errors.New("slide: PredictSampled requires an LSH-sampled model")
+	out, err := m.net.PredictSampled(sparse.Vector{Indices: indices, Values: values}, k)
+	if err != nil {
+		return nil, ErrNoSampling
 	}
-	return m.net.PredictSampled(sparse.Vector{Indices: indices, Values: values}, k), nil
+	return out, nil
 }
 
 // Scores writes the full output-layer logits for a sparse input into out

@@ -94,7 +94,7 @@ func TestOptionCoverage(t *testing.T) {
 		"fragmented": WithMemoryLayout(Fragmented),
 		"coalesced":  WithMemoryLayout(Coalesced),
 		"adam":       WithAdam(0.9, 0.99, 1e-7),
-		"buckets":    WithBuckets(64, true),
+		"buckets":    WithBuckets(64, Reservoir),
 		"linear":     WithLinearHidden(),
 	} {
 		m, err := New(train.Features(), 8, train.NumLabels(), opt,
