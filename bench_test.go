@@ -9,8 +9,12 @@
 package repro_test
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -25,8 +29,10 @@ import (
 	"github.com/slide-cpu/slide/internal/metrics"
 	"github.com/slide-cpu/slide/internal/network"
 	"github.com/slide-cpu/slide/internal/platform"
+	"github.com/slide-cpu/slide/internal/serving"
 	"github.com/slide-cpu/slide/internal/simd"
 	"github.com/slide-cpu/slide/internal/sparse"
+	"github.com/slide-cpu/slide/slide"
 )
 
 // benchOpts keeps measured benchmark runs small and repeatable.
@@ -610,3 +616,150 @@ func BenchmarkTopK(b *testing.B) {
 
 // sink defeats dead-code elimination in kernel benchmarks.
 var sink float32
+
+// benchServingPredictor builds a forward-dominated serving model (wide
+// output layer, so the per-request forward dwarfs queue/HTTP overhead) and
+// a deterministic request set. Minimal training: serving benchmarks measure
+// the forward path, not model quality.
+func benchServingPredictor(b *testing.B) (*slide.Predictor, []slide.BatchEntry) {
+	b.Helper()
+	const scale, hidden = 5e-3, 128
+	train, test, err := slide.AmazonLike(scale, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := slide.New(train.Features(), hidden, train.NumLabels(),
+		slide.WithDWTA(3, 10), slide.WithWorkers(1), slide.WithSeed(42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]slide.Sample, 0, 32)
+	for i := 0; i < 32; i++ {
+		batch = append(batch, train.Sample(i%train.Len()))
+	}
+	if _, err := m.TrainBatch(batch); err != nil {
+		b.Fatal(err)
+	}
+	entries := make([]slide.BatchEntry, 256)
+	for i := range entries {
+		s := test.Sample(i % test.Len())
+		entries[i] = slide.BatchEntry{Indices: s.Indices, Values: s.Values, K: 5}
+	}
+	return m.Snapshot(), entries
+}
+
+// BenchmarkBatcherCoalesce is the micro-batching A/B at the pipeline layer
+// (no HTTP): 64 concurrent closed-loop clients submitting through the
+// Batcher (fused batch forwards) versus calling Predict directly (one
+// forward per request — the PR 2 serving model). ns/op is per request;
+// mean_batch reports how well the batcher coalesced.
+func BenchmarkBatcherCoalesce(b *testing.B) {
+	pred, entries := benchServingPredictor(b)
+	const clients = 64
+	closedLoop := func(b *testing.B, do func(i int)) {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := next.Add(1) - 1
+					if i >= int64(b.N) {
+						return
+					}
+					do(int(i))
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	b.Run("Direct", func(b *testing.B) {
+		closedLoop(b, func(i int) {
+			e := entries[i%len(entries)]
+			pred.Predict(e.Indices, e.Values, e.K)
+		})
+	})
+	b.Run("Batched", func(b *testing.B) {
+		mgr := serving.NewSnapshotManager(pred)
+		bat := serving.NewBatcher(mgr, serving.Config{})
+		defer bat.Close()
+		ctx := context.Background()
+		b.ResetTimer()
+		closedLoop(b, func(i int) {
+			if _, err := bat.Submit(ctx, entries[i%len(entries)]); err != nil {
+				b.Error(err)
+			}
+		})
+		b.StopTimer()
+		b.ReportMetric(bat.Stats().MeanBatch, "mean_batch")
+	})
+}
+
+// BenchmarkServingPipeline is the end-to-end serving A/B: the full HTTP
+// stack driven by the deterministic closed-loop load generator at 64
+// clients, micro-batched versus direct (-no-batch) over the same snapshot.
+// ns/op is per request; qps is reported as a metric.
+func BenchmarkServingPipeline(b *testing.B) {
+	pred, entries := benchServingPredictor(b)
+	for _, batched := range []bool{false, true} {
+		name := "Direct"
+		if batched {
+			name = "Batched"
+		}
+		b.Run(name, func(b *testing.B) {
+			mgr := serving.NewSnapshotManager(pred)
+			var bat *serving.Batcher
+			if batched {
+				bat = serving.NewBatcher(mgr, serving.Config{})
+				defer bat.Close()
+			}
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				servePredictBench(w, r, mgr, bat)
+			}))
+			defer ts.Close()
+			reqs := make([]slide.BatchEntry, b.N)
+			for i := range reqs {
+				reqs[i] = entries[i%len(entries)]
+			}
+			b.ResetTimer()
+			report := serving.RunLoad(context.Background(), ts.URL, nil, reqs, 64)
+			b.StopTimer()
+			if report.Errors > 0 {
+				b.Fatalf("%d errors (%s)", report.Errors, report.FirstError)
+			}
+			b.ReportMetric(report.QPS, "qps")
+			if bat != nil {
+				b.ReportMetric(bat.Stats().MeanBatch, "mean_batch")
+			}
+		})
+	}
+}
+
+// servePredictBench is a minimal /predict handler over the pipeline (the
+// cmd/slide-serve wire shape without its flag plumbing), so the benchmark
+// measures serving architecture, not command wiring.
+func servePredictBench(w http.ResponseWriter, r *http.Request, mgr *serving.SnapshotManager, bat *serving.Batcher) {
+	var req struct {
+		Indices []int32   `json:"indices"`
+		Values  []float32 `json:"values"`
+		K       int       `json:"k"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	e := slide.BatchEntry{Indices: req.Indices, Values: req.Values, K: req.K}
+	var labels []int32
+	if bat != nil {
+		res, err := bat.Submit(r.Context(), e)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		labels = res.Labels
+	} else {
+		labels = mgr.Current().Predict(e.Indices, e.Values, e.K)
+	}
+	json.NewEncoder(w).Encode(map[string]any{"labels": labels})
+}

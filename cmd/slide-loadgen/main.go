@@ -1,0 +1,137 @@
+// Command slide-loadgen drives deterministic closed-loop load against a
+// slide-serve instance: a fixed seed and fixed request set (drawn from the
+// same synthetic workload generator the demo server uses), a fixed number
+// of closed-loop clients each with one request in flight, and a report of
+// throughput, latency quantiles, and error counts. Because the request set
+// is deterministic, two runs against two server configurations (e.g.
+// micro-batched vs -no-batch) are exercised identically and their responses
+// can be compared bit for bit.
+//
+// Typical A/B:
+//
+//	slide-serve -demo -demo-scale 1e-6 -seed 42 -addr :8080 &
+//	slide-loadgen -addr http://127.0.0.1:8080 -scale 1e-6 -seed 42 -clients 64 -n 5000
+//
+// The -min-mean-batch flag turns the run into a smoke check: after the
+// load completes, the server's /stats endpoint must report at least that
+// mean coalesced batch size (and zero request errors), or the command
+// exits non-zero — CI uses this to prove the micro-batcher actually
+// batches under concurrent load.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/slide-cpu/slide/internal/serving"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "http://127.0.0.1:8080", "base URL of the slide-serve instance")
+		clients      = flag.Int("clients", 64, "closed-loop clients (one request in flight each)")
+		n            = flag.Int("n", 1000, "total requests")
+		k            = flag.Int("k", 5, "top-k per request")
+		mixedK       = flag.Bool("mixed-k", false, "vary k per request (1..k) to exercise per-request k in shared batches")
+		seed         = flag.Uint64("seed", 42, "request-set seed (match the server's -seed)")
+		scale        = flag.Float64("scale", 1e-6, "request-set dataset scale (match the server's -demo-scale)")
+		timeout      = flag.Duration("timeout", 5*time.Minute, "overall run timeout")
+		minMeanBatch = flag.Float64("min-mean-batch", 0, "fail unless server /stats mean_batch >= this after the run (0 = skip)")
+		jsonOut      = flag.Bool("json", false, "emit the report as JSON")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("slide-loadgen: ")
+
+	if err := run(*addr, *clients, *n, *k, *mixedK, *seed, *scale, *timeout, *minMeanBatch, *jsonOut); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr string, clients, n, k int, mixedK bool, seed uint64, scale float64, timeout time.Duration, minMeanBatch float64, jsonOut bool) error {
+	entries, err := serving.BuildLoad(serving.LoadSpec{
+		Scale: scale, Seed: seed, Requests: n, K: k, MixedK: mixedK,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	report := serving.RunLoad(ctx, addr, nil, entries, clients)
+
+	meanBatch := -1.0
+	if minMeanBatch > 0 {
+		mb, err := fetchMeanBatch(ctx, addr)
+		if err != nil {
+			return fmt.Errorf("fetching /stats: %w", err)
+		}
+		meanBatch = mb
+	}
+
+	if jsonOut {
+		out := map[string]any{
+			"requests":    report.Requests,
+			"errors":      report.Errors,
+			"retried_429": report.Retried429,
+			"duration_ms": float64(report.Duration.Microseconds()) / 1000,
+			"qps":         report.QPS,
+			"p50_ms":      float64(report.P50.Microseconds()) / 1000,
+			"p99_ms":      float64(report.P99.Microseconds()) / 1000,
+		}
+		if meanBatch >= 0 {
+			out["server_mean_batch"] = meanBatch
+		}
+		if report.FirstError != "" {
+			out["first_error"] = report.FirstError
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	} else {
+		log.Printf("%d requests, %d clients: %.0f qps, p50 %v, p99 %v, %d errors, %d retried (429)",
+			report.Requests, clients, report.QPS, report.P50, report.P99, report.Errors, report.Retried429)
+		if meanBatch >= 0 {
+			log.Printf("server mean batch size: %.2f", meanBatch)
+		}
+	}
+
+	if report.Errors > 0 {
+		return fmt.Errorf("%d of %d requests failed (first: %s)", report.Errors, report.Requests, report.FirstError)
+	}
+	if minMeanBatch > 0 && meanBatch < minMeanBatch {
+		return fmt.Errorf("server mean batch size %.2f below required %.2f — micro-batching is not coalescing", meanBatch, minMeanBatch)
+	}
+	return nil
+}
+
+// fetchMeanBatch reads mean_batch from the server's /stats endpoint.
+func fetchMeanBatch(ctx context.Context, addr string) (float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/stats", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("/stats returned %d", resp.StatusCode)
+	}
+	var stats struct {
+		MeanBatch float64 `json:"mean_batch"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return 0, err
+	}
+	return stats.MeanBatch, nil
+}

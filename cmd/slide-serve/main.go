@@ -1,9 +1,11 @@
 // Command slide-serve is an HTTP JSON prediction server over a SLIDE model
 // — the heavy-traffic deployment scenario the snapshot API exists for.
-// It serves every request from an immutable Predictor snapshot, so request
-// handling scales across cores with no locks in the inference path, and a
-// background trainer (demo mode) can keep improving the model, publishing a
-// fresh snapshot every few batches.
+// Concurrent /predict requests are coalesced by a dynamic micro-batcher
+// into fused batch forwards on an immutable Predictor snapshot (per-request
+// k is honored inside the shared batch), a bounded admission queue sheds
+// overload with 429 + Retry-After, and a background trainer (demo mode) can
+// keep improving the model, hot-swapping versioned snapshots without
+// stalling in-flight batches.
 //
 // Serve a trained checkpoint:
 //
@@ -19,6 +21,10 @@
 //	POST /predict        {"indices":[...],"values":[...],"k":5,"sampled":false}
 //	POST /predict/batch  {"samples":[{"indices":[...]},...],"k":5}
 //	GET  /healthz
+//	GET  /stats          queue depth, batch-size histogram, p50/p99, snapshot version
+//
+// The -no-batch flag serves every request with its own forward pass (the
+// pre-batching behavior) — the A/B baseline for cmd/slide-loadgen.
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/slide-cpu/slide/internal/serving"
 	"github.com/slide-cpu/slide/slide"
 )
 
@@ -44,17 +51,30 @@ func main() {
 		demoScale = flag.Float64("demo-scale", 1e-6, "demo workload scale (fraction of Amazon-670K dims)")
 		refresh   = flag.Int("refresh", 20, "demo: batches between snapshot refreshes (0 = freeze after warmup)")
 		seed      = flag.Uint64("seed", 42, "demo RNG seed")
+		noBatch   = flag.Bool("no-batch", false, "bypass the micro-batcher: one forward pass per request (A/B baseline)")
+		maxBatch  = flag.Int("max-batch", 32, "micro-batcher: flush when this many requests coalesce")
+		maxWait   = flag.Duration("max-wait", 2*time.Millisecond, "micro-batcher: flush a partial batch after this wait")
+		queueCap  = flag.Int("queue-cap", 0, "admission queue bound; overflow sheds with 429 (0 = 8×max-batch)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("slide-serve: ")
 
-	if err := run(*addr, *modelPath, *k, *demo, *demoScale, *refresh, *seed); err != nil {
+	cfg := serverConfig{
+		defaultK: *k,
+		direct:   *noBatch,
+		batch: serving.Config{
+			MaxBatch: *maxBatch,
+			MaxWait:  *maxWait,
+			QueueCap: *queueCap,
+		},
+	}
+	if err := run(*addr, *modelPath, cfg, *demo, *demoScale, *refresh, *seed); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, modelPath string, k int, demo bool, demoScale float64, refresh int, seed uint64) error {
+func run(addr, modelPath string, cfg serverConfig, demo bool, demoScale float64, refresh int, seed uint64) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -68,7 +88,7 @@ func run(addr, modelPath string, k int, demo bool, demoScale float64, refresh in
 		if err != nil {
 			return err
 		}
-		srv = newServer(m.Snapshot(), m.Steps(), k)
+		srv = newServer(m.Snapshot(), cfg)
 		if refresh > 0 {
 			trainer = func(ctx context.Context) {
 				backgroundTrain(ctx, m, train, refresh, srv)
@@ -79,11 +99,13 @@ func run(addr, modelPath string, k int, demo bool, demoScale float64, refresh in
 		if err != nil {
 			return err
 		}
-		srv = newServer(m.Snapshot(), m.Steps(), k)
-		log.Printf("loaded %s (%d labels, step %d)", modelPath, srv.pred.Load().NumLabels(), m.Steps())
+		p := m.Snapshot()
+		srv = newServer(p, cfg)
+		log.Printf("loaded %s (%d labels, step %d)", modelPath, p.NumLabels(), m.Steps())
 	default:
 		return errors.New("either -model or -demo is required")
 	}
+	defer srv.close()
 
 	if trainer != nil {
 		go trainer(ctx)
@@ -92,7 +114,11 @@ func run(addr, modelPath string, k int, demo bool, demoScale float64, refresh in
 	httpSrv := &http.Server{Addr: addr, Handler: srv.mux()}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s", addr)
+		mode := "micro-batched"
+		if cfg.direct {
+			mode = "direct (one forward per request)"
+		}
+		log.Printf("listening on %s, %s", addr, mode)
 		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			errc <- err
 		}
@@ -134,7 +160,8 @@ func demoModel(scale float64, seed uint64) (*slide.Model, *slide.Dataset, error)
 // backgroundTrain keeps stepping the model and publishes a fresh snapshot
 // every refresh batches. Training and snapshotting stay on this single
 // goroutine (their documented contract); the serving side reads the
-// published snapshots concurrently.
+// published snapshots concurrently, and in-flight batches finish on the
+// snapshot they captured.
 func backgroundTrain(ctx context.Context, m *slide.Model, train *slide.Dataset, refresh int, srv *server) {
 	it := 0
 	for {
@@ -153,7 +180,7 @@ func backgroundTrain(ctx context.Context, m *slide.Model, train *slide.Dataset, 
 		}
 		it++
 		if it%refresh == 0 {
-			srv.swap(m.Snapshot(), m.Steps())
+			srv.publish(m.Snapshot())
 		}
 	}
 }

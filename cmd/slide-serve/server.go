@@ -2,35 +2,53 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
-	"sync/atomic"
 
+	"github.com/slide-cpu/slide/internal/serving"
 	"github.com/slide-cpu/slide/slide"
 )
 
-// server routes prediction traffic onto the current Predictor snapshot.
-// The snapshot is swapped atomically by the (optional) background trainer,
-// so request handlers never block on training and never see a half-updated
-// model — the concurrency story is entirely the Predictor's.
+// server routes prediction traffic through the serving pipeline: a
+// SnapshotManager publishes versioned Predictor snapshots (hot-swapped by
+// the optional background trainer without stalling in-flight batches), and
+// a Batcher coalesces concurrent /predict requests into fused batch
+// forwards. With cfg.direct (the -no-batch flag) the batcher is bypassed
+// and every request runs its own forward pass — the pre-batching behavior,
+// kept as the A/B baseline for the load generator.
 type server struct {
-	pred     atomic.Pointer[slide.Predictor]
-	defaultK int
-	// snapshotSteps mirrors the optimizer step count of the current
-	// snapshot, for /healthz observability.
-	snapshotSteps atomic.Int64
+	cfg     serverConfig
+	mgr     *serving.SnapshotManager
+	batcher *serving.Batcher // nil in direct mode
 }
 
-func newServer(p *slide.Predictor, steps int64, defaultK int) *server {
-	s := &server{defaultK: defaultK}
-	s.swap(p, steps)
+type serverConfig struct {
+	defaultK int
+	direct   bool
+	batch    serving.Config
+}
+
+func newServer(p serving.Predictor, cfg serverConfig) *server {
+	if cfg.defaultK <= 0 {
+		cfg.defaultK = 5
+	}
+	s := &server{cfg: cfg, mgr: serving.NewSnapshotManager(p)}
+	if !cfg.direct {
+		s.batcher = serving.NewBatcher(s.mgr, cfg.batch)
+	}
 	return s
 }
 
-// swap publishes a new snapshot; in-flight requests finish on the old one.
-func (s *server) swap(p *slide.Predictor, steps int64) {
-	s.pred.Store(p)
-	s.snapshotSteps.Store(steps)
+// publish hot-swaps in a new snapshot; in-flight requests and batches
+// finish on the one they captured.
+func (s *server) publish(p serving.Predictor) { s.mgr.Publish(p) }
+
+// close releases the batcher workers (draining anything queued).
+func (s *server) close() {
+	if s.batcher != nil {
+		s.batcher.Close()
+	}
 }
 
 func (s *server) mux() *http.ServeMux {
@@ -38,17 +56,20 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("POST /predict", s.handlePredict)
 	mux.HandleFunc("POST /predict/batch", s.handlePredictBatch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
 }
 
 // predictRequest is one inference request. Values may be omitted, in which
-// case every index gets weight 1 (set-valued features). Sampled selects
-// sub-linear LSH inference; on models without LSH tables the server falls
-// back to the exact path and reports sampled=false in the response.
+// case every index gets weight 1 (set-valued features). K distinguishes
+// "absent" (use the server default) from an explicit value: explicit k <= 0
+// or k > the label space is a validation error, never silently clamped.
+// Sampled selects sub-linear LSH inference; on models without LSH tables
+// the server falls back to the exact path and reports sampled=false.
 type predictRequest struct {
 	Indices []int32   `json:"indices"`
 	Values  []float32 `json:"values,omitempty"`
-	K       int       `json:"k,omitempty"`
+	K       *int      `json:"k,omitempty"`
 	Sampled bool      `json:"sampled,omitempty"`
 }
 
@@ -58,17 +79,24 @@ type predictResponse struct {
 	// request (false when the request asked for it but the model has no
 	// tables and the server fell back to exact ranking).
 	Sampled bool `json:"sampled"`
+	// Version identifies the snapshot that served the request.
+	Version uint64 `json:"version"`
 }
 
 type batchRequest struct {
 	Samples []predictRequest `json:"samples"`
-	K       int              `json:"k,omitempty"`
+	K       *int             `json:"k,omitempty"`
 	Sampled bool             `json:"sampled,omitempty"`
 }
 
 type batchResponse struct {
 	Labels  [][]int32 `json:"labels"`
 	Sampled bool      `json:"sampled"`
+	// Version identifies the snapshot that served the batch. It is omitted
+	// in the rare case where the batch split across flushes spanning a
+	// snapshot hot-swap, so different samples were served by different
+	// versions — the field never misattributes a snapshot.
+	Version uint64 `json:"version,omitempty"`
 }
 
 type errorResponse struct {
@@ -85,16 +113,27 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// normalize validates one request (including untrusted feature indices,
-// which would otherwise panic deep in the forward pass) and fills defaults.
-func (s *server) normalize(r *predictRequest, p *slide.Predictor) error {
+// writeOverloaded maps the batcher's backpressure signal to HTTP: 429 with
+// a Retry-After hint. Shedding happens at admission, so an overloaded
+// server answers in microseconds instead of queuing without bound.
+func writeOverloaded(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusTooManyRequests, "admission queue full, retry later")
+}
+
+// validate checks one request against the current snapshot and resolves it
+// to a batch entry. Every bad-input shape is a 400: empty or out-of-range
+// indices (which would otherwise panic deep in the forward pass),
+// mismatched indices/values lengths, and explicit k <= 0 or k beyond the
+// label space — the server never silently clamps what the client asked for.
+func (s *server) validate(r *predictRequest, p serving.Predictor) (slide.BatchEntry, error) {
 	if len(r.Indices) == 0 {
-		return fmt.Errorf("indices must be non-empty")
+		return slide.BatchEntry{}, fmt.Errorf("indices must be non-empty")
 	}
 	features := int32(p.NumFeatures())
 	for i, idx := range r.Indices {
 		if idx < 0 || idx >= features {
-			return fmt.Errorf("index %d (position %d) out of range [0, %d)", idx, i, features)
+			return slide.BatchEntry{}, fmt.Errorf("index %d (position %d) out of range [0, %d)", idx, i, features)
 		}
 	}
 	if r.Values == nil {
@@ -104,28 +143,36 @@ func (s *server) normalize(r *predictRequest, p *slide.Predictor) error {
 		}
 	}
 	if len(r.Values) != len(r.Indices) {
-		return fmt.Errorf("%d indices but %d values", len(r.Indices), len(r.Values))
+		return slide.BatchEntry{}, fmt.Errorf("%d indices but %d values", len(r.Indices), len(r.Values))
 	}
-	if r.K <= 0 {
-		r.K = s.defaultK
+	k := s.cfg.defaultK
+	if r.K != nil {
+		k = *r.K
+		if k <= 0 {
+			return slide.BatchEntry{}, fmt.Errorf("k must be positive, got %d", k)
+		}
+		if k > p.NumLabels() {
+			return slide.BatchEntry{}, fmt.Errorf("k %d exceeds label space %d", k, p.NumLabels())
+		}
 	}
-	if r.K > p.NumLabels() {
-		r.K = p.NumLabels()
+	if k > p.NumLabels() {
+		// Only reachable via a default k larger than a small model's label
+		// space; the default is a server setting, so clamping is correct.
+		k = p.NumLabels()
 	}
-	return nil
+	return slide.BatchEntry{Indices: r.Indices, Values: r.Values, K: k}, nil
 }
 
-// predictOne serves one sample, honoring the sampled flag with exact
-// fallback. Returns the labels and whether sampled retrieval was used.
-func predictOne(p *slide.Predictor, r *predictRequest) ([]int32, bool) {
-	if r.Sampled {
-		labels, err := p.PredictSampled(r.Indices, r.Values, r.K)
-		if err == nil {
-			return labels, true
-		}
-		// ErrNoSampling: model has no LSH tables — exact is the right call.
+// predictSampledOne serves one sampled request directly on the snapshot,
+// with exact fallback. Sampled retrieval is inherently per-sample (each
+// request probes its own LSH buckets), so it bypasses the batcher.
+func predictSampledOne(p serving.Predictor, e slide.BatchEntry) ([]int32, bool) {
+	labels, err := p.PredictSampled(e.Indices, e.Values, e.K)
+	if err == nil {
+		return labels, true
 	}
-	return p.Predict(r.Indices, r.Values, r.K), false
+	// ErrNoSampling: model has no LSH tables — exact is the right call.
+	return p.Predict(e.Indices, e.Values, e.K), false
 }
 
 func (s *server) handlePredict(w http.ResponseWriter, req *http.Request) {
@@ -134,13 +181,50 @@ func (s *server) handlePredict(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
-	p := s.pred.Load()
-	if err := s.normalize(&pr, p); err != nil {
+	p := s.mgr.Current()
+	e, err := s.validate(&pr, p)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	labels, sampled := predictOne(p, &pr)
-	writeJSON(w, http.StatusOK, predictResponse{Labels: labels, Sampled: sampled})
+	if pr.Sampled {
+		labels, sampled := predictSampledOne(p, e)
+		writeJSON(w, http.StatusOK, predictResponse{Labels: labels, Sampled: sampled, Version: p.Version()})
+		return
+	}
+	if s.batcher == nil {
+		writeJSON(w, http.StatusOK, predictResponse{Labels: p.Predict(e.Indices, e.Values, e.K), Version: p.Version()})
+		return
+	}
+	res, err := s.batcher.Submit(req.Context(), e)
+	if err != nil {
+		writeBatcherError(w, req, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, predictResponse{Labels: res.Labels, Version: res.Version})
+}
+
+// writeBatcherError maps pipeline errors to HTTP: overload and snapshot
+// skew are retryable (429/503 + Retry-After), shutdown is 503, a client
+// that already went away gets no response body (writing one would just
+// misreport the abort as a 5xx server fault), and anything else is a
+// genuine 500.
+func writeBatcherError(w http.ResponseWriter, req *http.Request, err error) {
+	switch {
+	case errors.Is(err, serving.ErrOverloaded):
+		writeOverloaded(w)
+	case errors.Is(err, serving.ErrSnapshotSkew):
+		// The model was hot-swapped between admission and flush and the new
+		// one rejects this request's shape; a retry revalidates against it.
+		w.Header().Set("Retry-After", "0")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, serving.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+	case req.Context().Err() != nil:
+		// Client disconnected or timed out while queued; nobody is reading.
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
 }
 
 func (s *server) handlePredictBatch(w http.ResponseWriter, req *http.Request) {
@@ -153,57 +237,154 @@ func (s *server) handlePredictBatch(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, "samples must be non-empty")
 		return
 	}
-	p := s.pred.Load()
+	p := s.mgr.Current()
+	entries := make([]slide.BatchEntry, len(br.Samples))
+	anySampled := false
 	for i := range br.Samples {
-		if br.Samples[i].K == 0 {
+		if br.Samples[i].K == nil {
 			br.Samples[i].K = br.K
 		}
 		br.Samples[i].Sampled = br.Samples[i].Sampled || br.Sampled
-		if err := s.normalize(&br.Samples[i], p); err != nil {
+		anySampled = anySampled || br.Samples[i].Sampled
+		e, err := s.validate(&br.Samples[i], p)
+		if err != nil {
 			writeError(w, http.StatusBadRequest, "sample %d: %v", i, err)
 			return
 		}
+		entries[i] = e
 	}
-	// The fused parallel batch path serves one (exact, single-k) shape; a
-	// batch mixing per-sample k or requesting sampled retrieval anywhere is
-	// served sample by sample so every per-sample option is honored.
-	fused := true
-	for i := range br.Samples {
-		if br.Samples[i].Sampled || br.Samples[i].K != br.Samples[0].K {
-			fused = false
-			break
+	resp := batchResponse{Labels: make([][]int32, len(entries))}
+	if anySampled {
+		// Sampled retrieval is per-sample; a batch requesting it anywhere is
+		// served sample by sample on one snapshot. Sampled reports whether
+		// sampled retrieval served every sample.
+		resp.Sampled = true
+		resp.Version = p.Version()
+		for i, e := range entries {
+			if !br.Samples[i].Sampled {
+				resp.Labels[i] = p.Predict(e.Indices, e.Values, e.K)
+				resp.Sampled = false
+				continue
+			}
+			var sampled bool
+			resp.Labels[i], sampled = predictSampledOne(p, e)
+			resp.Sampled = resp.Sampled && sampled
 		}
+		writeJSON(w, http.StatusOK, resp)
+		return
 	}
-	resp := batchResponse{Labels: make([][]int32, len(br.Samples))}
-	if fused {
-		samples := make([]slide.Sample, len(br.Samples))
-		for i, r := range br.Samples {
-			samples[i] = slide.Sample{Indices: r.Indices, Values: r.Values}
-		}
-		labels, err := p.PredictBatch(samples, br.Samples[0].K)
+	if s.batcher == nil {
+		labels, err := directBatch(p, entries)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 		resp.Labels = labels
-	} else {
-		// Sampled reports whether sampled retrieval served every sample.
-		resp.Sampled = true
-		for i := range br.Samples {
-			var sampled bool
-			resp.Labels[i], sampled = predictOne(p, &br.Samples[i])
-			resp.Sampled = resp.Sampled && sampled
+		resp.Version = p.Version()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	// Through the batcher the client batch coalesces with concurrent
+	// traffic (and may split across flushes, possibly spanning a snapshot
+	// swap — Version is only reported when one snapshot served everything).
+	results, err := s.batcher.SubmitMany(req.Context(), entries)
+	if err != nil {
+		writeBatcherError(w, req, err)
+		return
+	}
+	resp.Version = results[0].Version
+	for i, r := range results {
+		resp.Labels[i] = r.Labels
+		if r.Version != resp.Version {
+			resp.Version = 0 // mixed-version batch: omit rather than misattribute
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// directBatch serves a client batch without the micro-batcher, preserving
+// the pre-batching execution shape: a uniform-k batch goes through the
+// data-parallel PredictBatch fan-out (GOMAXPROCS goroutines), mixed k
+// through the fused per-entry walk.
+func directBatch(p serving.Predictor, entries []slide.BatchEntry) ([][]int32, error) {
+	uniform := true
+	for _, e := range entries[1:] {
+		if e.K != entries[0].K {
+			uniform = false
+			break
+		}
+	}
+	if !uniform {
+		return p.PredictEntries(entries)
+	}
+	samples := make([]slide.Sample, len(entries))
+	for i, e := range entries {
+		samples[i] = slide.Sample{Indices: e.Indices, Values: e.Values}
+	}
+	return p.PredictBatch(samples, entries[0].K)
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	p := s.pred.Load()
+	p := s.mgr.Current()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
 		"labels":  p.NumLabels(),
 		"sampled": p.Sampled(),
-		"steps":   s.snapshotSteps.Load(),
+		"steps":   p.Steps(),
+		"version": p.Version(),
 	})
+}
+
+// statsResponse is the /stats payload: queue and batching counters from the
+// pipeline plus snapshot freshness.
+type statsResponse struct {
+	Mode            string   `json:"mode"` // "batched" or "direct"
+	QueueDepth      int      `json:"queue_depth"`
+	QueueCap        int      `json:"queue_cap"`
+	Workers         int      `json:"workers"`
+	MaxBatch        int      `json:"max_batch"`
+	MaxWaitMs       float64  `json:"max_wait_ms"`
+	Admitted        uint64   `json:"admitted"`
+	Served          uint64   `json:"served"`
+	Failed          uint64   `json:"failed"`
+	Shed            uint64   `json:"shed"`
+	Canceled        uint64   `json:"canceled"`
+	Batches         uint64   `json:"batches"`
+	MeanBatch       float64  `json:"mean_batch"`
+	BatchSizes      []uint64 `json:"batch_size_hist,omitempty"`
+	P50Ms           float64  `json:"latency_p50_ms"`
+	P99Ms           float64  `json:"latency_p99_ms"`
+	SnapshotVersion uint64   `json:"snapshot_version"`
+	SnapshotSteps   int64    `json:"snapshot_steps"`
+	SnapshotSwaps   uint64   `json:"snapshot_swaps"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	p := s.mgr.Current()
+	resp := statsResponse{
+		Mode:            "direct",
+		SnapshotVersion: p.Version(),
+		SnapshotSteps:   p.Steps(),
+		SnapshotSwaps:   s.mgr.Swaps(),
+	}
+	if s.batcher != nil {
+		st := s.batcher.Stats()
+		resp.Mode = "batched"
+		resp.QueueDepth = st.QueueDepth
+		resp.QueueCap = st.QueueCap
+		resp.Workers = st.Workers
+		resp.MaxBatch = st.MaxBatch
+		resp.MaxWaitMs = float64(st.MaxWait.Microseconds()) / 1000
+		resp.Admitted = st.Admitted
+		resp.Served = st.Served
+		resp.Failed = st.Failed
+		resp.Shed = st.Shed
+		resp.Canceled = st.Canceled
+		resp.Batches = st.Batches
+		resp.MeanBatch = st.MeanBatch
+		resp.BatchSizes = st.BatchSizes
+		resp.P50Ms = float64(st.P50.Microseconds()) / 1000
+		resp.P99Ms = float64(st.P99.Microseconds()) / 1000
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

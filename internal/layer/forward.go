@@ -192,6 +192,59 @@ func (w *RowWeights) ForwardAll(ks *simd.Kernels, h []float32, hBF []bf16.BF16, 
 	wg.Wait()
 }
 
+// ForwardAllBatch computes every neuron's logit for a coalesced batch of
+// dense inputs: outs[s][i] = Logit(i, hs[s]). The loops run row-outer,
+// sample-inner, so each weight row is loaded from memory once per batch
+// instead of once per sample — the micro-batching bandwidth amortization
+// serving batches exist for (on output layers larger than cache the weight
+// stream dominates the forward pass). Every (row, sample) logit is computed
+// by the same kernel call Logit makes, so each sample's scores are
+// bit-identical to a per-sample ForwardAll over the same weights.
+//
+// hBFs mirrors hs under the BF16 modes (ignored under FP32). The walk runs
+// on the caller's goroutine: the serving pipeline parallelizes across
+// concurrent batch calls, not within one.
+func (w *RowWeights) ForwardAllBatch(ks *simd.Kernels, hs [][]float32, hBFs [][]bf16.BF16, outs [][]float32) {
+	if len(outs) != len(hs) {
+		panic("layer: ForwardAllBatch batch size mismatch")
+	}
+	for s := range outs {
+		if len(outs[s]) != w.Out {
+			panic("layer: ForwardAllBatch output size mismatch")
+		}
+	}
+	w.forwardRowRange(ks, hs, hBFs, outs, 0, w.Out)
+}
+
+// forwardRowRange fills outs[s][i] for i in [lo, hi) and every sample s —
+// the row-outer inner loop of ForwardAllBatch, with the precision switch
+// hoisted out of both loops.
+func (w *RowWeights) forwardRowRange(ks *simd.Kernels, hs [][]float32, hBFs [][]bf16.BF16, outs [][]float32, lo, hi int) {
+	switch w.prec {
+	case BF16Act:
+		for i := lo; i < hi; i++ {
+			row, b := w.rows[i], w.bias[i]
+			for s := range outs {
+				outs[s][i] = ks.DotBF16F32(hBFs[s], row) + b
+			}
+		}
+	case BF16Both:
+		for i := lo; i < hi; i++ {
+			row, b := w.rowsBF[i], w.bias[i]
+			for s := range outs {
+				outs[s][i] = ks.DotBF16(row, hBFs[s]) + b
+			}
+		}
+	default:
+		for i := lo; i < hi; i++ {
+			row, b := w.rows[i], w.bias[i]
+			for s := range outs {
+				outs[s][i] = ks.Dot(row, hs[s]) + b
+			}
+		}
+	}
+}
+
 // RowF32 returns neuron i's weight vector as float32. For BF16Both it is
 // expanded into buf (len >= In); otherwise a direct view is returned.
 // Read-only; used by the LSH rebuild to hash current weights.

@@ -587,3 +587,43 @@ func TestParamBytes(t *testing.T) {
 		t.Errorf("RowLayer ParamBytes = %d", got)
 	}
 }
+
+func TestRowLayerForwardAllBatchMatchesPerSample(t *testing.T) {
+	rng := rand.New(rand.NewPCG(51, 52))
+	for _, prec := range []Precision{FP32, BF16Act, BF16Both} {
+		l := NewRowLayer(12, 30, Options{Precision: prec, Seed: 53})
+		w := l.ForwardView()
+		const batch = 5
+		hs := make([][]float32, batch)
+		hBFs := make([][]bf16.BF16, batch)
+		want := make([][]float32, batch)
+		outs := make([][]float32, batch)
+		for s := range hs {
+			hs[s] = make([]float32, 12)
+			for i := range hs[s] {
+				hs[s][i] = float32(rng.NormFloat64())
+			}
+			if prec != FP32 {
+				hBFs[s] = bf16.FromSlice(hs[s])
+			}
+			want[s] = make([]float32, 30)
+			w.ForwardAll(tks(), hs[s], hBFs[s], want[s], 1)
+			outs[s] = make([]float32, 30)
+		}
+		w.ForwardAllBatch(tks(), hs, hBFs, outs)
+		for s := range outs {
+			for i := range outs[s] {
+				if outs[s][i] != want[s][i] {
+					t.Fatalf("%v: batch[%d][%d] = %g, per-sample %g",
+						prec, s, i, outs[s][i], want[s][i])
+				}
+			}
+		}
+	}
+}
+
+func TestRowLayerForwardAllBatchEmpty(t *testing.T) {
+	l := NewRowLayer(4, 3, Options{Seed: 55})
+	// A zero-sample batch is a no-op, not a panic.
+	l.ForwardView().ForwardAllBatch(tks(), nil, nil, nil)
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/slide-cpu/slide/internal/bf16"
 	"github.com/slide-cpu/slide/internal/metrics"
 	"github.com/slide-cpu/slide/internal/simd"
 	"github.com/slide-cpu/slide/internal/sparse"
@@ -25,6 +26,7 @@ var ErrNoSampling = errors.New("network: PredictSampled requires an LSH-sampled 
 type Predictor struct {
 	fwd    *forwardState
 	seed   uint64
+	steps  int64
 	stream atomic.Uint64
 	pool   sync.Pool // *scratch
 }
@@ -62,8 +64,14 @@ func (n *Network) Snapshot() *Predictor {
 	}
 	// Fold the optimizer step into the seed so successive snapshots draw
 	// different (still deterministic) random top-up streams.
-	return newPredictor(f, splitSeed(n.cfg.Seed, 6)^uint64(n.step))
+	p := newPredictor(f, splitSeed(n.cfg.Seed, 6)^uint64(n.step))
+	p.steps = n.step
+	return p
 }
+
+// Steps returns the optimizer step count of the source network at snapshot
+// time — serving observability for "how fresh is this snapshot".
+func (p *Predictor) Steps() int64 { return p.steps }
 
 // Config returns the configuration of the snapshotted network.
 func (p *Predictor) Config() Config { return p.fwd.cfg }
@@ -149,6 +157,54 @@ func (p *Predictor) PredictBatch(xs []sparse.Vector, k int) [][]int32 {
 		}(w)
 	}
 	wg.Wait()
+	return out
+}
+
+// fusedChunk bounds how many samples a fused batch walk holds in flight:
+// each sample pins one scratch (O(OutputDim) logits plus activations) for
+// the duration of its chunk, so an unbounded client batch must not turn
+// into unbounded server memory. 64 keeps the amortization (the weight
+// stream is read once per 64 samples instead of once per sample) while
+// capping the pinned scratch at 64 x OutputDim floats.
+const fusedChunk = 64
+
+// PredictBatchK runs exact top-k prediction over a coalesced micro-batch
+// with per-sample k: out[i] holds the top-ks[i] labels for xs[i]. The
+// hidden stack runs per sample, then one fused ForwardAllBatch per chunk
+// of up to fusedChunk samples walks the output weight matrix once for the
+// whole chunk (row-outer, sample-inner), so the dominant weight stream is
+// amortized across the batch instead of re-read per sample. Per-sample
+// scores and rankings are bit-identical to Predict on the same weights.
+//
+// The walk itself is single-threaded: the serving pipeline runs one
+// PredictBatchK per batcher worker and scales across workers, the same
+// across-calls concurrency model as Predict. Use PredictBatch for
+// single-caller data-parallel fan-out.
+func (p *Predictor) PredictBatchK(xs []sparse.Vector, ks []int) [][]int32 {
+	out := make([][]int32, len(xs))
+	for lo := 0; lo < len(xs); lo += fusedChunk {
+		hi := min(lo+fusedChunk, len(xs))
+		n := hi - lo
+		wss := make([]*scratch, n)
+		hs := make([][]float32, n)
+		hBFs := make([][]bf16.BF16, n)
+		scores := make([][]float32, n)
+		for i, x := range xs[lo:hi] {
+			ws := p.get()
+			wss[i] = ws
+			p.fwd.forwardStack(ws, x)
+			hs[i] = ws.last()
+			hBFs[i] = ws.hBF
+			scores[i] = ws.logits[:p.fwd.cfg.OutputDim]
+		}
+		p.fwd.output.ForwardAllBatch(wss[0].ks, hs, hBFs, scores)
+		for i := lo; i < hi; i++ {
+			top := metrics.TopKInto(scores[i-lo], ks[i], wss[i-lo].active[:0])
+			out[i] = make([]int32, len(top))
+			copy(out[i], top)
+			p.pool.Put(wss[i-lo])
+		}
+	}
 	return out
 }
 

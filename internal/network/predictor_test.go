@@ -178,3 +178,78 @@ func precisionRef(scores []float32, labels []int32) float64 {
 	}
 	return 0
 }
+
+func TestPredictorBatchKMatchesSingle(t *testing.T) {
+	for name, opts := range map[string]func(*Config){
+		"fp32":     nil,
+		"bf16act":  func(c *Config) { c.Precision = layer.BF16Act; c.Workers = 1; c.Locked = false },
+		"bf16both": func(c *Config) { c.Precision = layer.BF16Both; c.Workers = 1; c.Locked = false },
+		"deep":     func(c *Config) { c.HiddenLayers = []int{16} },
+	} {
+		t.Run(name, func(t *testing.T) {
+			n, p := snapNet(t, 61, opts)
+			pred := n.Snapshot()
+			eval := p.batch(24)
+			xs := make([]sparse.Vector, eval.Len())
+			ks := make([]int, eval.Len())
+			for i := range xs {
+				xs[i] = eval.Sample(i)
+				ks[i] = 1 + i%7 // mixed per-sample k inside one fused walk
+			}
+			batch := pred.PredictBatchK(xs, ks)
+			for i, x := range xs {
+				single := pred.Predict(x, ks[i])
+				if len(batch[i]) != len(single) {
+					t.Fatalf("sample %d (k=%d): batch %v vs single %v", i, ks[i], batch[i], single)
+				}
+				for j := range single {
+					if batch[i][j] != single[j] {
+						t.Fatalf("sample %d (k=%d): batch %v vs single %v", i, ks[i], batch[i], single)
+					}
+				}
+			}
+			// Degenerate shapes.
+			if out := pred.PredictBatchK(nil, nil); len(out) != 0 {
+				t.Errorf("empty batch returned %v", out)
+			}
+			if out := pred.PredictBatchK(xs[:1], []int{eval.Len() + 999}); len(out[0]) != n.Config().OutputDim {
+				t.Errorf("oversized k not clamped: %d labels", len(out[0]))
+			}
+		})
+	}
+}
+
+func TestPredictorSteps(t *testing.T) {
+	n, _ := snapNet(t, 63, nil)
+	pred := n.Snapshot()
+	if pred.Steps() != n.Step() {
+		t.Errorf("snapshot Steps() = %d, network at %d", pred.Steps(), n.Step())
+	}
+}
+
+// TestPredictorBatchKChunking covers batches beyond the fused-chunk memory
+// bound: the walk splits into chunks, results stay bit-identical.
+func TestPredictorBatchKChunking(t *testing.T) {
+	n, p := snapNet(t, 67, nil)
+	pred := n.Snapshot()
+	eval := p.batch(10)
+	total := fusedChunk*2 + 7 // three chunks, last partial
+	xs := make([]sparse.Vector, total)
+	ks := make([]int, total)
+	for i := range xs {
+		xs[i] = eval.Sample(i % eval.Len())
+		ks[i] = 1 + i%5
+	}
+	batch := pred.PredictBatchK(xs, ks)
+	for i, x := range xs {
+		single := pred.Predict(x, ks[i])
+		if len(batch[i]) != len(single) {
+			t.Fatalf("sample %d: chunked batch %v vs single %v", i, batch[i], single)
+		}
+		for j := range single {
+			if batch[i][j] != single[j] {
+				t.Fatalf("sample %d: chunked batch %v vs single %v", i, batch[i], single)
+			}
+		}
+	}
+}

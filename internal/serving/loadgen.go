@@ -1,0 +1,227 @@
+package serving
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/slide-cpu/slide/slide"
+)
+
+// LoadSpec describes a deterministic load-test request set: the same spec
+// always produces the same requests in the same order, so two servers (or
+// two runs) are exercised identically and responses can be compared
+// bit-for-bit.
+type LoadSpec struct {
+	// Scale and Seed parameterize the AmazonLike dataset the requests are
+	// drawn from (use the demo server's values so indices are in range).
+	Scale float64
+	Seed  uint64
+	// Requests is the total request count.
+	Requests int
+	// K is the top-k per request. With MixedK, request i asks for
+	// 1 + i mod K instead — per-request k inside shared batches.
+	K      int
+	MixedK bool
+}
+
+// BuildLoad materializes the request set of a spec. Deterministic in the
+// spec alone.
+func BuildLoad(spec LoadSpec) ([]slide.BatchEntry, error) {
+	if spec.Requests <= 0 {
+		return nil, fmt.Errorf("serving: load spec needs Requests > 0")
+	}
+	if spec.K <= 0 {
+		return nil, fmt.Errorf("serving: load spec needs K > 0")
+	}
+	_, test, err := slide.AmazonLike(spec.Scale, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if test.Len() == 0 {
+		return nil, fmt.Errorf("serving: load dataset at scale %g is empty", spec.Scale)
+	}
+	entries := make([]slide.BatchEntry, spec.Requests)
+	for i := range entries {
+		s := test.Sample(i % test.Len())
+		k := spec.K
+		if spec.MixedK {
+			k = 1 + i%spec.K
+		}
+		entries[i] = slide.BatchEntry{Indices: s.Indices, Values: s.Values, K: k}
+	}
+	return entries, nil
+}
+
+// LoadReport summarizes one closed-loop run.
+type LoadReport struct {
+	// Duration is wall clock for the whole run; QPS is
+	// Requests/Duration.
+	Duration time.Duration
+	QPS      float64
+	// Requests counts completed requests; Errors those that failed
+	// (non-2xx other than 429, transport errors, malformed bodies).
+	Requests, Errors int
+	// Retried429 counts 429 responses (each is retried after the server's
+	// Retry-After, so a shed request still completes — closed-loop load
+	// generators must retry or overload tests undercount).
+	Retried429 int
+	// P50/P99 are successful-request latencies (final attempt only).
+	P50, P99 time.Duration
+	// Responses[i] holds the labels served for request i (nil on error) —
+	// index-aligned with the BuildLoad request set, for bit-identity
+	// checks against a direct Predictor.
+	Responses [][]int32
+	// FirstError samples one failure for diagnostics.
+	FirstError string
+}
+
+// loadgen wire shapes — the cmd/slide-serve /predict contract.
+type loadReq struct {
+	Indices []int32   `json:"indices"`
+	Values  []float32 `json:"values,omitempty"`
+	K       int       `json:"k"`
+}
+
+type loadResp struct {
+	Labels []int32 `json:"labels"`
+}
+
+// RunLoad drives the request set against baseURL with the given number of
+// closed-loop clients: client c owns requests c, c+clients, c+2·clients, …
+// and sends them sequentially, one in flight at a time. Request assignment
+// and payloads are deterministic; only timing varies between runs. A nil
+// client uses a transport sized so every load client keeps one connection.
+func RunLoad(ctx context.Context, baseURL string, client *http.Client, entries []slide.BatchEntry, clients int) LoadReport {
+	if clients <= 0 {
+		clients = 1
+	}
+	if clients > len(entries) {
+		clients = len(entries)
+	}
+	if client == nil {
+		tr := &http.Transport{MaxIdleConns: clients, MaxIdleConnsPerHost: clients}
+		client = &http.Client{Transport: tr}
+		defer tr.CloseIdleConnections()
+	}
+
+	report := LoadReport{Responses: make([][]int32, len(entries))}
+	latencies := make([]time.Duration, len(entries))
+	errs := make([]string, clients)
+	perErr := make([]int, clients)
+	perRetry := make([]int, clients)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < len(entries); i += clients {
+				if err := ctx.Err(); err != nil {
+					perErr[c]++
+					if errs[c] == "" {
+						errs[c] = fmt.Sprintf("request %d skipped: %v", i, err)
+					}
+					continue
+				}
+				labels, lat, retries, err := postPredict(ctx, client, baseURL, entries[i])
+				perRetry[c] += retries
+				if err != nil {
+					perErr[c]++
+					if errs[c] == "" {
+						errs[c] = fmt.Sprintf("request %d: %v", i, err)
+					}
+					continue
+				}
+				report.Responses[i] = labels
+				latencies[i] = lat
+			}
+		}(c)
+	}
+	wg.Wait()
+	report.Duration = time.Since(start)
+	report.Requests = len(entries)
+	for c := 0; c < clients; c++ {
+		report.Errors += perErr[c]
+		report.Retried429 += perRetry[c]
+		if report.FirstError == "" && errs[c] != "" {
+			report.FirstError = errs[c]
+		}
+	}
+	if report.Duration > 0 {
+		report.QPS = float64(report.Requests-report.Errors) / report.Duration.Seconds()
+	}
+	ok := latencies[:0]
+	for i, l := range latencies {
+		if report.Responses[i] != nil {
+			ok = append(ok, l)
+		}
+	}
+	if len(ok) > 0 {
+		sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
+		report.P50 = ok[int(0.5*float64(len(ok)-1)+0.5)]
+		report.P99 = ok[int(0.99*float64(len(ok)-1)+0.5)]
+	}
+	return report
+}
+
+// postPredict sends one /predict request, retrying 429s after the server's
+// Retry-After hint. Returns the labels, the latency of the successful
+// attempt, and the number of 429 retries.
+func postPredict(ctx context.Context, client *http.Client, baseURL string, e slide.BatchEntry) ([]int32, time.Duration, int, error) {
+	body, err := json.Marshal(loadReq{Indices: e.Indices, Values: e.Values, K: e.K})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	retries := 0
+	for {
+		attempt := time.Now()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/predict", bytes.NewReader(body))
+		if err != nil {
+			return nil, 0, retries, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, 0, retries, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			retryAfter := time.Millisecond
+			if s := resp.Header.Get("Retry-After"); s != "" {
+				if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+					retryAfter = time.Duration(secs) * time.Second
+				}
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			retries++
+			select {
+			case <-time.After(retryAfter):
+				continue
+			case <-ctx.Done():
+				return nil, 0, retries, ctx.Err()
+			}
+		}
+		payload, readErr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if readErr != nil {
+			return nil, 0, retries, readErr
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, 0, retries, fmt.Errorf("status %d: %s", resp.StatusCode, payload)
+		}
+		var pr loadResp
+		if err := json.Unmarshal(payload, &pr); err != nil {
+			return nil, 0, retries, err
+		}
+		return pr.Labels, time.Since(attempt), retries, nil
+	}
+}

@@ -1,0 +1,48 @@
+package serving
+
+import "sync/atomic"
+
+// SnapshotManager publishes versioned Predictor snapshots to the serving
+// pipeline. Publish and Current are safe for unbounded concurrent use;
+// a swap never stalls in-flight work, because consumers (the Batcher, the
+// direct-path handlers) capture Current once per operation and finish on
+// the snapshot they captured. Old snapshots stay valid as long as any
+// in-flight batch references them (they are immutable; the garbage
+// collector reclaims them once the last batch completes).
+type SnapshotManager struct {
+	cur   atomic.Pointer[snapshotBox]
+	swaps atomic.Uint64
+}
+
+// snapshotBox wraps the interface value so the hot path is a single atomic
+// pointer load.
+type snapshotBox struct{ p Predictor }
+
+// NewSnapshotManager creates a manager serving p.
+func NewSnapshotManager(p Predictor) *SnapshotManager {
+	m := &SnapshotManager{}
+	m.cur.Store(&snapshotBox{p: p})
+	return m
+}
+
+// Publish makes p the snapshot served to all subsequent batches. In-flight
+// batches finish on the snapshot they already captured. Panics on nil — a
+// pipeline must always have a current snapshot.
+func (m *SnapshotManager) Publish(p Predictor) {
+	if p == nil {
+		panic("serving: Publish(nil)")
+	}
+	m.cur.Store(&snapshotBox{p: p})
+	m.swaps.Add(1)
+}
+
+// Current returns the snapshot serving new work right now.
+func (m *SnapshotManager) Current() Predictor {
+	return m.cur.Load().p
+}
+
+// Swaps counts Publish calls since construction — /stats observability for
+// how often the model refreshes.
+func (m *SnapshotManager) Swaps() uint64 {
+	return m.swaps.Load()
+}

@@ -4,10 +4,16 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/slide-cpu/slide/internal/network"
 	"github.com/slide-cpu/slide/internal/sparse"
 )
+
+// snapshotVersion numbers every Predictor ever snapshotted in this process,
+// so serving pipelines can tell snapshots apart (and order them) without
+// inspecting weights. Monotonic across all models.
+var snapshotVersion atomic.Uint64
 
 // Predictor is an immutable snapshot of a model's weights and LSH tables
 // that serves inference concurrently: any number of goroutines may call any
@@ -18,8 +24,9 @@ import (
 // A Predictor never changes — to pick up newer weights, take a fresh
 // Snapshot and swap it in (e.g. via atomic.Pointer; see cmd/slide-serve).
 type Predictor struct {
-	p   *network.Predictor
-	out int
+	p       *network.Predictor
+	out     int
+	version uint64
 }
 
 // Snapshot deep-copies the model's current weights and LSH tables into a
@@ -27,8 +34,22 @@ type Predictor struct {
 // concurrently with TrainBatch/TrainEpoch — but once it returns, the
 // snapshot is fully independent of further training.
 func (m *Model) Snapshot() *Predictor {
-	return &Predictor{p: m.net.Snapshot(), out: m.net.Config().OutputDim}
+	return &Predictor{
+		p:       m.net.Snapshot(),
+		out:     m.net.Config().OutputDim,
+		version: snapshotVersion.Add(1),
+	}
 }
+
+// Version returns the process-wide snapshot sequence number: every Snapshot
+// call yields a strictly larger version, so a serving pipeline can expose
+// which snapshot served a response and order snapshots without comparing
+// weights.
+func (p *Predictor) Version() uint64 { return p.version }
+
+// Steps returns the optimizer step count of the source model at snapshot
+// time — "how fresh is this snapshot" for serving observability.
+func (p *Predictor) Steps() int64 { return p.p.Steps() }
 
 // NumLabels returns the output dimensionality (the label-space size).
 func (p *Predictor) NumLabels() int { return p.out }
@@ -80,6 +101,45 @@ func (p *Predictor) PredictBatch(samples []Sample, k int) ([][]int32, error) {
 		xs[i] = sparse.Vector{Indices: s.Indices, Values: s.Values}
 	}
 	return p.p.PredictBatch(xs, k), nil
+}
+
+// BatchEntry is one sample of a serving micro-batch: a sparse input plus
+// its own top-k, so requests from different clients can share one coalesced
+// batch without agreeing on k.
+type BatchEntry struct {
+	Indices []int32
+	Values  []float32
+	// K is the number of labels to return for this entry. K > NumLabels is
+	// clamped (the Predict behavior); K <= 0 is an error — serving front
+	// ends are expected to have resolved defaults before building entries.
+	K int
+}
+
+// PredictEntries runs exact top-k prediction for a coalesced micro-batch
+// with per-entry k. The output weight matrix is walked exactly once for the
+// whole batch (row-outer, sample-inner), amortizing the dominant weight
+// stream across the entries — the micro-batching win the serving pipeline
+// exists for. out[i] is bit-identical to Predict(e.Indices, e.Values, e.K)
+// for every entry, mixed k included.
+//
+// The call runs on the caller's goroutine; like Predict, concurrency comes
+// from calling it on many goroutines (internal/serving runs one call per
+// batcher worker). Use PredictBatch for single-caller data-parallel fan-out.
+func (p *Predictor) PredictEntries(entries []BatchEntry) ([][]int32, error) {
+	xs := make([]sparse.Vector, len(entries))
+	ks := make([]int, len(entries))
+	for i, e := range entries {
+		if len(e.Indices) != len(e.Values) {
+			return nil, fmt.Errorf("slide: entry %d has %d indices but %d values",
+				i, len(e.Indices), len(e.Values))
+		}
+		if e.K <= 0 {
+			return nil, fmt.Errorf("slide: entry %d has non-positive k %d", i, e.K)
+		}
+		xs[i] = sparse.Vector{Indices: e.Indices, Values: e.Values}
+		ks[i] = e.K
+	}
+	return p.p.PredictBatchK(xs, ks), nil
 }
 
 // Evaluate returns mean Precision@k over (up to) n samples of the dataset,
