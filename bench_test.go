@@ -228,22 +228,42 @@ func randF32(n int, seed uint64) []float32 {
 	return s
 }
 
+// benchModeName renders a kernel mode as a benchmark sub-name, keeping the
+// historical "Vector"/"Scalar" spellings from earlier baselines.
+func benchModeName(m simd.Mode) string {
+	switch m {
+	case simd.Vector:
+		return "Vector"
+	case simd.Scalar:
+		return "Scalar"
+	case simd.AVX2:
+		return "AVX2"
+	case simd.AVX512:
+		return "AVX512"
+	}
+	return m.String()
+}
+
+// benchKernelModes is the per-mode microbenchmark sweep: every tier this
+// host supports, fastest first (assembly tiers appear only where CPUID
+// reports them, so baselines recorded on different machines stay comparable
+// row by row).
+func benchKernelModes(b *testing.B, run func(b *testing.B, ks *simd.Kernels)) {
+	for _, m := range simd.AvailableModes() {
+		ks := simd.ForMode(m)
+		b.Run(benchModeName(m), func(b *testing.B) { run(b, ks) })
+	}
+}
+
 // BenchmarkKernelDot measures Algorithm 1's inner loop (dense dot over a
-// 128-wide hidden layer, the paper's dimension).
+// 128-wide hidden layer, the paper's dimension) under every kernel tier.
 func BenchmarkKernelDot(b *testing.B) {
 	x := randF32(128, 1)
 	y := randF32(128, 2)
-	b.Run("Vector", func(b *testing.B) {
+	benchKernelModes(b, func(b *testing.B, ks *simd.Kernels) {
 		var s float32
 		for i := 0; i < b.N; i++ {
-			s += simd.DotVec(x, y)
-		}
-		sink = s
-	})
-	b.Run("Scalar", func(b *testing.B) {
-		var s float32
-		for i := 0; i < b.N; i++ {
-			s += simd.DotScalar(x, y)
+			s += ks.Dot(x, y)
 		}
 		sink = s
 	})
@@ -279,14 +299,9 @@ func BenchmarkKernelDot4(b *testing.B) {
 func BenchmarkKernelAxpy(b *testing.B) {
 	x := randF32(128, 3)
 	y := randF32(128, 4)
-	b.Run("Vector", func(b *testing.B) {
+	benchKernelModes(b, func(b *testing.B, ks *simd.Kernels) {
 		for i := 0; i < b.N; i++ {
-			simd.AxpyVec(0.5, x, y)
-		}
-	})
-	b.Run("Scalar", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			simd.AxpyScalar(0.5, x, y)
+			ks.Axpy(0.5, x, y)
 		}
 	})
 }
@@ -299,14 +314,9 @@ func BenchmarkKernelAdam(b *testing.B) {
 	v := make([]float32, n)
 	g := randF32(n, 6)
 	p := simd.NewAdamParams(1e-3, 0.9, 0.999, 1e-8, 3)
-	b.Run("Vector", func(b *testing.B) {
+	benchKernelModes(b, func(b *testing.B, ks *simd.Kernels) {
 		for i := 0; i < b.N; i++ {
-			simd.AdamStepVec(w, m, v, g, p)
-		}
-	})
-	b.Run("Scalar", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			simd.AdamStepScalar(w, m, v, g, p)
+			ks.AdamStep(w, m, v, g, p)
 		}
 	})
 }
@@ -344,6 +354,14 @@ func BenchmarkKernelDotManyBias(b *testing.B) {
 		}
 		sink = out[0]
 	})
+	// Per-tier rows: the assembly-vs-portable acceptance ratio reads off
+	// AVX512 (or AVX2) against Vector here.
+	benchKernelModes(b, func(b *testing.B, ks *simd.Kernels) {
+		for i := 0; i < b.N; i++ {
+			ks.DotManyBias(rows, bias, ids, h, out)
+		}
+		sink = out[0]
+	})
 }
 
 // BenchmarkKernelAxpyTwo measures the fused backward walk (grad += gz·h and
@@ -354,10 +372,14 @@ func BenchmarkKernelAxpyTwo(b *testing.B) {
 	w := randF32(dim, 42)
 	grad := randF32(dim, 43)
 	dh := randF32(dim, 44)
+	// AxpyTwoFusedKernel forces the genuinely fused walk on every tier (the
+	// Go tiers' table entries resolve AxpyTwo to the faster two-walk shape,
+	// so benchmarking the table entry would compare identical code there),
+	// resolved once so both sides pay the same zero dispatch in the loop.
 	b.Run("Fused", func(b *testing.B) {
-		ks := simd.Active()
+		fused := simd.AxpyTwoFusedKernel()
 		for i := 0; i < b.N; i++ {
-			ks.AxpyTwo(0.5, h, grad, w, dh)
+			fused(0.5, h, grad, w, dh)
 		}
 	})
 	b.Run("TwoAxpys", func(b *testing.B) {
@@ -423,15 +445,61 @@ func BenchmarkTrainStep(b *testing.B) {
 	}
 }
 
-// BenchmarkKernelDotBF16 measures the §4.4 mixed-precision dot product.
+// BenchmarkTrainStepModes is BenchmarkTrainStep under each forced kernel
+// tier — the end-to-end assembly-vs-portable acceptance ratio (AVX512 or
+// AVX2 row against Vector). Each sub-benchmark builds a fresh network so no
+// tier inherits another's warmed-up weights or table state.
+func BenchmarkTrainStepModes(b *testing.B) {
+	w := benchWorkload(b)
+	opts := benchOpts()
+	prev := simd.CurrentMode()
+	defer simd.SetMode(prev)
+	for _, m := range simd.AvailableModes() {
+		b.Run(benchModeName(m), func(b *testing.B) {
+			simd.SetMode(m)
+			cfg := w.NetworkConfig(opts, layer.FP32, layer.Contiguous)
+			net, err := network.New(&cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			it := w.Train.Iter(w.Batch, sparse.Coalesced, opts.Seed)
+			batch, ok := it.Next()
+			if !ok {
+				b.Fatal("empty workload")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.TrainBatch(batch)
+			}
+		})
+	}
+}
+
+// BenchmarkKernelDotBF16 measures the §4.4 mixed-precision dot product
+// under every kernel tier.
 func BenchmarkKernelDotBF16(b *testing.B) {
 	x := bf16.FromSlice(randF32(128, 7))
 	y := randF32(128, 8)
-	var s float32
-	for i := 0; i < b.N; i++ {
-		s += simd.DotBF16F32(x, y)
-	}
-	sink = s
+	benchKernelModes(b, func(b *testing.B, ks *simd.Kernels) {
+		var s float32
+		for i := 0; i < b.N; i++ {
+			s += ks.DotBF16F32(x, y)
+		}
+		sink = s
+	})
+}
+
+// BenchmarkKernelPackBF16 measures the float32 -> bfloat16 conversion that
+// feeds the §4.4 activation quantization (VCVTNEPS2BF16 on AVX512-BF16
+// hosts, the software rounder elsewhere).
+func BenchmarkKernelPackBF16(b *testing.B) {
+	src := randF32(128, 9)
+	dst := make([]bf16.BF16, 128)
+	benchKernelModes(b, func(b *testing.B, ks *simd.Kernels) {
+		for i := 0; i < b.N; i++ {
+			ks.PackBF16(dst, src)
+		}
+	})
 }
 
 // BenchmarkTableRebuild measures the hash-table maintenance cost: a full

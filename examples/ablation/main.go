@@ -38,8 +38,13 @@ func main() {
 		slide.WithLearningRate(1e-3),
 		slide.WithSeed(13),
 	}
+	// VectorKernels resolves to the best tier the host supports (AVX-512 or
+	// AVX2 assembly where CPUID reports it, portable Go elsewhere); the
+	// labels report which tier actually ran via slide.KernelInfo().
+	slide.SetKernelMode(slide.VectorKernels)
+	vec := "optimized (" + slide.KernelInfo() + " kernels, coalesced, fp32)"
 	variants := []variant{
-		{"optimized (vector, coalesced, fp32)", slide.VectorKernels,
+		{vec, slide.VectorKernels,
 			append([]slide.Option{slide.WithMemoryLayout(slide.Coalesced)}, base...)},
 		{"no vectorization", slide.ScalarKernels,
 			append([]slide.Option{slide.WithMemoryLayout(slide.Coalesced)}, base...)},

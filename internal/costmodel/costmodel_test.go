@@ -207,3 +207,23 @@ func TestGPUAndEdgeCases(t *testing.T) {
 		t.Error("host must report cores")
 	}
 }
+
+func TestHostRooflineUsesDetectedLanes(t *testing.T) {
+	// The same-hardware roofline row is parameterized by the detected lane
+	// count: a hypothetical host with no vector unit (1 lane) must never be
+	// modeled faster than the real detected host for a vectorized system.
+	w := amazonWorkload()
+	host := platform.Host()
+	narrow := host
+	narrow.VectorLanesF32 = 1
+	sys := OptimizedSLIDE(host)
+	if EstimateEpoch(w, sys, host) > EstimateEpoch(w, sys, narrow) {
+		t.Errorf("detected-lane host (%d lanes) modeled slower than 1-lane host",
+			host.VectorLanesF32)
+	}
+	// And the descriptor carries the detected lane count (or the portable
+	// tier's 4-lane ILP equivalent when no vector extension was detected).
+	if host.VectorLanesF32 != 4 && host.VectorLanesF32 != 8 && host.VectorLanesF32 != 16 {
+		t.Errorf("host lanes = %d, want 4, 8 or 16", host.VectorLanesF32)
+	}
+}

@@ -1,0 +1,47 @@
+package cpufeat
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestDetectConsistency(t *testing.T) {
+	f := Detect()
+	t.Logf("detected: %s (lanes=%d)", f, f.VectorLanesF32())
+
+	// Tier implications: AVX-512 silicon always has AVX2+FMA, and the BF16
+	// extension only exists on AVX-512 foundations.
+	if f.HasAVX512Tier() && !f.HasAVX2Tier() {
+		t.Error("AVX-512 tier detected without the AVX2+FMA tier")
+	}
+	if f.AVX512BF16 && !f.AVX512F {
+		t.Error("AVX512-BF16 detected without AVX512F")
+	}
+
+	switch f.VectorLanesF32() {
+	case 0, 8, 16:
+	default:
+		t.Errorf("VectorLanesF32 = %d, want 0, 8 or 16", f.VectorLanesF32())
+	}
+
+	if runtime.GOARCH != "amd64" && f != (Features{}) {
+		t.Errorf("non-amd64 must report no x86 features, got %s", f)
+	}
+}
+
+func TestDetectCached(t *testing.T) {
+	if Detect() != Detect() {
+		t.Error("Detect not stable across calls")
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	if (Features{}).String() != "none" {
+		t.Errorf("zero Features.String() = %q, want none", (Features{}).String())
+	}
+	all := Features{AVX2: true, FMA: true, AVX512F: true, AVX512BW: true,
+		AVX512VL: true, AVX512DQ: true, AVX512BF16: true}
+	if got := all.String(); got != "avx2+fma avx512[f,bw,vl,dq] bf16" {
+		t.Errorf("full Features.String() = %q", got)
+	}
+}

@@ -1,0 +1,73 @@
+//go:build amd64
+
+package cpufeat
+
+// cpuid executes the CPUID instruction with the given leaf/subleaf.
+//
+//go:noescape
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (the XCR0 state mask).
+//
+//go:noescape
+func xgetbv() (eax, edx uint32)
+
+// CPUID bit positions, Intel SDM Vol. 2A.
+const (
+	// leaf 1 ECX
+	bitFMA     = 1 << 12
+	bitOSXSAVE = 1 << 27
+	bitAVX     = 1 << 28
+
+	// leaf 7 subleaf 0 EBX
+	bitAVX2     = 1 << 5
+	bitAVX512F  = 1 << 16
+	bitAVX512DQ = 1 << 17
+	bitAVX512BW = 1 << 30
+	bitAVX512VL = 1 << 31
+
+	// leaf 7 subleaf 1 EAX
+	bitAVX512BF16 = 1 << 5
+
+	// XCR0 state-component bits
+	xcr0SSE    = 1 << 1
+	xcr0AVX    = 1 << 2
+	xcr0Opmask = 1 << 5
+	xcr0ZMMHi  = 1 << 6
+	xcr0Hi16   = 1 << 7
+)
+
+func detect() Features {
+	var f Features
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 1 {
+		return f
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+
+	// Without OSXSAVE the OS has not enabled extended state saving, so no
+	// AVX state survives a context switch — treat every AVX tier as absent.
+	if ecx1&bitOSXSAVE == 0 || ecx1&bitAVX == 0 {
+		return f
+	}
+	xlo, _ := xgetbv()
+	osAVX := xlo&(xcr0SSE|xcr0AVX) == xcr0SSE|xcr0AVX
+	osAVX512 := osAVX && xlo&(xcr0Opmask|xcr0ZMMHi|xcr0Hi16) ==
+		xcr0Opmask|xcr0ZMMHi|xcr0Hi16
+	if !osAVX || maxLeaf < 7 {
+		return f
+	}
+
+	_, ebx7, _, _ := cpuid(7, 0)
+	f.FMA = ecx1&bitFMA != 0
+	f.AVX2 = ebx7&bitAVX2 != 0
+	if osAVX512 {
+		f.AVX512F = ebx7&bitAVX512F != 0
+		f.AVX512DQ = ebx7&bitAVX512DQ != 0
+		f.AVX512BW = ebx7&bitAVX512BW != 0
+		f.AVX512VL = ebx7&bitAVX512VL != 0
+		eax71, _, _, _ := cpuid(7, 1)
+		f.AVX512BF16 = f.AVX512F && eax71&bitAVX512BF16 != 0
+	}
+	return f
+}

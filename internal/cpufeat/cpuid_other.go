@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package cpufeat
+
+// detect reports no x86 vector extensions on non-amd64 architectures; the
+// portable Go kernels in internal/simd serve every tier there.
+func detect() Features { return Features{} }

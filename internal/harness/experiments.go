@@ -134,6 +134,10 @@ func Table2(opts Options) (*Report, error) {
 		tfCPX := costmodel.EstimateEpoch(full, costmodel.FullSoftmax(), platform.CPX)
 		nvCLX := costmodel.EstimateEpoch(full, costmodel.NaiveSLIDE(), platform.CLX)
 		nvCPX := costmodel.EstimateEpoch(full, costmodel.NaiveSLIDE(), platform.CPX)
+		// The Host row parameterizes the same roofline with the CPUID-detected
+		// capabilities of this machine (lane width, BF16) — the same-hardware
+		// sanity anchor for the measured block above it.
+		host := platform.Host()
 		rows := []row{
 			{"TF V100", v100, 0, 0},
 			{"TF CLX", tfCLX, tfCLX, nvCLX},
@@ -142,6 +146,7 @@ func Table2(opts Options) (*Report, error) {
 			{"Naive SLIDE CPX", nvCPX, tfCPX, nvCPX},
 			{"Optimized SLIDE CLX", costmodel.EstimateEpoch(full, costmodel.OptimizedSLIDE(platform.CLX), platform.CLX), tfCLX, nvCLX},
 			{"Optimized SLIDE CPX", costmodel.EstimateEpoch(full, costmodel.OptimizedSLIDE(platform.CPX), platform.CPX), tfCPX, nvCPX},
+			{"Optimized SLIDE Host", costmodel.EstimateEpoch(full, costmodel.OptimizedSLIDE(host), host), 0, 0},
 		}
 		for _, r := range rows {
 			vsTF, vsNaive := "-", "-"
@@ -239,8 +244,12 @@ func humanBytes(n int64) string {
 	}
 }
 
-// Table4 regenerates the AVX ablation: optimized SLIDE with vector kernels
-// versus scalar kernels, everything else held fixed.
+// Table4 regenerates the vectorization ablation: optimized SLIDE under
+// every kernel tier this host supports (assembly avx512/avx2 where CPUID
+// reports them, then the portable vector kernels, then scalar), everything
+// else held fixed. The paper's two-row "with/without AVX-512" contrast is
+// the first-vs-last pair; the middle rows decompose how much comes from
+// real SIMD silicon versus the unrolled Go substitute.
 func Table4(opts Options) (*Report, error) {
 	opts.defaults()
 	ws, err := Workloads(opts)
@@ -249,28 +258,36 @@ func Table4(opts Options) (*Report, error) {
 	}
 	t := &Table{
 		Title:  fmt.Sprintf("Table 4 — impact of vectorization (scale %g)", opts.Scale),
-		Header: []string{"Dataset", "Kernels", "Epoch(s)", "P@1", "Slowdown vs vector"},
-		Note:   "paper: 'Without AVX-512' is 1.12x-1.22x slower; Go kernels reproduce the direction",
+		Header: []string{"Dataset", "Kernels", "Epoch(s)", "P@1", "Slowdown vs best"},
+		Note:   "paper: 'Without AVX-512' is 1.12x-1.22x slower; rows cover every kernel tier this host supports",
 	}
+	modes := simd.AvailableModes()
 	for _, w := range ws {
-		withVec, err := RunSLIDE(w, Optimized, opts)
-		if err != nil {
-			return nil, err
+		// Measure every tier first: the "vs best" reference is the measured
+		// minimum, not the nominally fastest tier (noise on tiny epochs can
+		// reorder adjacent tiers).
+		results := make([]*RunResult, len(modes))
+		best := time.Duration(0)
+		for i, m := range modes {
+			v := Optimized
+			v.Name = "Optimized SLIDE (" + m.String() + " kernels)"
+			v.Kernels = m
+			r, err := RunSLIDE(w, v, opts)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+			if best == 0 || r.EpochTime < best {
+				best = r.EpochTime
+			}
 		}
-		scalar := Optimized
-		scalar.Name = "Optimized SLIDE (no vector)"
-		scalar.Kernels = simd.Scalar
-		withoutVec, err := RunSLIDE(w, scalar, opts)
-		if err != nil {
-			return nil, err
+		for i, m := range modes {
+			r := results[i]
+			t.Append(w.Name, m.String(),
+				fmt.Sprintf("%.3f", r.EpochTime.Seconds()),
+				fmt.Sprintf("%.3f", r.FinalP1),
+				fmt.Sprintf("%.2fx", costmodel.Speedup(r.EpochTime, best)))
 		}
-		t.Append(w.Name, "With vector kernels",
-			fmt.Sprintf("%.3f", withVec.EpochTime.Seconds()),
-			fmt.Sprintf("%.3f", withVec.FinalP1), "1.00x")
-		t.Append(w.Name, "Without vector kernels",
-			fmt.Sprintf("%.3f", withoutVec.EpochTime.Seconds()),
-			fmt.Sprintf("%.3f", withoutVec.FinalP1),
-			fmt.Sprintf("%.2fx", costmodel.Speedup(withoutVec.EpochTime, withVec.EpochTime)))
 	}
 	return &Report{Name: "table4", Tables: []*Table{t}}, nil
 }
@@ -364,27 +381,49 @@ func Ablations(opts Options) (*Report, error) {
 			fmt.Sprintf("%.2fx", costmodel.Speedup(r.EpochTime, baseline)))
 	}
 
+	// Combined kernel-mode × worker sweep: every kernel tier this host
+	// supports crossed with the HOGWILD worker counts, in one table, so the
+	// vectorization and threading effects can be read off jointly (does the
+	// assembly tier still scale with threads, or does it hit the memory
+	// wall earlier?). Modes run slowest tier first so the scalar@1-worker
+	// reference row exists before any speedup against it is computed.
 	threads := &Table{
-		Title:  fmt.Sprintf("Ablation — HOGWILD thread scaling (§4.1.1, %s)", w.Name),
-		Header: []string{"Workers", "Epoch(s)", "Speedup vs 1"},
+		Title:  fmt.Sprintf("Ablation — kernel mode × HOGWILD workers (§4.1.1/§4.2, %s)", w.Name),
+		Header: []string{"Kernels", "Workers", "Epoch(s)", "Speedup vs 1 worker", "Speedup vs scalar"},
+		Note:   "scalar column compares same worker count; 1-worker column compares within one kernel mode",
 	}
-	var oneWorker time.Duration
 	// Always sweep at least 1→2 workers: goroutine-level HOGWILD interleaves
 	// even on a single core, and the table contract (and its test) expects
 	// the contrast row on single-CPU CI machines.
 	maxW := max(2, runtime.GOMAXPROCS(0))
-	for nw := 1; nw <= maxW; nw *= 2 {
-		o := opts
-		o.Workers = nw
-		r, err := RunSLIDE(w, Optimized, o)
-		if err != nil {
-			return nil, err
+	modes := simd.AvailableModes()
+	scalarAt := make(map[int]time.Duration)
+	for i := len(modes) - 1; i >= 0; i-- {
+		m := modes[i]
+		var oneWorker time.Duration
+		for nw := 1; nw <= maxW; nw *= 2 {
+			o := opts
+			o.Workers = nw
+			v := Optimized
+			v.Name = "Optimized SLIDE (" + m.String() + " kernels)"
+			v.Kernels = m
+			r, err := RunSLIDE(w, v, o)
+			if err != nil {
+				return nil, err
+			}
+			if nw == 1 {
+				oneWorker = r.EpochTime
+			}
+			if m == simd.Scalar {
+				scalarAt[nw] = r.EpochTime
+			}
+			vsScalar := "-"
+			if base, ok := scalarAt[nw]; ok {
+				vsScalar = fmt.Sprintf("%.2fx", costmodel.Speedup(base, r.EpochTime))
+			}
+			threads.Append(m.String(), nw, fmt.Sprintf("%.3f", r.EpochTime.Seconds()),
+				fmt.Sprintf("%.2fx", costmodel.Speedup(oneWorker, r.EpochTime)), vsScalar)
 		}
-		if nw == 1 {
-			oneWorker = r.EpochTime
-		}
-		threads.Append(nw, fmt.Sprintf("%.3f", r.EpochTime.Seconds()),
-			fmt.Sprintf("%.2fx", costmodel.Speedup(oneWorker, r.EpochTime)))
 	}
 
 	sampling, err := samplingAblation(w, opts)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/slide-cpu/slide/internal/metrics"
+	"github.com/slide-cpu/slide/internal/simd"
 )
 
 // tinyOpts keeps harness tests fast: smallest dataset floors, one epoch.
@@ -134,8 +135,22 @@ func TestTable4(t *testing.T) {
 		t.Fatal(err)
 	}
 	tbl := rep.Tables[0]
-	if len(tbl.Rows) != 6 { // 3 datasets x 2 kernel modes
-		t.Fatalf("got %d rows", len(tbl.Rows))
+	want := 3 * len(simd.AvailableModes()) // 3 datasets x supported kernel tiers
+	if len(tbl.Rows) != want {
+		t.Fatalf("got %d rows, want %d", len(tbl.Rows), want)
+	}
+	// The measured-fastest tier anchors each dataset block at exactly 1.00x.
+	perBlock := len(simd.AvailableModes())
+	for blk := 0; blk < len(tbl.Rows); blk += perBlock {
+		anchored := false
+		for _, row := range tbl.Rows[blk : blk+perBlock] {
+			if row[4] == "1.00x" {
+				anchored = true
+			}
+		}
+		if !anchored {
+			t.Errorf("dataset block at row %d has no 1.00x reference", blk)
+		}
 	}
 }
 
@@ -177,7 +192,7 @@ func TestTable2(t *testing.T) {
 	if len(measured.Rows) != 9 { // 3 datasets x 3 systems
 		t.Errorf("measured rows = %d", len(measured.Rows))
 	}
-	if len(modeled.Rows) != 21 { // 3 datasets x 7 systems
+	if len(modeled.Rows) != 24 { // 3 datasets x (7 paper systems + host roofline)
 		t.Errorf("modeled rows = %d", len(modeled.Rows))
 	}
 	// The modeled block must preserve the paper's headline ordering on the

@@ -30,10 +30,12 @@ type Variant struct {
 
 // Optimized is the paper's fully optimized SLIDE (host FP32: software BF16
 // is a separate Table 3 variant, since it costs rather than saves time
-// without hardware support).
+// without hardware support). Kernels resolve to the best CPUID-supported
+// tier — the assembly backend on AVX hosts, the portable vector kernels
+// elsewhere.
 var Optimized = Variant{
 	Name:        "Optimized SLIDE",
-	Kernels:     simd.Vector,
+	Kernels:     simd.Best(),
 	Placement:   layer.Contiguous,
 	BatchLayout: sparse.Coalesced,
 	Precision:   layer.FP32,
@@ -168,7 +170,7 @@ func RunSLIDE(w *Workload, v Variant, opts Options) (*RunResult, error) {
 func RunDense(w *Workload, opts Options) (*RunResult, error) {
 	opts.defaults()
 	prev := simd.CurrentMode()
-	simd.SetMode(simd.Vector) // TF baselines use AVX
+	simd.SetMode(simd.Best()) // TF baselines use the best vector tier (AVX)
 	defer simd.SetMode(prev)
 
 	cfg := fullsoftmax.Config{

@@ -87,7 +87,7 @@ func (w *ColWeights) Forward(ks *simd.Kernels, x sparse.Vector, h []float32) {
 		}
 	}
 	if w.prec != FP32 {
-		bf16.RoundSlice(h)
+		ks.RoundBF16(h)
 	}
 }
 

@@ -89,12 +89,25 @@ func (l *RowLayer) ForwardActive(ks *simd.Kernels, active []int32, h []float32, 
 // layer's write policy. Weights are only read here — they change exclusively
 // in ApplyAdam, which the trainer serializes against Backward.
 //
-// The two axpys stay separate on purpose: BenchmarkKernelAxpyTwo shows the
-// fused one-walk form (simd.AxpyTwo) is ~20% slower than two independent
-// axpys under the Go compiler — the four live slice pointers defeat the
-// scheduler the way Dot4's row blocking does (see DESIGN.md "Known
-// divergences").
+// The FP32 path goes through the table's AxpyTwo entry, which resolves to
+// whichever walk shape wins on the active tier: the assembly tiers run the
+// genuinely fused single walk (~1.6x faster than two asm axpys), while the
+// Go tiers run two independent axpys (the fused Go loop is ~20% slower —
+// four live slice pointers defeat the scheduler the way Dot4's row blocking
+// does; see DESIGN.md "Known divergences"). Both shapes are bit-identical
+// because the slice pairs never alias.
 func (l *RowLayer) Accumulate(ks *simd.Kernels, id int32, gz float32, h []float32, hBF []bf16.BF16, dh []float32) {
+	if dh != nil && l.opts.Precision == FP32 {
+		// dh is worker-private; only the gradient row needs the lock, but
+		// the fused walk's bandwidth win outweighs the slightly longer
+		// critical section under the Locked policy.
+		l.lk.lockRow(id)
+		ks.AxpyTwo(gz, h, l.grad[id], l.rows[id], dh)
+		l.gbias[id] += gz
+		l.lk.unlockRow(id)
+		l.touched.mark(id)
+		return
+	}
 	l.lk.lockRow(id)
 	if l.opts.Precision == FP32 {
 		ks.Axpy(gz, h, l.grad[id])

@@ -8,9 +8,47 @@
 // exactly those two layouts behind identical [][]float32 views, so the rest
 // of the system (and the ablation harness) can switch layouts without
 // touching kernel code.
+// All backing allocations are aligned to 64 bytes (one cache line, one
+// AVX-512 register): alignedSlice over-allocates by one cache line and
+// re-slices to the first aligned element. Rows carved at offsets that are
+// multiples of 16 floats therefore start cache-line- and zmm-aligned; rows
+// at other offsets are unaligned, and kernels must (and do) use unaligned
+// loads — only the backing block start is guaranteed.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"unsafe"
+)
+
+// alignBytes is the backing-allocation alignment: one cache line, which is
+// also the width of one AVX-512 register.
+const alignBytes = 64
+
+// alignedSlice returns a zeroed length-n float32 slice whose first element
+// sits on a 64-byte boundary (pad-and-slice over a make allocation).
+func alignedSlice(n int) []float32 {
+	if n == 0 {
+		return nil
+	}
+	const pad = alignBytes / 4 // elements per cache line
+	buf := make([]float32, n+pad-1)
+	off := 0
+	if rem := uintptr(unsafe.Pointer(&buf[0])) % alignBytes; rem != 0 {
+		off = int((alignBytes - rem) / 4)
+	}
+	return buf[off : off+n : off+n]
+}
+
+// Aligned reports whether the first element of s sits on a 64-byte boundary
+// (exported for the alignment tests and debug assertions; empty slices are
+// trivially aligned).
+func Aligned(s []float32) bool {
+	if len(s) == 0 {
+		return true
+	}
+	return uintptr(unsafe.Pointer(&s[0]))%alignBytes == 0
+}
 
 // Arena hands out contiguous float32 sub-slices from one backing allocation.
 // It is not safe for concurrent use; layers allocate from it at build time
@@ -20,12 +58,13 @@ type Arena struct {
 	off int
 }
 
-// NewArena allocates an arena with capacity for n float32 values.
+// NewArena allocates an arena with capacity for n float32 values. The
+// backing block starts on a 64-byte boundary.
 func NewArena(n int) *Arena {
 	if n < 0 {
 		panic("mem: negative arena size")
 	}
-	return &Arena{buf: make([]float32, n)}
+	return &Arena{buf: alignedSlice(n)}
 }
 
 // Alloc returns a zeroed length-n slice carved from the arena. Consecutive
@@ -49,12 +88,12 @@ func (a *Arena) Remaining() int { return len(a.buf) - a.off }
 
 // Contiguous2D returns rows×cols as row views into one contiguous backing
 // slice (also returned, for whole-block kernels such as the fused ADAM pass
-// of §4.3.1).
+// of §4.3.1). The backing block starts on a 64-byte boundary.
 func Contiguous2D(rows, cols int) ([][]float32, []float32) {
 	if rows < 0 || cols < 0 {
 		panic("mem: negative dimensions")
 	}
-	backing := make([]float32, rows*cols)
+	backing := alignedSlice(rows * cols)
 	views := make([][]float32, rows)
 	for i := range views {
 		views[i] = backing[i*cols : (i+1)*cols : (i+1)*cols]

@@ -29,6 +29,35 @@ func TestArenaAllocContiguity(t *testing.T) {
 	}
 }
 
+func TestBackingAlignment(t *testing.T) {
+	// Backing allocations start on a 64-byte boundary (one cache line, one
+	// zmm register), for every allocation size including cache-line-odd ones.
+	for _, n := range []int{1, 2, 15, 16, 17, 64, 100, 1000, 4096} {
+		a := NewArena(n)
+		s := a.Alloc(n)
+		if !Aligned(s) {
+			t.Errorf("NewArena(%d): first allocation not 64-byte aligned", n)
+		}
+		_, backing := Contiguous2D(3, n)
+		if !Aligned(backing) {
+			t.Errorf("Contiguous2D(3, %d): backing not 64-byte aligned", n)
+		}
+	}
+	// Rows carved at multiples of 16 floats stay aligned for zmm loads.
+	a := NewArena(64)
+	r0 := a.Alloc(16)
+	r1 := a.Alloc(32)
+	r2 := a.Alloc(16)
+	for i, r := range [][]float32{r0, r1, r2} {
+		if !Aligned(r) {
+			t.Errorf("arena row %d (16-multiple carve) not aligned", i)
+		}
+	}
+	if !Aligned(nil) {
+		t.Error("empty slice must report aligned")
+	}
+}
+
 func TestArenaExhaustionPanics(t *testing.T) {
 	a := NewArena(10)
 	a.Alloc(8)

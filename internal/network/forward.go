@@ -105,7 +105,9 @@ func (f *forwardState) forwardStack(ws *scratch, x sparse.Vector) {
 		}
 	}
 	if ws.hBF != nil {
-		bf16.Convert(ws.hBF, ws.last())
+		// Table-resolved pack kernel: VCVTNEPS2BF16 on AVX512-BF16 hosts,
+		// the software converter elsewhere.
+		ws.ks.PackBF16(ws.hBF, ws.last())
 	}
 }
 

@@ -10,7 +10,11 @@
 // "Substitutions".
 package platform
 
-import "runtime"
+import (
+	"runtime"
+
+	"github.com/slide-cpu/slide/internal/cpufeat"
+)
 
 // Kind distinguishes processor families.
 type Kind int
@@ -81,13 +85,33 @@ var V100 = Platform{
 }
 
 // Host describes the machine this process runs on, for measured rows. SIMD
-// attributes reflect the Go-kernel substitute, not real intrinsics: the
-// emulated vector width is what internal/simd unrolls to.
+// attributes come from CPUID feature detection (internal/cpufeat): the lane
+// count is the widest float32 SIMD width the silicon can actually drive and
+// HasBF16 reports real AVX512-BF16 support, so same-hardware roofline rows
+// in internal/costmodel are parameterized by measured capability. On hosts
+// without any detected vector extension (including non-amd64 builds) the
+// lane count falls back to 4: the portable Go tier's unrolled independent
+// accumulator chains sustain a measured ~2-3x over scalar (ILP, not SIMD),
+// and the fallback must stay below a real AVX2 host's 8 lanes so roofline
+// ordering between hosts is preserved.
+//
+// Clock, cache and bandwidth remain conservative estimates: they are not
+// discoverable portably and only scale the roofline's absolute numbers, not
+// the same-hardware ratios.
 func Host() Platform {
+	f := cpufeat.Detect()
+	lanes := f.VectorLanesF32()
+	if lanes == 0 {
+		lanes = 4 // portable Go tier: ILP-equivalent width, below real AVX2
+	}
 	return Platform{
 		Name: "Host", Kind: CPU,
 		Cores: runtime.NumCPU(), ThreadsPerCore: 1, ClockGHz: 2.5,
-		VectorLanesF32: 16, FMAPorts: 1, HasBF16: false,
+		VectorLanesF32: lanes, FMAPorts: 1, HasBF16: f.AVX512BF16,
 		L3MB: 16, DRAMGBs: 20,
 	}
 }
+
+// HostFeatures returns the detected SIMD feature set backing Host's vector
+// attributes (for reports that want to print the capability line).
+func HostFeatures() cpufeat.Features { return cpufeat.Detect() }

@@ -41,11 +41,7 @@ func AdamStep(w, m, v, g []float32, p AdamParams) {
 	if len(m) != n || len(v) != n || len(g) != n {
 		panic("simd: AdamStep length mismatch")
 	}
-	if vectorized() {
-		adamVec(w, m, v, g, p)
-		return
-	}
-	adamScalar(w, m, v, g, p)
+	Active().AdamStep(w, m, v, g, p)
 }
 
 // AdamStepVec is the 16-lane implementation, exported for equivalence tests.

@@ -1,0 +1,542 @@
+package simd
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"runtime"
+	"testing"
+
+	"github.com/slide-cpu/slide/internal/bf16"
+)
+
+// The assembly-tier equivalence suite. Every kernel in every available mode
+// is compared against the scalar reference over the boundary lengths
+// (0/1/15/16/17/31/32/33/65, plus longer stretches) and at unaligned base
+// offsets (the arena guarantees 64-byte alignment of backing blocks, but
+// kernels must accept any offset).
+//
+// Tolerance policy (see DESIGN.md "Native kernel backend"):
+//   - Elementwise kernels (Axpy, AxpyTwo, Add, Scale, AdamStep, AdamStepZero,
+//     AxpyBF16, PackBF16, RoundBF16) must be BIT-IDENTICAL across tiers: the
+//     assembly uses the same two-rounding mul/add schedule as the Go code.
+//   - Reductions (Dot, Sum, DotBF16*, DotManyBias*) may differ by summation
+//     order and FMA contraction; they are compared against a float64
+//     reference with a tolerance scaled to the sum of absolute products.
+//   - Max is order-insensitive and must be exact (NaN inputs excluded).
+
+// testLengths are the boundary lengths from the issue plus deeper blocks
+// that exercise the unrolled 32/64-element loops and their step-down paths.
+var testLengths = []int{0, 1, 2, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 100, 128, 129, 255, 1024}
+
+// asmModes returns every mode whose table differs from the scalar reference,
+// including downgraded tables (so the suite still runs the portable tier on
+// hosts without the assembly).
+func asmModes(t *testing.T) []Mode {
+	t.Helper()
+	modes := []Mode{Vector}
+	for _, m := range []Mode{AVX2, AVX512} {
+		if Supported(m) {
+			modes = append(modes, m)
+		} else {
+			t.Logf("mode %s unsupported on this host (GOARCH=%s), testing downgrade only", m, runtime.GOARCH)
+		}
+	}
+	return modes
+}
+
+// offsetSlice returns a slice of length n whose backing base is offset by
+// off elements from its allocation start (unaligned vector loads).
+func offsetSlice(rng *rand.Rand, n, off int) []float32 {
+	buf := randSlice(rng, n+off)
+	return buf[off : off+n : off+n]
+}
+
+// dotRef computes the float64 reference and the |a_i*b_i| magnitude scale.
+func dotRef(a, b []float32) (ref, scale float64) {
+	for i := range a {
+		p := float64(a[i]) * float64(b[i])
+		ref += p
+		scale += math.Abs(p)
+	}
+	return ref, scale
+}
+
+// checkReduction asserts |got-ref| <= tol*(1+scale): reductions across tiers
+// agree to a few float32 ULPs of the accumulated magnitude.
+func checkReduction(t *testing.T, name string, got float32, ref, scale float64) {
+	t.Helper()
+	const tol = 1e-5
+	if diff := math.Abs(float64(got) - ref); diff > tol*(1+scale) {
+		t.Errorf("%s: got %g, reference %g (diff %g, scale %g)", name, got, ref, diff, scale)
+	}
+}
+
+func TestActiveResolvesBestTier(t *testing.T) {
+	// Acceptance gate: on a host with an assembly tier, the package must
+	// auto-select it at startup (the env knob can still force another mode,
+	// which the suite respects so forced-mode CI lanes stay meaningful).
+	cur := CurrentMode()
+	if forced := forcedEnvMode(); forced >= 0 {
+		if cur != forced {
+			t.Errorf("SLIDE_KERNEL_MODE forced %s but startup mode is %s", forced, cur)
+		}
+	} else if cur != Best() {
+		t.Errorf("startup mode %s, want Best() = %s", cur, Best())
+	}
+	if Active().Mode != cur {
+		t.Errorf("Active().Mode = %s, CurrentMode = %s", Active().Mode, cur)
+	}
+}
+
+func TestSupportedAndClamp(t *testing.T) {
+	if !Supported(Scalar) || !Supported(Vector) {
+		t.Fatal("Go tiers must always be supported")
+	}
+	if Supported(Mode(99)) {
+		t.Error("unknown mode reported as supported")
+	}
+	for _, m := range []Mode{Scalar, Vector, AVX2, AVX512} {
+		got := ForMode(m).Mode
+		if Supported(m) && got != m {
+			t.Errorf("ForMode(%s).Mode = %s", m, got)
+		}
+		if !Supported(m) && (got == AVX2 || got == AVX512) && !Supported(got) {
+			t.Errorf("ForMode(%s) returned unsupported tier %s", m, got)
+		}
+	}
+	// Best is supported and at least Vector.
+	if b := Best(); !Supported(b) || b == Scalar {
+		t.Errorf("Best() = %s", b)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if AVX2.String() != "avx2" || AVX512.String() != "avx512" {
+		t.Error("assembly tier Mode.String values wrong")
+	}
+}
+
+func TestDotEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewPCG(10, 1))
+	for _, m := range asmModes(t) {
+		ks := ForMode(m)
+		for _, n := range testLengths {
+			for _, off := range []int{0, 1, 3} {
+				a := offsetSlice(rng, n, off)
+				b := offsetSlice(rng, n, off)
+				ref, scale := dotRef(a, b)
+				checkReduction(t, fmt.Sprintf("%s Dot n=%d off=%d", m, n, off), ks.Dot(a, b), ref, scale)
+			}
+		}
+	}
+}
+
+func TestSumEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 1))
+	for _, m := range asmModes(t) {
+		ks := ForMode(m)
+		for _, n := range testLengths {
+			x := offsetSlice(rng, n, 1)
+			var ref, scale float64
+			for _, v := range x {
+				ref += float64(v)
+				scale += math.Abs(float64(v))
+			}
+			checkReduction(t, fmt.Sprintf("%s Sum n=%d", m, n), ks.Sum(x), ref, scale)
+		}
+	}
+}
+
+func TestMaxEquivalenceExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(12, 1))
+	for _, m := range asmModes(t) {
+		ks := ForMode(m)
+		for _, n := range testLengths {
+			if n == 0 {
+				continue
+			}
+			for _, off := range []int{0, 2} {
+				x := offsetSlice(rng, n, off)
+				want := Max(x)
+				if got := ks.Max(x); got != want {
+					t.Errorf("%s Max n=%d off=%d: got %g want %g", m, n, off, got, want)
+				}
+			}
+		}
+		// All-negative and -Inf-heavy inputs (the DWTA gather fills missing
+		// slots with -Inf).
+		neg := []float32{-5, -4, -3.5, -9, -1.25, -8, -7, -6, -2, -10, -11, -12, -13, -14, -15, -16, -0.5}
+		if got := ks.Max(neg); got != -0.5 {
+			t.Errorf("%s Max all-negative: got %g", m, got)
+		}
+		inf := make([]float32, 40)
+		for i := range inf {
+			inf[i] = float32(math.Inf(-1))
+		}
+		inf[37] = -2
+		if got := ks.Max(inf); got != -2 {
+			t.Errorf("%s Max -Inf fill: got %g", m, got)
+		}
+	}
+}
+
+// checkExact asserts two float32 slices are bit-identical.
+func checkExact(t *testing.T, name string, got, want []float32) {
+	t.Helper()
+	for i := range want {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Errorf("%s: index %d got %g (%#x) want %g (%#x)", name, i,
+				got[i], math.Float32bits(got[i]), want[i], math.Float32bits(want[i]))
+			return
+		}
+	}
+}
+
+func TestAxpyBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 1))
+	for _, m := range asmModes(t) {
+		ks := ForMode(m)
+		for _, n := range testLengths {
+			for _, off := range []int{0, 1} {
+				x := offsetSlice(rng, n, off)
+				y0 := offsetSlice(rng, n, off)
+				want := append([]float32(nil), y0...)
+				axpyScalar(0.37, x, want)
+				got := append([]float32(nil), y0...)
+				ks.Axpy(0.37, x, got)
+				checkExact(t, fmt.Sprintf("%s Axpy n=%d off=%d", m, n, off), got, want)
+
+				got2 := append([]float32(nil), y0...)
+				ks.ScaleAccum(0.37, x, got2)
+				checkExact(t, fmt.Sprintf("%s ScaleAccum n=%d", m, n), got2, want)
+			}
+		}
+	}
+}
+
+func TestAddScaleBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewPCG(14, 1))
+	for _, m := range asmModes(t) {
+		ks := ForMode(m)
+		for _, n := range testLengths {
+			x := offsetSlice(rng, n, 1)
+			y0 := offsetSlice(rng, n, 1)
+
+			want := append([]float32(nil), y0...)
+			addScalar(x, want)
+			got := append([]float32(nil), y0...)
+			ks.Add(x, got)
+			checkExact(t, fmt.Sprintf("%s Add n=%d", m, n), got, want)
+
+			wantS := append([]float32(nil), x...)
+			scaleScalar(-1.75, wantS)
+			gotS := append([]float32(nil), x...)
+			ks.Scale(-1.75, gotS)
+			checkExact(t, fmt.Sprintf("%s Scale n=%d", m, n), gotS, wantS)
+		}
+	}
+}
+
+func TestAxpyTwoBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewPCG(15, 1))
+	for _, m := range asmModes(t) {
+		ks := ForMode(m)
+		for _, n := range testLengths {
+			h := offsetSlice(rng, n, 1)
+			w := offsetSlice(rng, n, 1)
+			grad0 := offsetSlice(rng, n, 1)
+			dh0 := offsetSlice(rng, n, 1)
+
+			wantG := append([]float32(nil), grad0...)
+			wantD := append([]float32(nil), dh0...)
+			axpyTwoScalar(0.81, h, wantG, w, wantD)
+
+			gotG := append([]float32(nil), grad0...)
+			gotD := append([]float32(nil), dh0...)
+			ks.AxpyTwo(0.81, h, gotG, w, gotD)
+			checkExact(t, fmt.Sprintf("%s AxpyTwo grad n=%d", m, n), gotG, wantG)
+			checkExact(t, fmt.Sprintf("%s AxpyTwo dh n=%d", m, n), gotD, wantD)
+		}
+	}
+}
+
+func TestAxpyTwoFusedBitIdentical(t *testing.T) {
+	// The always-fused benchmark entry point matches the scalar reference
+	// under every mode (it only changes walk shape, never arithmetic).
+	rng := rand.New(rand.NewPCG(21, 1))
+	for _, m := range AvailableModes() {
+		withMode(t, m, func() {
+			for _, n := range []int{0, 5, 16, 33, 128} {
+				h := randSlice(rng, n)
+				w := randSlice(rng, n)
+				grad0 := randSlice(rng, n)
+				dh0 := randSlice(rng, n)
+				wantG := append([]float32(nil), grad0...)
+				wantD := append([]float32(nil), dh0...)
+				axpyTwoScalar(0.6, h, wantG, w, wantD)
+				gotG := append([]float32(nil), grad0...)
+				gotD := append([]float32(nil), dh0...)
+				AxpyTwoFused(0.6, h, gotG, w, gotD)
+				checkExact(t, fmt.Sprintf("%s AxpyTwoFused grad n=%d", m, n), gotG, wantG)
+				checkExact(t, fmt.Sprintf("%s AxpyTwoFused dh n=%d", m, n), gotD, wantD)
+			}
+		})
+	}
+}
+
+func adamInputs(rng *rand.Rand, n int) (w, m, v, g []float32) {
+	w = randSlice(rng, n)
+	m = randSlice(rng, n)
+	v = randSlice(rng, n)
+	g = randSlice(rng, n)
+	for i := range v {
+		v[i] = float32(math.Abs(float64(v[i]))) // second moment is non-negative
+	}
+	return
+}
+
+func TestAdamStepBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewPCG(16, 1))
+	p := NewAdamParams(1e-3, 0.9, 0.999, 1e-8, 7)
+	for _, mode := range asmModes(t) {
+		ks := ForMode(mode)
+		for _, n := range testLengths {
+			w0, m0, v0, g0 := adamInputs(rng, n)
+			for _, zero := range []bool{false, true} {
+				wW := append([]float32(nil), w0...)
+				wM := append([]float32(nil), m0...)
+				wV := append([]float32(nil), v0...)
+				wG := append([]float32(nil), g0...)
+				gW := append([]float32(nil), w0...)
+				gM := append([]float32(nil), m0...)
+				gV := append([]float32(nil), v0...)
+				gG := append([]float32(nil), g0...)
+				name := fmt.Sprintf("%s AdamStep zero=%v n=%d", mode, zero, n)
+				if zero {
+					adamZeroScalar(wW, wM, wV, wG, p)
+					ks.AdamStepZero(gW, gM, gV, gG, p)
+				} else {
+					adamScalar(wW, wM, wV, wG, p)
+					ks.AdamStep(gW, gM, gV, gG, p)
+				}
+				checkExact(t, name+" w", gW, wW)
+				checkExact(t, name+" m", gM, wM)
+				checkExact(t, name+" v", gV, wV)
+				checkExact(t, name+" g", gG, wG)
+			}
+		}
+	}
+}
+
+func TestDotManyBiasEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 1))
+	const nRows, dim = 64, 65 // odd dim: every row dot takes the tail path
+	rows := make([][]float32, nRows)
+	rowsBF := make([][]bf16.BF16, nRows)
+	for i := range rows {
+		rows[i] = randSlice(rng, dim)
+		rowsBF[i] = bf16.FromSlice(rows[i])
+	}
+	bias := randSlice(rng, nRows)
+	h := randSlice(rng, dim)
+	hBF := bf16.FromSlice(h)
+	ids := make([]int32, 33)
+	for i := range ids {
+		ids[i] = int32(rng.IntN(nRows))
+	}
+	ref := make([]float32, len(ids))
+	dotManyBiasScalar(rows, bias, ids, h, ref)
+
+	for _, m := range asmModes(t) {
+		ks := ForMode(m)
+		out := make([]float32, len(ids))
+		ks.DotManyBias(rows, bias, ids, h, out)
+		for k := range ref {
+			rf, scale := dotRef(rows[ids[k]], h)
+			checkReduction(t, fmt.Sprintf("%s DotManyBias k=%d", m, k), out[k], rf+float64(bias[ids[k]]), scale)
+		}
+
+		outBF := make([]float32, len(ids))
+		ks.DotManyBiasBF16Act(rows, bias, ids, hBF, outBF)
+		refBF := make([]float32, len(ids))
+		dotManyBiasBF16ActScalar(rows, bias, ids, hBF, refBF)
+		for k := range refBF {
+			if !approxEqual(float64(outBF[k]), float64(refBF[k]), 1e-4) {
+				t.Errorf("%s DotManyBiasBF16Act k=%d: got %g want %g", m, k, outBF[k], refBF[k])
+			}
+		}
+
+		outB := make([]float32, len(ids))
+		ks.DotManyBiasBF16(rowsBF, bias, ids, hBF, outB)
+		refB := make([]float32, len(ids))
+		dotManyBiasBF16Scalar(rowsBF, bias, ids, hBF, refB)
+		for k := range refB {
+			if !approxEqual(float64(outB[k]), float64(refB[k]), 1e-4) {
+				t.Errorf("%s DotManyBiasBF16 k=%d: got %g want %g", m, k, outB[k], refB[k])
+			}
+		}
+	}
+}
+
+func TestBF16DotEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewPCG(18, 1))
+	for _, m := range asmModes(t) {
+		ks := ForMode(m)
+		for _, n := range testLengths {
+			a := bf16.FromSlice(offsetSlice(rng, n, 1))
+			b := offsetSlice(rng, n, 1)
+			bBF := bf16.FromSlice(b)
+
+			var ref, scale float64
+			for i := range a {
+				p := float64(a[i].Float32()) * float64(b[i])
+				ref += p
+				scale += math.Abs(p)
+			}
+			checkReduction(t, fmt.Sprintf("%s DotBF16F32 n=%d", m, n), ks.DotBF16F32(a, b), ref, scale)
+
+			ref, scale = 0, 0
+			for i := range a {
+				p := float64(a[i].Float32()) * float64(bBF[i].Float32())
+				ref += p
+				scale += math.Abs(p)
+			}
+			checkReduction(t, fmt.Sprintf("%s DotBF16 n=%d", m, n), ks.DotBF16(a, bBF), ref, scale)
+		}
+	}
+}
+
+func TestAxpyBF16BitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewPCG(19, 1))
+	for _, m := range asmModes(t) {
+		ks := ForMode(m)
+		for _, n := range testLengths {
+			x := bf16.FromSlice(offsetSlice(rng, n, 1))
+			y0 := offsetSlice(rng, n, 1)
+			want := append([]float32(nil), y0...)
+			axpyBF16Scalar(1.3, x, want)
+			got := append([]float32(nil), y0...)
+			ks.AxpyBF16(1.3, x, got)
+			checkExact(t, fmt.Sprintf("%s AxpyBF16 n=%d", m, n), got, want)
+		}
+	}
+}
+
+func TestPackRoundBF16Equivalence(t *testing.T) {
+	// Inputs stay in the normal float32 range: the hardware converter
+	// (VCVTNEPS2BF16) flushes subnormal inputs to zero, a documented
+	// divergence from the software rounder. Normal values, zeros, infinities
+	// and NaNs convert identically.
+	rng := rand.New(rand.NewPCG(20, 1))
+	for _, m := range asmModes(t) {
+		ks := ForMode(m)
+		for _, n := range testLengths {
+			src := offsetSlice(rng, n, 1)
+			if n > 4 {
+				src[0] = 0
+				src[1] = float32(math.Inf(1))
+				src[2] = float32(math.Inf(-1))
+				src[3] = 3.39e38 // near MaxFloat32: rounds up to +Inf in bf16
+			}
+			want := make([]bf16.BF16, n)
+			bf16.Convert(want, src)
+			got := make([]bf16.BF16, n)
+			ks.PackBF16(got, src)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("%s PackBF16 n=%d i=%d: got %#x want %#x (src %g)", m, n, i, got[i], want[i], src[i])
+					break
+				}
+			}
+
+			wantR := append([]float32(nil), src...)
+			bf16.RoundSlice(wantR)
+			gotR := append([]float32(nil), src...)
+			ks.RoundBF16(gotR)
+			checkExact(t, fmt.Sprintf("%s RoundBF16 n=%d", m, n), gotR, wantR)
+		}
+	}
+}
+
+func TestPackBF16NaNQuieting(t *testing.T) {
+	// NaN payloads survive truncation with the quiet bit set, on every tier.
+	src := []float32{math.Float32frombits(0x7FC01234), math.Float32frombits(0xFF800001), 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+	want := make([]bf16.BF16, len(src))
+	bf16.Convert(want, src)
+	for _, m := range asmModes(t) {
+		got := make([]bf16.BF16, len(src))
+		ForMode(m).PackBF16(got, src)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s PackBF16 NaN i=%d: got %#x want %#x", m, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// FuzzDotModes cross-checks every available tier's Dot against the float64
+// reference on arbitrary inputs.
+func FuzzDotModes(f *testing.F) {
+	f.Add(uint64(1), 17)
+	f.Add(uint64(42), 129)
+	f.Add(uint64(7), 1)
+	f.Fuzz(func(t *testing.T, seed uint64, n int) {
+		if n < 0 || n > 4096 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewPCG(seed, 99))
+		a := randSlice(rng, n)
+		b := randSlice(rng, n)
+		ref, scale := dotRef(a, b)
+		for _, m := range []Mode{Vector, AVX2, AVX512} {
+			checkReduction(t, fmt.Sprintf("fuzz %s Dot n=%d", m, n), ForMode(m).Dot(a, b), ref, scale)
+		}
+	})
+}
+
+// FuzzAdamModes cross-checks the fused optimizer bit-identically on
+// arbitrary shapes and hyperparameters.
+func FuzzAdamModes(f *testing.F) {
+	f.Add(uint64(3), 33, int64(5))
+	f.Fuzz(func(t *testing.T, seed uint64, n int, step int64) {
+		if n < 0 || n > 2048 || step < 1 || step > 1e6 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewPCG(seed, 5))
+		w0, m0, v0, g0 := adamInputs(rng, n)
+		p := NewAdamParams(1e-3, 0.9, 0.999, 1e-8, step)
+		wW := append([]float32(nil), w0...)
+		wM := append([]float32(nil), m0...)
+		wV := append([]float32(nil), v0...)
+		wG := append([]float32(nil), g0...)
+		adamZeroScalar(wW, wM, wV, wG, p)
+		for _, mode := range []Mode{Vector, AVX2, AVX512} {
+			gW := append([]float32(nil), w0...)
+			gM := append([]float32(nil), m0...)
+			gV := append([]float32(nil), v0...)
+			gG := append([]float32(nil), g0...)
+			ForMode(mode).AdamStepZero(gW, gM, gV, gG, p)
+			name := fmt.Sprintf("fuzz %s AdamStepZero n=%d", mode, n)
+			checkExact(t, name+" w", gW, wW)
+			checkExact(t, name+" m", gM, wM)
+			checkExact(t, name+" v", gV, wV)
+			checkExact(t, name+" g", gG, wG)
+		}
+	})
+}
+
+// forcedEnvMode reports the mode forced by SLIDE_KERNEL_MODE, or -1.
+func forcedEnvMode() Mode {
+	switch envMode := envKernelMode(); envMode {
+	case "scalar":
+		return Scalar
+	case "vector", "portable":
+		return Vector
+	case "avx2":
+		return clampMode(AVX2)
+	case "avx512":
+		return clampMode(AVX512)
+	}
+	return Mode(-1)
+}

@@ -15,10 +15,7 @@ func DotBF16F32(a []bf16.BF16, b []float32) float32 {
 	if len(a) != len(b) {
 		panic("simd: DotBF16F32 length mismatch")
 	}
-	if vectorized() {
-		return dotBF16Vec(a, b)
-	}
-	return dotBF16Scalar(a, b)
+	return Active().DotBF16F32(a, b)
 }
 
 func dotBF16Vec(a []bf16.BF16, b []float32) float32 {
@@ -54,10 +51,7 @@ func DotBF16(a, b []bf16.BF16) float32 {
 	if len(a) != len(b) {
 		panic("simd: DotBF16 length mismatch")
 	}
-	if vectorized() {
-		return dotBF16BothVec(a, b)
-	}
-	return dotBF16BothScalar(a, b)
+	return Active().DotBF16(a, b)
 }
 
 func dotBF16BothVec(a, b []bf16.BF16) float32 {
@@ -92,11 +86,7 @@ func AxpyBF16(alpha float32, x []bf16.BF16, y []float32) {
 	if len(x) != len(y) {
 		panic("simd: AxpyBF16 length mismatch")
 	}
-	if vectorized() {
-		axpyBF16Vec(alpha, x, y)
-		return
-	}
-	axpyBF16Scalar(alpha, x, y)
+	Active().AxpyBF16(alpha, x, y)
 }
 
 func axpyBF16Vec(alpha float32, x []bf16.BF16, y []float32) {
@@ -180,11 +170,7 @@ func DotManyBiasBF16Act(rows [][]float32, bias []float32, ids []int32, hBF []bf1
 	if len(out) < len(ids) {
 		panic("simd: DotManyBiasBF16Act output buffer too short")
 	}
-	if vectorized() {
-		dotManyBiasBF16ActVec(rows, bias, ids, hBF, out)
-		return
-	}
-	dotManyBiasBF16ActScalar(rows, bias, ids, hBF, out)
+	Active().DotManyBiasBF16Act(rows, bias, ids, hBF, out)
 }
 
 func dotManyBiasBF16ActVec(rows [][]float32, bias []float32, ids []int32, hBF []bf16.BF16, out []float32) {
@@ -215,11 +201,7 @@ func DotManyBiasBF16(rows [][]bf16.BF16, bias []float32, ids []int32, hBF []bf16
 	if len(out) < len(ids) {
 		panic("simd: DotManyBiasBF16 output buffer too short")
 	}
-	if vectorized() {
-		dotManyBiasBF16Vec(rows, bias, ids, hBF, out)
-		return
-	}
-	dotManyBiasBF16Scalar(rows, bias, ids, hBF, out)
+	Active().DotManyBiasBF16(rows, bias, ids, hBF, out)
 }
 
 func dotManyBiasBF16Vec(rows [][]bf16.BF16, bias []float32, ids []int32, hBF []bf16.BF16, out []float32) {

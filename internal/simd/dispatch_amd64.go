@@ -1,0 +1,522 @@
+//go:build amd64
+
+package simd
+
+import (
+	"github.com/slide-cpu/slide/internal/bf16"
+	"github.com/slide-cpu/slide/internal/cpufeat"
+)
+
+// Host capability flags, probed once. clamp/Supported read these; the init
+// below swaps the assembly tables in when the silicon can run them.
+var (
+	feat         = cpufeat.Detect()
+	haveAVX2     = feat.HasAVX2Tier()
+	haveAVX512   = feat.HasAVX512Tier()
+	haveAVX512BF = haveAVX512 && feat.AVX512BF16
+)
+
+func init() {
+	if haveAVX2 {
+		avx2Kernels = Kernels{
+			Mode:       AVX2,
+			Dot:        dotAVX2,
+			Axpy:       axpyAVX2,
+			ScaleAccum: axpyAVX2,
+			Add:        addAVX2,
+			Scale:      scaleAVX2,
+			Sum:        sumAVX2,
+			Max:        maxAVX2,
+			ArgMax:     argMaxVec, // index bookkeeping stays portable (see DESIGN.md)
+			AdamStep:   adamAVX2,
+
+			DotManyBias:  dotManyBiasAVX2,
+			AxpyTwo:      axpyTwoAVX2,
+			AdamStepZero: adamZeroAVX2,
+
+			DotBF16F32:         dotBF16F32AVX2,
+			DotBF16:            dotBF16AVX2,
+			AxpyBF16:           axpyBF16AVX2,
+			AdamStepBF16:       adamStepBF16, // element-local re-rounding: software on every tier
+			AdamStepZeroBF16:   adamStepZeroBF16,
+			DotManyBiasBF16Act: dotManyBiasBF16ActAVX2,
+			DotManyBiasBF16:    dotManyBiasBF16AVX2,
+
+			PackBF16:  packBF16Go,
+			RoundBF16: roundBF16Go,
+		}
+	}
+	if haveAVX512 {
+		avx512Kernels = Kernels{
+			Mode:       AVX512,
+			Dot:        dotAVX512,
+			Axpy:       axpyAVX512,
+			ScaleAccum: axpyAVX512,
+			Add:        addAVX512,
+			Scale:      scaleAVX512,
+			Sum:        sumAVX512,
+			Max:        maxAVX512,
+			ArgMax:     argMaxVec,
+			AdamStep:   adamAVX512,
+
+			DotManyBias:  dotManyBiasAVX512,
+			AxpyTwo:      axpyTwoAVX512,
+			AdamStepZero: adamZeroAVX512,
+
+			DotBF16F32:         dotBF16F32AVX512,
+			DotBF16:            dotBF16AVX512,
+			AxpyBF16:           axpyBF16AVX512,
+			AdamStepBF16:       adamStepBF16,
+			AdamStepZeroBF16:   adamStepZeroBF16,
+			DotManyBiasBF16Act: dotManyBiasBF16ActAVX512,
+			DotManyBiasBF16:    dotManyBiasBF16AVX512,
+
+			PackBF16:  packBF16Go,
+			RoundBF16: roundBF16Go,
+		}
+		if haveAVX512BF {
+			// Hardware VCVTNEPS2BF16. Divergence from the software
+			// converter: subnormal float32 inputs are treated as zero
+			// (the instruction is DAZ); normal, zero, Inf and NaN inputs
+			// convert identically (see DESIGN.md "Native kernel backend").
+			avx512Kernels.PackBF16 = packBF16AVX512
+			avx512Kernels.RoundBF16 = roundBF16AVX512
+		}
+	}
+}
+
+// --- Assembly externs -------------------------------------------------------
+//
+// The *AVX2Asm kernels require n > 0 and n%8 == 0 (Go wrappers run the
+// remainder with scalar code that matches the portable tier bit for bit).
+// The *AVX512Asm kernels accept any n >= 0 (n > 0 for max) and finish with
+// masked loads/stores.
+
+//go:noescape
+func dotAVX2Asm(a, b *float32, n int64) float32
+
+//go:noescape
+func dotAVX512Asm(a, b *float32, n int64) float32
+
+//go:noescape
+func axpyAVX2Asm(alpha float32, x, y *float32, n int64)
+
+//go:noescape
+func axpyAVX512Asm(alpha float32, x, y *float32, n int64)
+
+//go:noescape
+func axpyTwoAVX2Asm(gz float32, h, grad, w, dh *float32, n int64)
+
+//go:noescape
+func axpyTwoAVX512Asm(gz float32, h, grad, w, dh *float32, n int64)
+
+//go:noescape
+func scaleAVX2Asm(alpha float32, x *float32, n int64)
+
+//go:noescape
+func scaleAVX512Asm(alpha float32, x *float32, n int64)
+
+//go:noescape
+func addAVX2Asm(x, y *float32, n int64)
+
+//go:noescape
+func addAVX512Asm(x, y *float32, n int64)
+
+//go:noescape
+func sumAVX2Asm(x *float32, n int64) float32
+
+//go:noescape
+func sumAVX512Asm(x *float32, n int64) float32
+
+//go:noescape
+func maxAVX2Asm(x *float32, n int64) float32
+
+//go:noescape
+func maxAVX512Asm(x *float32, n int64) float32
+
+//go:noescape
+func adamAVX2Asm(w, m, v, grad *float32, n int64, beta1, beta2, omb1, omb2, eps, corr float32, zeroG int64)
+
+//go:noescape
+func adamAVX512Asm(w, m, v, grad *float32, n int64, beta1, beta2, omb1, omb2, eps, corr float32, zeroG int64)
+
+//go:noescape
+func dotBF16F32AVX2Asm(a *bf16.BF16, b *float32, n int64) float32
+
+//go:noescape
+func dotBF16F32AVX512Asm(a *bf16.BF16, b *float32, n int64) float32
+
+//go:noescape
+func dotBF16AVX2Asm(a, b *bf16.BF16, n int64) float32
+
+//go:noescape
+func dotBF16AVX512Asm(a, b *bf16.BF16, n int64) float32
+
+//go:noescape
+func axpyBF16AVX2Asm(alpha float32, x *bf16.BF16, y *float32, n int64)
+
+//go:noescape
+func axpyBF16AVX512Asm(alpha float32, x *bf16.BF16, y *float32, n int64)
+
+//go:noescape
+func packBF16AVX512Asm(dst *bf16.BF16, src *float32, n int64)
+
+//go:noescape
+func roundBF16AVX512Asm(x *float32, n int64)
+
+// --- AVX2 wrappers ----------------------------------------------------------
+//
+// Tail elements (n%8) run in Go with the exact expression shapes of the
+// scalar reference, so tails are bit-identical to the portable tier; only
+// the vector body's FMA and reduction order can differ (dot/sum kernels).
+
+func dotAVX2(a, b []float32) float32 {
+	n := len(a)
+	b = b[:n]
+	nv := n &^ 7
+	var s float32
+	if nv > 0 {
+		s = dotAVX2Asm(&a[0], &b[0], int64(nv))
+	}
+	for i := nv; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func axpyAVX2(alpha float32, x, y []float32) {
+	n := len(x)
+	y = y[:n]
+	nv := n &^ 7
+	if nv > 0 {
+		axpyAVX2Asm(alpha, &x[0], &y[0], int64(nv))
+	}
+	for i := nv; i < n; i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+func axpyTwoAVX2(gz float32, h, grad, w, dh []float32) {
+	n := len(h)
+	grad = grad[:n]
+	w = w[:n]
+	dh = dh[:n]
+	nv := n &^ 7
+	if nv > 0 {
+		axpyTwoAVX2Asm(gz, &h[0], &grad[0], &w[0], &dh[0], int64(nv))
+	}
+	for i := nv; i < n; i++ {
+		grad[i] += gz * h[i]
+		dh[i] += gz * w[i]
+	}
+}
+
+func scaleAVX2(alpha float32, x []float32) {
+	n := len(x)
+	nv := n &^ 7
+	if nv > 0 {
+		scaleAVX2Asm(alpha, &x[0], int64(nv))
+	}
+	for i := nv; i < n; i++ {
+		x[i] *= alpha
+	}
+}
+
+func addAVX2(x, y []float32) {
+	n := len(x)
+	y = y[:n]
+	nv := n &^ 7
+	if nv > 0 {
+		addAVX2Asm(&x[0], &y[0], int64(nv))
+	}
+	for i := nv; i < n; i++ {
+		y[i] += x[i]
+	}
+}
+
+func sumAVX2(x []float32) float32 {
+	n := len(x)
+	nv := n &^ 7
+	var s float32
+	if nv > 0 {
+		s = sumAVX2Asm(&x[0], int64(nv))
+	}
+	for i := nv; i < n; i++ {
+		s += x[i]
+	}
+	return s
+}
+
+func maxAVX2(x []float32) float32 {
+	if len(x) == 0 {
+		panic("simd: Max of empty slice")
+	}
+	nv := len(x) &^ 7
+	if nv == 0 {
+		return Max(x)
+	}
+	m := maxAVX2Asm(&x[0], int64(nv))
+	for _, v := range x[nv:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func adamAVX2(w, m, v, g []float32, p AdamParams)     { adamAVX2Impl(w, m, v, g, p, 0) }
+func adamZeroAVX2(w, m, v, g []float32, p AdamParams) { adamAVX2Impl(w, m, v, g, p, 1) }
+
+func adamAVX2Impl(w, m, v, g []float32, p AdamParams, zeroG int64) {
+	n := len(w)
+	m = m[:n]
+	v = v[:n]
+	g = g[:n]
+	omb1 := 1 - p.Beta1
+	omb2 := 1 - p.Beta2
+	nv := n &^ 7
+	if nv > 0 {
+		adamAVX2Asm(&w[0], &m[0], &v[0], &g[0], int64(nv),
+			p.Beta1, p.Beta2, omb1, omb2, p.Eps, p.CorrLR, zeroG)
+	}
+	for i := nv; i < n; i++ {
+		gk := g[i]
+		if zeroG != 0 {
+			g[i] = 0
+		}
+		mk := p.Beta1*m[i] + omb1*gk
+		vk := p.Beta2*v[i] + omb2*gk*gk
+		m[i] = mk
+		v[i] = vk
+		w[i] -= p.CorrLR * mk / (sqrt32(vk) + p.Eps)
+	}
+}
+
+func dotManyBiasAVX2(rows [][]float32, bias []float32, ids []int32, h, out []float32) {
+	out = out[:len(ids)]
+	for k, id := range ids {
+		r := rows[id]
+		if len(r) != len(h) {
+			panic("simd: DotManyBias row length mismatch")
+		}
+		out[k] = dotAVX2(r, h) + bias[id]
+	}
+}
+
+func dotBF16F32AVX2(a []bf16.BF16, b []float32) float32 {
+	n := len(a)
+	b = b[:n]
+	nv := n &^ 7
+	var s float32
+	if nv > 0 {
+		s = dotBF16F32AVX2Asm(&a[0], &b[0], int64(nv))
+	}
+	for i := nv; i < n; i++ {
+		s += a[i].Float32() * b[i]
+	}
+	return s
+}
+
+func dotBF16AVX2(a, b []bf16.BF16) float32 {
+	n := len(a)
+	b = b[:n]
+	nv := n &^ 7
+	var s float32
+	if nv > 0 {
+		s = dotBF16AVX2Asm(&a[0], &b[0], int64(nv))
+	}
+	for i := nv; i < n; i++ {
+		s += a[i].Float32() * b[i].Float32()
+	}
+	return s
+}
+
+func axpyBF16AVX2(alpha float32, x []bf16.BF16, y []float32) {
+	n := len(x)
+	y = y[:n]
+	nv := n &^ 7
+	if nv > 0 {
+		axpyBF16AVX2Asm(alpha, &x[0], &y[0], int64(nv))
+	}
+	for i := nv; i < n; i++ {
+		y[i] += alpha * x[i].Float32()
+	}
+}
+
+func dotManyBiasBF16ActAVX2(rows [][]float32, bias []float32, ids []int32, hBF []bf16.BF16, out []float32) {
+	out = out[:len(ids)]
+	for k, id := range ids {
+		r := rows[id]
+		if len(r) != len(hBF) {
+			panic("simd: DotManyBiasBF16Act row length mismatch")
+		}
+		out[k] = dotBF16F32AVX2(hBF, r) + bias[id]
+	}
+}
+
+func dotManyBiasBF16AVX2(rows [][]bf16.BF16, bias []float32, ids []int32, hBF []bf16.BF16, out []float32) {
+	out = out[:len(ids)]
+	for k, id := range ids {
+		r := rows[id]
+		if len(r) != len(hBF) {
+			panic("simd: DotManyBiasBF16 row length mismatch")
+		}
+		out[k] = dotBF16AVX2(r, hBF) + bias[id]
+	}
+}
+
+// --- AVX512 wrappers --------------------------------------------------------
+//
+// Tails are masked inside the assembly; wrappers only guard the empty slice
+// (no base pointer to take) and enforce the length contracts.
+
+func dotAVX512(a, b []float32) float32 {
+	n := len(a)
+	if n == 0 {
+		return 0
+	}
+	b = b[:n]
+	return dotAVX512Asm(&a[0], &b[0], int64(n))
+}
+
+func axpyAVX512(alpha float32, x, y []float32) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	y = y[:n]
+	axpyAVX512Asm(alpha, &x[0], &y[0], int64(n))
+}
+
+func axpyTwoAVX512(gz float32, h, grad, w, dh []float32) {
+	n := len(h)
+	if n == 0 {
+		return
+	}
+	grad = grad[:n]
+	w = w[:n]
+	dh = dh[:n]
+	axpyTwoAVX512Asm(gz, &h[0], &grad[0], &w[0], &dh[0], int64(n))
+}
+
+func scaleAVX512(alpha float32, x []float32) {
+	if len(x) == 0 {
+		return
+	}
+	scaleAVX512Asm(alpha, &x[0], int64(len(x)))
+}
+
+func addAVX512(x, y []float32) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	y = y[:n]
+	addAVX512Asm(&x[0], &y[0], int64(n))
+}
+
+func sumAVX512(x []float32) float32 {
+	if len(x) == 0 {
+		return 0
+	}
+	return sumAVX512Asm(&x[0], int64(len(x)))
+}
+
+func maxAVX512(x []float32) float32 {
+	if len(x) == 0 {
+		panic("simd: Max of empty slice")
+	}
+	return maxAVX512Asm(&x[0], int64(len(x)))
+}
+
+func adamAVX512(w, m, v, g []float32, p AdamParams)     { adamAVX512Impl(w, m, v, g, p, 0) }
+func adamZeroAVX512(w, m, v, g []float32, p AdamParams) { adamAVX512Impl(w, m, v, g, p, 1) }
+
+func adamAVX512Impl(w, m, v, g []float32, p AdamParams, zeroG int64) {
+	n := len(w)
+	if n == 0 {
+		return
+	}
+	m = m[:n]
+	v = v[:n]
+	g = g[:n]
+	adamAVX512Asm(&w[0], &m[0], &v[0], &g[0], int64(n),
+		p.Beta1, p.Beta2, 1-p.Beta1, 1-p.Beta2, p.Eps, p.CorrLR, zeroG)
+}
+
+func dotManyBiasAVX512(rows [][]float32, bias []float32, ids []int32, h, out []float32) {
+	out = out[:len(ids)]
+	for k, id := range ids {
+		r := rows[id]
+		if len(r) != len(h) {
+			panic("simd: DotManyBias row length mismatch")
+		}
+		out[k] = dotAVX512(r, h) + bias[id]
+	}
+}
+
+func dotBF16F32AVX512(a []bf16.BF16, b []float32) float32 {
+	n := len(a)
+	if n == 0 {
+		return 0
+	}
+	b = b[:n]
+	return dotBF16F32AVX512Asm(&a[0], &b[0], int64(n))
+}
+
+func dotBF16AVX512(a, b []bf16.BF16) float32 {
+	n := len(a)
+	if n == 0 {
+		return 0
+	}
+	b = b[:n]
+	return dotBF16AVX512Asm(&a[0], &b[0], int64(n))
+}
+
+func axpyBF16AVX512(alpha float32, x []bf16.BF16, y []float32) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	y = y[:n]
+	axpyBF16AVX512Asm(alpha, &x[0], &y[0], int64(n))
+}
+
+func dotManyBiasBF16ActAVX512(rows [][]float32, bias []float32, ids []int32, hBF []bf16.BF16, out []float32) {
+	out = out[:len(ids)]
+	for k, id := range ids {
+		r := rows[id]
+		if len(r) != len(hBF) {
+			panic("simd: DotManyBiasBF16Act row length mismatch")
+		}
+		out[k] = dotBF16F32AVX512(hBF, r) + bias[id]
+	}
+}
+
+func dotManyBiasBF16AVX512(rows [][]bf16.BF16, bias []float32, ids []int32, hBF []bf16.BF16, out []float32) {
+	out = out[:len(ids)]
+	for k, id := range ids {
+		r := rows[id]
+		if len(r) != len(hBF) {
+			panic("simd: DotManyBiasBF16 row length mismatch")
+		}
+		out[k] = dotBF16AVX512(r, hBF) + bias[id]
+	}
+}
+
+func packBF16AVX512(dst []bf16.BF16, src []float32) {
+	if len(dst) != len(src) {
+		panic("bf16: Convert length mismatch")
+	}
+	if len(src) == 0 {
+		return
+	}
+	packBF16AVX512Asm(&dst[0], &src[0], int64(len(src)))
+}
+
+func roundBF16AVX512(x []float32) {
+	if len(x) == 0 {
+		return
+	}
+	roundBF16AVX512Asm(&x[0], int64(len(x)))
+}

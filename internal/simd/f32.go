@@ -12,10 +12,7 @@ func Dot(a, b []float32) float32 {
 	if len(a) != len(b) {
 		panic("simd: Dot length mismatch")
 	}
-	if vectorized() {
-		return dotVec(a, b)
-	}
-	return dotScalar(a, b)
+	return Active().Dot(a, b)
 }
 
 // DotVec is the 16-lane implementation of Dot, exported for direct use in
@@ -78,10 +75,10 @@ func Dot4(a0, a1, a2, a3, b []float32) (s0, s1, s2, s3 float32) {
 	if len(a0) != n || len(a1) != n || len(a2) != n || len(a3) != n {
 		panic("simd: Dot4 length mismatch")
 	}
-	if vectorized() {
-		return dot4Vec(a0, a1, a2, a3, b)
+	if CurrentMode() == Scalar {
+		return dotScalar(a0, b), dotScalar(a1, b), dotScalar(a2, b), dotScalar(a3, b)
 	}
-	return dotScalar(a0, b), dotScalar(a1, b), dotScalar(a2, b), dotScalar(a3, b)
+	return dot4Vec(a0, a1, a2, a3, b)
 }
 
 func dot4Vec(a0, a1, a2, a3, b []float32) (s0, s1, s2, s3 float32) {
@@ -122,11 +119,7 @@ func Axpy(alpha float32, x, y []float32) {
 	if len(x) != len(y) {
 		panic("simd: Axpy length mismatch")
 	}
-	if vectorized() {
-		axpyVec(alpha, x, y)
-		return
-	}
-	axpyScalar(alpha, x, y)
+	Active().Axpy(alpha, x, y)
 }
 
 // AxpyVec is the 16-lane implementation of Axpy.
@@ -182,11 +175,7 @@ func axpyScalar(alpha float32, x, y []float32) {
 
 // Scale multiplies every element of x by alpha in place.
 func Scale(alpha float32, x []float32) {
-	if vectorized() {
-		scaleVec(alpha, x)
-		return
-	}
-	scaleScalar(alpha, x)
+	Active().Scale(alpha, x)
 }
 
 func scaleVec(alpha float32, x []float32) {
@@ -214,11 +203,7 @@ func Add(x, y []float32) {
 	if len(x) != len(y) {
 		panic("simd: Add length mismatch")
 	}
-	if vectorized() {
-		addVec(x, y)
-		return
-	}
-	addScalar(x, y)
+	Active().Add(x, y)
 }
 
 func addVec(x, y []float32) {
@@ -258,10 +243,7 @@ func Zero(x []float32) {
 
 // Sum returns the sum of the elements of x (AVX reduce-sum).
 func Sum(x []float32) float32 {
-	if vectorized() {
-		return sumVec(x)
-	}
-	return sumScalar(x)
+	return Active().Sum(x)
 }
 
 func sumVec(x []float32) float32 {
@@ -311,10 +293,7 @@ func ArgMax(x []float32) int {
 	if len(x) == 0 {
 		panic("simd: ArgMax of empty slice")
 	}
-	if vectorized() {
-		return argMaxVec(x)
-	}
-	return argMaxScalar(x)
+	return Active().ArgMax(x)
 }
 
 func argMaxScalar(x []float32) int {
@@ -380,8 +359,5 @@ func ScaleAccum(v float32, w, y []float32) {
 
 // SquaredNorm returns the sum of squares of x.
 func SquaredNorm(x []float32) float32 {
-	if vectorized() {
-		return dotVec(x, x)
-	}
-	return dotScalar(x, x)
+	return Active().Dot(x, x)
 }

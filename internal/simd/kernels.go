@@ -12,10 +12,12 @@ import "github.com/slide-cpu/slide/internal/bf16"
 // as the Table-4 ablation switch that decides which table Active returns.
 //
 // Entries point at the mode-specific implementations directly (dotVec,
-// dotScalar, …), never at the dispatching wrappers, so no table entry hides
-// an atomic load.
+// dotScalar, the assembly wrappers, …), never at the dispatching wrappers,
+// so no table entry hides an atomic load.
 type Kernels struct {
-	// Mode records which implementation set this table holds.
+	// Mode records which implementation set this table holds. When an
+	// assembly tier is unavailable, ForMode returns a downgraded table and
+	// this field names the tier actually running.
 	Mode Mode
 
 	// Primitive float32 kernels (§4.2–4.3).
@@ -42,9 +44,22 @@ type Kernels struct {
 	AdamStepZeroBF16   func(w []bf16.BF16, m, v, g []float32, p AdamParams)
 	DotManyBiasBF16Act func(rows [][]float32, bias []float32, ids []int32, hBF []bf16.BF16, out []float32)
 	DotManyBiasBF16    func(rows [][]bf16.BF16, bias []float32, ids []int32, hBF []bf16.BF16, out []float32)
+
+	// Precision-conversion kernels (§4.4). PackBF16 converts float32 to
+	// bfloat16 with round-to-nearest-even; RoundBF16 rounds float32 values
+	// through bfloat16 in place. On AVX512-BF16 hardware both map to
+	// VCVTNEPS2BF16 (which the paper's CPX pipeline uses); every other tier
+	// runs the software conversion.
+	PackBF16  func(dst []bf16.BF16, src []float32)
+	RoundBF16 func(x []float32)
 }
 
-// vectorKernels is the 16-lane (AVX-512 substitute) table.
+// packBF16Go and roundBF16Go are the software conversion kernels backing
+// every tier without AVX512-BF16.
+func packBF16Go(dst []bf16.BF16, src []float32) { bf16.Convert(dst, src) }
+func roundBF16Go(x []float32)                   { bf16.RoundSlice(x) }
+
+// vectorKernels is the portable 16-lane (AVX-512 substitute) table.
 var vectorKernels = Kernels{
 	Mode:       Vector,
 	Dot:        dotVec,
@@ -53,12 +68,12 @@ var vectorKernels = Kernels{
 	Add:        addVec,
 	Scale:      scaleVec,
 	Sum:        sumVec,
-	Max:        Max, // single dispatch-free implementation serves both modes
+	Max:        Max, // single dispatch-free implementation serves both Go modes
 	ArgMax:     argMaxVec,
 	AdamStep:   adamVec,
 
 	DotManyBias:  dotManyBiasVec,
-	AxpyTwo:      axpyTwoVec,
+	AxpyTwo:      axpyTwoUnfusedVec, // fused walk loses under the Go compiler
 	AdamStepZero: adamZeroVec,
 
 	DotBF16F32:         dotBF16Vec,
@@ -68,6 +83,9 @@ var vectorKernels = Kernels{
 	AdamStepZeroBF16:   adamStepZeroBF16,
 	DotManyBiasBF16Act: dotManyBiasBF16ActVec,
 	DotManyBiasBF16:    dotManyBiasBF16Vec,
+
+	PackBF16:  packBF16Go,
+	RoundBF16: roundBF16Go,
 }
 
 // scalarKernels is the naive one-element-at-a-time table (the "-no-avx"
@@ -85,7 +103,7 @@ var scalarKernels = Kernels{
 	AdamStep:   adamScalar,
 
 	DotManyBias:  dotManyBiasScalar,
-	AxpyTwo:      axpyTwoScalar,
+	AxpyTwo:      axpyTwoUnfusedScalar,
 	AdamStepZero: adamZeroScalar,
 
 	DotBF16F32:         dotBF16Scalar,
@@ -95,7 +113,19 @@ var scalarKernels = Kernels{
 	AdamStepZeroBF16:   adamStepZeroBF16,
 	DotManyBiasBF16Act: dotManyBiasBF16ActScalar,
 	DotManyBiasBF16:    dotManyBiasBF16Scalar,
+
+	PackBF16:  packBF16Go,
+	RoundBF16: roundBF16Go,
 }
+
+// avx2Kernels and avx512Kernels are the assembly tiers. They default to a
+// copy of the portable table (self-describing as Mode: Vector); on amd64
+// hosts whose CPUID reports the tier, the dispatch init overwrites them with
+// the assembly implementations (see dispatch_amd64.go).
+var (
+	avx2Kernels   = vectorKernels
+	avx512Kernels = vectorKernels
+)
 
 // Active resolves the current kernel mode with a single atomic load and
 // returns the matching table. Call it once per batch (or once per otherwise
@@ -104,17 +134,31 @@ var scalarKernels = Kernels{
 // implementation if SetMode flips mid-flight, the same in-flight contract
 // SetMode has always had.
 func Active() *Kernels {
-	if vectorized() {
+	switch Mode(mode.Load()) {
+	case Scalar:
+		return &scalarKernels
+	case AVX2:
+		return &avx2Kernels
+	case AVX512:
+		return &avx512Kernels
+	default:
 		return &vectorKernels
 	}
-	return &scalarKernels
 }
 
 // ForMode returns the kernel table for an explicit mode, independent of the
-// package-level switch (ablation harnesses, equivalence tests).
+// package-level switch (ablation harnesses, equivalence tests). Unsupported
+// assembly tiers downgrade like SetMode does; check the returned table's
+// Mode field for the tier actually selected.
 func ForMode(m Mode) *Kernels {
-	if m == Scalar {
+	switch clampMode(m) {
+	case Scalar:
 		return &scalarKernels
+	case AVX2:
+		return &avx2Kernels
+	case AVX512:
+		return &avx512Kernels
+	default:
+		return &vectorKernels
 	}
-	return &vectorKernels
 }

@@ -1,0 +1,102 @@
+package repro_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/slide-cpu/slide/internal/harness"
+	"github.com/slide-cpu/slide/internal/layer"
+	"github.com/slide-cpu/slide/internal/metrics"
+	"github.com/slide-cpu/slide/internal/network"
+	"github.com/slide-cpu/slide/internal/simd"
+	"github.com/slide-cpu/slide/internal/sparse"
+)
+
+// TestTrainingEquivalentAcrossKernelModes trains the same network shape from
+// the same seed for 20 TrainBatch steps under every kernel tier this host
+// supports and requires the runs to land at the same place. Elementwise
+// equivalence tests (internal/simd) cannot catch an assembly kernel that is
+// correct per element but numerically divergent in aggregate — different
+// reduction orders feeding the LSH sampler can snowball into different
+// active sets and a genuinely different optimization trajectory. The gate
+// here is convergence-level: summed training loss within a few percent and
+// evaluation P@1 within a few points of the portable reference, which passes
+// for legitimate FMA/reorder ULP noise and fails for broken kernels (wrong
+// sign, dropped lanes, misaligned tails all blow past it immediately).
+func TestTrainingEquivalentAcrossKernelModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-mode end-to-end training; skipped in -short (race CI)")
+	}
+	prev := simd.CurrentMode()
+	defer simd.SetMode(prev)
+
+	opts := harness.Options{Scale: 1e-6, Epochs: 1, EvalPointsPerEpoch: 1,
+		EvalSamples: 60, Workers: 1, Seed: 1234}
+	ws, err := harness.Workloads(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ws[0] // Amazon-670K-like
+
+	const steps = 20
+	type result struct {
+		loss float64
+		p1   float64
+	}
+	run := func(m simd.Mode) result {
+		simd.SetMode(m)
+		cfg := w.NetworkConfig(opts, layer.FP32, layer.Contiguous)
+		net, err := network.New(&cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		it := w.Train.Iter(w.Batch, sparse.Coalesced, opts.Seed)
+		var loss float64
+		var samples int64
+		for s := 0; s < steps; s++ {
+			b, ok := it.Next()
+			if !ok {
+				it = w.Train.Iter(w.Batch, sparse.Coalesced, opts.Seed+uint64(s))
+				if b, ok = it.Next(); !ok {
+					t.Fatal("workload too small for 20 batches")
+				}
+			}
+			st := net.TrainBatch(b)
+			loss += st.Loss
+			samples += int64(st.Samples)
+		}
+		scores := make([]float32, cfg.OutputDim)
+		var p1 float64
+		n := min(opts.EvalSamples, w.Test.Len())
+		for i := 0; i < n; i++ {
+			net.Scores(w.Test.Sample(i), scores)
+			p1 += metrics.PrecisionAtK(scores, w.Test.LabelsOf(i), 1)
+		}
+		return result{loss: loss / float64(samples), p1: p1 / float64(n)}
+	}
+
+	modes := simd.AvailableModes()
+	ref := run(simd.Vector) // portable tier is the cross-arch reference
+	t.Logf("vector reference: mean loss %.6f, P@1 %.3f", ref.loss, ref.p1)
+	for _, m := range modes {
+		if m == simd.Vector {
+			continue
+		}
+		got := run(m)
+		t.Logf("%s: mean loss %.6f, P@1 %.3f", m, got.loss, got.p1)
+		if math.IsNaN(got.loss) || math.IsInf(got.loss, 0) {
+			t.Fatalf("%s: training diverged (loss %g)", m, got.loss)
+		}
+		// Mean per-sample loss after 20 steps: a broken kernel leaves loss
+		// near the untrained plateau or at infinity; ULP-level reordering
+		// moves it by well under a percent in practice (5% margin).
+		if diff := math.Abs(got.loss - ref.loss); diff > 0.05*ref.loss {
+			t.Errorf("%s: mean loss %.6f vs reference %.6f (>5%%)", m, got.loss, ref.loss)
+		}
+		// P@1 on the eval head: same-trajectory runs agree to a few
+		// sampling flips; allow 10 points of drift.
+		if diff := math.Abs(got.p1 - ref.p1); diff > 0.10 {
+			t.Errorf("%s: P@1 %.3f vs reference %.3f (>0.10)", m, got.p1, ref.p1)
+		}
+	}
+}

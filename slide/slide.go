@@ -73,21 +73,36 @@ const (
 type KernelMode int
 
 const (
-	// VectorKernels are the 16-lane unrolled AVX-512 substitutes.
+	// VectorKernels selects the best vectorized tier the host supports:
+	// hand-written AVX-512 or AVX2 assembly on CPUs that report the
+	// features (the default, chosen automatically at startup), or the
+	// portable 16-lane unrolled Go kernels elsewhere.
 	VectorKernels KernelMode = iota
 	// ScalarKernels are naive loops (the "-no-avx" ablation).
 	ScalarKernels
+	// PortableKernels forces the portable Go vector tier even when the
+	// host has the assembly tiers (cross-arch reference measurements).
+	PortableKernels
 )
 
 // SetKernelMode switches the process-global kernel implementation. Do not
-// flip it while models are training.
+// flip it while models are training. The SLIDE_KERNEL_MODE environment
+// variable (scalar|vector|avx2|avx512) selects the startup mode; this
+// call overrides it.
 func SetKernelMode(m KernelMode) {
-	if m == ScalarKernels {
+	switch m {
+	case ScalarKernels:
 		simd.SetMode(simd.Scalar)
-	} else {
+	case PortableKernels:
 		simd.SetMode(simd.Vector)
+	default:
+		simd.SetMode(simd.Best())
 	}
 }
+
+// KernelInfo reports the active kernel tier ("avx512", "avx2", "vector" or
+// "scalar"), for logging and benchmark metadata.
+func KernelInfo() string { return simd.CurrentMode().String() }
 
 // Sample is one training example: a sparse feature vector (sorted, unique
 // indices) and its label set.
