@@ -59,6 +59,7 @@ func main() {
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("slide-serve: ")
+	log.Printf("kernels: %s active (host supports: %v)", slide.KernelInfo(), slide.AvailableKernelModes())
 
 	cfg := serverConfig{
 		defaultK: *k,
@@ -157,30 +158,30 @@ func demoModel(scale float64, seed uint64) (*slide.Model, *slide.Dataset, error)
 	return m, train, nil
 }
 
-// backgroundTrain keeps stepping the model and publishes a fresh snapshot
-// every refresh batches. Training and snapshotting stay on this single
-// goroutine (their documented contract); the serving side reads the
-// published snapshots concurrently, and in-flight batches finish on the
-// snapshot they captured.
+// backgroundTrain runs an unbounded Trainer session over the demo dataset,
+// publishing a fresh snapshot into the serving pipeline every refresh
+// batches (WithSnapshots → SnapshotManager.Publish). Training, snapshotting
+// and hooks all stay on this single goroutine (their documented contract);
+// the serving side reads the published snapshots concurrently, and in-flight
+// batches finish on the snapshot they captured. Cancelling ctx stops the
+// session gracefully between batches.
 func backgroundTrain(ctx context.Context, m *slide.Model, train *slide.Dataset, refresh int, srv *server) {
-	it := 0
-	for {
-		select {
-		case <-ctx.Done():
-			return
-		default:
-		}
-		batch := make([]slide.Sample, 0, 64)
-		for i := 0; i < 64; i++ {
-			batch = append(batch, train.Sample((it*64+i)%train.Len()))
-		}
-		if _, err := m.TrainBatch(batch); err != nil {
-			log.Printf("background training stopped: %v", err)
-			return
-		}
-		it++
-		if it%refresh == 0 {
-			srv.publish(m.Snapshot())
-		}
+	src, err := slide.NewDatasetSource(train, 64)
+	if err != nil {
+		log.Printf("background training unavailable: %v", err)
+		return
 	}
+	trainer, err := slide.NewTrainer(m, src,
+		slide.WithEpochs(0), // unbounded: the ctx ends the session
+		slide.WithSnapshots(refresh, serving.Publisher(srv.mgr)))
+	if err != nil {
+		log.Printf("background training unavailable: %v", err)
+		return
+	}
+	report, err := trainer.Run(ctx)
+	if err != nil {
+		log.Printf("background training stopped: %v", err)
+		return
+	}
+	log.Printf("background training %s after %d steps", report.Reason, report.Steps)
 }

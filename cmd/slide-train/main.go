@@ -1,52 +1,90 @@
-// Command slide-train trains a SLIDE (or full-softmax) model on one of the
-// built-in synthetic workloads or on a real XMC-format file, reporting
-// per-epoch loss, Precision@1, active-set sparsity, and wall-clock time.
+// Command slide-train trains a SLIDE (or full-softmax) model through the
+// Trainer session API: in-memory datasets, streaming (out-of-core) XMC
+// files, LR schedules, scheduled checkpoints, early stopping, and graceful
+// cancellation (SIGINT/SIGTERM or -timeout) — reporting per-epoch loss,
+// Precision@1, active-set sparsity, and wall-clock time.
 //
 // Usage:
 //
 //	slide-train -dataset amazon -scale 0.01 -epochs 3
 //	slide-train -dataset text8 -scale 0.005 -hash simhash -k 7 -l 12
 //	slide-train -train train.txt -test test.txt -k 6 -l 50
+//	slide-train -stream big.txt -shuffle-window 8192 -epochs 0 -timeout 1h \
+//	    -save model.slide -checkpoint-every 1000
+//	slide-train -resume model.slide -stream big.txt -epochs 1
 //	slide-train -dataset amazon -mode dense          # full-softmax baseline
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"time"
+	"os/signal"
+	"syscall"
 
 	"github.com/slide-cpu/slide/slide"
 )
 
 func main() {
 	var (
-		ds      = flag.String("dataset", "amazon", "builtin dataset: amazon|wiki|text8 (ignored when -train/-corpus is set)")
-		trainF  = flag.String("train", "", "XMC-format training file (overrides -dataset)")
+		ds      = flag.String("dataset", "amazon", "builtin dataset: amazon|wiki|text8 (ignored when -train/-corpus/-stream is set)")
+		trainF  = flag.String("train", "", "XMC-format training file, loaded in memory (overrides -dataset)")
+		streamF = flag.String("stream", "", "XMC-format training file, streamed out-of-core (overrides -dataset/-train)")
+		window  = flag.Int("shuffle-window", 4096, "streaming: shuffle-buffer size in samples (0 = file order)")
 		testF   = flag.String("test", "", "XMC-format test file")
 		corpusF = flag.String("corpus", "", "raw text corpus for word2vec training (e.g. the real text8 file)")
 		vocabN  = flag.Int("vocab", 0, "corpus: keep the N most frequent words (0 = all)")
 		scale   = flag.Float64("scale", 0.01, "builtin dataset scale")
-		epochs  = flag.Int("epochs", 3, "training epochs")
+		epochs  = flag.Int("epochs", 3, "training epochs (0 = unbounded; stop via -timeout, -max-steps or signal)")
+		maxStep = flag.Int64("max-steps", 0, "stop when the optimizer step count reaches this (0 = unbounded)")
+		timeout = flag.Duration("timeout", 0, "cancel training after this long (0 = none); cancellation is graceful")
 		batch   = flag.Int("batch", 256, "batch size")
 		hidden  = flag.Int("hidden", 128, "hidden layer width")
 		hash    = flag.String("hash", "dwta", "hash family: dwta|simhash")
 		k       = flag.Int("k", 4, "hashes per table")
 		l       = flag.Int("l", 16, "number of hash tables")
 		lr      = flag.Float64("lr", 1e-4, "ADAM learning rate")
+		warmup  = flag.Int64("warmup", 0, "linear LR warmup over this many steps")
+		decay   = flag.Float64("lr-decay", 1, "multiply the LR by this factor every -lr-decay-every steps")
+		decayN  = flag.Int64("lr-decay-every", 0, "step-decay interval (0 = no decay)")
+		early   = flag.Int("early-stop", 0, "stop after this many epochs without loss improvement (0 = off)")
+		earlyD  = flag.Float64("early-stop-delta", 0, "minimum loss improvement that resets early stopping")
 		mode    = flag.String("mode", "slide", "slide | dense (full softmax)")
 		prec    = flag.String("precision", "fp32", "fp32 | bf16act | bf16full")
 		workers = flag.Int("workers", 0, "HOGWILD workers (0 = GOMAXPROCS)")
 		seed    = flag.Uint64("seed", 42, "random seed")
 		evalN   = flag.Int("evalsamples", 500, "test samples per evaluation")
-		saveF   = flag.String("save", "", "write a checkpoint here after training")
+		saveF   = flag.String("save", "", "checkpoint path (written at end of training, and every -checkpoint-every steps)")
+		ckptN   = flag.Int("checkpoint-every", 0, "write -save atomically every N optimizer steps (0 = only at the end)")
 		resumeF = flag.String("resume", "", "resume training from this checkpoint (architecture flags ignored)")
 	)
 	flag.Parse()
+	fmt.Printf("kernels: %s active (host supports: %v)\n", slide.KernelInfo(), slide.AvailableKernelModes())
 
-	var train, test *slide.Dataset
-	var err error
-	if *corpusF != "" {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	// Assemble the data source (and, where available, an eval split).
+	var (
+		src  slide.DataSource
+		test *slide.Dataset
+		err  error
+	)
+	switch {
+	case *streamF != "":
+		if src, err = slide.NewFileSource(*streamF, *batch, *window); err != nil {
+			fail(err)
+		}
+		fmt.Printf("streaming %s: %d features, %d labels (shuffle window %d, memory-bounded)\n",
+			src.Name(), src.Features(), src.NumLabels(), *window)
+	case *corpusF != "":
+		var train *slide.Dataset
 		var vocab *slide.Vocabulary
 		train, vocab, err = slide.OpenCorpus(*corpusF, slide.CorpusOptions{MaxVocab: *vocabN, Window: 2})
 		if err != nil {
@@ -54,23 +92,30 @@ func main() {
 		}
 		fmt.Printf("corpus vocabulary: %d words (most frequent: %q)\n", vocab.Size(), vocab.Word(0))
 		// Hold out the tail of the corpus samples for evaluation.
-		n := train.Len()
 		test = train // evaluate on training head when the corpus is tiny
-		if n > 2000 {
+		if n := train.Len(); n > 2000 {
 			test = train.Head(n / 10)
 		}
-	} else {
-		train, test, err = loadData(*trainF, *testF, *ds, *scale, *seed)
-		if err != nil {
+		if src, err = slide.NewDatasetSource(train, *batch); err != nil {
+			fail(err)
+		}
+		printDataStats(train)
+	default:
+		var train *slide.Dataset
+		if train, test, err = loadData(*trainF, *testF, *ds, *scale, *seed); err != nil {
+			fail(err)
+		}
+		if src, err = slide.NewDatasetSource(train, *batch); err != nil {
+			fail(err)
+		}
+		printDataStats(train)
+	}
+	if *testF != "" && test == nil {
+		if test, err = slide.OpenXMC(*testF); err != nil {
 			fail(err)
 		}
 	}
-	st := train.Stats()
-	fmt.Printf("dataset %s: %d samples, %d features (%.4f%% dense), %d labels, %.1f labels/sample\n",
-		train.Name(), st.Samples, st.Features, st.FeatureSparsity*100, st.Labels, st.AvgLabels)
-	fmt.Printf("model: %d -> %d -> %d (%.1fM parameters)\n",
-		train.Features(), *hidden, train.NumLabels(),
-		float64(train.ModelParams(*hidden))/1e6)
+	fmt.Printf("model: %d -> %d -> %d\n", src.Features(), *hidden, src.NumLabels())
 
 	opts := []slide.Option{
 		slide.WithLearningRate(*lr),
@@ -101,46 +146,85 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown -precision %q", *prec))
 	}
-	if (*ds == "text8" && *trainF == "") || *corpusF != "" {
+	if (*ds == "text8" && *trainF == "" && *streamF == "") || *corpusF != "" {
 		opts = append(opts, slide.WithLinearHidden())
 	}
 
 	var m *slide.Model
+	resumed := false
 	if *resumeF != "" {
 		if m, err = slide.LoadFile(*resumeF); err != nil {
 			fail(err)
 		}
+		resumed = true
 		fmt.Printf("resumed from %s at optimizer step %d\n", *resumeF, m.Steps())
-	} else if m, err = slide.New(train.Features(), *hidden, train.NumLabels(), opts...); err != nil {
+	} else if m, err = slide.New(src.Features(), *hidden, src.NumLabels(), opts...); err != nil {
 		fail(err)
 	}
 
-	var trained time.Duration
-	for e := 1; e <= *epochs; e++ {
-		start := time.Now()
-		stats, err := m.TrainEpoch(train, *batch)
-		if err != nil {
-			fail(err)
-		}
-		trained += time.Since(start)
-		p1 := 0.0
-		if test != nil {
-			if p1, err = m.Evaluate(test, *evalN, 1); err != nil {
-				fail(err)
+	// The training session.
+	topts := []slide.TrainerOption{
+		slide.WithEpochs(*epochs),
+		slide.WithMaxSteps(*maxStep),
+		slide.WithOnEpoch(func(e slide.EpochEvent) {
+			p1 := 0.0
+			if test != nil {
+				if p1, err = m.Evaluate(test, *evalN, 1); err != nil {
+					fail(err)
+				}
 			}
-		}
-		fmt.Printf("epoch %2d  time %8.2fs  loss %7.4f  P@1 %.4f  active %6.1f (%.2f%% of outputs)\n",
-			e, time.Since(start).Seconds(), stats.MeanLoss, p1,
-			stats.MeanActive, 100*stats.ActiveFraction(train.NumLabels()))
+			fmt.Printf("epoch %2d  time %8.2fs  loss %7.4f  P@1 %.4f  active %6.1f (%.2f%% of outputs)\n",
+				e.Epoch+1, e.TrainTime.Seconds(), e.Stats.MeanLoss, p1,
+				e.Stats.MeanActive, 100*e.Stats.ActiveFraction(src.NumLabels()))
+		}),
 	}
-	fmt.Printf("total training time: %.2fs (%.2fs/epoch)\n",
-		trained.Seconds(), trained.Seconds()/float64(*epochs))
-	if *saveF != "" {
+	switch {
+	case *warmup > 0 && *decayN > 0:
+		fail(fmt.Errorf("-warmup and -lr-decay-every are mutually exclusive"))
+	case *warmup > 0:
+		topts = append(topts, slide.WithLRSchedule(slide.WarmupLR(*lr, *warmup)))
+	case *decayN > 0:
+		topts = append(topts, slide.WithLRSchedule(slide.StepDecayLR(*lr, *decay, *decayN)))
+	}
+	if *ckptN > 0 {
+		if *saveF == "" {
+			fail(fmt.Errorf("-checkpoint-every needs -save"))
+		}
+		topts = append(topts, slide.WithCheckpoints(*saveF, *ckptN),
+			slide.WithOnCheckpoint(func(c slide.CheckpointEvent) {
+				fmt.Printf("checkpoint written to %s at step %d\n", c.Path, c.Step)
+			}))
+	}
+	if *early > 0 {
+		topts = append(topts, slide.WithEarlyStopping(*early, *earlyD))
+	}
+	if resumed {
+		topts = append(topts, slide.WithResume())
+	}
+	trainer, err := slide.NewTrainer(m, src, topts...)
+	if err != nil {
+		fail(err)
+	}
+	report, err := trainer.Run(ctx)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("training %s: %d steps, %d epochs, %.2fs train time\n",
+		report.Reason, report.Steps, report.Epochs, report.TrainTime.Seconds())
+	// The checkpoint schedule already wrote a final checkpoint at session
+	// end; only the unscheduled (-save alone) path needs an explicit write.
+	if *saveF != "" && (*ckptN == 0 || report.Steps == 0) {
 		if err := m.SaveFile(*saveF); err != nil {
 			fail(err)
 		}
 		fmt.Printf("checkpoint written to %s\n", *saveF)
 	}
+}
+
+func printDataStats(train *slide.Dataset) {
+	st := train.Stats()
+	fmt.Printf("dataset %s: %d samples, %d features (%.4f%% dense), %d labels, %.1f labels/sample\n",
+		train.Name(), st.Samples, st.Features, st.FeatureSparsity*100, st.Labels, st.AvgLabels)
 }
 
 func loadData(trainF, testF, ds string, scale float64, seed uint64) (train, test *slide.Dataset, err error) {

@@ -7,10 +7,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"time"
 
 	"github.com/slide-cpu/slide/slide"
 )
@@ -42,6 +42,7 @@ func main() {
 	// AVX2 assembly where CPUID reports it, portable Go elsewhere); the
 	// labels report which tier actually ran via slide.KernelInfo().
 	slide.SetKernelMode(slide.VectorKernels)
+	fmt.Printf("host kernel tiers: %v\n\n", slide.AvailableKernelModes())
 	vec := "optimized (" + slide.KernelInfo() + " kernels, coalesced, fp32)"
 	variants := []variant{
 		{vec, slide.VectorKernels,
@@ -64,13 +65,19 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		start := time.Now()
-		for e := 0; e < *epochs; e++ {
-			if _, err := m.TrainEpoch(train, 256); err != nil {
-				log.Fatal(err)
-			}
+		src, err := slide.NewDatasetSource(train, 256)
+		if err != nil {
+			log.Fatal(err)
 		}
-		perEpoch := time.Since(start).Seconds() / float64(*epochs)
+		trainer, err := slide.NewTrainer(m, src, slide.WithEpochs(*epochs))
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, err := trainer.Run(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		perEpoch := report.TrainTime.Seconds() / float64(*epochs)
 		p1, err := m.Evaluate(test, 300, 1)
 		if err != nil {
 			log.Fatal(err)

@@ -1,13 +1,15 @@
 // Deep SLIDE: extensions beyond the paper's single-hidden-layer
-// experiments. Trains a two-hidden-layer SLIDE network, then compares
-// exact inference (full output layer) against LSH-sampled inference
-// (rank only the retrieved candidates) on speed and agreement, and shows
-// checkpointing.
+// experiments. Trains a two-hidden-layer SLIDE network with a Trainer
+// session (warmup LR schedule, scheduled checkpoints), then compares exact
+// inference (full output layer) against LSH-sampled inference (rank only
+// the retrieved candidates) on speed and agreement, and resumes from the
+// written checkpoint.
 //
 //	go run ./examples/deep [-scale 0.003] [-epochs 4]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -40,18 +42,41 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for e := 1; e <= *epochs; e++ {
-		st, err := m.TrainEpoch(train, 256)
-		if err != nil {
-			log.Fatal(err)
-		}
-		p1, err := m.Evaluate(test, 300, 1)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("epoch %d: loss %.4f, P@1 %.3f, active %.2f%%\n",
-			e, st.MeanLoss, p1, 100*st.ActiveFraction(train.NumLabels()))
+
+	dir, err := os.MkdirTemp("", "slide-deep")
+	if err != nil {
+		log.Fatal(err)
 	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "deep.slide")
+
+	// The session: warmup LR over the first 50 steps, a checkpoint every 100
+	// steps (plus a final one at session end), per-epoch evaluation.
+	src, err := slide.NewDatasetSource(train, 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainer, err := slide.NewTrainer(m, src,
+		slide.WithEpochs(*epochs),
+		slide.WithLRSchedule(slide.WarmupLR(1e-3, 50)),
+		slide.WithCheckpoints(path, 100),
+		slide.WithOnEpoch(func(e slide.EpochEvent) {
+			p1, err := m.Evaluate(test, 300, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("epoch %d: loss %.4f, P@1 %.3f, active %.2f%%\n",
+				e.Epoch+1, e.Stats.MeanLoss, p1, 100*e.Stats.ActiveFraction(train.NumLabels()))
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := trainer.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session: %d steps in %.2fs (%s), last checkpoint at step %d\n",
+		report.Steps, report.TrainTime.Seconds(), report.Reason, report.LastCheckpoint)
 
 	// Exact vs sampled inference.
 	n := min(500, test.Len())
@@ -60,7 +85,10 @@ func main() {
 	for i := 0; i < n; i++ {
 		s := test.Sample(i)
 		t0 := time.Now()
-		exact := m.Predict(s.Indices, s.Values, 1)
+		exact, err := m.Predict(s.Indices, s.Values, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
 		exactTime += time.Since(t0)
 		t0 = time.Now()
 		sampled, err := m.PredictSampled(s.Indices, s.Values, 1)
@@ -78,16 +106,7 @@ func main() {
 	fmt.Printf("  sampled (LSH retrieve):  %8.1fµs/sample, top-1 agreement %.1f%%\n",
 		float64(sampledTime.Microseconds())/float64(n), 100*float64(agree)/float64(n))
 
-	// Checkpoint round trip.
-	dir, err := os.MkdirTemp("", "slide-deep")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer os.RemoveAll(dir)
-	path := filepath.Join(dir, "deep.slide")
-	if err := m.SaveFile(path); err != nil {
-		log.Fatal(err)
-	}
+	// Resume from the session's checkpoint.
 	back, err := slide.LoadFile(path)
 	if err != nil {
 		log.Fatal(err)

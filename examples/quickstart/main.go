@@ -1,10 +1,11 @@
 // Quickstart: train a SLIDE model on a small synthetic extreme-
-// classification workload and evaluate Precision@1.
+// classification workload with a Trainer session and evaluate Precision@1.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,22 +32,35 @@ func main() {
 		log.Fatal(err)
 	}
 
-	for epoch := 1; epoch <= 5; epoch++ {
-		st, err := m.TrainEpoch(train, 256)
-		if err != nil {
-			log.Fatal(err)
-		}
-		p1, err := m.Evaluate(test, 300, 1)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("epoch %d: loss %.4f, P@1 %.3f, active %.1f/%d outputs (%.2f%%)\n",
-			epoch, st.MeanLoss, p1, st.MeanActive, train.NumLabels(),
-			100*st.ActiveFraction(train.NumLabels()))
+	// A training session: 5 epochs over the in-memory dataset, evaluating
+	// after every epoch from the OnEpoch hook.
+	src, err := slide.NewDatasetSource(train, 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainer, err := slide.NewTrainer(m, src,
+		slide.WithEpochs(5),
+		slide.WithOnEpoch(func(e slide.EpochEvent) {
+			p1, err := m.Evaluate(test, 300, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("epoch %d: loss %.4f, P@1 %.3f, active %.1f/%d outputs (%.2f%%)\n",
+				e.Epoch+1, e.Stats.MeanLoss, p1, e.Stats.MeanActive, train.NumLabels(),
+				100*e.Stats.ActiveFraction(train.NumLabels()))
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := trainer.Run(context.Background()); err != nil {
+		log.Fatal(err)
 	}
 
 	// Predict top-3 labels for one test sample.
 	s := test.Sample(0)
-	pred := m.Predict(s.Indices, s.Values, 3)
+	pred, err := m.Predict(s.Indices, s.Values, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("sample 0: true labels %v, predicted top-3 %v\n", s.Labels, pred)
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -39,17 +40,25 @@ func main() {
 		log.Fatal(err)
 	}
 
-	for e := 1; e <= *epochs; e++ {
-		st, err := m.TrainEpoch(train, 512)
-		if err != nil {
-			log.Fatal(err)
-		}
-		p1, err := m.Evaluate(test, 400, 1)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("epoch %d: loss %.4f, context-P@1 %.3f, active %.2f%% of vocab\n",
-			e, st.MeanLoss, p1, 100*st.ActiveFraction(vocab))
+	src, err := slide.NewDatasetSource(train, 512)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainer, err := slide.NewTrainer(m, src,
+		slide.WithEpochs(*epochs),
+		slide.WithOnEpoch(func(e slide.EpochEvent) {
+			p1, err := m.Evaluate(test, 400, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("epoch %d: loss %.4f, context-P@1 %.3f, active %.2f%% of vocab\n",
+				e.Epoch+1, e.Stats.MeanLoss, p1, 100*e.Stats.ActiveFraction(vocab))
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := trainer.Run(context.Background()); err != nil {
+		log.Fatal(err)
 	}
 
 	// Embedding-space sanity check: cosine-nearest neighbours of a few

@@ -66,6 +66,47 @@ func prototypeFeature(seed uint64, label int32, j, features int) int32 {
 	return int32(h % uint64(features))
 }
 
+// synthSample draws one planted-model sample: labels from the Zipf
+// popularity distribution, the union of their prototypes plus noise as
+// features. idxSet is caller-owned scratch reused across samples; the
+// returned slices are freshly allocated. Both Generate and the streaming
+// SyntheticSource consume exactly this routine, so a source pass is
+// bit-identical to the materialized dataset drawn from the same RNG state.
+func synthSample(c *SyntheticConfig, zipf *Zipf, rng *rand.Rand, idxSet map[int32]float32) (idx []int32, val []float32, labels []int32) {
+	nLab := 1 + rng.IntN(c.MaxLabels)
+	labels = make([]int32, 0, nLab)
+	for len(labels) < nLab {
+		y := int32(zipf.Sample(rng.Float64()))
+		if !slices.Contains(labels, y) {
+			labels = append(labels, y)
+		}
+	}
+	clear(idxSet)
+	for _, y := range labels {
+		for j := 0; j < c.PrototypeNNZ; j++ {
+			f := prototypeFeature(c.Seed, y, j, c.Features)
+			idxSet[f] = 1 + float32(rng.NormFloat64())*0.1
+		}
+	}
+	for j := 0; j < c.NoiseFeatures; j++ {
+		f := int32(rng.IntN(c.Features))
+		if _, ok := idxSet[f]; !ok {
+			idxSet[f] = float32(rng.NormFloat64()) * 0.3
+		}
+	}
+	idx = make([]int32, 0, len(idxSet))
+	for f := range idxSet {
+		idx = append(idx, f)
+	}
+	slices.Sort(idx)
+	val = make([]float32, len(idx))
+	for k, f := range idx {
+		val[k] = idxSet[f]
+	}
+	slices.Sort(labels)
+	return idx, val, labels
+}
+
 // Generate builds the train and test splits.
 func Generate(c SyntheticConfig) (train, test *Dataset, err error) {
 	if err := c.Validate(); err != nil {
@@ -80,37 +121,7 @@ func Generate(c SyntheticConfig) (train, test *Dataset, err error) {
 		var b sparse.Builder
 		idxSet := make(map[int32]float32)
 		for i := 0; i < n; i++ {
-			nLab := 1 + rng.IntN(c.MaxLabels)
-			labels := make([]int32, 0, nLab)
-			for len(labels) < nLab {
-				y := int32(zipf.Sample(rng.Float64()))
-				if !slices.Contains(labels, y) {
-					labels = append(labels, y)
-				}
-			}
-			clear(idxSet)
-			for _, y := range labels {
-				for j := 0; j < c.PrototypeNNZ; j++ {
-					f := prototypeFeature(c.Seed, y, j, c.Features)
-					idxSet[f] = 1 + float32(rng.NormFloat64())*0.1
-				}
-			}
-			for j := 0; j < c.NoiseFeatures; j++ {
-				f := int32(rng.IntN(c.Features))
-				if _, ok := idxSet[f]; !ok {
-					idxSet[f] = float32(rng.NormFloat64()) * 0.3
-				}
-			}
-			idx := make([]int32, 0, len(idxSet))
-			for f := range idxSet {
-				idx = append(idx, f)
-			}
-			slices.Sort(idx)
-			val := make([]float32, len(idx))
-			for k, f := range idx {
-				val[k] = idxSet[f]
-			}
-			slices.Sort(labels)
+			idx, val, labels := synthSample(&c, zipf, rng, idxSet)
 			b.Add(idx, val, labels)
 		}
 		csr, err := b.CSR()

@@ -20,6 +20,78 @@ import (
 // A sample with no labels has an empty label field (the line starts with a
 // space).
 
+// xmcHeader is the first line of an XMC file: sample count and dimensions.
+type xmcHeader struct {
+	Samples, Features, Labels int
+}
+
+// readXMCHeader parses the header line from an already-positioned scanner.
+func readXMCHeader(sc *bufio.Scanner) (xmcHeader, error) {
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return xmcHeader{}, fmt.Errorf("dataset: reading XMC header: %w", err)
+		}
+		return xmcHeader{}, fmt.Errorf("dataset: empty XMC input")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 3 {
+		return xmcHeader{}, fmt.Errorf("dataset: XMC header needs 3 fields, got %q", sc.Text())
+	}
+	nSamples, err1 := strconv.Atoi(header[0])
+	nFeatures, err2 := strconv.Atoi(header[1])
+	nLabels, err3 := strconv.Atoi(header[2])
+	if err1 != nil || err2 != nil || err3 != nil || nSamples <= 0 || nFeatures <= 0 || nLabels <= 0 {
+		return xmcHeader{}, fmt.Errorf("dataset: invalid XMC header %q", sc.Text())
+	}
+	return xmcHeader{Samples: nSamples, Features: nFeatures, Labels: nLabels}, nil
+}
+
+// xmcLine parses one sample line ("l1,l2 f1:v1 f2:v2 ...") against the header
+// dimensions, returning freshly allocated sorted/deduplicated slices. kv is a
+// caller-owned scratch map reused across lines.
+func xmcLine(line string, lineNo int, h xmcHeader, kv map[int32]float32) (idx []int32, val []float32, labels []int32, err error) {
+	labelPart, featPart, _ := strings.Cut(line, " ")
+
+	if labelPart != "" {
+		for _, tok := range strings.Split(labelPart, ",") {
+			y, err := strconv.Atoi(tok)
+			if err != nil || y < 0 || y >= h.Labels {
+				return nil, nil, nil, fmt.Errorf("dataset: line %d: bad label %q", lineNo, tok)
+			}
+			labels = append(labels, int32(y))
+		}
+		slices.Sort(labels)
+		labels = slices.Compact(labels)
+	}
+
+	clear(kv)
+	for _, tok := range strings.Fields(featPart) {
+		fs, vs, ok := strings.Cut(tok, ":")
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("dataset: line %d: bad feature token %q", lineNo, tok)
+		}
+		f, err := strconv.Atoi(fs)
+		if err != nil || f < 0 || f >= h.Features {
+			return nil, nil, nil, fmt.Errorf("dataset: line %d: bad feature index %q", lineNo, fs)
+		}
+		v, err := strconv.ParseFloat(vs, 32)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("dataset: line %d: bad feature value %q", lineNo, vs)
+		}
+		kv[int32(f)] = float32(v)
+	}
+	idx = make([]int32, 0, len(kv))
+	for f := range kv {
+		idx = append(idx, f)
+	}
+	slices.Sort(idx)
+	val = make([]float32, len(idx))
+	for k, f := range idx {
+		val[k] = kv[f]
+	}
+	return idx, val, labels, nil
+}
+
 // ReadXMC parses a dataset in the XMC repository format. Feature indices are
 // sorted and de-duplicated per sample (last value wins); out-of-range
 // indices are an error.
@@ -27,22 +99,11 @@ func ReadXMC(name string, r io.Reader) (*Dataset, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
 
-	if !sc.Scan() {
-		if err := sc.Err(); err != nil {
-			return nil, fmt.Errorf("dataset: reading XMC header: %w", err)
-		}
-		return nil, fmt.Errorf("dataset: empty XMC input")
+	h, err := readXMCHeader(sc)
+	if err != nil {
+		return nil, err
 	}
-	header := strings.Fields(sc.Text())
-	if len(header) != 3 {
-		return nil, fmt.Errorf("dataset: XMC header needs 3 fields, got %q", sc.Text())
-	}
-	nSamples, err1 := strconv.Atoi(header[0])
-	nFeatures, err2 := strconv.Atoi(header[1])
-	nLabels, err3 := strconv.Atoi(header[2])
-	if err1 != nil || err2 != nil || err3 != nil || nSamples <= 0 || nFeatures <= 0 || nLabels <= 0 {
-		return nil, fmt.Errorf("dataset: invalid XMC header %q", sc.Text())
-	}
+	nFeatures, nLabels := h.Features, h.Labels
 
 	var b sparse.Builder
 	lineNo := 1
@@ -53,51 +114,16 @@ func ReadXMC(name string, r io.Reader) (*Dataset, error) {
 		if strings.TrimSpace(line) == "" {
 			continue
 		}
-		labelPart, featPart, _ := strings.Cut(line, " ")
-
-		var labels []int32
-		if labelPart != "" {
-			for _, tok := range strings.Split(labelPart, ",") {
-				y, err := strconv.Atoi(tok)
-				if err != nil || y < 0 || y >= nLabels {
-					return nil, fmt.Errorf("dataset: line %d: bad label %q", lineNo, tok)
-				}
-				labels = append(labels, int32(y))
-			}
-			slices.Sort(labels)
-			labels = slices.Compact(labels)
-		}
-
-		clear(kv)
-		for _, tok := range strings.Fields(featPart) {
-			fs, vs, ok := strings.Cut(tok, ":")
-			if !ok {
-				return nil, fmt.Errorf("dataset: line %d: bad feature token %q", lineNo, tok)
-			}
-			f, err := strconv.Atoi(fs)
-			if err != nil || f < 0 || f >= nFeatures {
-				return nil, fmt.Errorf("dataset: line %d: bad feature index %q", lineNo, fs)
-			}
-			v, err := strconv.ParseFloat(vs, 32)
-			if err != nil {
-				return nil, fmt.Errorf("dataset: line %d: bad feature value %q", lineNo, vs)
-			}
-			kv[int32(f)] = float32(v)
-		}
-		idx := make([]int32, 0, len(kv))
-		for f := range kv {
-			idx = append(idx, f)
-		}
-		slices.Sort(idx)
-		val := make([]float32, len(idx))
-		for k, f := range idx {
-			val[k] = kv[f]
+		idx, val, labels, err := xmcLine(line, lineNo, h, kv)
+		if err != nil {
+			return nil, err
 		}
 		b.Add(idx, val, labels)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("dataset: reading XMC line %d: %w", lineNo, err)
 	}
+	nSamples := h.Samples
 	if got := b.Len(); got != nSamples {
 		return nil, fmt.Errorf("dataset: XMC header declares %d samples, file has %d", nSamples, got)
 	}

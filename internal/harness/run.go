@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"github.com/slide-cpu/slide/internal/network"
 	"github.com/slide-cpu/slide/internal/simd"
 	"github.com/slide-cpu/slide/internal/sparse"
+	"github.com/slide-cpu/slide/internal/train"
 )
 
 // Variant names one measured SLIDE configuration: which §4 optimizations
@@ -109,59 +111,65 @@ func RunSLIDE(w *Workload, v Variant, opts Options) (*RunResult, error) {
 		return nil, fmt.Errorf("harness: %s on %s: %w", v.Name, w.Name, err)
 	}
 
-	train := trainSlice(w.Train)
+	trainSet := trainSlice(w.Train)
 	res := &RunResult{System: v.Name, Dataset: w.Name,
 		Tracker: metrics.NewTracker(v.Name, w.Name)}
 	scores := make([]float32, cfg.OutputDim)
 
-	var activeSum, samples int64
+	src, err := dataset.NewMemorySource(trainSet, w.Batch, v.BatchLayout)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s on %s: %w", v.Name, w.Name, err)
+	}
+	evalEvery := max(1, src.BatchesPerEpoch()/opts.EvalPointsPerEpoch)
+
+	// Convergence tracking: elapsed counts TrainBatch wall-clock only
+	// (BatchInfo.TrainTime excludes data loading, hooks and the evaluation
+	// below); loss is windowed between evaluation points.
+	var elapsed time.Duration
 	var lossSum float64
 	var lossN int64
-	batchesPerEpoch := (train.Len() + w.Batch - 1) / w.Batch
-	evalEvery := max(1, batchesPerEpoch/opts.EvalPointsPerEpoch)
-	var batches int64
 
 	runtime.GC() // isolate this run from the previous system's garbage
-	minEpoch := time.Duration(0)
-	for epoch := 0; epoch < opts.Epochs; epoch++ {
-		var epochTime time.Duration
-		it := train.Iter(w.Batch, v.BatchLayout, opts.Seed+uint64(epoch))
-		for {
-			b, ok := it.Next()
-			if !ok {
-				break
-			}
-			start := time.Now()
-			st := net.TrainBatch(b)
-			epochTime += time.Since(start)
-			batches++
-			activeSum += st.ActiveSum
-			samples += int64(st.Samples)
-			lossSum += st.Loss
-			lossN += int64(st.Samples)
-			if batches%int64(evalEvery) == 0 {
-				p1 := evalP1(scores, net.Scores, w.Test, opts.EvalSamples)
-				res.Tracker.Record(metrics.Point{
-					Elapsed: res.TrainTime + epochTime, Epoch: epoch + 1, Batches: batches,
-					P1: p1, Loss: lossSum / float64(max64(lossN, 1)),
-				})
-				lossSum, lossN = 0, 0
-			}
-		}
-		res.TrainTime += epochTime
-		if minEpoch == 0 || epochTime < minEpoch {
-			minEpoch = epochTime
-		}
+	rep, err := train.Run(context.Background(), net, src, train.Config{
+		Epochs: opts.Epochs,
+		// Keep the harness's historical per-epoch seeding (measurement runs
+		// reproduce across harness versions); the default Step()+1 rule is
+		// the public Trainer behaviour.
+		SeedFunc: func(pass int, _ int64) uint64 { return opts.Seed + uint64(pass) },
+		Hooks: train.Hooks{
+			OnBatch: func(bi train.BatchInfo) {
+				elapsed += bi.TrainTime
+				lossSum += bi.Stats.Loss
+				lossN += int64(bi.Stats.Samples)
+				if bi.Step%int64(evalEvery) == 0 {
+					p1 := evalP1(scores, net.Scores, w.Test, opts.EvalSamples)
+					res.Tracker.Record(metrics.Point{
+						Elapsed: elapsed, Epoch: bi.Epoch + 1, Batches: bi.Step,
+						P1: p1, Loss: lossSum / float64(max64(lossN, 1)),
+					})
+					lossSum, lossN = 0, 0
+				}
+			},
+			OnEpoch: func(ei train.EpochInfo) {
+				if res.EpochTime == 0 || ei.TrainTime < res.EpochTime {
+					// Report the fastest epoch: first-epoch page faults, lazy
+					// allocations and noisy neighbours inflate the mean on
+					// small runs.
+					res.EpochTime = ei.TrainTime
+				}
+			},
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s on %s: %w", v.Name, w.Name, err)
 	}
-	// Report the fastest epoch: first-epoch page faults, lazy allocations
-	// and noisy neighbours inflate the mean on small runs.
-	res.EpochTime = minEpoch
+	res.TrainTime = rep.TrainTime
 	res.FinalP1 = evalP1(scores, net.Scores, w.Test, opts.EvalSamples)
 	if last, ok := res.Tracker.Last(); ok {
 		res.FinalLoss = last.Loss
 	}
-	if samples > 0 {
-		res.MeanActive = float64(activeSum) / float64(samples)
+	if rep.Stats.Samples > 0 {
+		res.MeanActive = float64(rep.Stats.ActiveSum) / float64(rep.Stats.Samples)
 	}
 	return res, nil
 }
@@ -187,55 +195,76 @@ func RunDense(w *Workload, opts Options) (*RunResult, error) {
 		return nil, fmt.Errorf("harness: dense baseline on %s: %w", w.Name, err)
 	}
 
-	train := trainSlice(w.Train)
+	trainSet := trainSlice(w.Train)
 	const name = "TF FullSoftmax"
 	res := &RunResult{System: name, Dataset: w.Name,
 		Tracker: metrics.NewTracker(name, w.Name), MeanActive: float64(cfg.OutputDim)}
 	scores := make([]float32, cfg.OutputDim)
 
-	batchesPerEpoch := (train.Len() + w.Batch - 1) / w.Batch
-	evalEvery := max(1, batchesPerEpoch/opts.EvalPointsPerEpoch)
-	var batches int64
+	src, err := dataset.NewMemorySource(trainSet, w.Batch, sparse.Coalesced)
+	if err != nil {
+		return nil, fmt.Errorf("harness: dense baseline on %s: %w", w.Name, err)
+	}
+	evalEvery := max(1, src.BatchesPerEpoch()/opts.EvalPointsPerEpoch)
+
+	var elapsed time.Duration
 	var lossSum float64
 	var lossN int64
 
 	runtime.GC()
-	minEpoch := time.Duration(0)
-	for epoch := 0; epoch < opts.Epochs; epoch++ {
-		var epochTime time.Duration
-		it := train.Iter(w.Batch, sparse.Coalesced, opts.Seed+uint64(epoch))
-		for {
-			b, ok := it.Next()
-			if !ok {
-				break
-			}
-			start := time.Now()
-			st := tr.TrainBatch(b)
-			epochTime += time.Since(start)
-			batches++
-			lossSum += st.Loss
-			lossN += int64(st.Samples)
-			if batches%int64(evalEvery) == 0 {
-				p1 := evalP1(scores, tr.Scores, w.Test, opts.EvalSamples)
-				res.Tracker.Record(metrics.Point{
-					Elapsed: res.TrainTime + epochTime, Epoch: epoch + 1, Batches: batches,
-					P1: p1, Loss: lossSum / float64(max64(lossN, 1)),
-				})
-				lossSum, lossN = 0, 0
-			}
-		}
-		res.TrainTime += epochTime
-		if minEpoch == 0 || epochTime < minEpoch {
-			minEpoch = epochTime
-		}
+	rep, err := train.Run(context.Background(), denseStepper{tr}, src, train.Config{
+		Epochs:   opts.Epochs,
+		SeedFunc: func(pass int, _ int64) uint64 { return opts.Seed + uint64(pass) },
+		Hooks: train.Hooks{
+			OnBatch: func(bi train.BatchInfo) {
+				elapsed += bi.TrainTime
+				lossSum += bi.Stats.Loss
+				lossN += int64(bi.Stats.Samples)
+				if bi.Step%int64(evalEvery) == 0 {
+					p1 := evalP1(scores, tr.Scores, w.Test, opts.EvalSamples)
+					res.Tracker.Record(metrics.Point{
+						Elapsed: elapsed, Epoch: bi.Epoch + 1, Batches: bi.Step,
+						P1: p1, Loss: lossSum / float64(max64(lossN, 1)),
+					})
+					lossSum, lossN = 0, 0
+				}
+			},
+			OnEpoch: func(ei train.EpochInfo) {
+				if res.EpochTime == 0 || ei.TrainTime < res.EpochTime {
+					res.EpochTime = ei.TrainTime
+				}
+			},
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: dense baseline on %s: %w", w.Name, err)
 	}
-	res.EpochTime = minEpoch
+	res.TrainTime = rep.TrainTime
 	res.FinalP1 = evalP1(scores, tr.Scores, w.Test, opts.EvalSamples)
 	if last, ok := res.Tracker.Last(); ok {
 		res.FinalLoss = last.Loss
 	}
 	return res, nil
 }
+
+// denseStepper adapts the full-softmax baseline trainer to the session
+// engine's Stepper contract (its stats carry no active-set counts — every
+// output neuron is always active).
+type denseStepper struct {
+	t *fullsoftmax.Trainer
+}
+
+// TrainBatch implements train.Stepper.
+func (d denseStepper) TrainBatch(b sparse.Batch) network.BatchStats {
+	st := d.t.TrainBatch(b)
+	return network.BatchStats{
+		Samples: st.Samples, Loss: st.Loss,
+		ActiveSum: int64(st.Samples) * int64(d.t.Config().OutputDim),
+	}
+}
+
+// Step implements train.Stepper.
+func (d denseStepper) Step() int64 { return d.t.Step() }
 
 func max64(a, b int64) int64 {
 	if a > b {

@@ -1,0 +1,109 @@
+package lsh
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Table/TableSet serialization: the dynamic bucket state only (stored ids
+// plus lifetime insert counts). Shape parameters (bits, capacity, policy,
+// seed) are construction-time configuration the owner re-derives, so a
+// deserialize targets a freshly constructed, identically shaped table.
+//
+// This exists for exact training resume: table contents are a pure function
+// of the weights at the *last scheduled rebuild*, which a checkpoint loader
+// cannot re-derive from the current weights — so the network checkpoint
+// carries the state itself. Only non-empty buckets are written (an insert
+// always leaves its bucket non-empty, so count > 0 implies occupancy), which
+// keeps the payload proportional to stored ids, not bucket space.
+
+// Serialize writes the table's bucket state. The caller provides
+// synchronization against concurrent Inserts.
+func (t *Table) Serialize(w io.Writer) error {
+	nonEmpty, _ := t.Occupancy()
+	if err := binary.Write(w, binary.LittleEndian, uint64(nonEmpty)); err != nil {
+		return fmt.Errorf("lsh: writing table header: %w", err)
+	}
+	for i, b := range t.buckets {
+		if len(b) == 0 {
+			continue
+		}
+		hdr := [3]uint32{uint32(i), t.counts[i], uint32(len(b))}
+		if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+			return fmt.Errorf("lsh: writing bucket header: %w", err)
+		}
+		if err := binary.Write(w, binary.LittleEndian, b); err != nil {
+			return fmt.Errorf("lsh: writing bucket ids: %w", err)
+		}
+	}
+	return nil
+}
+
+// Deserialize replaces the table's bucket state with a previously serialized
+// one. The table must have the same shape (bits, capacity) as the writer.
+func (t *Table) Deserialize(r io.Reader) error {
+	t.Clear()
+	var nonEmpty uint64
+	if err := binary.Read(r, binary.LittleEndian, &nonEmpty); err != nil {
+		return fmt.Errorf("lsh: reading table header: %w", err)
+	}
+	if nonEmpty > uint64(len(t.buckets)) {
+		return fmt.Errorf("lsh: table declares %d non-empty buckets of %d", nonEmpty, len(t.buckets))
+	}
+	for k := uint64(0); k < nonEmpty; k++ {
+		var hdr [3]uint32
+		if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+			return fmt.Errorf("lsh: reading bucket header: %w", err)
+		}
+		idx, count, n := hdr[0], hdr[1], hdr[2]
+		if int(idx) >= len(t.buckets) {
+			return fmt.Errorf("lsh: bucket index %d out of range [0,%d)", idx, len(t.buckets))
+		}
+		if int(n) > t.bucketCap || n == 0 || uint64(n) > uint64(count) {
+			return fmt.Errorf("lsh: bucket %d declares %d ids (cap %d, count %d)", idx, n, t.bucketCap, count)
+		}
+		ids := make([]int32, n)
+		if err := binary.Read(r, binary.LittleEndian, ids); err != nil {
+			return fmt.Errorf("lsh: reading bucket ids: %w", err)
+		}
+		t.buckets[idx] = ids
+		t.counts[idx] = count
+	}
+	return nil
+}
+
+// Serialize writes all L tables' bucket state under the read lock.
+func (ts *TableSet) Serialize(w io.Writer) error {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(ts.tables))); err != nil {
+		return fmt.Errorf("lsh: writing table set header: %w", err)
+	}
+	for _, t := range ts.tables {
+		if err := t.Serialize(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Deserialize replaces all L tables' bucket state under the write lock. The
+// set must be identically shaped (same hasher configuration) as the writer.
+func (ts *TableSet) Deserialize(r io.Reader) error {
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return fmt.Errorf("lsh: reading table set header: %w", err)
+	}
+	if int(n) != len(ts.tables) {
+		return fmt.Errorf("lsh: checkpoint has %d tables, set has %d", n, len(ts.tables))
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	for _, t := range ts.tables {
+		if err := t.Deserialize(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -54,6 +54,9 @@ type scratch struct {
 	probs  []float32 // training only
 	dedup  *lsh.Dedup
 	rng    *rand.Rand
+	// rngSrc is rng's underlying PCG, retained so checkpoints can serialize
+	// the random top-up state — part of the exact-resume contract.
+	rngSrc *rand.PCG
 }
 
 // newScratch sizes a scratch set for this network shape. train additionally
@@ -64,11 +67,13 @@ func (f *forwardState) newScratch(train bool, seed, stream uint64) *scratch {
 	// caps the usual path, but labels are never dropped, so a pathological
 	// sample could exceed it.
 	actCap := f.cfg.OutputDim
+	src := rand.NewPCG(seed, stream)
 	ws := &scratch{
 		active: make([]int32, 0, actCap),
 		logits: make([]float32, actCap),
 		dedup:  lsh.NewDedup(f.cfg.OutputDim),
-		rng:    rand.New(rand.NewPCG(seed, stream)),
+		rng:    rand.New(src),
+		rngSrc: src,
 	}
 	for _, d := range f.dims {
 		ws.acts = append(ws.acts, make([]float32, d))

@@ -173,6 +173,18 @@ func (n *Network) Tables() *lsh.TableSet { return n.tables }
 // Step returns the number of optimizer steps (batches) applied so far.
 func (n *Network) Step() int64 { return n.step }
 
+// SetLR changes the ADAM learning rate applied by subsequent TrainBatch
+// calls — the hook LR schedules drive. Not safe concurrently with training;
+// call it between batches (the training-session engine does). The value is
+// serialized with the checkpoint, but schedule-driven callers re-derive it
+// from the step counter on resume, so a mid-schedule checkpoint restores
+// correctly either way.
+func (n *Network) SetLR(lr float64) {
+	if lr > 0 {
+		n.cfg.LR = lr
+	}
+}
+
 // rebuildTables re-hashes every output neuron into fresh tables.
 func (n *Network) rebuildTables() {
 	n.tables.RebuildDense(n.cfg.OutputDim, n.lastDim, n.output.RowF32, n.cfg.Workers)

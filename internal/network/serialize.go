@@ -15,13 +15,18 @@ func layerPrecision(v uint64) layer.Precision   { return layer.Precision(v) }
 func layerPlacement(v uint64) layer.Placement   { return layer.Placement(v) }
 func lshPolicy(v uint64) lsh.BucketPolicy       { return lsh.BucketPolicy(v) }
 
-// checkpoint format: magic, version, config fields, step counter, then the
-// two layers' payloads. LSH tables are not persisted — they are derived
-// state and are rebuilt from the loaded weights.
+// checkpoint format: magic, version, config fields, step counter and
+// rebuild-schedule position, the layers' payloads, then (for LSH-sampled
+// networks) the hash-table bucket state. Tables are persisted — not rebuilt
+// from the loaded weights — because their contents are a function of the
+// weights at the *last scheduled rebuild*, not the current ones; restoring
+// them exactly is what makes a resumed session bit-identical to an
+// uninterrupted run (version 2; version-1 checkpoints rebuilt from current
+// weights and cannot resume exactly).
 
 const (
 	checkpointMagic   = uint32(0x534C4944) // "SLID"
-	checkpointVersion = uint32(1)
+	checkpointVersion = uint32(2)
 )
 
 // Save writes a checkpoint of the network: configuration, optimizer step,
@@ -40,7 +45,7 @@ func (n *Network) Save(w io.Writer) error {
 		uint64(n.cfg.Precision), uint64(n.cfg.Placement),
 		boolU64(n.cfg.Locked),
 		uint64(n.cfg.RebuildEvery), uint64(n.cfg.Seed),
-		uint64(n.step),
+		uint64(n.step), uint64(n.sinceRebuild),
 	}
 	for _, v := range hdr {
 		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
@@ -72,6 +77,28 @@ func (n *Network) Save(w io.Writer) error {
 	if err := n.output.Serialize(bw); err != nil {
 		return fmt.Errorf("network: writing output layer: %w", err)
 	}
+	if n.tables != nil {
+		if err := n.tables.Serialize(bw); err != nil {
+			return fmt.Errorf("network: writing hash tables: %w", err)
+		}
+	}
+	// Per-worker random top-up RNG state: without it a resumed run draws a
+	// different top-up sequence and diverges from the uninterrupted one.
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(n.workers))); err != nil {
+		return fmt.Errorf("network: writing RNG states: %w", err)
+	}
+	for _, ws := range n.workers {
+		state, err := ws.rngSrc.MarshalBinary()
+		if err != nil {
+			return fmt.Errorf("network: marshaling RNG state: %w", err)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(state))); err != nil {
+			return fmt.Errorf("network: writing RNG states: %w", err)
+		}
+		if _, err := bw.Write(state); err != nil {
+			return fmt.Errorf("network: writing RNG states: %w", err)
+		}
+	}
 	return bw.Flush()
 }
 
@@ -83,11 +110,14 @@ func boolU64(b bool) uint64 {
 }
 
 // Load reads a checkpoint written by Save and reconstructs the network,
-// including a fresh LSH build over the restored weights. Workers defaults
-// to GOMAXPROCS unless overridden by workers > 0.
+// restoring the exact LSH table bucket state the checkpoint carried (the
+// tables as of the last scheduled rebuild — rebuilding from the restored
+// weights instead would diverge from an uninterrupted run; see the format
+// comment above). Workers defaults to GOMAXPROCS unless overridden by
+// workers > 0.
 func Load(r io.Reader, workers int) (*Network, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
-	hdr := make([]uint64, 22)
+	hdr := make([]uint64, 23)
 	for i := range hdr {
 		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
 			return nil, fmt.Errorf("network: reading checkpoint header: %w", err)
@@ -164,9 +194,45 @@ func Load(r io.Reader, workers int) (*Network, error) {
 		return nil, fmt.Errorf("network: reading output layer: %w", err)
 	}
 	n.step = int64(hdr[21])
+	n.sinceRebuild = int(hdr[22])
 	n.rebuildPeriod = fs[5]
 	if n.tables != nil {
-		n.rebuildTables() // hash the restored weights, not the init ones
+		// Restore the exact bucket state the checkpoint carried — the tables
+		// as of the last scheduled rebuild, which resumed training continues
+		// from bit-identically. (New already built tables from the initial
+		// weights; Deserialize replaces that state.)
+		if err := n.tables.Deserialize(br); err != nil {
+			return nil, fmt.Errorf("network: reading hash tables: %w", err)
+		}
+	}
+	// Restore worker RNG states. A load with the same worker count resumes
+	// exactly; with fewer or more workers the overlapping workers restore and
+	// the rest keep their fresh seeds (exact resume requires matching worker
+	// counts anyway — HOGWILD partitioning changes with the count).
+	var nRNG uint64
+	if err := binary.Read(br, binary.LittleEndian, &nRNG); err != nil {
+		return nil, fmt.Errorf("network: reading RNG states: %w", err)
+	}
+	if nRNG > 1<<20 {
+		return nil, fmt.Errorf("network: checkpoint declares %d RNG states (corrupt?)", nRNG)
+	}
+	for i := uint64(0); i < nRNG; i++ {
+		var sz uint32
+		if err := binary.Read(br, binary.LittleEndian, &sz); err != nil {
+			return nil, fmt.Errorf("network: reading RNG states: %w", err)
+		}
+		if sz > 4096 {
+			return nil, fmt.Errorf("network: RNG state of %d bytes (corrupt?)", sz)
+		}
+		state := make([]byte, sz)
+		if _, err := io.ReadFull(br, state); err != nil {
+			return nil, fmt.Errorf("network: reading RNG states: %w", err)
+		}
+		if int(i) < len(n.workers) {
+			if err := n.workers[i].rngSrc.UnmarshalBinary(state); err != nil {
+				return nil, fmt.Errorf("network: restoring RNG state %d: %w", i, err)
+			}
+		}
 	}
 	return n, nil
 }

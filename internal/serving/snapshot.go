@@ -1,6 +1,10 @@
 package serving
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"github.com/slide-cpu/slide/slide"
+)
 
 // SnapshotManager publishes versioned Predictor snapshots to the serving
 // pipeline. Publish and Current are safe for unbounded concurrent use;
@@ -45,4 +49,16 @@ func (m *SnapshotManager) Current() Predictor {
 // how often the model refreshes.
 func (m *SnapshotManager) Swaps() uint64 {
 	return m.swaps.Load()
+}
+
+// Publisher adapts the manager to the Trainer's snapshot hook, so a model
+// trains and serves fresh versions from one object:
+//
+//	trainer, _ := slide.NewTrainer(m, src,
+//		slide.WithSnapshots(200, serving.Publisher(mgr)))
+//
+// Every scheduled snapshot the session takes is hot-swapped into the
+// pipeline; in-flight batches finish on the snapshot they captured.
+func Publisher(m *SnapshotManager) func(*slide.Predictor) {
+	return func(p *slide.Predictor) { m.Publish(p) }
 }

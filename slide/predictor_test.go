@@ -135,7 +135,10 @@ func TestPredictorEquivalence(t *testing.T) {
 	for i := 0; i < min(32, test.Len()); i++ {
 		s := test.Sample(i)
 		samples = append(samples, s)
-		a := m.Predict(s.Indices, s.Values, 5)
+		a, err := m.Predict(s.Indices, s.Values, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
 		b := p.Predict(s.Indices, s.Values, 5)
 		if len(a) != len(b) {
 			t.Fatalf("sample %d: lengths %d vs %d", i, len(a), len(b))
@@ -145,7 +148,9 @@ func TestPredictorEquivalence(t *testing.T) {
 				t.Fatalf("sample %d: Predictor %v != Model %v", i, b, a)
 			}
 		}
-		m.Scores(s.Indices, s.Values, mScores)
+		if err := m.Scores(s.Indices, s.Values, mScores); err != nil {
+			t.Fatal(err)
+		}
 		p.Scores(s.Indices, s.Values, pScores)
 		for j := range mScores {
 			if mScores[j] != pScores[j] {

@@ -5,32 +5,44 @@
 // BF16 quantization modes, and HOGWILD-style asynchronous data parallelism
 // (Daghaghi et al., "Accelerating SLIDE Deep Learning on Modern CPUs").
 //
-// Quick start — train, snapshot, serve:
+// Quick start — a training session with evaluation, checkpoints, and live
+// snapshot publication:
 //
 //	train, test, _ := slide.AmazonLike(0.01, 42)
 //	m, _ := slide.New(train.Features(), 128, train.NumLabels(),
 //		slide.WithDWTA(4, 16),
 //		slide.WithLearningRate(1e-4))
-//	for epoch := 0; epoch < 3; epoch++ {
-//		m.TrainEpoch(train, 256)
-//	}
-//	p1, _ := m.Evaluate(test, 500, 1)
+//
+//	src, _ := slide.NewDatasetSource(train, 256) // or NewFileSource (streaming)
+//	t, _ := slide.NewTrainer(m, src,
+//		slide.WithEpochs(3),
+//		slide.WithCheckpoints("model.slide", 1000), // atomic write + resume
+//		slide.WithOnEpoch(func(e slide.EpochEvent) {
+//			p1, _ := m.Evaluate(test, 500, 1)
+//			fmt.Printf("epoch %d: loss %.4f P@1 %.3f\n", e.Epoch+1, e.Stats.MeanLoss, p1)
+//		}))
+//	report, _ := t.Run(ctx) // ctx cancellation is a graceful stop
 //
 //	// Freeze the current weights into an immutable Predictor and serve it
-//	// from any number of goroutines — even while m keeps training.
+//	// from any number of goroutines — even while training continues; with
+//	// WithSnapshots(n, serving.Publisher(mgr)) a session publishes fresh
+//	// versions into the serving pipeline on schedule.
 //	p := m.Snapshot()
-//	go func() { m.TrainEpoch(train, 256) }()
 //	s := test.Sample(0)
-//	top := p.Predict(s.Indices, s.Values, 5)       // exact top-5
+//	top := p.Predict(s.Indices, s.Values, 5)              // exact top-5
 //	approx, _ := p.PredictSampled(s.Indices, s.Values, 5) // sub-linear LSH inference
-//	_, _ = top, approx
+//	_, _, _ = report, top, approx
 //
-// See the examples/ directory for full programs, cmd/slide-serve for the
-// HTTP serving front end, and cmd/slide-bench for the paper's experiment
-// harness.
+// The pre-session entry points remain supported: TrainEpoch/TrainBatch are
+// thin wrappers over the same engine (single-worker results bit-identical to
+// the historical loop). See the examples/ directory for full programs,
+// cmd/slide-train for the training CLI (streaming files, LR schedules,
+// checkpoint schedules, graceful cancellation), cmd/slide-serve for the HTTP
+// serving front end, and cmd/slide-bench for the paper's experiment harness.
 package slide
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -83,18 +95,69 @@ const (
 	// PortableKernels forces the portable Go vector tier even when the
 	// host has the assembly tiers (cross-arch reference measurements).
 	PortableKernels
+	// AVX2Kernels forces the 8-lane ymm assembly tier (clamped down the
+	// chain when the host lacks AVX2+FMA).
+	AVX2Kernels
+	// AVX512Kernels forces the 16-lane zmm assembly tier (clamped down the
+	// chain when the host lacks AVX-512).
+	AVX512Kernels
 )
+
+// String implements fmt.Stringer, for startup logs and flag round-trips.
+func (m KernelMode) String() string {
+	switch m {
+	case VectorKernels:
+		return "vector"
+	case ScalarKernels:
+		return "scalar"
+	case PortableKernels:
+		return "portable"
+	case AVX2Kernels:
+		return "avx2"
+	case AVX512Kernels:
+		return "avx512"
+	default:
+		return "unknown"
+	}
+}
+
+// AvailableKernelModes returns every kernel mode this host can execute,
+// fastest tier first — what serving and training front ends log at startup
+// so deployments can see which tiers CPUID actually enabled, without
+// reaching into internal packages. VectorKernels (the auto mode) is omitted:
+// it always resolves to the first entry.
+func AvailableKernelModes() []KernelMode {
+	var out []KernelMode
+	for _, m := range simd.AvailableModes() {
+		switch m {
+		case simd.AVX512:
+			out = append(out, AVX512Kernels)
+		case simd.AVX2:
+			out = append(out, AVX2Kernels)
+		case simd.Vector:
+			out = append(out, PortableKernels)
+		case simd.Scalar:
+			out = append(out, ScalarKernels)
+		}
+	}
+	return out
+}
 
 // SetKernelMode switches the process-global kernel implementation. Do not
 // flip it while models are training. The SLIDE_KERNEL_MODE environment
 // variable (scalar|vector|avx2|avx512) selects the startup mode; this
-// call overrides it.
+// call overrides it. Unsupported assembly tiers clamp down the chain
+// (avx512 → avx2 → portable).
 func SetKernelMode(m KernelMode) {
 	switch m {
 	case ScalarKernels:
 		simd.SetMode(simd.Scalar)
 	case PortableKernels:
 		simd.SetMode(simd.Vector)
+	case AVX2Kernels:
+		simd.SetMode(simd.AVX2)
+	case AVX512Kernels:
+		simd.SetMode(simd.AVX512)
 	default:
 		simd.SetMode(simd.Best())
 	}
@@ -328,16 +391,64 @@ type TrainStats struct {
 // ErrEmptyBatch is returned when a training call receives no samples.
 var ErrEmptyBatch = errors.New("slide: empty batch")
 
-// TrainBatch runs one HOGWILD gradient step over the samples.
+// ErrBadSample is the sentinel every *BadSampleError matches via errors.Is:
+// a sparse input that would otherwise panic deep inside the kernels
+// (mismatched lengths, unsorted or duplicate indices, out-of-range feature
+// or label ids) is rejected at the API boundary instead.
+var ErrBadSample = errors.New("slide: bad sample")
+
+// BadSampleError reports which sample of a call failed validation and why.
+type BadSampleError struct {
+	// Sample is the index of the offending sample within the call's slice
+	// (0 for single-sample calls).
+	Sample int
+	// Err describes the defect.
+	Err error
+}
+
+// Error implements error.
+func (e *BadSampleError) Error() string {
+	return fmt.Sprintf("slide: bad sample %d: %v", e.Sample, e.Err)
+}
+
+// Unwrap exposes the underlying defect.
+func (e *BadSampleError) Unwrap() error { return e.Err }
+
+// Is matches ErrBadSample.
+func (e *BadSampleError) Is(target error) bool { return target == ErrBadSample }
+
+// validateSample checks one sample's structure (paired lengths, strictly
+// ascending indices) and ranges (features < dim, labels < labelDim; negative
+// dims skip the respective range check).
+func validateSample(s Sample, dim, labelDim int) error {
+	if len(s.Indices) != len(s.Values) {
+		return fmt.Errorf("%d indices but %d values", len(s.Indices), len(s.Values))
+	}
+	if err := (sparse.Vector{Indices: s.Indices, Values: s.Values}).Validate(dim); err != nil {
+		return err
+	}
+	if labelDim >= 0 {
+		for _, y := range s.Labels {
+			if y < 0 || int(y) >= labelDim {
+				return fmt.Errorf("label %d out of range [0,%d)", y, labelDim)
+			}
+		}
+	}
+	return nil
+}
+
+// TrainBatch runs one HOGWILD gradient step over the samples. Invalid
+// samples are rejected with a *BadSampleError (errors.Is ErrBadSample)
+// naming the offending index.
 func (m *Model) TrainBatch(samples []Sample) (TrainStats, error) {
 	if len(samples) == 0 {
 		return TrainStats{}, ErrEmptyBatch
 	}
+	cfg := m.net.Config()
 	var b sparse.Builder
 	for i, s := range samples {
-		if len(s.Indices) != len(s.Values) {
-			return TrainStats{}, fmt.Errorf("slide: sample %d has %d indices but %d values",
-				i, len(s.Indices), len(s.Values))
+		if err := validateSample(s, cfg.InputDim, cfg.OutputDim); err != nil {
+			return TrainStats{}, &BadSampleError{Sample: i, Err: err}
 		}
 		b.Add(s.Indices, s.Values, s.Labels)
 	}
@@ -359,29 +470,26 @@ func batchStats(st network.BatchStats) TrainStats {
 }
 
 // TrainEpoch runs one shuffled epoch over the dataset in batches of the
-// given size and returns aggregate statistics.
+// given size and returns aggregate statistics. It is a thin wrapper over a
+// one-epoch Trainer session (the shuffle is seeded with the optimizer step,
+// so every epoch sees a fresh permutation while the overall run stays
+// reproducible — and results are bit-identical to the historical epoch
+// loop). Use a Trainer directly for cancellation, hooks, schedules, or
+// streaming sources.
 func (m *Model) TrainEpoch(train *Dataset, batchSize int) (TrainStats, error) {
 	if train == nil || train.Len() == 0 {
 		return TrainStats{}, ErrEmptyBatch
 	}
-	if batchSize <= 0 {
-		return TrainStats{}, fmt.Errorf("slide: batch size %d must be positive", batchSize)
+	src, err := NewDatasetSource(train, batchSize)
+	if err != nil {
+		return TrainStats{}, err
 	}
-	// Seed the shuffle with the optimizer step so every epoch sees a fresh
-	// permutation while the overall run stays reproducible.
-	it := train.d.Iter(batchSize, sparse.Coalesced, uint64(m.net.Step())+1)
-	var agg network.BatchStats
-	for {
-		b, ok := it.Next()
-		if !ok {
-			break
-		}
-		st := m.net.TrainBatch(b)
-		agg.Samples += st.Samples
-		agg.Loss += st.Loss
-		agg.ActiveSum += st.ActiveSum
+	t, err := NewTrainer(m, src, WithEpochs(1))
+	if err != nil {
+		return TrainStats{}, err
 	}
-	return batchStats(agg), nil
+	rep, err := t.Run(context.Background())
+	return rep.Stats, err
 }
 
 // ErrNoSampling is returned by PredictSampled on models built without LSH
@@ -391,17 +499,25 @@ func (m *Model) TrainEpoch(train *Dataset, batchSize int) (TrainStats, error) {
 var ErrNoSampling = errors.New("slide: PredictSampled requires an LSH-sampled model")
 
 // Predict returns the top-k label ids for a sparse input, best first. It
-// runs the full output layer (exact). Like all Model inference it reads the
-// live weights and is not safe concurrently with training — use Snapshot
-// for a concurrency-safe Predictor.
-func (m *Model) Predict(indices []int32, values []float32, k int) []int32 {
-	return m.net.Predict(sparse.Vector{Indices: indices, Values: values}, k, m.scores)
+// runs the full output layer (exact). Invalid inputs (unsorted, duplicate
+// or out-of-range indices, mismatched lengths) return a *BadSampleError.
+// Like all Model inference it reads the live weights and is not safe
+// concurrently with training — use Snapshot for a concurrency-safe
+// Predictor.
+func (m *Model) Predict(indices []int32, values []float32, k int) ([]int32, error) {
+	if err := validateSample(Sample{Indices: indices, Values: values}, m.net.Config().InputDim, -1); err != nil {
+		return nil, &BadSampleError{Err: err}
+	}
+	return m.net.Predict(sparse.Vector{Indices: indices, Values: values}, k, m.scores), nil
 }
 
 // PredictSampled returns the top-k label ids ranked over the LSH-retrieved
-// candidates only — sub-linear approximate inference. Returns ErrNoSampling
-// for models built without LSH sampling.
+// candidates only — sub-linear approximate inference. Invalid inputs return
+// a *BadSampleError; models built without LSH sampling return ErrNoSampling.
 func (m *Model) PredictSampled(indices []int32, values []float32, k int) ([]int32, error) {
+	if err := validateSample(Sample{Indices: indices, Values: values}, m.net.Config().InputDim, -1); err != nil {
+		return nil, &BadSampleError{Err: err}
+	}
 	out, err := m.net.PredictSampled(sparse.Vector{Indices: indices, Values: values}, k)
 	if err != nil {
 		return nil, ErrNoSampling
@@ -410,9 +526,18 @@ func (m *Model) PredictSampled(indices []int32, values []float32, k int) ([]int3
 }
 
 // Scores writes the full output-layer logits for a sparse input into out
-// (len = output dimension). Not safe to call concurrently with training.
-func (m *Model) Scores(indices []int32, values []float32, out []float32) {
+// (len = output dimension). Invalid inputs return a *BadSampleError. Not
+// safe to call concurrently with training.
+func (m *Model) Scores(indices []int32, values []float32, out []float32) error {
+	if err := validateSample(Sample{Indices: indices, Values: values}, m.net.Config().InputDim, -1); err != nil {
+		return &BadSampleError{Err: err}
+	}
+	if len(out) != m.net.Config().OutputDim {
+		return fmt.Errorf("slide: Scores buffer has %d entries, output dimension is %d",
+			len(out), m.net.Config().OutputDim)
+	}
 	m.net.Scores(sparse.Vector{Indices: indices, Values: values}, out)
+	return nil
 }
 
 // Evaluate returns mean Precision@k over (up to) n samples of the dataset.
@@ -433,10 +558,13 @@ func (m *Model) Evaluate(test *Dataset, n, k int) (float64, error) {
 // Embedding copies the hidden-layer weight column of input feature i — the
 // learned embedding vector in word2vec-style models.
 func (m *Model) Embedding(i int) []float32 {
-	buf := make([]float32, m.net.Config().HiddenDim)
-	col := m.net.Hidden().Col(i, buf)
-	out := make([]float32, len(col))
-	copy(out, col)
+	out := make([]float32, m.net.Config().HiddenDim)
+	col := m.net.Hidden().Col(i, out)
+	if len(col) > 0 && &col[0] != &out[0] {
+		// FP32/BF16Act layouts return a direct view; copy it into the fresh
+		// slice. (BF16Both expands straight into out — no second copy.)
+		copy(out, col)
+	}
 	return out
 }
 

@@ -54,12 +54,17 @@ func TestPublicEndToEnd(t *testing.T) {
 	}
 
 	s := test.Sample(0)
-	pred := m.Predict(s.Indices, s.Values, 3)
+	pred, err := m.Predict(s.Indices, s.Values, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pred) != 3 {
 		t.Errorf("Predict returned %v", pred)
 	}
 	scores := make([]float32, train.NumLabels())
-	m.Scores(s.Indices, s.Values, scores)
+	if err := m.Scores(s.Indices, s.Values, scores); err != nil {
+		t.Fatal(err)
+	}
 	if scores[pred[0]] < scores[pred[1]] {
 		t.Error("Predict order inconsistent with Scores")
 	}
@@ -165,8 +170,8 @@ func TestNewFeatures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := deep.Predict(s.Indices, s.Values, 1)
-	b := back.Predict(s.Indices, s.Values, 1)
+	a, _ := deep.Predict(s.Indices, s.Values, 1)
+	b, _ := back.Predict(s.Indices, s.Values, 1)
 	if len(a) != 1 || len(b) != 1 || a[0] != b[0] {
 		t.Errorf("deep model predictions changed after reload: %v vs %v", a, b)
 	}
@@ -265,8 +270,8 @@ func TestSaveLoadFile(t *testing.T) {
 	}
 	// Identical predictions after round trip.
 	s := test.Sample(0)
-	a := m.Predict(s.Indices, s.Values, 3)
-	b := back.Predict(s.Indices, s.Values, 3)
+	a, _ := m.Predict(s.Indices, s.Values, 3)
+	b, _ := back.Predict(s.Indices, s.Values, 3)
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("prediction changed after reload: %v vs %v", a, b)

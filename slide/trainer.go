@@ -1,0 +1,435 @@
+package slide
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"github.com/slide-cpu/slide/internal/dataset"
+	"github.com/slide-cpu/slide/internal/sparse"
+	"github.com/slide-cpu/slide/internal/train"
+)
+
+// Trainer is a composable training session over a Model and a DataSource:
+// construct with NewTrainer, drive with Run, observe and steer through the
+// typed lifecycle hooks (OnBatch, OnEpoch, OnCheckpoint, snapshots). A
+// Trainer owns no model state — it is a reusable description of how to run
+// a session, and the legacy Model.TrainEpoch is now a one-epoch Trainer run.
+//
+//	src, _ := slide.NewFileSource("train.txt", 256, 4096)
+//	t, _ := slide.NewTrainer(m, src,
+//		slide.WithEpochs(3),
+//		slide.WithLRSchedule(slide.WarmupLR(1e-3, 500)),
+//		slide.WithCheckpoints("model.slide", 1000),
+//		slide.WithSnapshots(200, serving.Publisher(mgr)))
+//	report, err := t.Run(ctx)
+//
+// Run executes on the calling goroutine; cancel the context to stop
+// gracefully between batches (a stop, not an error). Hooks run on the
+// session goroutine between optimizer steps, so they may call Evaluate,
+// Snapshot, Save, etc. without synchronization.
+type Trainer struct {
+	m   *Model
+	src DataSource
+	o   trainerOptions
+}
+
+// trainerOptions collects option values.
+type trainerOptions struct {
+	epochs        int
+	maxSteps      int64
+	lr            LRSchedule
+	ckptPath      string
+	ckptEvery     int
+	snapEvery     int
+	snapPublish   func(*Predictor)
+	earlyPatience int
+	earlyMinDelta float64
+	resume        bool
+	onBatch       func(BatchEvent)
+	onEpoch       func(EpochEvent)
+	onCheckpoint  func(CheckpointEvent)
+}
+
+// TrainerOption configures NewTrainer.
+type TrainerOption func(*trainerOptions)
+
+// WithEpochs bounds the session to n passes over the source (default 1;
+// 0 = unbounded — stop via WithMaxSteps, early stopping, or cancellation).
+func WithEpochs(n int) TrainerOption {
+	return func(o *trainerOptions) { o.epochs = n }
+}
+
+// WithMaxSteps bounds the model's total optimizer step count: a session on a
+// model resumed at step N with WithMaxSteps(N+M) runs M more steps.
+func WithMaxSteps(n int64) TrainerOption {
+	return func(o *trainerOptions) { o.maxSteps = n }
+}
+
+// LRSchedule maps a 1-based optimizer step to its learning rate. Schedules
+// must be pure functions of the step, so a resumed session re-derives the
+// same trajectory from the checkpointed step counter.
+type LRSchedule func(step int64) float64
+
+// ConstantLR holds the learning rate fixed.
+func ConstantLR(lr float64) LRSchedule {
+	return func(int64) float64 { return lr }
+}
+
+// StepDecayLR multiplies base by factor after every interval steps
+// (factor < 1 decays): steps 1..every train at base, the next interval at
+// base*factor, and so on. A non-positive interval never decays.
+func StepDecayLR(base, factor float64, every int64) LRSchedule {
+	return func(step int64) float64 {
+		if every <= 0 || step <= every {
+			return base
+		}
+		return base * math.Pow(factor, float64((step-1)/every))
+	}
+}
+
+// WarmupLR ramps linearly from base/warmup (step 1) to base (step warmup)
+// over the first warmup steps, then stays constant — the large-batch warmup
+// recipe.
+func WarmupLR(base float64, warmup int64) LRSchedule {
+	return func(step int64) float64 {
+		if step < warmup {
+			return base * float64(step) / float64(warmup)
+		}
+		return base
+	}
+}
+
+// WithLRSchedule drives the learning rate from the schedule before every
+// optimizer step (default: the model's configured rate throughout).
+func WithLRSchedule(s LRSchedule) TrainerOption {
+	return func(o *trainerOptions) { o.lr = s }
+}
+
+// WithCheckpoints writes a checkpoint to path every everySteps optimizer
+// steps, plus a final one when the session ends (cancellation included), so
+// the path always holds a loadable, current checkpoint. Writes are atomic
+// (temp file + rename): a crash mid-write never corrupts the previous
+// checkpoint. Resume with LoadFile + a Trainer on the loaded model.
+func WithCheckpoints(path string, everySteps int) TrainerOption {
+	return func(o *trainerOptions) { o.ckptPath, o.ckptEvery = path, everySteps }
+}
+
+// WithSnapshots freezes a Predictor snapshot every everySteps optimizer
+// steps and hands it to publish — wire it to a serving pipeline with
+// serving.Publisher(mgr) and the model trains and serves fresh versions
+// from one object.
+func WithSnapshots(everySteps int, publish func(*Predictor)) TrainerOption {
+	return func(o *trainerOptions) { o.snapEvery, o.snapPublish = everySteps, publish }
+}
+
+// WithEarlyStopping ends the session when the per-pass mean loss has not
+// improved by at least minDelta for patience consecutive passes.
+func WithEarlyStopping(patience int, minDelta float64) TrainerOption {
+	return func(o *trainerOptions) { o.earlyPatience, o.earlyMinDelta = patience, minDelta }
+}
+
+// WithResume fast-forwards a model whose step counter says it stopped
+// mid-epoch to that exact position (seeded shuffle and all) before training,
+// so a checkpoint-interrupted session continues bit-identically to an
+// uninterrupted run. Requires a source with a known pass length (all
+// built-in sources); exact resume also requires the original worker count
+// and WithLockedGradients or a single worker.
+func WithResume() TrainerOption {
+	return func(o *trainerOptions) { o.resume = true }
+}
+
+// BatchEvent reports one optimizer step.
+type BatchEvent struct {
+	// Step is the model's optimizer step count after this batch.
+	Step int64
+	// Epoch is the 0-based pass index within this session; Batch the 0-based
+	// batch index within the pass.
+	Epoch, Batch int
+	// Stats are this batch's training statistics.
+	Stats TrainStats
+	// LR is the learning rate the step used (0 when no schedule is set).
+	LR float64
+}
+
+// EpochEvent reports one completed pass.
+type EpochEvent struct {
+	// Epoch is the 0-based pass index within this session.
+	Epoch int
+	// Batches is the number of optimizer steps the pass ran.
+	Batches int
+	// Stats aggregates the pass.
+	Stats TrainStats
+	// TrainTime is the pass's wall-clock spent inside training steps (data
+	// loading, hooks and evaluation excluded).
+	TrainTime time.Duration
+}
+
+// CheckpointEvent reports one checkpoint atomically in place.
+type CheckpointEvent struct {
+	Step int64
+	Path string
+}
+
+// WithOnBatch registers a hook called after every optimizer step.
+func WithOnBatch(fn func(BatchEvent)) TrainerOption {
+	return func(o *trainerOptions) { o.onBatch = fn }
+}
+
+// WithOnEpoch registers a hook called after every completed pass.
+func WithOnEpoch(fn func(EpochEvent)) TrainerOption {
+	return func(o *trainerOptions) { o.onEpoch = fn }
+}
+
+// WithOnCheckpoint registers a hook called after every checkpoint write.
+func WithOnCheckpoint(fn func(CheckpointEvent)) TrainerOption {
+	return func(o *trainerOptions) { o.onCheckpoint = fn }
+}
+
+// StopReason reports why a session ended.
+type StopReason int
+
+const (
+	// StopCompleted: the configured number of epochs finished.
+	StopCompleted StopReason = iota
+	// StopMaxSteps: the WithMaxSteps bound was reached.
+	StopMaxSteps
+	// StopCanceled: the context was canceled — a graceful stop, not an error.
+	StopCanceled
+	// StopEarly: early stopping triggered.
+	StopEarly
+)
+
+// String implements fmt.Stringer.
+func (r StopReason) String() string {
+	switch r {
+	case StopCompleted:
+		return "completed"
+	case StopMaxSteps:
+		return "max-steps"
+	case StopCanceled:
+		return "canceled"
+	case StopEarly:
+		return "early-stop"
+	default:
+		return "unknown"
+	}
+}
+
+// stopReason maps the engine's reason onto the public enum.
+func stopReason(r train.StopReason) StopReason {
+	switch r {
+	case train.StopMaxSteps:
+		return StopMaxSteps
+	case train.StopCanceled:
+		return StopCanceled
+	case train.StopEarly:
+		return StopEarly
+	default:
+		return StopCompleted
+	}
+}
+
+// Report summarizes one session.
+type Report struct {
+	// Steps is the number of optimizer steps this session ran; Epochs the
+	// number of completed passes.
+	Steps  int64
+	Epochs int
+	// Stats aggregates every batch of the session.
+	Stats TrainStats
+	// TrainTime is the wall-clock spent inside training steps.
+	TrainTime time.Duration
+	// Reason is why the session ended.
+	Reason StopReason
+	// LastCheckpoint is the optimizer step of the session's most recent
+	// checkpoint (0 = none written).
+	LastCheckpoint int64
+}
+
+// NewTrainer builds a training session over the model and source. The source
+// dimensions must fit the model; schedules and hooks are validated here so
+// Run cannot fail on configuration.
+func NewTrainer(m *Model, src DataSource, opts ...TrainerOption) (*Trainer, error) {
+	if m == nil {
+		return nil, fmt.Errorf("slide: NewTrainer with nil model")
+	}
+	if src == nil {
+		return nil, fmt.Errorf("slide: NewTrainer with nil source")
+	}
+	o := trainerOptions{epochs: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	cfg := m.net.Config()
+	if src.Features() > cfg.InputDim {
+		return nil, fmt.Errorf("slide: source has %d features, model input is %d",
+			src.Features(), cfg.InputDim)
+	}
+	if src.NumLabels() > cfg.OutputDim {
+		return nil, fmt.Errorf("slide: source has %d labels, model output is %d",
+			src.NumLabels(), cfg.OutputDim)
+	}
+	if o.epochs < 0 {
+		return nil, fmt.Errorf("slide: WithEpochs(%d) must be >= 0", o.epochs)
+	}
+	if o.maxSteps < 0 {
+		return nil, fmt.Errorf("slide: WithMaxSteps(%d) must be >= 0", o.maxSteps)
+	}
+	if (o.ckptEvery > 0) != (o.ckptPath != "") {
+		return nil, fmt.Errorf("slide: checkpoints need both a path and a positive interval")
+	}
+	if o.ckptEvery < 0 {
+		return nil, fmt.Errorf("slide: checkpoint interval %d must be >= 0", o.ckptEvery)
+	}
+	if o.snapEvery < 0 {
+		return nil, fmt.Errorf("slide: snapshot interval %d must be >= 0", o.snapEvery)
+	}
+	if o.snapEvery > 0 && o.snapPublish == nil {
+		return nil, fmt.Errorf("slide: WithSnapshots needs a publish function")
+	}
+	if o.earlyPatience < 0 || o.earlyMinDelta < 0 {
+		return nil, fmt.Errorf("slide: early-stopping parameters must be >= 0")
+	}
+	return &Trainer{m: m, src: src, o: o}, nil
+}
+
+// Run executes the session on the calling goroutine until its bounds are
+// reached, early stopping triggers, or ctx is canceled (a graceful stop —
+// Report.Reason says which). The model must not be trained, snapshotted, or
+// saved from other goroutines while Run executes; hooks run on the session
+// goroutine and may do all of those.
+func (t *Trainer) Run(ctx context.Context) (Report, error) {
+	o := &t.o
+	cfg := train.Config{
+		Epochs:            o.epochs,
+		MaxSteps:          o.maxSteps,
+		CheckpointPath:    o.ckptPath,
+		CheckpointEvery:   int64(o.ckptEvery),
+		SnapshotEvery:     int64(o.snapEvery),
+		EarlyStopPatience: o.earlyPatience,
+		EarlyStopMinDelta: o.earlyMinDelta,
+		Resume:            o.resume,
+	}
+	if o.lr != nil {
+		cfg.LR = train.Schedule(o.lr)
+	}
+	if o.onBatch != nil {
+		fn := o.onBatch
+		cfg.Hooks.OnBatch = func(bi train.BatchInfo) {
+			fn(BatchEvent{
+				Step: bi.Step, Epoch: bi.Epoch, Batch: bi.Batch,
+				Stats: batchStats(bi.Stats), LR: bi.LR,
+			})
+		}
+	}
+	if o.onEpoch != nil {
+		fn := o.onEpoch
+		cfg.Hooks.OnEpoch = func(ei train.EpochInfo) {
+			fn(EpochEvent{
+				Epoch: ei.Epoch, Batches: ei.Batches,
+				Stats: batchStats(ei.Stats), TrainTime: ei.TrainTime,
+			})
+		}
+	}
+	if o.onCheckpoint != nil {
+		fn := o.onCheckpoint
+		cfg.Hooks.OnCheckpoint = func(ci train.CheckpointInfo) {
+			fn(CheckpointEvent{Step: ci.Step, Path: ci.Path})
+		}
+	}
+	if o.snapEvery > 0 {
+		publish := o.snapPublish
+		cfg.Hooks.OnSnapshot = func(int64) { publish(t.m.Snapshot()) }
+	}
+
+	rep, err := train.Run(ctx, t.m.net, t.internalSource(), cfg)
+	out := Report{
+		Steps: rep.Steps, Epochs: rep.Epochs,
+		Stats:          batchStats(rep.Stats),
+		TrainTime:      rep.TrainTime,
+		Reason:         stopReason(rep.Reason),
+		LastCheckpoint: rep.LastCheckpoint,
+	}
+	if err != nil {
+		return out, fmt.Errorf("slide: %w", err)
+	}
+	return out, nil
+}
+
+// internalSource unwraps built-in sources (their batches were validated at
+// parse/generation time) and wraps user implementations in a per-batch
+// range-validating adapter.
+func (t *Trainer) internalSource() dataset.Source {
+	if tr, ok := t.src.(interface{ trusted() dataset.Source }); ok {
+		return tr.trusted()
+	}
+	cfg := t.m.net.Config()
+	u := &userSource{s: t.src, features: cfg.InputDim, labels: cfg.OutputDim}
+	if _, ok := t.src.(interface{ BatchesPerEpoch() int }); ok {
+		return &sizedUserSource{u}
+	}
+	return u
+}
+
+// userSource adapts a caller-implemented DataSource, range-checking every
+// batch against the model dimensions — the API-boundary validation that
+// turns would-be kernel panics into typed errors.
+type userSource struct {
+	s                DataSource
+	features, labels int
+}
+
+func (u *userSource) Name() string            { return u.s.Name() }
+func (u *userSource) Features() int           { return u.s.Features() }
+func (u *userSource) Labels() int             { return u.s.NumLabels() }
+func (u *userSource) Reset(seed uint64) error { return u.s.Reset(seed) }
+
+// Close forwards the engine's end-of-session release to sources that hold
+// resources.
+func (u *userSource) Close() error {
+	if c, ok := u.s.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+func (u *userSource) Next() (sparse.Batch, error) {
+	b, err := u.s.Next()
+	if err != nil {
+		return nil, err
+	}
+	if b.b == nil || b.b.Len() == 0 {
+		return nil, fmt.Errorf("slide: DataSource %s returned an empty batch (return io.EOF to end the pass)", u.s.Name())
+	}
+	for i := 0; i < b.b.Len(); i++ {
+		if err := b.b.Sample(i).Validate(u.features); err != nil {
+			return nil, &BadSampleError{Sample: i, Err: err}
+		}
+		for _, y := range b.b.Labels(i) {
+			if y < 0 || int(y) >= u.labels {
+				return nil, &BadSampleError{Sample: i,
+					Err: fmt.Errorf("label %d out of range [0,%d)", y, u.labels)}
+			}
+		}
+	}
+	return b.b, nil
+}
+
+// sizedUserSource forwards a user source's known pass length.
+type sizedUserSource struct {
+	*userSource
+}
+
+// BatchesPerEpoch implements dataset.Sized.
+func (u *sizedUserSource) BatchesPerEpoch() int {
+	return u.s.(interface{ BatchesPerEpoch() int }).BatchesPerEpoch()
+}
+
+// compile-time checks: the adapters satisfy the engine contracts.
+var (
+	_ dataset.Source = (*userSource)(nil)
+	_ dataset.Sized  = (*sizedUserSource)(nil)
+)

@@ -1,0 +1,176 @@
+package slide
+
+import (
+	"errors"
+	"testing"
+)
+
+// errorsIsBadSample reports whether err is a *BadSampleError for the given
+// sample index (and matches the ErrBadSample sentinel).
+func errorsIsBadSample(err error, sample int) bool {
+	if err == nil || !errors.Is(err, ErrBadSample) {
+		return false
+	}
+	var bse *BadSampleError
+	return errors.As(err, &bse) && bse.Sample == sample
+}
+
+// badSampleCases are inputs that used to panic deep inside the kernels and
+// must now surface as typed errors at the API boundary. The valid sample at
+// index 0 pins the reported index to the offender.
+var badSampleCases = []struct {
+	name    string
+	samples []Sample
+}{
+	{"mismatched lengths", []Sample{
+		{Indices: []int32{1}, Values: []float32{1}, Labels: []int32{0}},
+		{Indices: []int32{1, 2}, Values: []float32{1}, Labels: []int32{0}},
+	}},
+	{"unsorted indices", []Sample{
+		{Indices: []int32{1}, Values: []float32{1}, Labels: []int32{0}},
+		{Indices: []int32{5, 2}, Values: []float32{1, 1}, Labels: []int32{0}},
+	}},
+	{"duplicate indices", []Sample{
+		{Indices: []int32{1}, Values: []float32{1}, Labels: []int32{0}},
+		{Indices: []int32{2, 2}, Values: []float32{1, 1}, Labels: []int32{0}},
+	}},
+	{"negative index", []Sample{
+		{Indices: []int32{1}, Values: []float32{1}, Labels: []int32{0}},
+		{Indices: []int32{-1, 2}, Values: []float32{1, 1}, Labels: []int32{0}},
+	}},
+	{"index out of range", []Sample{
+		{Indices: []int32{1}, Values: []float32{1}, Labels: []int32{0}},
+		{Indices: []int32{1_000_000}, Values: []float32{1}, Labels: []int32{0}},
+	}},
+	{"negative label", []Sample{
+		{Indices: []int32{1}, Values: []float32{1}, Labels: []int32{0}},
+		{Indices: []int32{1}, Values: []float32{1}, Labels: []int32{-3}},
+	}},
+	{"label out of range", []Sample{
+		{Indices: []int32{1}, Values: []float32{1}, Labels: []int32{0}},
+		{Indices: []int32{1}, Values: []float32{1}, Labels: []int32{1_000_000}},
+	}},
+}
+
+// TestTrainBatchRejectsBadSamples: every malformed shape is a typed
+// *BadSampleError naming the offending sample, not a panic.
+func TestTrainBatchRejectsBadSamples(t *testing.T) {
+	m, err := New(100, 8, 20, WithDWTA(2, 6), WithWorkers(1), WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range badSampleCases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := m.TrainBatch(tc.samples)
+			if !errorsIsBadSample(err, 1) {
+				t.Fatalf("got %v, want BadSampleError for sample 1", err)
+			}
+		})
+	}
+	if m.Steps() != 0 {
+		t.Fatal("rejected batches must not train")
+	}
+}
+
+// TestInferenceRejectsBadSamples: Predict, PredictSampled and Scores apply
+// the same boundary validation (label cases don't apply — inference inputs
+// carry no labels).
+func TestInferenceRejectsBadSamples(t *testing.T) {
+	m, err := New(100, 8, 20, WithDWTA(2, 6), WithWorkers(1), WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float32, 20)
+	for _, tc := range badSampleCases {
+		s := tc.samples[1]
+		if len(s.Labels) > 0 && s.Labels[0] != 0 {
+			continue // label defects: inference ignores labels
+		}
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := m.Predict(s.Indices, s.Values, 3); !errorsIsBadSample(err, 0) {
+				t.Errorf("Predict: got %v, want BadSampleError", err)
+			}
+			if _, err := m.PredictSampled(s.Indices, s.Values, 3); !errorsIsBadSample(err, 0) {
+				t.Errorf("PredictSampled: got %v, want BadSampleError", err)
+			}
+			if err := m.Scores(s.Indices, s.Values, scores); !errorsIsBadSample(err, 0) {
+				t.Errorf("Scores: got %v, want BadSampleError", err)
+			}
+		})
+	}
+	// Scores also rejects a wrong-size buffer.
+	if err := m.Scores([]int32{1}, []float32{1}, make([]float32, 3)); err == nil {
+		t.Error("short Scores buffer accepted")
+	}
+	// Valid input still works.
+	if _, err := m.Predict([]int32{1, 50}, []float32{1, 2}, 3); err != nil {
+		t.Errorf("valid Predict rejected: %v", err)
+	}
+}
+
+// TestNewBatchValidation: structural defects are rejected at batch build;
+// range checks happen later against the model.
+func TestNewBatchValidation(t *testing.T) {
+	if _, err := NewBatch(nil); err != ErrEmptyBatch {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := NewBatch([]Sample{
+		{Indices: []int32{1}, Values: []float32{1}},
+		{Indices: []int32{5, 2}, Values: []float32{1, 1}},
+	}); !errorsIsBadSample(err, 1) {
+		t.Errorf("unsorted: %v", err)
+	}
+	b, err := NewBatch([]Sample{{Indices: []int32{1, 9}, Values: []float32{1, 2}, Labels: []int32{0}}})
+	if err != nil || b.Len() != 1 {
+		t.Errorf("valid batch: %v (len %d)", err, b.Len())
+	}
+	if (Batch{}).Len() != 0 {
+		t.Error("zero Batch length")
+	}
+}
+
+// TestKernelModeEnumeration: String round-trips and the host enumeration is
+// ordered fastest-first with the always-available software tiers present.
+func TestKernelModeEnumeration(t *testing.T) {
+	want := map[KernelMode]string{
+		VectorKernels:   "vector",
+		ScalarKernels:   "scalar",
+		PortableKernels: "portable",
+		AVX2Kernels:     "avx2",
+		AVX512Kernels:   "avx512",
+		KernelMode(99):  "unknown",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), s)
+		}
+	}
+
+	modes := AvailableKernelModes()
+	if len(modes) < 2 {
+		t.Fatalf("AvailableKernelModes = %v, want at least portable+scalar", modes)
+	}
+	if modes[len(modes)-1] != ScalarKernels || modes[len(modes)-2] != PortableKernels {
+		t.Errorf("software tiers missing or misordered: %v", modes)
+	}
+	seen := map[KernelMode]bool{}
+	for _, m := range modes {
+		if m == VectorKernels {
+			t.Errorf("auto mode listed in %v", modes)
+		}
+		if seen[m] {
+			t.Errorf("duplicate mode in %v", modes)
+		}
+		seen[m] = true
+	}
+
+	// Every listed mode is selectable; unsupported tiers clamp, never crash.
+	prev := KernelInfo()
+	for _, m := range append(modes, AVX512Kernels, AVX2Kernels) {
+		SetKernelMode(m)
+	}
+	SetKernelMode(VectorKernels)
+	if KernelInfo() == "" || prev == "" {
+		t.Error("KernelInfo empty")
+	}
+}
