@@ -42,6 +42,7 @@ func main() {
 		seed         = flag.Uint64("seed", 42, "request-set seed (match the server's -seed)")
 		scale        = flag.Float64("scale", 1e-6, "request-set dataset scale (match the server's -demo-scale)")
 		timeout      = flag.Duration("timeout", 5*time.Minute, "overall run timeout")
+		deadline     = flag.Duration("deadline", 0, "per-request service deadline sent as deadline_ms; server 504s count as deadline sheds, not errors (0 = none)")
 		minMeanBatch = flag.Float64("min-mean-batch", 0, "fail unless server /stats mean_batch >= this after the run (0 = skip)")
 		jsonOut      = flag.Bool("json", false, "emit the report as JSON")
 	)
@@ -49,12 +50,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("slide-loadgen: ")
 
-	if err := run(*addr, *clients, *n, *k, *mixedK, *seed, *scale, *timeout, *minMeanBatch, *jsonOut); err != nil {
+	if err := run(*addr, *clients, *n, *k, *mixedK, *seed, *scale, *timeout, *deadline, *minMeanBatch, *jsonOut); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr string, clients, n, k int, mixedK bool, seed uint64, scale float64, timeout time.Duration, minMeanBatch float64, jsonOut bool) error {
+func run(addr string, clients, n, k int, mixedK bool, seed uint64, scale float64, timeout, deadline time.Duration, minMeanBatch float64, jsonOut bool) error {
 	entries, err := serving.BuildLoad(serving.LoadSpec{
 		Scale: scale, Seed: seed, Requests: n, K: k, MixedK: mixedK,
 	})
@@ -64,7 +65,8 @@ func run(addr string, clients, n, k int, mixedK bool, seed uint64, scale float64
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 
-	report := serving.RunLoad(ctx, addr, nil, entries, clients)
+	report := serving.RunLoadOpts(ctx, addr, nil, entries, clients,
+		serving.LoadOptions{Deadline: deadline})
 
 	meanBatch := -1.0
 	if minMeanBatch > 0 {
@@ -77,13 +79,15 @@ func run(addr string, clients, n, k int, mixedK bool, seed uint64, scale float64
 
 	if jsonOut {
 		out := map[string]any{
-			"requests":    report.Requests,
-			"errors":      report.Errors,
-			"retried_429": report.Retried429,
-			"duration_ms": float64(report.Duration.Microseconds()) / 1000,
-			"qps":         report.QPS,
-			"p50_ms":      float64(report.P50.Microseconds()) / 1000,
-			"p99_ms":      float64(report.P99.Microseconds()) / 1000,
+			"requests":     report.Requests,
+			"errors":       report.Errors,
+			"retried_429":  report.Retried429,
+			"degraded":     report.Degraded,
+			"deadline_504": report.Deadline504,
+			"duration_ms":  float64(report.Duration.Microseconds()) / 1000,
+			"qps":          report.QPS,
+			"p50_ms":       float64(report.P50.Microseconds()) / 1000,
+			"p99_ms":       float64(report.P99.Microseconds()) / 1000,
 		}
 		if meanBatch >= 0 {
 			out["server_mean_batch"] = meanBatch
@@ -97,8 +101,9 @@ func run(addr string, clients, n, k int, mixedK bool, seed uint64, scale float64
 			return err
 		}
 	} else {
-		log.Printf("%d requests, %d clients: %.0f qps, p50 %v, p99 %v, %d errors, %d retried (429)",
-			report.Requests, clients, report.QPS, report.P50, report.P99, report.Errors, report.Retried429)
+		log.Printf("%d requests, %d clients: %.0f qps, p50 %v, p99 %v, %d errors, %d retried (429), %d degraded, %d deadline-shed (504)",
+			report.Requests, clients, report.QPS, report.P50, report.P99, report.Errors,
+			report.Retried429, report.Degraded, report.Deadline504)
 		if meanBatch >= 0 {
 			log.Printf("server mean batch size: %.2f", meanBatch)
 		}

@@ -18,10 +18,17 @@
 //
 // Endpoints:
 //
-//	POST /predict        {"indices":[...],"values":[...],"k":5,"sampled":false}
+//	POST /predict        {"indices":[...],"values":[...],"k":5,"sampled":false,"deadline_ms":250}
 //	POST /predict/batch  {"samples":[{"indices":[...]},...],"k":5}
-//	GET  /healthz
-//	GET  /stats          queue depth, batch-size histogram, p50/p99, snapshot version
+//	GET  /healthz        model summary (back-compat health check)
+//	GET  /healthz/live   liveness: process is up (always 200)
+//	GET  /healthz/ready  readiness: 503 when the queue is saturated or the snapshot is stale
+//	GET  /stats          queue depth, batch-size histogram, p50/p99, snapshot version/age
+//
+// A request carrying deadline_ms (or running under -default-deadline) is
+// answered 504 when it cannot be served within its budget. Under sustained
+// queue pressure with -degrade-high set, the server downshifts to sampled
+// (LSH) prediction — responses are marked "degraded":true — before it sheds.
 //
 // The -no-batch flag serves every request with its own forward pass (the
 // pre-batching behavior) — the A/B baseline for cmd/slide-loadgen.
@@ -55,6 +62,12 @@ func main() {
 		maxBatch  = flag.Int("max-batch", 32, "micro-batcher: flush when this many requests coalesce")
 		maxWait   = flag.Duration("max-wait", 2*time.Millisecond, "micro-batcher: flush a partial batch after this wait")
 		queueCap  = flag.Int("queue-cap", 0, "admission queue bound; overflow sheds with 429 (0 = 8×max-batch)")
+
+		defaultDeadline = flag.Duration("default-deadline", 0, "service deadline for requests without deadline_ms; misses answer 504 (0 = none)")
+		degradeHigh     = flag.Float64("degrade-high", 0, "queue occupancy fraction that engages degraded (sampled) serving (0 = disabled)")
+		degradeLow      = flag.Float64("degrade-low", 0, "queue occupancy fraction that disengages degraded serving (0 = half of -degrade-high)")
+		degradeAfter    = flag.Int("degrade-after", 0, "consecutive flush observations before switching modes (0 = default 3)")
+		maxStale        = flag.Duration("max-snapshot-stale", 0, "snapshot age beyond which /healthz/ready reports unready (0 = never)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -68,7 +81,14 @@ func main() {
 			MaxBatch: *maxBatch,
 			MaxWait:  *maxWait,
 			QueueCap: *queueCap,
+			Degrade: serving.DegradePolicy{
+				HighWater: *degradeHigh,
+				LowWater:  *degradeLow,
+				After:     *degradeAfter,
+			},
 		},
+		defaultDeadline: *defaultDeadline,
+		maxStale:        *maxStale,
 	}
 	if err := run(*addr, *modelPath, cfg, *demo, *demoScale, *refresh, *seed); err != nil {
 		log.Fatal(err)

@@ -1,10 +1,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"github.com/slide-cpu/slide/internal/serving"
 	"github.com/slide-cpu/slide/slide"
@@ -27,6 +29,14 @@ type serverConfig struct {
 	defaultK int
 	direct   bool
 	batch    serving.Config
+	// defaultDeadline is the service deadline applied to requests that do
+	// not carry their own deadline_ms (zero = none).
+	defaultDeadline time.Duration
+	// maxStale is the snapshot age beyond which /healthz/ready reports the
+	// server unready — the training side stopped publishing and traffic
+	// should drain to a healthier replica (zero = staleness never gates
+	// readiness, the right call for frozen-checkpoint serving).
+	maxStale time.Duration
 }
 
 func newServer(p serving.Predictor, cfg serverConfig) *server {
@@ -56,6 +66,8 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("POST /predict", s.handlePredict)
 	mux.HandleFunc("POST /predict/batch", s.handlePredictBatch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /healthz/live", s.handleLive)
+	mux.HandleFunc("GET /healthz/ready", s.handleReady)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
 }
@@ -71,6 +83,11 @@ type predictRequest struct {
 	Values  []float32 `json:"values,omitempty"`
 	K       *int      `json:"k,omitempty"`
 	Sampled bool      `json:"sampled,omitempty"`
+	// DeadlineMS is the client's service budget in milliseconds: if the
+	// request cannot be served within it, the server answers
+	// 504 Gateway Timeout instead of serving a useless late response.
+	// Zero means the server default (the -default-deadline flag).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 type predictResponse struct {
@@ -81,12 +98,18 @@ type predictResponse struct {
 	Sampled bool `json:"sampled"`
 	// Version identifies the snapshot that served the request.
 	Version uint64 `json:"version"`
+	// Degraded marks a response served through the sampled path under
+	// overload (tiered degradation), not the exact one the client asked for.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 type batchRequest struct {
 	Samples []predictRequest `json:"samples"`
 	K       *int             `json:"k,omitempty"`
 	Sampled bool             `json:"sampled,omitempty"`
+	// DeadlineMS is the service budget for the whole batch (see
+	// predictRequest.DeadlineMS).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 type batchResponse struct {
@@ -97,6 +120,9 @@ type batchResponse struct {
 	// snapshot hot-swap, so different samples were served by different
 	// versions — the field never misattributes a snapshot.
 	Version uint64 `json:"version,omitempty"`
+	// Degraded reports whether any sample was served through the degraded
+	// (overload-sampled) path.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 type errorResponse struct {
@@ -196,12 +222,29 @@ func (s *server) handlePredict(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusOK, predictResponse{Labels: p.Predict(e.Indices, e.Values, e.K), Version: p.Version()})
 		return
 	}
-	res, err := s.batcher.Submit(req.Context(), e)
+	ctx, cancel := s.deadlineCtx(req.Context(), pr.DeadlineMS)
+	defer cancel()
+	res, err := s.batcher.Submit(ctx, e)
 	if err != nil {
 		writeBatcherError(w, req, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, predictResponse{Labels: res.Labels, Version: res.Version})
+	writeJSON(w, http.StatusOK, predictResponse{Labels: res.Labels, Version: res.Version, Degraded: res.Degraded})
+}
+
+// deadlineCtx derives the request's service context: the wire deadline_ms
+// wins, then the server default, else the transport context unchanged. The
+// batcher propagates the deadline with the queued request and rejects it
+// with ErrDeadline (→ 504) once it cannot be met.
+func (s *server) deadlineCtx(parent context.Context, deadlineMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.defaultDeadline
+	if deadlineMS > 0 {
+		d = time.Duration(deadlineMS) * time.Millisecond
+	}
+	if d <= 0 {
+		return parent, func() {}
+	}
+	return context.WithDeadline(parent, time.Now().Add(d))
 }
 
 // writeBatcherError maps pipeline errors to HTTP: overload and snapshot
@@ -213,6 +256,12 @@ func writeBatcherError(w http.ResponseWriter, req *http.Request, err error) {
 	switch {
 	case errors.Is(err, serving.ErrOverloaded):
 		writeOverloaded(w)
+	case errors.Is(err, serving.ErrDeadline):
+		// Deliberate deadline shedding: the request's budget (deadline_ms or
+		// the server default) could not be met. Checked before the transport
+		// context, because a server-derived deadline expiring also cancels
+		// the derived context while the client is still listening for the 504.
+		writeError(w, http.StatusGatewayTimeout, "%v", err)
 	case errors.Is(err, serving.ErrSnapshotSkew):
 		// The model was hot-swapped between admission and flush and the new
 		// one rejects this request's shape; a retry revalidates against it.
@@ -287,7 +336,9 @@ func (s *server) handlePredictBatch(w http.ResponseWriter, req *http.Request) {
 	// Through the batcher the client batch coalesces with concurrent
 	// traffic (and may split across flushes, possibly spanning a snapshot
 	// swap — Version is only reported when one snapshot served everything).
-	results, err := s.batcher.SubmitMany(req.Context(), entries)
+	ctx, cancel := s.deadlineCtx(req.Context(), br.DeadlineMS)
+	defer cancel()
+	results, err := s.batcher.SubmitMany(ctx, entries)
 	if err != nil {
 		writeBatcherError(w, req, err)
 		return
@@ -295,6 +346,7 @@ func (s *server) handlePredictBatch(w http.ResponseWriter, req *http.Request) {
 	resp.Version = results[0].Version
 	for i, r := range results {
 		resp.Labels[i] = r.Labels
+		resp.Degraded = resp.Degraded || r.Degraded
 		if r.Version != resp.Version {
 			resp.Version = 0 // mixed-version batch: omit rather than misattribute
 		}
@@ -335,6 +387,38 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// handleLive is the liveness probe: the process is up and serving HTTP.
+// Always 200 — an overloaded or stale server must not be restarted, only
+// taken out of rotation (that's readiness).
+func (s *server) handleLive(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "live"})
+}
+
+// handleReady is the readiness probe: 503 when new traffic should go
+// elsewhere — the admission queue is saturated (arrivals are being shed) or
+// the snapshot is older than -max-snapshot-stale (the training side stopped
+// publishing). Both conditions are reported, so an operator sees why a
+// replica left rotation.
+func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	var reasons []string
+	if s.batcher != nil {
+		if st := s.batcher.Stats(); st.QueueDepth >= st.QueueCap {
+			reasons = append(reasons, fmt.Sprintf("admission queue full (%d/%d)", st.QueueDepth, st.QueueCap))
+		}
+	}
+	if s.cfg.maxStale > 0 {
+		if age := s.mgr.Age(); age > s.cfg.maxStale {
+			reasons = append(reasons, fmt.Sprintf("snapshot stale: published %s ago (limit %s)",
+				age.Round(time.Millisecond), s.cfg.maxStale))
+		}
+	}
+	if len(reasons) > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "unready", "reasons": reasons})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+}
+
 // statsResponse is the /stats payload: queue and batching counters from the
 // pipeline plus snapshot freshness.
 type statsResponse struct {
@@ -349,6 +433,10 @@ type statsResponse struct {
 	Failed          uint64   `json:"failed"`
 	Shed            uint64   `json:"shed"`
 	Canceled        uint64   `json:"canceled"`
+	Deadlined       uint64   `json:"deadlined"`
+	DegradedServed  uint64   `json:"degraded_served"`
+	DegradedMode    bool     `json:"degraded_mode"`
+	DegradeSwitches uint64   `json:"degrade_switches"`
 	Batches         uint64   `json:"batches"`
 	MeanBatch       float64  `json:"mean_batch"`
 	BatchSizes      []uint64 `json:"batch_size_hist,omitempty"`
@@ -357,6 +445,7 @@ type statsResponse struct {
 	SnapshotVersion uint64   `json:"snapshot_version"`
 	SnapshotSteps   int64    `json:"snapshot_steps"`
 	SnapshotSwaps   uint64   `json:"snapshot_swaps"`
+	SnapshotAgeMs   float64  `json:"snapshot_age_ms"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -366,6 +455,7 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		SnapshotVersion: p.Version(),
 		SnapshotSteps:   p.Steps(),
 		SnapshotSwaps:   s.mgr.Swaps(),
+		SnapshotAgeMs:   float64(s.mgr.Age().Microseconds()) / 1000,
 	}
 	if s.batcher != nil {
 		st := s.batcher.Stats()
@@ -380,6 +470,10 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		resp.Failed = st.Failed
 		resp.Shed = st.Shed
 		resp.Canceled = st.Canceled
+		resp.Deadlined = st.Deadlined
+		resp.DegradedServed = st.DegradedServed
+		resp.DegradedMode = st.DegradedMode
+		resp.DegradeSwitches = st.DegradeSwitches
 		resp.Batches = st.Batches
 		resp.MeanBatch = st.MeanBatch
 		resp.BatchSizes = st.BatchSizes

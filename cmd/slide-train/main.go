@@ -13,6 +13,16 @@
 //	    -save model.slide -checkpoint-every 1000
 //	slide-train -resume model.slide -stream big.txt -epochs 1
 //	slide-train -dataset amazon -mode dense          # full-softmax baseline
+//
+// Fault tolerance: -retain N keeps a ring of the N last-good checkpoints
+// (model.slide, model.slide.1, …); -resume loads the newest checkpoint in
+// the ring that passes its per-section checksums, printing a "falling back"
+// notice when the primary is torn or corrupt. The -chaos flag arms the
+// deterministic fault injector (e.g. "checkpoint.write@2=cut:64" tears the
+// second checkpoint write after 64 bytes) for crash-recovery drills:
+//
+//	slide-train -dataset amazon -epochs 1 -save model.slide \
+//	    -checkpoint-every 100 -retain 3 -chaos 'checkpoint.write@2=cut:64'
 package main
 
 import (
@@ -23,6 +33,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"github.com/slide-cpu/slide/internal/faultinject"
 	"github.com/slide-cpu/slide/slide"
 )
 
@@ -57,10 +68,26 @@ func main() {
 		evalN   = flag.Int("evalsamples", 500, "test samples per evaluation")
 		saveF   = flag.String("save", "", "checkpoint path (written at end of training, and every -checkpoint-every steps)")
 		ckptN   = flag.Int("checkpoint-every", 0, "write -save atomically every N optimizer steps (0 = only at the end)")
-		resumeF = flag.String("resume", "", "resume training from this checkpoint (architecture flags ignored)")
+		retain  = flag.Int("retain", 1, "last-good checkpoints to keep as a fallback ring (-save, -save.1, ...); -resume falls back through them")
+		resumeF = flag.String("resume", "", "resume training from this checkpoint (architecture flags ignored; falls back through the -retain ring if corrupt)")
+
+		chaos     = flag.String("chaos", "", "fault-injection scenario, e.g. 'checkpoint.write@2=cut:64,datasource.read@5=err' (crash-recovery drills)")
+		chaosSeed = flag.Uint64("chaos-seed", 1, "seed for probabilistic chaos rules (p0.x)")
 	)
 	flag.Parse()
 	fmt.Printf("kernels: %s active (host supports: %v)\n", slide.KernelInfo(), slide.AvailableKernelModes())
+
+	var chaosPlan *faultinject.Plan
+	if *chaos != "" {
+		plan, err := faultinject.Parse(*chaos, *chaosSeed)
+		if err != nil {
+			fail(err)
+		}
+		chaosPlan = plan
+		faultinject.Arm(chaosPlan)
+		defer faultinject.Disarm()
+		fmt.Printf("chaos armed: %s (seed %d)\n", *chaos, *chaosSeed)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -153,11 +180,23 @@ func main() {
 	var m *slide.Model
 	resumed := false
 	if *resumeF != "" {
-		if m, err = slide.LoadFile(*resumeF); err != nil {
+		var used string
+		if m, used, err = slide.LoadLastGood(*resumeF, *retain); err != nil {
 			fail(err)
 		}
+		if used != *resumeF {
+			// Diagnose the primary so the operator knows what was lost; the
+			// reload is cheap because a bad checkpoint fails at its checksum.
+			_, perr := slide.LoadFile(*resumeF)
+			if sec, off, ok := slide.CorruptSection(perr); ok {
+				fmt.Printf("checkpoint %s corrupt (section %q at offset %d); falling back to %s\n",
+					*resumeF, sec, off, used)
+			} else {
+				fmt.Printf("checkpoint %s unusable (%v); falling back to %s\n", *resumeF, perr, used)
+			}
+		}
 		resumed = true
-		fmt.Printf("resumed from %s at optimizer step %d\n", *resumeF, m.Steps())
+		fmt.Printf("resumed from %s at optimizer step %d\n", used, m.Steps())
 	} else if m, err = slide.New(src.Features(), *hidden, src.NumLabels(), opts...); err != nil {
 		fail(err)
 	}
@@ -191,6 +230,7 @@ func main() {
 			fail(fmt.Errorf("-checkpoint-every needs -save"))
 		}
 		topts = append(topts, slide.WithCheckpoints(*saveF, *ckptN),
+			slide.WithCheckpointRetain(*retain),
 			slide.WithOnCheckpoint(func(c slide.CheckpointEvent) {
 				fmt.Printf("checkpoint written to %s at step %d\n", c.Path, c.Step)
 			}))
@@ -206,6 +246,11 @@ func main() {
 		fail(err)
 	}
 	report, err := trainer.Run(ctx)
+	if chaosPlan != nil {
+		if fired := chaosPlan.Fired(); len(fired) > 0 {
+			fmt.Printf("chaos: %d fault(s) injected: %v\n", len(fired), fired)
+		}
+	}
 	if err != nil {
 		fail(err)
 	}

@@ -1,0 +1,329 @@
+// Package faultinject is a deterministic, scenario-scripted fault injector
+// for the train-and-serve stack. Production code marks failure-relevant
+// boundaries with named injection points (checkpoint IO, data-source reads,
+// snapshot publication); a chaos harness arms a Plan scripting which calls
+// at those points fail, stall, or tear, and the same script always injects
+// the same faults at the same calls — so a chaos run is as reproducible as
+// any other seeded test.
+//
+// When no plan is armed (the production default) every hook is a single
+// atomic pointer load returning nil: the instrumentation is a no-op, safe
+// to leave in hot-ish paths like the per-batch source read.
+//
+// Scenario scripts are compact strings, one rule per clause:
+//
+//	point@call=action[:param]
+//
+// separated by ';'. call is the 1-based invocation of the point ("3" = the
+// third time the program reaches it; "every:N" = every Nth; "p0.1" = each
+// call independently with probability 0.1, decided by a counter-based hash
+// of the plan seed — the same seed always faults the same calls, even
+// across concurrent callers, because the decision depends only on the
+// call's index, never on scheduling). Actions:
+//
+//	err            the call returns an injected error
+//	stall:<dur>    the call sleeps <dur>, then proceeds normally
+//	cut:<bytes>    (writer points) the write stream is severed after <bytes>
+//	               more bytes — a torn write, as if the process was killed
+//	               mid-write
+//
+// Example — fail the second checkpoint mid-write after 512 bytes and stall
+// every third data read for 5ms:
+//
+//	checkpoint.write@2=cut:512;datasource.read@every:3=stall:5ms
+//
+// Injected errors wrap ErrInjected so recovery code can distinguish a
+// scripted fault from a real one (and, e.g., skip cleanup to simulate a
+// crash that never got the chance).
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Conventional point names. Points are plain strings — these constants just
+// keep the call sites and scenario scripts spelling them identically.
+const (
+	// PointCheckpointWrite is hit by every checkpoint save; cut rules tear
+	// the write stream partway through the temp file.
+	PointCheckpointWrite = "checkpoint.write"
+	// PointCheckpointRename is hit between the temp-file write and the
+	// atomic rename. An err rule simulates a crash in that window: the
+	// rename never happens and the orphaned temp file is left behind.
+	PointCheckpointRename = "checkpoint.rename"
+	// PointSourceRead is hit before every data-source batch read.
+	PointSourceRead = "datasource.read"
+	// PointSnapshotPublish is hit on every snapshot publication into the
+	// serving pipeline (stall rules only — Publish cannot fail).
+	PointSnapshotPublish = "snapshot.publish"
+)
+
+// ErrInjected is the sentinel every injected fault wraps.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Fault is the error an err or cut rule injects.
+type Fault struct {
+	// Point is the injection point that fired; Call its 1-based invocation.
+	Point string
+	Call  uint64
+	// Action is the fired rule's action ("err" or "cut").
+	Action string
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("faultinject: %s at %s call %d", f.Action, f.Point, f.Call)
+}
+
+// Unwrap makes errors.Is(err, ErrInjected) true for every injected fault.
+func (f *Fault) Unwrap() error { return ErrInjected }
+
+// rule is one parsed scenario clause.
+type rule struct {
+	point string
+	call  uint64  // fire on this 1-based call…
+	every uint64  // …or on every Nth call…
+	prob  float64 // …or per-call with this probability (seeded, counter-hashed)
+	act   string  // "err", "stall", "cut"
+	dur   time.Duration
+	bytes int64
+}
+
+// matches reports whether the rule fires on the given 1-based call. The
+// probabilistic trigger hashes (seed, point, call) so the decision is a pure
+// function of the call index: concurrent interleavings cannot change which
+// calls fault, only which goroutine observes them.
+func (r *rule) matches(call, seed uint64) bool {
+	switch {
+	case r.every > 0:
+		return call%r.every == 0
+	case r.prob > 0:
+		h := splitmix64(seed ^ splitmix64(hashString(r.point)^call))
+		return float64(h>>11)/(1<<53) < r.prob
+	default:
+		return call == r.call
+	}
+}
+
+// splitmix64 is the standard 64-bit finalizer-style mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashString is FNV-1a, inlined to keep the package dependency-free.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+// Plan is a parsed, armed-able scenario: rules grouped by point, plus
+// per-point call counters. A Plan is safe for concurrent use once armed.
+type Plan struct {
+	seed   uint64
+	rules  map[string][]*rule
+	counts map[string]*atomic.Uint64
+
+	mu    sync.Mutex
+	fired []string
+}
+
+// Parse compiles a scenario script (see the package comment for the
+// grammar). seed drives the probabilistic triggers; exact-call and every-N
+// triggers ignore it. An empty script yields a plan that never fires.
+func Parse(spec string, seed uint64) (*Plan, error) {
+	p := &Plan{
+		seed:   seed,
+		rules:  make(map[string][]*rule),
+		counts: make(map[string]*atomic.Uint64),
+	}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		r, err := parseClause(clause)
+		if err != nil {
+			return nil, err
+		}
+		p.rules[r.point] = append(p.rules[r.point], r)
+		if p.counts[r.point] == nil {
+			p.counts[r.point] = &atomic.Uint64{}
+		}
+	}
+	return p, nil
+}
+
+func parseClause(clause string) (*rule, error) {
+	at := strings.Index(clause, "@")
+	eq := strings.Index(clause, "=")
+	if at < 1 || eq < at+2 || eq == len(clause)-1 {
+		return nil, fmt.Errorf("faultinject: clause %q is not point@call=action[:param]", clause)
+	}
+	r := &rule{point: clause[:at]}
+	callSpec := clause[at+1 : eq]
+	switch {
+	case strings.HasPrefix(callSpec, "every:"):
+		v, err := strconv.ParseUint(callSpec[len("every:"):], 10, 64)
+		if err != nil || v == 0 {
+			return nil, fmt.Errorf("faultinject: bad every-interval %q in %q", callSpec, clause)
+		}
+		r.every = v
+	case strings.HasPrefix(callSpec, "p"):
+		v, err := strconv.ParseFloat(callSpec[1:], 64)
+		if err != nil || v <= 0 || v > 1 {
+			return nil, fmt.Errorf("faultinject: bad probability %q in %q ((0,1])", callSpec, clause)
+		}
+		r.prob = v
+	default:
+		v, err := strconv.ParseUint(callSpec, 10, 64)
+		if err != nil || v == 0 {
+			return nil, fmt.Errorf("faultinject: bad call index %q in %q (1-based)", callSpec, clause)
+		}
+		r.call = v
+	}
+	action, param, hasParam := strings.Cut(clause[eq+1:], ":")
+	switch action {
+	case "err":
+		if hasParam {
+			return nil, fmt.Errorf("faultinject: err takes no parameter in %q", clause)
+		}
+	case "stall":
+		d, err := time.ParseDuration(param)
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("faultinject: bad stall duration %q in %q", param, clause)
+		}
+		r.dur = d
+	case "cut":
+		n, err := strconv.ParseInt(param, 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("faultinject: bad cut byte count %q in %q", param, clause)
+		}
+		r.bytes = n
+	default:
+		return nil, fmt.Errorf("faultinject: unknown action %q in %q (err|stall|cut)", action, clause)
+	}
+	r.act = action
+	return r, nil
+}
+
+// active is the armed plan; nil (the default) disables every hook.
+var active atomic.Pointer[Plan]
+
+// Arm makes p the active plan process-wide. Arm(nil) is Disarm.
+func Arm(p *Plan) { active.Store(p) }
+
+// Disarm deactivates injection; every hook returns to its no-op fast path.
+func Disarm() { active.Store(nil) }
+
+// Fired returns human-readable descriptions of every fault the plan has
+// injected so far, in firing order — chaos harnesses log and assert on it.
+func (p *Plan) Fired() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.fired...)
+}
+
+// record notes a fired rule.
+func (p *Plan) record(r *rule, call uint64) {
+	p.mu.Lock()
+	p.fired = append(p.fired, fmt.Sprintf("%s@%d=%s", r.point, call, r.act))
+	p.mu.Unlock()
+}
+
+// hit counts one call at a point and returns the rule that fires (and the
+// call index it fired on), if any. Stall rules sleep here and return nil
+// (the call proceeds).
+func (p *Plan) hit(point string) (*rule, uint64) {
+	c := p.counts[point]
+	if c == nil {
+		return nil, 0 // no rules script this point
+	}
+	call := c.Add(1)
+	for _, r := range p.rules[point] {
+		if !r.matches(call, p.seed) {
+			continue
+		}
+		p.record(r, call)
+		if r.act == "stall" {
+			time.Sleep(r.dur)
+			return nil, 0
+		}
+		return r, call
+	}
+	return nil, 0
+}
+
+// Hit marks one invocation of a point. It returns an injected error when an
+// err rule fires, after sleeping when a stall rule fires, and nil otherwise
+// (including always when no plan is armed). cut rules do not fire here —
+// they need a write stream; see Writer.
+func Hit(point string) error {
+	p := active.Load()
+	if p == nil {
+		return nil
+	}
+	r, call := p.hit(point)
+	if r == nil || r.act == "cut" {
+		return nil
+	}
+	return &Fault{Point: point, Call: call, Action: r.act}
+}
+
+// Writer instruments a write stream at a point. When a cut rule fires for
+// this invocation, the returned writer delivers the scripted number of
+// bytes and then fails every subsequent write with an injected fault — a
+// torn write, indistinguishable on disk from a crash mid-write. An err rule
+// fails immediately; with no armed plan or no firing rule, w is returned
+// unchanged (zero overhead on the actual writes).
+func Writer(point string, w io.Writer) io.Writer {
+	p := active.Load()
+	if p == nil {
+		return w
+	}
+	r, call := p.hit(point)
+	if r == nil {
+		return w
+	}
+	f := &Fault{Point: point, Call: call, Action: r.act}
+	if r.act == "err" {
+		return &cutWriter{w: w, left: 0, fault: f}
+	}
+	return &cutWriter{w: w, left: r.bytes, fault: f}
+}
+
+// cutWriter passes through left bytes, then fails everything.
+type cutWriter struct {
+	w     io.Writer
+	left  int64
+	fault *Fault
+}
+
+func (c *cutWriter) Write(b []byte) (int, error) {
+	if c.left <= 0 {
+		return 0, c.fault
+	}
+	if int64(len(b)) <= c.left {
+		n, err := c.w.Write(b)
+		c.left -= int64(n)
+		return n, err
+	}
+	n, err := c.w.Write(b[:c.left])
+	c.left -= int64(n)
+	if err != nil {
+		return n, err
+	}
+	return n, c.fault
+}

@@ -1,0 +1,166 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// arm activates a plan for the test and disarms on cleanup — the package
+// state is process-global, so tests must not leak an armed plan.
+func arm(t *testing.T, spec string, seed uint64) *Plan {
+	t.Helper()
+	p, err := Parse(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Arm(p)
+	t.Cleanup(Disarm)
+	return p
+}
+
+func TestDisarmedIsNoOp(t *testing.T) {
+	Disarm()
+	for i := 0; i < 100; i++ {
+		if err := Hit("any.point"); err != nil {
+			t.Fatalf("disarmed Hit returned %v", err)
+		}
+	}
+	var buf bytes.Buffer
+	if w := Writer("any.point", &buf); w != &buf {
+		t.Fatal("disarmed Writer must return the writer unchanged")
+	}
+}
+
+func TestExactCallErr(t *testing.T) {
+	p := arm(t, "datasource.read@3=err", 0)
+	for i := 1; i <= 5; i++ {
+		err := Hit(PointSourceRead)
+		if (i == 3) != (err != nil) {
+			t.Fatalf("call %d: err=%v, want fault exactly on call 3", i, err)
+		}
+		if i == 3 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("injected error %v does not wrap ErrInjected", err)
+			}
+			var f *Fault
+			if !errors.As(err, &f) || f.Point != PointSourceRead || f.Call != 3 {
+				t.Fatalf("fault %+v, want point %s call 3", f, PointSourceRead)
+			}
+		}
+	}
+	if fired := p.Fired(); len(fired) != 1 || fired[0] != "datasource.read@3=err" {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestEveryN(t *testing.T) {
+	arm(t, "x@every:2=err", 0)
+	var faults int
+	for i := 0; i < 10; i++ {
+		if Hit("x") != nil {
+			faults++
+		}
+	}
+	if faults != 5 {
+		t.Fatalf("every:2 fired %d of 10, want 5", faults)
+	}
+}
+
+func TestStallProceeds(t *testing.T) {
+	arm(t, "x@1=stall:30ms", 0)
+	start := time.Now()
+	if err := Hit("x"); err != nil {
+		t.Fatalf("stall must not error, got %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("stall slept only %v", d)
+	}
+	if err := Hit("x"); err != nil {
+		t.Fatalf("call 2 must pass, got %v", err)
+	}
+}
+
+func TestCutWriterTears(t *testing.T) {
+	arm(t, "checkpoint.write@1=cut:10", 0)
+	var buf bytes.Buffer
+	w := Writer(PointCheckpointWrite, &buf)
+	n, err := w.Write(make([]byte, 6))
+	if n != 6 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	n, err = w.Write(make([]byte, 6))
+	if n != 4 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write: n=%d err=%v, want 4 bytes then injected fault", n, err)
+	}
+	if _, err := w.Write([]byte{1}); !errors.Is(err, ErrInjected) {
+		t.Fatal("writes after the tear must keep failing")
+	}
+	if buf.Len() != 10 {
+		t.Fatalf("%d bytes reached the stream, want exactly 10", buf.Len())
+	}
+}
+
+func TestWriterUnaffectedCalls(t *testing.T) {
+	arm(t, "checkpoint.write@2=cut:0", 0)
+	var buf bytes.Buffer
+	w := Writer(PointCheckpointWrite, &buf) // call 1: no rule
+	if w != &buf {
+		t.Fatal("non-matching call must return the raw writer")
+	}
+	w = Writer(PointCheckpointWrite, &buf) // call 2: cut:0 — nothing gets through
+	if _, err := w.Write([]byte{1}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("cut:0 write err=%v", err)
+	}
+}
+
+// TestSeededProbabilityDeterministic: the same seed faults the same calls;
+// a different seed faults a different (but still deterministic) set.
+func TestSeededProbabilityDeterministic(t *testing.T) {
+	pattern := func(seed uint64) string {
+		arm(t, "x@p0.3=err", seed)
+		var sb strings.Builder
+		for i := 0; i < 64; i++ {
+			if Hit("x") != nil {
+				sb.WriteByte('F')
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		return sb.String()
+	}
+	a1, a2, b := pattern(7), pattern(7), pattern(8)
+	if a1 != a2 {
+		t.Fatalf("seed 7 not reproducible:\n%s\n%s", a1, a2)
+	}
+	if a1 == b {
+		t.Fatal("different seeds produced identical fault patterns")
+	}
+	if n := strings.Count(a1, "F"); n == 0 || n == 64 {
+		t.Fatalf("p0.3 fired %d of 64 calls", n)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"noatsign=err", "x@=err", "x@0=err", "x@1", "x@1=boom",
+		"x@1=stall:xx", "x@1=cut:-1", "x@every:0=err", "x@p1.5=err", "x@1=err:param",
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec, 0); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+	p, err := Parse(" x@1=err ; y@every:3=stall:1ms ", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.rules["x"]) != 1 || len(p.rules["y"]) != 1 {
+		t.Fatalf("rules = %v", p.rules)
+	}
+	if _, err := Parse("", 0); err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+}

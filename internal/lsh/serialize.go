@@ -1,8 +1,11 @@
 package lsh
 
 import (
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -73,36 +76,99 @@ func (t *Table) Deserialize(r io.Reader) error {
 	return nil
 }
 
-// Serialize writes all L tables' bucket state under the read lock.
+// TableSet stream format: a sentinel (an impossible table count) announces
+// the checksummed layout — sentinel, format version, table count, then each
+// table's payload followed by its own CRC32C trailer. Per-table checksums
+// localize damage to one table even when the set is embedded in a larger
+// container (the network checkpoint today, delta replication streams
+// later). Streams that start with a plain count (pre-checksum writers, i.e.
+// checkpoint v2) are read through the legacy path unchanged.
+
+const (
+	setSentinel  = ^uint64(0)
+	setFormatCRC = uint64(1)
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrChecksum is the sentinel wrapped by per-table checksum mismatches.
+var ErrChecksum = errors.New("lsh: table checksum mismatch")
+
+// Serialize writes all L tables' bucket state under the read lock, each
+// table followed by a CRC32C of its payload.
 func (ts *TableSet) Serialize(w io.Writer) error {
 	ts.mu.RLock()
 	defer ts.mu.RUnlock()
-	if err := binary.Write(w, binary.LittleEndian, uint64(len(ts.tables))); err != nil {
-		return fmt.Errorf("lsh: writing table set header: %w", err)
+	for _, v := range []uint64{setSentinel, setFormatCRC, uint64(len(ts.tables))} {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("lsh: writing table set header: %w", err)
+		}
 	}
-	for _, t := range ts.tables {
-		if err := t.Serialize(w); err != nil {
+	var buf bytes.Buffer
+	for i, t := range ts.tables {
+		buf.Reset()
+		if err := t.Serialize(&buf); err != nil {
 			return err
+		}
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return fmt.Errorf("lsh: writing table %d: %w", i, err)
+		}
+		if err := binary.Write(w, binary.LittleEndian, crc32.Checksum(buf.Bytes(), castagnoli)); err != nil {
+			return fmt.Errorf("lsh: writing table %d checksum: %w", i, err)
 		}
 	}
 	return nil
 }
 
-// Deserialize replaces all L tables' bucket state under the write lock. The
-// set must be identically shaped (same hasher configuration) as the writer.
+// Deserialize replaces all L tables' bucket state under the write lock,
+// verifying each table's CRC32C trailer (checksummed format) or reading the
+// legacy unchecksummed layout, auto-detected from the header. The set must
+// be identically shaped (same hasher configuration) as the writer. A
+// checksum mismatch is reported as an error wrapping ErrChecksum, naming
+// the damaged table.
 func (ts *TableSet) Deserialize(r io.Reader) error {
-	var n uint64
-	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+	var first uint64
+	if err := binary.Read(r, binary.LittleEndian, &first); err != nil {
 		return fmt.Errorf("lsh: reading table set header: %w", err)
+	}
+	checked := first == setSentinel
+	n := first
+	if checked {
+		var version uint64
+		if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+			return fmt.Errorf("lsh: reading table set header: %w", err)
+		}
+		if version != setFormatCRC {
+			return fmt.Errorf("lsh: unsupported table set format %d", version)
+		}
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return fmt.Errorf("lsh: reading table set header: %w", err)
+		}
 	}
 	if int(n) != len(ts.tables) {
 		return fmt.Errorf("lsh: checkpoint has %d tables, set has %d", n, len(ts.tables))
 	}
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
-	for _, t := range ts.tables {
-		if err := t.Deserialize(r); err != nil {
+	for i, t := range ts.tables {
+		if !checked {
+			if err := t.Deserialize(r); err != nil {
+				return err
+			}
+			continue
+		}
+		// Tee the table payload through a checksum so the trailer can be
+		// verified against exactly the bytes the parse consumed.
+		crc := crc32.New(castagnoli)
+		if err := t.Deserialize(io.TeeReader(r, crc)); err != nil {
 			return err
+		}
+		var want uint32
+		if err := binary.Read(r, binary.LittleEndian, &want); err != nil {
+			return fmt.Errorf("lsh: reading table %d checksum: %w", i, err)
+		}
+		if got := crc.Sum32(); got != want {
+			return fmt.Errorf("lsh: table %d: computed %#x, stored %#x: %w", i, got, want, ErrChecksum)
 		}
 	}
 	return nil

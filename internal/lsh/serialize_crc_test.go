@@ -1,0 +1,134 @@
+package lsh
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// testSet builds a small, deterministic TableSet with a few populated
+// buckets per table.
+func testSet(t *testing.T) *TableSet {
+	t.Helper()
+	h, err := NewSimHash(SimHashConfig{K: 4, L: 3, Dim: 16, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTableSet(h, 8, FIFO, 11)
+	for i, tbl := range ts.tables {
+		for id := int32(0); id < 20; id++ {
+			tbl.Insert(id, uint32(int32(i)+id)%uint32(tbl.Buckets()))
+		}
+	}
+	return ts
+}
+
+// emptyLike builds an identically shaped, unpopulated set.
+func emptyLike(t *testing.T) *TableSet {
+	t.Helper()
+	h, err := NewSimHash(SimHashConfig{K: 4, L: 3, Dim: 16, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewTableSet(h, 8, FIFO, 11)
+}
+
+func sameContents(a, b *TableSet) bool {
+	for i := range a.tables {
+		ta, tb := a.tables[i], b.tables[i]
+		for h := uint32(0); int(h) < ta.Buckets(); h++ {
+			if !bytes.Equal(int32Bytes(ta.Query(h)), int32Bytes(tb.Query(h))) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func int32Bytes(ids []int32) []byte {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, ids)
+	return buf.Bytes()
+}
+
+func TestTableSetChecksummedRoundTrip(t *testing.T) {
+	src := testSet(t)
+	var buf bytes.Buffer
+	if err := src.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := emptyLike(t)
+	if err := dst.Deserialize(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if !sameContents(src, dst) {
+		t.Fatal("round-tripped table set differs from source")
+	}
+}
+
+func TestTableSetChecksumDetectsBitFlip(t *testing.T) {
+	src := testSet(t)
+	var buf bytes.Buffer
+	if err := src.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in the second table's first stored id: past the 24-byte
+	// set header, the whole first table (payload + 4-byte CRC), the 8-byte
+	// table header, and the 12-byte bucket header. An id flip parses fine —
+	// only the checksum can catch it.
+	var t0 bytes.Buffer
+	if err := src.tables[0].Serialize(&t0); err != nil {
+		t.Fatal(err)
+	}
+	pos := 24 + t0.Len() + 4 + 8 + 12
+	raw := buf.Bytes()
+	raw[pos] ^= 0x40
+	err := emptyLike(t).Deserialize(bytes.NewReader(raw))
+	if err == nil {
+		t.Fatal("bit-flipped stream deserialized without error")
+	}
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("error %v does not wrap ErrChecksum", err)
+	}
+	if !strings.Contains(err.Error(), "table 1") {
+		t.Fatalf("error %q does not name the damaged table", err)
+	}
+}
+
+func TestTableSetLegacyFormatStillLoads(t *testing.T) {
+	src := testSet(t)
+	// Hand-write the pre-checksum layout: plain count, then raw payloads.
+	var buf bytes.Buffer
+	if err := binary.Write(&buf, binary.LittleEndian, uint64(len(src.tables))); err != nil {
+		t.Fatal(err)
+	}
+	for _, tbl := range src.tables {
+		if err := tbl.Serialize(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := emptyLike(t)
+	if err := dst.Deserialize(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("legacy stream rejected: %v", err)
+	}
+	if !sameContents(src, dst) {
+		t.Fatal("legacy round-trip differs from source")
+	}
+}
+
+func TestTableSetWrongShapeRejected(t *testing.T) {
+	src := testSet(t)
+	var buf bytes.Buffer
+	if err := src.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewSimHash(SimHashConfig{K: 4, L: 5, Dim: 16, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewTableSet(h, 8, FIFO, 11).Deserialize(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("mismatched table count accepted")
+	}
+}

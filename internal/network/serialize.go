@@ -2,8 +2,11 @@ package network
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"github.com/slide-cpu/slide/internal/layer"
@@ -15,27 +18,167 @@ func layerPrecision(v uint64) layer.Precision   { return layer.Precision(v) }
 func layerPlacement(v uint64) layer.Placement   { return layer.Placement(v) }
 func lshPolicy(v uint64) lsh.BucketPolicy       { return lsh.BucketPolicy(v) }
 
-// checkpoint format: magic, version, config fields, step counter and
-// rebuild-schedule position, the layers' payloads, then (for LSH-sampled
-// networks) the hash-table bucket state. Tables are persisted — not rebuilt
-// from the loaded weights — because their contents are a function of the
-// weights at the *last scheduled rebuild*, not the current ones; restoring
-// them exactly is what makes a resumed session bit-identical to an
-// uninterrupted run (version 2; version-1 checkpoints rebuilt from current
-// weights and cannot resume exactly).
+// Checkpoint format, version 3: a self-identifying preamble (magic +
+// version) followed by framed sections, each
+//
+//	[id uint32][length uint64][payload][crc32c(payload) uint32]
+//
+// in fixed order: config, hidden layer, middle layers, output layer, hash
+// tables (LSH-sampled networks only — presence is derived from the config,
+// so the stream needs no lookahead), worker RNG states. The CRC32C trailer
+// is verified *before* a section is parsed, so a truncated or bit-flipped
+// checkpoint is reported as a typed *CorruptError naming the section and
+// byte offset instead of surfacing as a garbage-shaped parse failure — and
+// recovery code (train's last-good checkpoint ring) can distinguish
+// corruption, which falling back cures, from honest version or shape
+// mismatches, which it cannot.
+//
+// Tables are persisted — not rebuilt from the loaded weights — because
+// their contents are a function of the weights at the *last scheduled
+// rebuild*, not the current ones; restoring them exactly is what makes a
+// resumed session bit-identical to an uninterrupted run. Version-2
+// checkpoints (same payload bytes, no framing or checksums) still load;
+// version-1 checkpoints rebuilt tables from current weights and cannot
+// resume exactly.
 
 const (
-	checkpointMagic   = uint32(0x534C4944) // "SLID"
-	checkpointVersion = uint32(2)
+	checkpointMagic     = uint32(0x534C4944) // "SLID"
+	checkpointVersion   = uint32(3)
+	checkpointVersionV2 = uint32(2)
+
+	// maxSectionBytes bounds a declared section length before allocation: a
+	// corrupt length field must produce a typed error, not an OOM.
+	maxSectionBytes = uint64(1) << 32
 )
 
-// Save writes a checkpoint of the network: configuration, optimizer step,
-// weights, biases, and ADAM moments. Do not call concurrently with
-// TrainBatch.
+// Section ids, in stream order.
+const (
+	secConfig uint32 = iota + 1
+	secHidden
+	secMiddle
+	secOutput
+	secTables
+	secRNG
+)
+
+var sectionNames = map[uint32]string{
+	secConfig: "config",
+	secHidden: "hidden",
+	secMiddle: "middle",
+	secOutput: "output",
+	secTables: "tables",
+	secRNG:    "rng",
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorruptCheckpoint is the sentinel wrapped by every corruption-shaped
+// load failure: checksum mismatch, truncation, or a structurally impossible
+// field. errors.Is(err, ErrCorruptCheckpoint) distinguishes "this file is
+// damaged — fall back to an older checkpoint" from configuration or version
+// errors that no fallback will fix.
+var ErrCorruptCheckpoint = errors.New("network: corrupt checkpoint")
+
+// CorruptError reports where a checkpoint is damaged: the section whose
+// verification or read failed and the byte offset of that section's payload
+// in the stream.
+type CorruptError struct {
+	// Section names the damaged section (config, hidden, middle, output,
+	// tables, rng — or "preamble" for the magic/version header).
+	Section string
+	// Offset is the byte offset of the section payload within the
+	// checkpoint stream.
+	Offset int64
+	// Err is the underlying detail (checksum mismatch, truncation, …).
+	Err error
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("network: corrupt checkpoint: section %s at offset %d: %v", e.Section, e.Offset, e.Err)
+}
+
+// Unwrap exposes both the sentinel and the underlying cause to errors.Is/As.
+func (e *CorruptError) Unwrap() []error { return []error{ErrCorruptCheckpoint, e.Err} }
+
+func corrupt(section string, offset int64, format string, args ...any) error {
+	return &CorruptError{Section: section, Offset: offset, Err: fmt.Errorf(format, args...)}
+}
+
+// Save writes a version-3 checkpoint of the network: configuration,
+// optimizer step, weights, biases, ADAM moments, LSH bucket state, and
+// worker RNG states, each in a CRC32C-verified section. Do not call
+// concurrently with TrainBatch.
 func (n *Network) Save(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
+	for _, v := range []uint64{uint64(checkpointMagic), uint64(checkpointVersion)} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("network: writing checkpoint preamble: %w", err)
+		}
+	}
+	sw := sectionWriter{w: bw}
+	sw.section(secConfig, n.writeConfig)
+	sw.section(secHidden, n.hidden.Serialize)
+	sw.section(secMiddle, func(w io.Writer) error {
+		for i, ml := range n.middle {
+			if err := ml.Serialize(w); err != nil {
+				return fmt.Errorf("hidden layer %d: %w", i+1, err)
+			}
+		}
+		return nil
+	})
+	sw.section(secOutput, n.output.Serialize)
+	if n.tables != nil {
+		sw.section(secTables, n.tables.Serialize)
+	}
+	sw.section(secRNG, n.writeRNG)
+	if sw.err != nil {
+		return sw.err
+	}
+	return bw.Flush()
+}
+
+// sectionWriter frames sections: each payload is buffered (so its length
+// prefix and checksum can precede the next section), CRC32C'd, and written
+// as id + length + payload + crc. The buffer is reused across sections; the
+// transient copy is the price of a stream a reader can verify before
+// parsing, and the checkpoint benchmark puts the total overhead vs the
+// unframed v2 format in the noise next to the weight serialization itself.
+type sectionWriter struct {
+	w   io.Writer
+	buf bytes.Buffer
+	err error
+}
+
+func (sw *sectionWriter) section(id uint32, fill func(io.Writer) error) {
+	if sw.err != nil {
+		return
+	}
+	name := sectionNames[id]
+	sw.buf.Reset()
+	if err := fill(&sw.buf); err != nil {
+		sw.err = fmt.Errorf("network: writing checkpoint section %s: %w", name, err)
+		return
+	}
+	payload := sw.buf.Bytes()
+	hdr := make([]byte, 12)
+	binary.LittleEndian.PutUint32(hdr[0:4], id)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(len(payload)))
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc32.Checksum(payload, castagnoli))
+	for _, b := range [][]byte{hdr, payload, trailer[:]} {
+		if _, err := sw.w.Write(b); err != nil {
+			sw.err = fmt.Errorf("network: writing checkpoint section %s: %w", name, err)
+			return
+		}
+	}
+}
+
+// writeConfig emits the config payload: the fixed uint64 fields, the float64
+// fields, and the middle-stack shape. Identical to the version-2 bytes that
+// followed the preamble, so the v2 loader shares readConfig.
+func (n *Network) writeConfig(w io.Writer) error {
 	hdr := []uint64{
-		uint64(checkpointMagic), uint64(checkpointVersion),
 		uint64(n.cfg.InputDim), uint64(n.cfg.HiddenDim), uint64(n.cfg.OutputDim),
 		uint64(n.cfg.HiddenActivation), uint64(n.cfg.Hash),
 		uint64(n.cfg.K), uint64(n.cfg.L), uint64(n.cfg.BinSize),
@@ -48,58 +191,46 @@ func (n *Network) Save(w io.Writer) error {
 		uint64(n.step), uint64(n.sinceRebuild),
 	}
 	for _, v := range hdr {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
-			return fmt.Errorf("network: writing checkpoint header: %w", err)
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
 		}
 	}
 	for _, f := range []float64{n.cfg.LR, n.cfg.Beta1, n.cfg.Beta2, n.cfg.Eps, n.cfg.RebuildGrowth, n.rebuildPeriod} {
-		if err := binary.Write(bw, binary.LittleEndian, f); err != nil {
-			return fmt.Errorf("network: writing checkpoint header: %w", err)
+		if err := binary.Write(w, binary.LittleEndian, f); err != nil {
+			return err
 		}
 	}
-	// Middle-stack shape.
-	if err := binary.Write(bw, binary.LittleEndian, uint64(len(n.cfg.HiddenLayers))); err != nil {
-		return fmt.Errorf("network: writing checkpoint header: %w", err)
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(n.cfg.HiddenLayers))); err != nil {
+		return err
 	}
 	for _, d := range n.cfg.HiddenLayers {
-		if err := binary.Write(bw, binary.LittleEndian, uint64(d)); err != nil {
-			return fmt.Errorf("network: writing checkpoint header: %w", err)
+		if err := binary.Write(w, binary.LittleEndian, uint64(d)); err != nil {
+			return err
 		}
 	}
-	if err := n.hidden.Serialize(bw); err != nil {
-		return fmt.Errorf("network: writing hidden layer: %w", err)
-	}
-	for i, ml := range n.middle {
-		if err := ml.Serialize(bw); err != nil {
-			return fmt.Errorf("network: writing hidden layer %d: %w", i+1, err)
-		}
-	}
-	if err := n.output.Serialize(bw); err != nil {
-		return fmt.Errorf("network: writing output layer: %w", err)
-	}
-	if n.tables != nil {
-		if err := n.tables.Serialize(bw); err != nil {
-			return fmt.Errorf("network: writing hash tables: %w", err)
-		}
-	}
-	// Per-worker random top-up RNG state: without it a resumed run draws a
-	// different top-up sequence and diverges from the uninterrupted one.
-	if err := binary.Write(bw, binary.LittleEndian, uint64(len(n.workers))); err != nil {
-		return fmt.Errorf("network: writing RNG states: %w", err)
+	return nil
+}
+
+// writeRNG emits the per-worker random top-up RNG states: without them a
+// resumed run draws a different top-up sequence and diverges from the
+// uninterrupted one.
+func (n *Network) writeRNG(w io.Writer) error {
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(n.workers))); err != nil {
+		return err
 	}
 	for _, ws := range n.workers {
 		state, err := ws.rngSrc.MarshalBinary()
 		if err != nil {
-			return fmt.Errorf("network: marshaling RNG state: %w", err)
+			return fmt.Errorf("marshaling RNG state: %w", err)
 		}
-		if err := binary.Write(bw, binary.LittleEndian, uint32(len(state))); err != nil {
-			return fmt.Errorf("network: writing RNG states: %w", err)
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(state))); err != nil {
+			return err
 		}
-		if _, err := bw.Write(state); err != nil {
-			return fmt.Errorf("network: writing RNG states: %w", err)
+		if _, err := w.Write(state); err != nil {
+			return err
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
 func boolU64(b bool) uint64 {
@@ -113,74 +244,126 @@ func boolU64(b bool) uint64 {
 // restoring the exact LSH table bucket state the checkpoint carried (the
 // tables as of the last scheduled rebuild — rebuilding from the restored
 // weights instead would diverge from an uninterrupted run; see the format
-// comment above). Workers defaults to GOMAXPROCS unless overridden by
-// workers > 0.
+// comment above). Version-3 sections are checksum-verified before parsing;
+// damage is reported as a *CorruptError wrapping ErrCorruptCheckpoint.
+// Version-2 checkpoints load through the legacy unverified path. Workers
+// defaults to GOMAXPROCS unless overridden by workers > 0.
 func Load(r io.Reader, workers int) (*Network, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
-	hdr := make([]uint64, 23)
-	for i := range hdr {
-		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
-			return nil, fmt.Errorf("network: reading checkpoint header: %w", err)
+	var pre [2]uint64
+	for i := range pre {
+		if err := binary.Read(br, binary.LittleEndian, &pre[i]); err != nil {
+			return nil, corrupt("preamble", 0, "reading checkpoint preamble: %w", err)
 		}
 	}
-	if uint32(hdr[0]) != checkpointMagic {
-		return nil, fmt.Errorf("network: not a SLIDE checkpoint (magic %#x)", hdr[0])
+	if uint32(pre[0]) != checkpointMagic {
+		return nil, fmt.Errorf("network: not a SLIDE checkpoint (magic %#x)", pre[0])
 	}
-	if uint32(hdr[1]) != checkpointVersion {
-		return nil, fmt.Errorf("network: unsupported checkpoint version %d", hdr[1])
+	switch uint32(pre[1]) {
+	case checkpointVersion:
+		return loadV3(br, workers)
+	case checkpointVersionV2:
+		return loadV2(br, workers)
+	default:
+		return nil, fmt.Errorf("network: unsupported checkpoint version %d", pre[1])
 	}
-	fs := make([]float64, 6)
-	for i := range fs {
-		if err := binary.Read(br, binary.LittleEndian, &fs[i]); err != nil {
-			return nil, fmt.Errorf("network: reading checkpoint header: %w", err)
+}
+
+// loadV3 reads the framed, checksummed format.
+func loadV3(br *bufio.Reader, workers int) (*Network, error) {
+	offset := int64(16) // past the preamble
+	next := func(wantID uint32) ([]byte, int64, error) {
+		name := sectionNames[wantID]
+		secStart := offset
+		var id uint32
+		if err := binary.Read(br, binary.LittleEndian, &id); err != nil {
+			return nil, 0, corrupt(name, secStart, "truncated before section header: %w", err)
 		}
-	}
-	var nMiddle uint64
-	if err := binary.Read(br, binary.LittleEndian, &nMiddle); err != nil {
-		return nil, fmt.Errorf("network: reading checkpoint header: %w", err)
-	}
-	if nMiddle > 64 {
-		return nil, fmt.Errorf("network: checkpoint declares %d hidden layers (corrupt?)", nMiddle)
-	}
-	middleDims := make([]int, nMiddle)
-	for i := range middleDims {
-		var d uint64
-		if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
-			return nil, fmt.Errorf("network: reading checkpoint header: %w", err)
+		if id != wantID {
+			return nil, 0, corrupt(name, secStart, "expected section %s (%d), found id %d", name, wantID, id)
 		}
-		middleDims[i] = int(d)
+		var length uint64
+		if err := binary.Read(br, binary.LittleEndian, &length); err != nil {
+			return nil, 0, corrupt(name, secStart, "truncated in section header: %w", err)
+		}
+		if length > maxSectionBytes {
+			return nil, 0, corrupt(name, secStart, "declared length %d exceeds bound %d", length, maxSectionBytes)
+		}
+		payloadOff := secStart + 12
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil, 0, corrupt(name, payloadOff, "truncated payload (%d bytes declared): %w", length, err)
+		}
+		var sum uint32
+		if err := binary.Read(br, binary.LittleEndian, &sum); err != nil {
+			return nil, 0, corrupt(name, payloadOff, "truncated before checksum: %w", err)
+		}
+		if got := crc32.Checksum(payload, castagnoli); got != sum {
+			return nil, 0, corrupt(name, payloadOff, "CRC32C mismatch: computed %#x, stored %#x", got, sum)
+		}
+		offset = payloadOff + int64(length) + 4
+		return payload, payloadOff, nil
 	}
-	cfg := Config{
-		HiddenLayers:     middleDims,
-		InputDim:         int(hdr[2]),
-		HiddenDim:        int(hdr[3]),
-		OutputDim:        int(hdr[4]),
-		HiddenActivation: layerActivation(hdr[5]),
-		Hash:             HashFamily(hdr[6]),
-		K:                int(hdr[7]),
-		L:                int(hdr[8]),
-		BinSize:          int(hdr[9]),
-		BucketCap:        int(hdr[10]),
-		BucketPolicy:     lshPolicy(hdr[11]),
-		MinActive:        int(hdr[12]),
-		MaxActive:        int(hdr[13]),
-		NoSampling:       hdr[14] != 0,
-		UniformSampling:  hdr[15] != 0,
-		Precision:        layerPrecision(hdr[16]),
-		Placement:        layerPlacement(hdr[17]),
-		Locked:           hdr[18] != 0,
-		RebuildEvery:     int(hdr[19]),
-		Seed:             hdr[20],
-		LR:               fs[0],
-		Beta1:            fs[1],
-		Beta2:            fs[2],
-		Eps:              fs[3],
-		RebuildGrowth:    fs[4],
-		Workers:          workers,
-	}
-	n, err := New(&cfg)
+
+	cfgPayload, cfgOff, err := next(secConfig)
 	if err != nil {
-		return nil, fmt.Errorf("network: checkpoint config invalid: %w", err)
+		return nil, err
+	}
+	n, err := readConfig(bytes.NewReader(cfgPayload), workers, "config", cfgOff)
+	if err != nil {
+		return nil, err
+	}
+	for _, sec := range []struct {
+		id    uint32
+		parse func(io.Reader) error
+	}{
+		{secHidden, n.hidden.Deserialize},
+		{secMiddle, func(r io.Reader) error {
+			for i, ml := range n.middle {
+				if err := ml.Deserialize(r); err != nil {
+					return fmt.Errorf("hidden layer %d: %w", i+1, err)
+				}
+			}
+			return nil
+		}},
+		{secOutput, n.output.Deserialize},
+	} {
+		payload, off, err := next(sec.id)
+		if err != nil {
+			return nil, err
+		}
+		if err := sec.parse(bytes.NewReader(payload)); err != nil {
+			// The checksum passed, so the bytes are what Save wrote — a parse
+			// failure here is a shape mismatch, but one the checksum says was
+			// written that way: report it as corruption with location.
+			return nil, corrupt(sectionNames[sec.id], off, "parsing verified section: %w", err)
+		}
+	}
+	if n.tables != nil {
+		payload, off, err := next(secTables)
+		if err != nil {
+			return nil, err
+		}
+		if err := n.tables.Deserialize(bytes.NewReader(payload)); err != nil {
+			return nil, corrupt("tables", off, "parsing verified section: %w", err)
+		}
+	}
+	payload, off, err := next(secRNG)
+	if err != nil {
+		return nil, err
+	}
+	if err := readRNG(bytes.NewReader(payload), n); err != nil {
+		return nil, corrupt("rng", off, "parsing verified section: %w", err)
+	}
+	return n, nil
+}
+
+// loadV2 reads the legacy unframed format: the same payloads, concatenated
+// with no checksums.
+func loadV2(br *bufio.Reader, workers int) (*Network, error) {
+	n, err := readConfig(br, workers, "", 0)
+	if err != nil {
+		return nil, err
 	}
 	if err := n.hidden.Deserialize(br); err != nil {
 		return nil, fmt.Errorf("network: reading hidden layer: %w", err)
@@ -193,46 +376,123 @@ func Load(r io.Reader, workers int) (*Network, error) {
 	if err := n.output.Deserialize(br); err != nil {
 		return nil, fmt.Errorf("network: reading output layer: %w", err)
 	}
-	n.step = int64(hdr[21])
-	n.sinceRebuild = int(hdr[22])
-	n.rebuildPeriod = fs[5]
 	if n.tables != nil {
-		// Restore the exact bucket state the checkpoint carried — the tables
-		// as of the last scheduled rebuild, which resumed training continues
-		// from bit-identically. (New already built tables from the initial
-		// weights; Deserialize replaces that state.)
 		if err := n.tables.Deserialize(br); err != nil {
 			return nil, fmt.Errorf("network: reading hash tables: %w", err)
 		}
 	}
-	// Restore worker RNG states. A load with the same worker count resumes
-	// exactly; with fewer or more workers the overlapping workers restore and
-	// the rest keep their fresh seeds (exact resume requires matching worker
-	// counts anyway — HOGWILD partitioning changes with the count).
+	if err := readRNG(br, n); err != nil {
+		return nil, fmt.Errorf("network: %w", err)
+	}
+	return n, nil
+}
+
+// readConfig parses the config payload (see writeConfig) and constructs the
+// network, restoring step, rebuild-schedule position and rebuild period.
+// section/off locate corruption reports in the v3 path; the v2 path passes
+// an empty section and reports plain errors.
+func readConfig(r io.Reader, workers int, section string, off int64) (*Network, error) {
+	fail := func(format string, args ...any) error {
+		if section != "" {
+			return corrupt(section, off, format, args...)
+		}
+		return fmt.Errorf("network: reading checkpoint header: %w", fmt.Errorf(format, args...))
+	}
+	hdr := make([]uint64, 21)
+	for i := range hdr {
+		if err := binary.Read(r, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fail("reading config field %d: %w", i, err)
+		}
+	}
+	fs := make([]float64, 6)
+	for i := range fs {
+		if err := binary.Read(r, binary.LittleEndian, &fs[i]); err != nil {
+			return nil, fail("reading config float %d: %w", i, err)
+		}
+	}
+	var nMiddle uint64
+	if err := binary.Read(r, binary.LittleEndian, &nMiddle); err != nil {
+		return nil, fail("reading middle-stack size: %w", err)
+	}
+	if nMiddle > 64 {
+		return nil, fail("checkpoint declares %d hidden layers", nMiddle)
+	}
+	middleDims := make([]int, nMiddle)
+	for i := range middleDims {
+		var d uint64
+		if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
+			return nil, fail("reading middle dims: %w", err)
+		}
+		middleDims[i] = int(d)
+	}
+	cfg := Config{
+		HiddenLayers:     middleDims,
+		InputDim:         int(hdr[0]),
+		HiddenDim:        int(hdr[1]),
+		OutputDim:        int(hdr[2]),
+		HiddenActivation: layerActivation(hdr[3]),
+		Hash:             HashFamily(hdr[4]),
+		K:                int(hdr[5]),
+		L:                int(hdr[6]),
+		BinSize:          int(hdr[7]),
+		BucketCap:        int(hdr[8]),
+		BucketPolicy:     lshPolicy(hdr[9]),
+		MinActive:        int(hdr[10]),
+		MaxActive:        int(hdr[11]),
+		NoSampling:       hdr[12] != 0,
+		UniformSampling:  hdr[13] != 0,
+		Precision:        layerPrecision(hdr[14]),
+		Placement:        layerPlacement(hdr[15]),
+		Locked:           hdr[16] != 0,
+		RebuildEvery:     int(hdr[17]),
+		Seed:             hdr[18],
+		LR:               fs[0],
+		Beta1:            fs[1],
+		Beta2:            fs[2],
+		Eps:              fs[3],
+		RebuildGrowth:    fs[4],
+		Workers:          workers,
+	}
+	n, err := New(&cfg)
+	if err != nil {
+		return nil, fmt.Errorf("network: checkpoint config invalid: %w", err)
+	}
+	n.step = int64(hdr[19])
+	n.sinceRebuild = int(hdr[20])
+	n.rebuildPeriod = fs[5]
+	return n, nil
+}
+
+// readRNG restores the per-worker RNG states. A load with the same worker
+// count resumes exactly; with fewer or more workers the overlapping workers
+// restore and the rest keep their fresh seeds (exact resume requires
+// matching worker counts anyway — HOGWILD partitioning changes with the
+// count).
+func readRNG(r io.Reader, n *Network) error {
 	var nRNG uint64
-	if err := binary.Read(br, binary.LittleEndian, &nRNG); err != nil {
-		return nil, fmt.Errorf("network: reading RNG states: %w", err)
+	if err := binary.Read(r, binary.LittleEndian, &nRNG); err != nil {
+		return fmt.Errorf("reading RNG states: %w", err)
 	}
 	if nRNG > 1<<20 {
-		return nil, fmt.Errorf("network: checkpoint declares %d RNG states (corrupt?)", nRNG)
+		return fmt.Errorf("checkpoint declares %d RNG states", nRNG)
 	}
 	for i := uint64(0); i < nRNG; i++ {
 		var sz uint32
-		if err := binary.Read(br, binary.LittleEndian, &sz); err != nil {
-			return nil, fmt.Errorf("network: reading RNG states: %w", err)
+		if err := binary.Read(r, binary.LittleEndian, &sz); err != nil {
+			return fmt.Errorf("reading RNG states: %w", err)
 		}
 		if sz > 4096 {
-			return nil, fmt.Errorf("network: RNG state of %d bytes (corrupt?)", sz)
+			return fmt.Errorf("RNG state of %d bytes", sz)
 		}
 		state := make([]byte, sz)
-		if _, err := io.ReadFull(br, state); err != nil {
-			return nil, fmt.Errorf("network: reading RNG states: %w", err)
+		if _, err := io.ReadFull(r, state); err != nil {
+			return fmt.Errorf("reading RNG states: %w", err)
 		}
 		if int(i) < len(n.workers) {
 			if err := n.workers[i].rngSrc.UnmarshalBinary(state); err != nil {
-				return nil, fmt.Errorf("network: restoring RNG state %d: %w", i, err)
+				return fmt.Errorf("restoring RNG state %d: %w", i, err)
 			}
 		}
 	}
-	return n, nil
+	return nil
 }

@@ -1,0 +1,273 @@
+package network
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/slide-cpu/slide/internal/layer"
+)
+
+// saveV2 writes the legacy version-2 layout: preamble, then the raw section
+// payloads concatenated with no framing or checksums. It is the reference
+// writer for back-compat tests and the v2 side of the checkpoint benchmark.
+func saveV2(n *Network, w *bytes.Buffer) error {
+	for _, v := range []uint64{uint64(checkpointMagic), uint64(checkpointVersionV2)} {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := n.writeConfig(w); err != nil {
+		return err
+	}
+	if err := n.hidden.Serialize(w); err != nil {
+		return err
+	}
+	for _, ml := range n.middle {
+		if err := ml.Serialize(w); err != nil {
+			return err
+		}
+	}
+	if err := n.output.Serialize(w); err != nil {
+		return err
+	}
+	if n.tables != nil {
+		if err := n.tables.Serialize(w); err != nil {
+			return err
+		}
+	}
+	return n.writeRNG(w)
+}
+
+// frame locates one v3 section in a saved checkpoint.
+type frame struct {
+	id         uint32
+	start      int64 // section header offset
+	payloadOff int64
+	payloadLen int64
+	end        int64 // offset just past the CRC trailer
+}
+
+// frames parses the v3 framing of a checkpoint without loading it.
+func frames(t *testing.T, raw []byte) []frame {
+	t.Helper()
+	var fs []frame
+	off := int64(16)
+	for off < int64(len(raw)) {
+		id := binary.LittleEndian.Uint32(raw[off:])
+		length := int64(binary.LittleEndian.Uint64(raw[off+4:]))
+		f := frame{id: id, start: off, payloadOff: off + 12, payloadLen: length}
+		f.end = f.payloadOff + length + 4
+		if f.end > int64(len(raw)) {
+			t.Fatalf("section %d overruns the stream", id)
+		}
+		fs = append(fs, f)
+		off = f.end
+	}
+	return fs
+}
+
+func TestLoadV3SectionOrder(t *testing.T) {
+	n, _ := trainedNet(t, layer.FP32)
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var ids []uint32
+	for _, f := range frames(t, buf.Bytes()) {
+		ids = append(ids, f.id)
+	}
+	want := []uint32{secConfig, secHidden, secMiddle, secOutput, secTables, secRNG}
+	if len(ids) != len(want) {
+		t.Fatalf("sections %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("sections %v, want %v", ids, want)
+		}
+	}
+}
+
+// TestLoadCorruptEverySection flips one payload byte in each section in turn
+// and demands a *CorruptError naming exactly that section.
+func TestLoadCorruptEverySection(t *testing.T) {
+	n, _ := trainedNet(t, layer.FP32)
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames(t, buf.Bytes()) {
+		name := sectionNames[f.id]
+		t.Run(name, func(t *testing.T) {
+			if f.payloadLen == 0 {
+				t.Skipf("section %s has an empty payload", name)
+			}
+			raw := bytes.Clone(buf.Bytes())
+			raw[f.payloadOff+f.payloadLen/2] ^= 0x20
+			_, err := Load(bytes.NewReader(raw), 1)
+			if !errors.Is(err, ErrCorruptCheckpoint) {
+				t.Fatalf("bit flip in %s: err %v does not wrap ErrCorruptCheckpoint", name, err)
+			}
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("err %T is not a *CorruptError", err)
+			}
+			if ce.Section != name {
+				t.Fatalf("corruption in %s reported against section %s", name, ce.Section)
+			}
+			if ce.Offset != f.payloadOff {
+				t.Fatalf("section %s reported at offset %d, payload is at %d", name, ce.Offset, f.payloadOff)
+			}
+		})
+	}
+}
+
+// TestLoadTruncatedEverySection truncates the stream at several points
+// inside each section — mid-header, mid-payload, and inside the CRC trailer
+// — and demands a typed corruption error naming that section.
+func TestLoadTruncatedEverySection(t *testing.T) {
+	n, _ := trainedNet(t, layer.FP32)
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames(t, buf.Bytes()) {
+		name := sectionNames[f.id]
+		cuts := []struct {
+			where string
+			at    int64
+		}{
+			{"header", f.start + 6},
+			{"payload", f.payloadOff + f.payloadLen/2},
+			{"trailer", f.end - 2},
+		}
+		for _, cut := range cuts {
+			t.Run(fmt.Sprintf("%s/%s", name, cut.where), func(t *testing.T) {
+				_, err := Load(bytes.NewReader(buf.Bytes()[:cut.at]), 1)
+				if !errors.Is(err, ErrCorruptCheckpoint) {
+					t.Fatalf("truncation in %s %s: err %v does not wrap ErrCorruptCheckpoint", name, cut.where, err)
+				}
+				var ce *CorruptError
+				if !errors.As(err, &ce) || ce.Section != name {
+					t.Fatalf("truncation in %s reported as %v", name, err)
+				}
+			})
+		}
+	}
+}
+
+func TestLoadCorruptPreamble(t *testing.T) {
+	_, err := Load(bytes.NewReader([]byte{1, 2, 3}), 1)
+	if !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("short preamble: %v", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Section != "preamble" {
+		t.Fatalf("short preamble reported as %v", err)
+	}
+}
+
+// TestLoadV2Compat: a legacy unframed checkpoint still loads and reproduces
+// the writer's scores exactly.
+func TestLoadV2Compat(t *testing.T) {
+	n, p := trainedNet(t, layer.FP32)
+	var buf bytes.Buffer
+	if err := saveV2(n, &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()), 1)
+	if err != nil {
+		t.Fatalf("v2 checkpoint rejected: %v", err)
+	}
+	if loaded.Step() != n.Step() {
+		t.Fatalf("step %d != %d", loaded.Step(), n.Step())
+	}
+	x := p.batch(1).Sample(0)
+	s1 := make([]float32, 20)
+	s2 := make([]float32, 20)
+	n.Scores(x, s1)
+	loaded.Scores(x, s2)
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("score[%d] %g != %g after v2 load", i, s1[i], s2[i])
+		}
+	}
+}
+
+// benchNet is trainedNet for benchmarks (no *testing.T plumbing).
+func benchNet(b *testing.B) *Network {
+	b.Helper()
+	p := newPlanted(60, 20, 5, 31)
+	cfg := Config{
+		InputDim: 60, HiddenDim: 16, OutputDim: 20,
+		Hash: DWTA, K: 2, L: 8, BucketCap: 32,
+		MinActive: 6, LR: 0.01, Workers: 1,
+		Precision: layer.FP32, RebuildEvery: 10, Seed: 77,
+	}
+	n, err := New(&cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		n.TrainBatch(p.batch(32))
+	}
+	return n
+}
+
+func BenchmarkCheckpointSaveV3(b *testing.B) {
+	n := benchNet(b)
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := n.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+func BenchmarkCheckpointSaveV2(b *testing.B) {
+	n := benchNet(b)
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := saveV2(n, &buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+func BenchmarkCheckpointLoadV3(b *testing.B) {
+	n := benchNet(b)
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Load(bytes.NewReader(buf.Bytes()), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckpointLoadV2(b *testing.B) {
+	n := benchNet(b)
+	var buf bytes.Buffer
+	if err := saveV2(n, &buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Load(bytes.NewReader(buf.Bytes()), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -36,6 +36,13 @@ var ErrInvalidEntry = errors.New("serving: invalid batch entry")
 // current snapshot gives the client a definitive 400 or a served request.
 var ErrSnapshotSkew = errors.New("serving: snapshot changed between admission and flush")
 
+// ErrDeadline is returned for a request whose context deadline cannot be
+// met: already expired at admission, infeasible given the current service
+// -time estimate, or passed by the time its batch flushed. The HTTP layer
+// maps it to 504 Gateway Timeout. Rejecting doomed work early keeps
+// capacity for requests that can still make their deadlines.
+var ErrDeadline = errors.New("serving: request deadline exceeded")
+
 // Config parameterizes a Batcher. The zero value selects the defaults.
 type Config struct {
 	// MaxBatch is the coalescing limit: a worker flushes as soon as its
@@ -56,6 +63,10 @@ type Config struct {
 	// LatencyWindow is the sliding-window size of the p50/p99 latency
 	// reservoir (default 4096 requests).
 	LatencyWindow int
+	// Degrade is the tiered-degradation policy (see DegradePolicy). The
+	// zero value disables degradation: the pipeline serves exact until it
+	// sheds.
+	Degrade DegradePolicy
 }
 
 // withDefaults resolves zero fields.
@@ -75,14 +86,24 @@ func (c Config) withDefaults() Config {
 	if c.LatencyWindow <= 0 {
 		c.LatencyWindow = 4096
 	}
+	if c.Degrade.enabled() {
+		if c.Degrade.LowWater <= 0 {
+			c.Degrade.LowWater = c.Degrade.HighWater / 2
+		}
+		if c.Degrade.After <= 0 {
+			c.Degrade.After = 3
+		}
+	}
 	return c
 }
 
 // Result is one served request: the top-k labels and the version of the
-// snapshot that produced them.
+// snapshot that produced them. Degraded marks a response served through the
+// sampled (LSH) path under overload rather than the exact one.
 type Result struct {
-	Labels  []int32
-	Version uint64
+	Labels   []int32
+	Version  uint64
+	Degraded bool
 }
 
 // pending is one queued request. The worker publishes labels/err/version
@@ -94,11 +115,13 @@ type Result struct {
 type pending struct {
 	entry    slide.BatchEntry
 	enqueued time.Time
+	deadline time.Time // zero = none; captured from the Submit context
 	state    atomic.Int32 // pendingState / claimedState / canceledState
 	done     chan struct{}
 	servedAt time.Time
 	labels   []int32
 	version  uint64
+	degraded bool
 	err      error
 }
 
@@ -123,14 +146,21 @@ type Batcher struct {
 	closed bool
 	wg     sync.WaitGroup
 
-	admitted atomic.Uint64
-	served   atomic.Uint64
-	failed   atomic.Uint64
-	shed     atomic.Uint64
-	canceled atomic.Uint64
-	batches  atomic.Uint64
-	sizes    *metrics.SizeHistogram
-	latency  *metrics.Reservoir
+	admitted  atomic.Uint64
+	served    atomic.Uint64
+	failed    atomic.Uint64
+	shed      atomic.Uint64
+	canceled  atomic.Uint64
+	deadlined atomic.Uint64
+	degServed atomic.Uint64
+	batches   atomic.Uint64
+	sizes     *metrics.SizeHistogram
+	latency   *metrics.Reservoir
+
+	// svcEWMA estimates flush service time (ns, exponentially weighted):
+	// the floor below which a remaining deadline budget is infeasible.
+	svcEWMA atomic.Int64
+	degrade degradeState
 }
 
 // NewBatcher starts a batcher serving snapshots from mgr. Close releases
@@ -153,10 +183,24 @@ func NewBatcher(mgr *SnapshotManager, cfg Config) *Batcher {
 
 // Submit queues one request and blocks until it is served or ctx is done.
 // It returns ErrOverloaded immediately when the admission queue is full and
-// ErrClosed after Close. On ctx cancellation the queue slot is lazily
-// reclaimed (the worker skips the entry), and ctx.Err() is returned.
+// ErrClosed after Close. A context deadline propagates with the request:
+// Submit rejects immediately with ErrDeadline when the deadline has already
+// passed or the remaining budget is below the current service-time estimate
+// (the request could not be served in time even if flushed at once), and a
+// queued request whose deadline passes before its batch flushes fails with
+// ErrDeadline instead of consuming backend work. On ctx cancellation the
+// queue slot is lazily reclaimed (the worker skips the entry), and ctx.Err()
+// is returned — except deadline expiry, which reports ErrDeadline.
 func (b *Batcher) Submit(ctx context.Context, entry slide.BatchEntry) (Result, error) {
 	item := &pending{entry: entry, enqueued: time.Now(), done: make(chan struct{})}
+	if d, ok := ctx.Deadline(); ok {
+		item.deadline = d
+		if budget := time.Until(d); budget <= time.Duration(b.svcEWMA.Load()) {
+			b.deadlined.Add(1)
+			return Result{}, fmt.Errorf("serving: %v budget, service estimate %v: %w",
+				budget, time.Duration(b.svcEWMA.Load()), ErrDeadline)
+		}
+	}
 	if err := b.enqueue(item); err != nil {
 		return Result{}, err
 	}
@@ -204,7 +248,9 @@ func (b *Batcher) SubmitMany(ctx context.Context, entries []slide.BatchEntry) ([
 // claimed are left alone (they were served and counted as such).
 func (b *Batcher) abandon(items []*pending) {
 	for _, q := range items {
-		b.cancel(q)
+		if b.cancel(q) {
+			b.canceled.Add(1)
+		}
 	}
 }
 
@@ -249,18 +295,22 @@ func (b *Batcher) await(ctx context.Context, item *pending) (Result, error) {
 			<-item.done
 			return b.finish(item)
 		}
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			// The deadline, not the caller, killed the request: report (and
+			// count) it as a deadline miss, not a cancellation.
+			b.deadlined.Add(1)
+			return Result{}, fmt.Errorf("serving: deadline passed while queued: %w", ErrDeadline)
+		}
+		b.canceled.Add(1)
 		return Result{}, ctx.Err()
 	}
 }
 
 // cancel tries to win the item from any future flush; it reports whether
 // the cancellation took effect (false = a flush already claimed the item).
+// The caller accounts the outcome (canceled vs deadline-missed).
 func (b *Batcher) cancel(item *pending) bool {
-	if item.state.CompareAndSwap(pendingState, canceledState) {
-		b.canceled.Add(1)
-		return true
-	}
-	return false
+	return item.state.CompareAndSwap(pendingState, canceledState)
 }
 
 // finish reads a completed item (done closed by the worker). Latency is
@@ -272,7 +322,7 @@ func (b *Batcher) finish(item *pending) (Result, error) {
 		return Result{}, item.err
 	}
 	b.latency.Observe(item.servedAt.Sub(item.enqueued))
-	return Result{Labels: item.labels, Version: item.version}, nil
+	return Result{Labels: item.labels, Version: item.version, Degraded: item.degraded}, nil
 }
 
 // Close stops admitting (Submit returns ErrClosed), lets the workers drain
@@ -342,15 +392,29 @@ func (b *Batcher) worker() {
 	}
 }
 
-// flush serves one coalesced batch from a single snapshot capture.
+// flush serves one coalesced batch from a single snapshot capture: exact
+// fused prediction normally, per-entry sampled prediction when the
+// degradation policy says the pipeline is in degraded mode (still one
+// snapshot for the whole batch — degraded responses obey the same
+// no-wrong-version guarantee). Requests whose deadline passed while queued
+// fail with ErrDeadline before consuming backend work.
 func (b *Batcher) flush(batch []*pending) {
 	pred := b.mgr.Current() // one snapshot for the whole batch
+	degraded := b.degrade.observe(len(b.queue), b.cfg.QueueCap, b.cfg.Degrade) && pred.Sampled()
 	live := make([]*pending, 0, len(batch))
 	entries := make([]slide.BatchEntry, 0, len(batch))
-	failed := 0
+	failed, deadlined := 0, 0
+	now := time.Now()
 	for _, item := range batch {
 		// Claim the item; a submitter that cancelled first keeps it.
 		if !item.state.CompareAndSwap(pendingState, claimedState) {
+			continue
+		}
+		if !item.deadline.IsZero() && now.After(item.deadline) {
+			item.err = fmt.Errorf("serving: deadline passed %v before flush: %w",
+				now.Sub(item.deadline), ErrDeadline)
+			deadlined++
+			close(item.done)
 			continue
 		}
 		// Front ends validate against the snapshot current at admission; a
@@ -368,14 +432,26 @@ func (b *Batcher) flush(batch []*pending) {
 		entries = append(entries, item.entry)
 	}
 	b.failed.Add(uint64(failed))
+	b.deadlined.Add(uint64(deadlined))
 	if len(live) == 0 {
 		return
 	}
 	version := pred.Version()
-	out, err := predictEntries(pred, entries)
-	now := time.Now()
+	start := time.Now()
+	if degraded {
+		b.flushSampled(pred, live, version)
+	} else {
+		b.flushExact(pred, live, entries, version)
+	}
+	b.observeService(time.Since(start))
 	b.batches.Add(1)
 	b.sizes.Observe(len(live))
+}
+
+// flushExact is the normal path: one fused PredictEntries for the batch.
+func (b *Batcher) flushExact(pred Predictor, live []*pending, entries []slide.BatchEntry, version uint64) {
+	out, err := predictEntries(pred, entries)
+	now := time.Now()
 	if err != nil {
 		b.failed.Add(uint64(len(live)))
 	} else {
@@ -393,6 +469,43 @@ func (b *Batcher) flush(batch []*pending) {
 	}
 }
 
+// flushSampled is the degraded path: per-entry LSH-sampled prediction, each
+// entry succeeding or failing on its own.
+func (b *Batcher) flushSampled(pred Predictor, live []*pending, version uint64) {
+	for _, item := range live {
+		labels, err := predictSampled(pred, item.entry)
+		if err != nil {
+			item.err = err
+			b.failed.Add(1)
+		} else {
+			item.labels = labels
+			item.version = version
+			item.servedAt = time.Now()
+			item.degraded = true
+			b.served.Add(1)
+			b.degServed.Add(1)
+		}
+		close(item.done)
+	}
+}
+
+// observeService folds one flush's service time into the EWMA estimate
+// (weight 1/4 to the new sample — responsive but burst-tolerant).
+func (b *Batcher) observeService(d time.Duration) {
+	for {
+		old := b.svcEWMA.Load()
+		var next int64
+		if old == 0 {
+			next = int64(d)
+		} else {
+			next = old + (int64(d)-old)/4
+		}
+		if b.svcEWMA.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // predictEntries runs the backend with panic containment: a panicking
 // Predictor implementation must fail its batch (every submitter gets the
 // error), not kill the worker — a dead worker would strand the claimed
@@ -405,6 +518,17 @@ func predictEntries(pred Predictor, entries []slide.BatchEntry) (out [][]int32, 
 		}
 	}()
 	return pred.PredictEntries(entries)
+}
+
+// predictSampled runs one degraded-path prediction with the same panic
+// containment as predictEntries.
+func predictSampled(pred Predictor, e slide.BatchEntry) (out []int32, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("serving: predictor panicked: %v", r)
+		}
+	}()
+	return pred.PredictSampled(e.Indices, e.Values, e.K)
 }
 
 // checkSkew guards against admission/flush snapshot skew: every index and
@@ -442,6 +566,13 @@ type Stats struct {
 	// failure or snapshot skew); Shed those rejected with ErrOverloaded;
 	// Canceled those whose submitter gave up before the flush reached them.
 	Admitted, Served, Failed, Shed, Canceled uint64
+	// Deadlined counts requests rejected or failed with ErrDeadline;
+	// DegradedServed the subset of Served answered through the sampled
+	// path. DegradedMode reports whether the pipeline is currently
+	// degraded; DegradeSwitches counts mode transitions in both directions.
+	Deadlined, DegradedServed uint64
+	DegradedMode              bool
+	DegradeSwitches           uint64
 	// Batches counts flushes; BatchSizes[i] counts flushes of size i+1;
 	// MeanBatch is the mean flush size.
 	Batches    uint64
@@ -455,7 +586,12 @@ type Stats struct {
 // Stats returns current counters. Safe for concurrent use.
 func (b *Batcher) Stats() Stats {
 	qs := b.latency.Quantiles(0.5, 0.99)
+	degradedMode, switches := b.degrade.mode()
 	return Stats{
+		Deadlined:       b.deadlined.Load(),
+		DegradedServed:  b.degServed.Load(),
+		DegradedMode:    degradedMode,
+		DegradeSwitches: switches,
 		QueueDepth: len(b.queue),
 		QueueCap:   b.cfg.QueueCap,
 		Workers:    b.cfg.Workers,

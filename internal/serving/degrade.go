@@ -1,0 +1,79 @@
+package serving
+
+import "sync"
+
+// DegradePolicy configures tiered degradation: under sustained overload the
+// pipeline downshifts exact batched prediction to per-entry sampled (LSH)
+// prediction — cheaper by the paper's whole thesis, since the active set is
+// a small fraction of the output layer — *before* the queue fills and
+// shedding starts. Degraded responses are correct top-k over the sampled
+// candidate set, marked Degraded so clients and stats can tell; the
+// exact-before-sampled-before-shed ordering means accuracy is the first
+// thing sacrificed to load and availability the last.
+//
+// The mode is driven by admission-queue occupancy with hysteresis: it
+// engages after After consecutive flush-time observations at or above
+// HighWater×QueueCap, and disengages after After consecutive observations
+// at or below LowWater×QueueCap. The zero value disables degradation.
+type DegradePolicy struct {
+	// HighWater is the queue-occupancy fraction (of QueueCap, in (0,1])
+	// at or above which the pipeline counts an overload observation.
+	// Zero disables the policy.
+	HighWater float64
+	// LowWater is the occupancy fraction at or below which the pipeline
+	// counts a recovery observation (default HighWater/2).
+	LowWater float64
+	// After is the consecutive observations required to switch modes in
+	// either direction (default 3) — hysteresis so one bursty flush
+	// doesn't flap the mode.
+	After int
+}
+
+func (p DegradePolicy) enabled() bool { return p.HighWater > 0 }
+
+// degradeState is the hysteresis accumulator, shared by all flush workers.
+type degradeState struct {
+	mu       sync.Mutex
+	on       bool
+	hiStreak int
+	loStreak int
+	switches uint64 // mode transitions (both directions)
+}
+
+// observe folds one flush-time queue-depth reading into the hysteresis
+// state and reports whether degraded mode is on.
+func (d *degradeState) observe(depth, qcap int, p DegradePolicy) bool {
+	if !p.enabled() {
+		return false
+	}
+	occ := float64(depth) / float64(qcap)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch {
+	case occ >= p.HighWater:
+		d.hiStreak++
+		d.loStreak = 0
+		if !d.on && d.hiStreak >= p.After {
+			d.on = true
+			d.switches++
+		}
+	case occ <= p.LowWater:
+		d.loStreak++
+		d.hiStreak = 0
+		if d.on && d.loStreak >= p.After {
+			d.on = false
+			d.switches++
+		}
+	default:
+		d.hiStreak = 0
+		d.loStreak = 0
+	}
+	return d.on
+}
+
+// mode reports the current mode without recording an observation.
+func (d *degradeState) mode() (on bool, switches uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.on, d.switches
+}

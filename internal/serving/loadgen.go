@@ -73,6 +73,11 @@ type LoadReport struct {
 	// Retry-After, so a shed request still completes — closed-loop load
 	// generators must retry or overload tests undercount).
 	Retried429 int
+	// Degraded counts requests served through the degraded (sampled) path,
+	// as reported by the server. Deadline504 counts requests the server
+	// timed out (504) — deliberate deadline shedding under the client's
+	// own budget, reported separately from Errors.
+	Degraded, Deadline504 int
 	// P50/P99 are successful-request latencies (final attempt only).
 	P50, P99 time.Duration
 	// Responses[i] holds the labels served for request i (nil on error) —
@@ -85,13 +90,23 @@ type LoadReport struct {
 
 // loadgen wire shapes — the cmd/slide-serve /predict contract.
 type loadReq struct {
-	Indices []int32   `json:"indices"`
-	Values  []float32 `json:"values,omitempty"`
-	K       int       `json:"k"`
+	Indices    []int32   `json:"indices"`
+	Values     []float32 `json:"values,omitempty"`
+	K          int       `json:"k"`
+	DeadlineMS int64     `json:"deadline_ms,omitempty"`
 }
 
 type loadResp struct {
-	Labels []int32 `json:"labels"`
+	Labels   []int32 `json:"labels"`
+	Degraded bool    `json:"degraded,omitempty"`
+}
+
+// LoadOptions tunes RunLoadOpts beyond the request set itself.
+type LoadOptions struct {
+	// Deadline, when positive, attaches a per-request service deadline
+	// (the wire deadline_ms field): the server answers 504 when the
+	// request cannot be served within it. 504s are not retried.
+	Deadline time.Duration
 }
 
 // RunLoad drives the request set against baseURL with the given number of
@@ -100,6 +115,11 @@ type loadResp struct {
 // and payloads are deterministic; only timing varies between runs. A nil
 // client uses a transport sized so every load client keeps one connection.
 func RunLoad(ctx context.Context, baseURL string, client *http.Client, entries []slide.BatchEntry, clients int) LoadReport {
+	return RunLoadOpts(ctx, baseURL, client, entries, clients, LoadOptions{})
+}
+
+// RunLoadOpts is RunLoad with per-request options.
+func RunLoadOpts(ctx context.Context, baseURL string, client *http.Client, entries []slide.BatchEntry, clients int, opts LoadOptions) LoadReport {
 	if clients <= 0 {
 		clients = 1
 	}
@@ -117,6 +137,8 @@ func RunLoad(ctx context.Context, baseURL string, client *http.Client, entries [
 	errs := make([]string, clients)
 	perErr := make([]int, clients)
 	perRetry := make([]int, clients)
+	perDegraded := make([]int, clients)
+	perDeadline := make([]int, clients)
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -132,17 +154,24 @@ func RunLoad(ctx context.Context, baseURL string, client *http.Client, entries [
 					}
 					continue
 				}
-				labels, lat, retries, err := postPredict(ctx, client, baseURL, entries[i])
-				perRetry[c] += retries
-				if err != nil {
+				r := postPredict(ctx, client, baseURL, entries[i], opts)
+				perRetry[c] += r.retries
+				if r.deadline {
+					perDeadline[c]++
+					continue
+				}
+				if r.err != nil {
 					perErr[c]++
 					if errs[c] == "" {
-						errs[c] = fmt.Sprintf("request %d: %v", i, err)
+						errs[c] = fmt.Sprintf("request %d: %v", i, r.err)
 					}
 					continue
 				}
-				report.Responses[i] = labels
-				latencies[i] = lat
+				if r.degraded {
+					perDegraded[c]++
+				}
+				report.Responses[i] = r.labels
+				latencies[i] = r.latency
 			}
 		}(c)
 	}
@@ -152,12 +181,14 @@ func RunLoad(ctx context.Context, baseURL string, client *http.Client, entries [
 	for c := 0; c < clients; c++ {
 		report.Errors += perErr[c]
 		report.Retried429 += perRetry[c]
+		report.Degraded += perDegraded[c]
+		report.Deadline504 += perDeadline[c]
 		if report.FirstError == "" && errs[c] != "" {
 			report.FirstError = errs[c]
 		}
 	}
 	if report.Duration > 0 {
-		report.QPS = float64(report.Requests-report.Errors) / report.Duration.Seconds()
+		report.QPS = float64(report.Requests-report.Errors-report.Deadline504) / report.Duration.Seconds()
 	}
 	ok := latencies[:0]
 	for i, l := range latencies {
@@ -173,55 +204,87 @@ func RunLoad(ctx context.Context, baseURL string, client *http.Client, entries [
 	return report
 }
 
+// maxRetryAfter caps how long a 429's Retry-After hint is honored. The
+// server's hint is advice, not a contract: a misbehaving (or malicious)
+// server answering "Retry-After: 100000" must not wedge a load-gen client
+// for a day.
+const maxRetryAfter = time.Second
+
+// attempt is the outcome of one postPredict request (after 429 retries).
+type attempt struct {
+	labels   []int32
+	latency  time.Duration
+	retries  int
+	degraded bool
+	deadline bool // the server answered 504: deadline shed, not an error
+	err      error
+}
+
 // postPredict sends one /predict request, retrying 429s after the server's
-// Retry-After hint. Returns the labels, the latency of the successful
-// attempt, and the number of 429 retries.
-func postPredict(ctx context.Context, client *http.Client, baseURL string, e slide.BatchEntry) ([]int32, time.Duration, int, error) {
-	body, err := json.Marshal(loadReq{Indices: e.Indices, Values: e.Values, K: e.K})
-	if err != nil {
-		return nil, 0, 0, err
+// Retry-After hint (capped at maxRetryAfter, cancellable through ctx).
+func postPredict(ctx context.Context, client *http.Client, baseURL string, e slide.BatchEntry, opts LoadOptions) attempt {
+	lr := loadReq{Indices: e.Indices, Values: e.Values, K: e.K}
+	if opts.Deadline > 0 {
+		lr.DeadlineMS = opts.Deadline.Milliseconds()
 	}
-	retries := 0
+	body, err := json.Marshal(lr)
+	if err != nil {
+		return attempt{err: err}
+	}
+	out := attempt{}
 	for {
-		attempt := time.Now()
+		start := time.Now()
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/predict", bytes.NewReader(body))
 		if err != nil {
-			return nil, 0, retries, err
+			out.err = err
+			return out
 		}
 		req.Header.Set("Content-Type", "application/json")
 		resp, err := client.Do(req)
 		if err != nil {
-			return nil, 0, retries, err
+			out.err = err
+			return out
 		}
 		if resp.StatusCode == http.StatusTooManyRequests {
 			retryAfter := time.Millisecond
 			if s := resp.Header.Get("Retry-After"); s != "" {
 				if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
-					retryAfter = time.Duration(secs) * time.Second
+					retryAfter = min(time.Duration(secs)*time.Second, maxRetryAfter)
 				}
 			}
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
-			retries++
+			out.retries++
 			select {
 			case <-time.After(retryAfter):
 				continue
 			case <-ctx.Done():
-				return nil, 0, retries, ctx.Err()
+				out.err = ctx.Err()
+				return out
 			}
 		}
 		payload, readErr := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if readErr != nil {
-			return nil, 0, retries, readErr
+			out.err = readErr
+			return out
+		}
+		if resp.StatusCode == http.StatusGatewayTimeout {
+			out.deadline = true
+			return out
 		}
 		if resp.StatusCode != http.StatusOK {
-			return nil, 0, retries, fmt.Errorf("status %d: %s", resp.StatusCode, payload)
+			out.err = fmt.Errorf("status %d: %s", resp.StatusCode, payload)
+			return out
 		}
 		var pr loadResp
 		if err := json.Unmarshal(payload, &pr); err != nil {
-			return nil, 0, retries, err
+			out.err = err
+			return out
 		}
-		return pr.Labels, time.Since(attempt), retries, nil
+		out.labels = pr.Labels
+		out.latency = time.Since(start)
+		out.degraded = pr.Degraded
+		return out
 	}
 }

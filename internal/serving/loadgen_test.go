@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestBuildLoadDeterministic(t *testing.T) {
@@ -86,5 +87,63 @@ func TestRunLoadClosedLoop(t *testing.T) {
 		if len(resp) != 1 || resp[0] != int32(entries[i].K) {
 			t.Fatalf("response %d = %v, want [%d] — misaligned", i, resp, entries[i].K)
 		}
+	}
+}
+
+// TestRunLoadDeadlineAndRetryCap covers the degraded-serving wire contract
+// and the Retry-After cap: a server hinting "Retry-After: 100000" must not
+// wedge the client (the cap bounds the wait at one second), deadline_ms
+// must reach the server, 504s count as deadline sheds rather than errors,
+// and degraded responses are tallied.
+func TestRunLoadDeadlineAndRetryCap(t *testing.T) {
+	var hits atomic.Int64
+	var badDeadline atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req loadReq
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if req.DeadlineMS != 250 {
+			badDeadline.Add(1)
+		}
+		switch hits.Add(1) {
+		case 1: // hostile hint: uncapped, this would stall the run for a day
+			w.Header().Set("Retry-After", "100000")
+			w.WriteHeader(http.StatusTooManyRequests)
+		case 3:
+			http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
+		default:
+			json.NewEncoder(w).Encode(loadResp{Labels: []int32{int32(req.K)}, Degraded: true})
+		}
+	}))
+	defer ts.Close()
+
+	entries, err := BuildLoad(LoadSpec{Scale: 1e-9, Seed: 3, Requests: 3, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	report := RunLoadOpts(context.Background(), ts.URL, ts.Client(), entries, 1,
+		LoadOptions{Deadline: 250 * time.Millisecond})
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("run took %v — Retry-After hint was honored uncapped", elapsed)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("errors: %d (%s)", report.Errors, report.FirstError)
+	}
+	if report.Retried429 != 1 || report.Deadline504 != 1 || report.Degraded != 2 {
+		t.Fatalf("retried %d deadline504 %d degraded %d, want 1/1/2",
+			report.Retried429, report.Deadline504, report.Degraded)
+	}
+	if n := badDeadline.Load(); n != 0 {
+		t.Fatalf("%d requests arrived without deadline_ms = 250", n)
+	}
+	// The shed request has no response; the served ones stay index-aligned.
+	if report.Responses[1] != nil {
+		t.Fatal("504-shed request recorded a response")
+	}
+	if report.Responses[0] == nil || report.Responses[2] == nil {
+		t.Fatal("served requests missing responses")
 	}
 }

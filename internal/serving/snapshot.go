@@ -2,7 +2,9 @@ package serving
 
 import (
 	"sync/atomic"
+	"time"
 
+	"github.com/slide-cpu/slide/internal/faultinject"
 	"github.com/slide-cpu/slide/slide"
 )
 
@@ -19,13 +21,16 @@ type SnapshotManager struct {
 }
 
 // snapshotBox wraps the interface value so the hot path is a single atomic
-// pointer load.
-type snapshotBox struct{ p Predictor }
+// pointer load. publishedAt rides along for staleness reporting.
+type snapshotBox struct {
+	p           Predictor
+	publishedAt time.Time
+}
 
 // NewSnapshotManager creates a manager serving p.
 func NewSnapshotManager(p Predictor) *SnapshotManager {
 	m := &SnapshotManager{}
-	m.cur.Store(&snapshotBox{p: p})
+	m.cur.Store(&snapshotBox{p: p, publishedAt: time.Now()})
 	return m
 }
 
@@ -36,13 +41,24 @@ func (m *SnapshotManager) Publish(p Predictor) {
 	if p == nil {
 		panic("serving: Publish(nil)")
 	}
-	m.cur.Store(&snapshotBox{p: p})
+	// Chaos hook: stall rules here simulate a slow publisher (a training
+	// loop busy with a rebuild). Publication itself cannot fail, so err
+	// rules are ignored — the swap below always happens.
+	_ = faultinject.Hit(faultinject.PointSnapshotPublish)
+	m.cur.Store(&snapshotBox{p: p, publishedAt: time.Now()})
 	m.swaps.Add(1)
 }
 
 // Current returns the snapshot serving new work right now.
 func (m *SnapshotManager) Current() Predictor {
 	return m.cur.Load().p
+}
+
+// Age reports how long ago the current snapshot was published — the
+// staleness signal behind readiness: a pipeline whose training side stopped
+// publishing is serving increasingly stale versions.
+func (m *SnapshotManager) Age() time.Duration {
+	return time.Since(m.cur.Load().publishedAt)
 }
 
 // Swaps counts Publish calls since construction — /stats observability for

@@ -1,0 +1,260 @@
+package train
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/slide-cpu/slide/internal/faultinject"
+	"github.com/slide-cpu/slide/internal/network"
+)
+
+// armPlan activates a fault-injection plan for the test and disarms it on
+// cleanup (the armed plan is process-global).
+func armPlan(t *testing.T, spec string, seed uint64) *faultinject.Plan {
+	t.Helper()
+	p, err := faultinject.Parse(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm(p)
+	t.Cleanup(faultinject.Disarm)
+	return p
+}
+
+func touch(t *testing.T, path string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func exists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+func TestRingPaths(t *testing.T) {
+	got := RingPaths("/d/ck", 3)
+	want := []string{"/d/ck", "/d/ck.1", "/d/ck.2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RingPaths = %v, want %v", got, want)
+		}
+	}
+	if ps := RingPaths("/d/ck", 0); len(ps) != 1 || ps[0] != "/d/ck" {
+		t.Fatalf("RingPaths(0) = %v", ps)
+	}
+}
+
+func TestSweepStaleRemovesDebris(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ck.slide")
+	keep := []string{ckpt, ckpt + ".1", filepath.Join(dir, "other.slide"), ckpt + ".bak"}
+	stale := []string{ckpt + ".tmp-12345", ckpt + ".tmp-zz", ckpt + ".2", ckpt + ".7"}
+	for _, p := range append(append([]string{}, keep...), stale...) {
+		touch(t, p)
+	}
+	removed, err := SweepStale(ckpt, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != len(stale) {
+		t.Fatalf("removed %v, want the %d stale files", removed, len(stale))
+	}
+	for _, p := range keep {
+		if !exists(p) {
+			t.Fatalf("sweep removed live file %s", p)
+		}
+	}
+	for _, p := range stale {
+		if exists(p) {
+			t.Fatalf("sweep left %s", p)
+		}
+	}
+}
+
+// TestRunSweepsTempsAtOpen: a session with a checkpoint schedule clears
+// orphaned temp files when it opens the checkpoint directory.
+func TestRunSweepsTempsAtOpen(t *testing.T) {
+	d := testData(t)
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ck.slide")
+	orphan := ckpt + ".tmp-orphan1"
+	touch(t, orphan)
+	_, err := Run(context.Background(), testNet(t, d), memSource(t, d, 64), Config{
+		MaxSteps: 2, CheckpointPath: ckpt, CheckpointEvery: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exists(orphan) {
+		t.Fatal("session did not sweep the orphaned temp file")
+	}
+	if !exists(ckpt) {
+		t.Fatal("checkpoint missing")
+	}
+}
+
+// TestCheckpointRingRotation: with CheckpointRetain 3 the last three
+// checkpoints survive, newest first.
+func TestCheckpointRingRotation(t *testing.T) {
+	d := testData(t)
+	ckpt := filepath.Join(t.TempDir(), "ck.slide")
+	net := testNet(t, d)
+	rep, err := Run(context.Background(), net, memSource(t, d, 64), Config{
+		MaxSteps: 8, CheckpointPath: ckpt, CheckpointEvery: 2, CheckpointRetain: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LastCheckpoint != 8 {
+		t.Fatalf("last checkpoint at %d, want 8", rep.LastCheckpoint)
+	}
+	wantSteps := []int64{8, 6, 4}
+	for i, p := range RingPaths(ckpt, 3) {
+		f, err := os.Open(p)
+		if err != nil {
+			t.Fatalf("ring slot %d: %v", i, err)
+		}
+		n, err := network.Load(f, 0)
+		f.Close()
+		if err != nil {
+			t.Fatalf("ring slot %d unloadable: %v", i, err)
+		}
+		if n.Step() != wantSteps[i] {
+			t.Fatalf("ring slot %d at step %d, want %d", i, n.Step(), wantSteps[i])
+		}
+	}
+	if exists(ckpt + ".3") {
+		t.Fatal("ring grew past the retention bound")
+	}
+}
+
+// TestChaosKillMidCheckpointResume is the torn-write path the atomic rename
+// claims to cover: a simulated crash partway through the second checkpoint's
+// temp-file write must leave the primary checkpoint (the first one) intact,
+// leave the torn temp on disk like a real kill would, and a resumed session
+// from that checkpoint must be bit-identical to an uninterrupted run.
+func TestChaosKillMidCheckpointResume(t *testing.T) {
+	d := testData(t)
+	const batch = 64
+	src := memSource(t, d, batch)
+	bpe := src.BatchesPerEpoch()
+	if bpe < 3 {
+		t.Fatalf("workload too small: %d batches/epoch", bpe)
+	}
+	total := int64(bpe + bpe/2)
+
+	// Uninterrupted reference run.
+	full := testNet(t, d)
+	if _, err := Run(context.Background(), full, src, Config{MaxSteps: total}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Chaos run: the second checkpoint write is torn after 64 bytes.
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ck.slide")
+	plan := armPlan(t, "checkpoint.write@2=cut:64", 0)
+	crashed := testNet(t, d)
+	_, err := Run(context.Background(), crashed, src, Config{
+		MaxSteps: total, CheckpointPath: ckpt, CheckpointEvery: 3, CheckpointRetain: 2,
+	})
+	faultinject.Disarm()
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("chaos run err = %v, want an injected fault", err)
+	}
+	if fired := plan.Fired(); len(fired) != 1 {
+		t.Fatalf("plan fired %v, want exactly the scripted cut", fired)
+	}
+
+	// The crash left debris: a torn temp file, and the first checkpoint
+	// intact in the primary slot.
+	torn, err := filepath.Glob(ckpt + ".tmp-*")
+	if err != nil || len(torn) != 1 {
+		t.Fatalf("torn temps %v (err %v), want exactly one", torn, err)
+	}
+	fi, err := os.Stat(torn[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 64 {
+		t.Fatalf("torn temp size %d, want the 64 scripted bytes", fi.Size())
+	}
+
+	f, err := os.Open(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := network.Load(f, 0)
+	f.Close()
+	if err != nil {
+		t.Fatalf("primary checkpoint unloadable after torn write: %v", err)
+	}
+	if resumed.Step() != 3 {
+		t.Fatalf("surviving checkpoint at step %d, want 3", resumed.Step())
+	}
+
+	// Resume (which also sweeps the torn temp) and finish the run.
+	if _, err := Run(context.Background(), resumed, src, Config{
+		MaxSteps: total, Resume: true,
+		CheckpointPath: ckpt, CheckpointEvery: 3, CheckpointRetain: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if left, _ := filepath.Glob(ckpt + ".tmp-*"); len(left) != 0 {
+		t.Fatalf("resume session left temps %v", left)
+	}
+	if !bytes.Equal(netBytes(t, full), netBytes(t, resumed)) {
+		t.Fatal("resumed weights differ from the uninterrupted run")
+	}
+}
+
+// TestChaosRenameCrashOrphansTemp: a simulated crash between the temp write
+// and the rename leaves the fully written temp orphaned and the primary
+// untouched; the next session sweeps it.
+func TestChaosRenameCrashOrphansTemp(t *testing.T) {
+	d := testData(t)
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ck.slide")
+	armPlan(t, "checkpoint.rename@1=err", 0)
+	_, err := Run(context.Background(), testNet(t, d), memSource(t, d, 64), Config{
+		MaxSteps: 2, CheckpointPath: ckpt, CheckpointEvery: 2,
+	})
+	faultinject.Disarm()
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want an injected fault", err)
+	}
+	if exists(ckpt) {
+		t.Fatal("primary checkpoint appeared despite the rename never running")
+	}
+	orphans, _ := filepath.Glob(ckpt + ".tmp-*")
+	if len(orphans) != 1 {
+		t.Fatalf("orphans %v, want exactly one", orphans)
+	}
+	if _, err := Run(context.Background(), testNet(t, d), memSource(t, d, 64), Config{
+		MaxSteps: 2, CheckpointPath: ckpt, CheckpointEvery: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if left, _ := filepath.Glob(ckpt + ".tmp-*"); len(left) != 0 {
+		t.Fatalf("orphan survived the next session's sweep: %v", left)
+	}
+}
+
+// TestChaosSourceReadFault: an injected data-source error aborts the session
+// with a typed, injected-wrapping error.
+func TestChaosSourceReadFault(t *testing.T) {
+	d := testData(t)
+	armPlan(t, "datasource.read@2=err", 0)
+	rep, err := Run(context.Background(), testNet(t, d), memSource(t, d, 64), Config{MaxSteps: 8})
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want an injected fault", err)
+	}
+	if rep.Steps != 1 {
+		t.Fatalf("session ran %d steps before the injected read fault, want 1", rep.Steps)
+	}
+}

@@ -1,0 +1,95 @@
+// Checkpoint retention ring and crash-debris sweeping.
+//
+// A session with CheckpointRetain N keeps the newest checkpoint at
+// CheckpointPath and up to N-1 older generations at path.1 … path.(N-1)
+// (newest fallback first). Every new checkpoint shifts the ring down one
+// slot by rename before the fresh temp file is renamed into the primary
+// slot, so the ring always holds the N most recent checkpoints that were
+// each, at the time of writing, fully synced — a reader that finds the
+// primary corrupt (torn by a crash faster than fsync, or damaged at rest)
+// falls back through the numbered slots to the newest one that still
+// verifies.
+package train
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// RingPaths returns the on-disk paths of a checkpoint ring, newest first:
+// the primary path, then path.1 … path.(retain-1). retain < 1 is treated
+// as 1 (primary only, no fallbacks) — the pre-ring behavior.
+func RingPaths(path string, retain int) []string {
+	if retain < 1 {
+		retain = 1
+	}
+	ps := make([]string, retain)
+	ps[0] = path
+	for i := 1; i < retain; i++ {
+		ps[i] = path + "." + strconv.Itoa(i)
+	}
+	return ps
+}
+
+// rotateRing shifts the ring down one slot to make room for a new primary:
+// path.(retain-2) → path.(retain-1), …, path → path.1. The oldest slot is
+// overwritten; slots that don't exist yet are skipped. With retain <= 1
+// there is nothing to rotate.
+func rotateRing(path string, retain int) error {
+	ps := RingPaths(path, retain)
+	for i := len(ps) - 2; i >= 0; i-- {
+		if _, err := os.Stat(ps[i]); err != nil {
+			continue
+		}
+		if err := os.Rename(ps[i], ps[i+1]); err != nil {
+			return fmt.Errorf("train: rotating checkpoint ring: %w", err)
+		}
+	}
+	return nil
+}
+
+// SweepStale removes checkpoint debris around path: orphaned temp files
+// (base.tmp-*) left by a crash between CreateTemp and the atomic rename,
+// and ring slots past the retention bound (path.K for K >= retain, left
+// over from a session configured with a larger ring). It returns the paths
+// it removed. Sessions call it once when the checkpoint schedule opens the
+// directory; it is safe to call on a directory with no checkpoints at all.
+func SweepStale(path string, retain int) ([]string, error) {
+	if retain < 1 {
+		retain = 1
+	}
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("train: sweeping checkpoint dir: %w", err)
+	}
+	var removed []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		stale := false
+		switch {
+		case len(name) > len(base)+5 && name[:len(base)+5] == base+".tmp-":
+			stale = true
+		case len(name) > len(base)+1 && name[:len(base)+1] == base+".":
+			k, err := strconv.Atoi(name[len(base)+1:])
+			stale = err == nil && k >= retain
+		}
+		if !stale {
+			continue
+		}
+		p := filepath.Join(dir, name)
+		if err := os.Remove(p); err != nil {
+			return removed, fmt.Errorf("train: sweeping %s: %w", p, err)
+		}
+		removed = append(removed, p)
+	}
+	return removed, nil
+}

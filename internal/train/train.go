@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"github.com/slide-cpu/slide/internal/dataset"
+	"github.com/slide-cpu/slide/internal/faultinject"
 	"github.com/slide-cpu/slide/internal/network"
 	"github.com/slide-cpu/slide/internal/sparse"
 )
@@ -126,6 +127,12 @@ type Config struct {
 	// the last one). Requires the stepper to implement Saver.
 	CheckpointPath  string
 	CheckpointEvery int64
+	// CheckpointRetain keeps that many last-good checkpoints: the newest at
+	// CheckpointPath and older generations at path.1, path.2, … (see
+	// RingPaths). 0 or 1 keeps only the primary. Opening the schedule also
+	// sweeps crash debris — orphaned .tmp-* files and ring slots beyond the
+	// retention bound.
+	CheckpointRetain int
 	// SnapshotEvery > 0 fires Hooks.OnSnapshot every that many steps.
 	SnapshotEvery int64
 	// EarlyStopPatience > 0 stops the session when the pass mean loss has
@@ -218,6 +225,12 @@ func (c *Config) Validate(s Stepper) error {
 			return fmt.Errorf("train: checkpointing set but stepper cannot Save")
 		}
 	}
+	if c.CheckpointRetain < 0 {
+		return fmt.Errorf("train: CheckpointRetain %d must be >= 0", c.CheckpointRetain)
+	}
+	if c.CheckpointRetain > 1 && c.CheckpointEvery == 0 {
+		return fmt.Errorf("train: CheckpointRetain set without a checkpoint schedule")
+	}
 	if c.SnapshotEvery < 0 {
 		return fmt.Errorf("train: SnapshotEvery %d must be >= 0", c.SnapshotEvery)
 	}
@@ -232,34 +245,53 @@ func (c *Config) Validate(s Stepper) error {
 
 // atomicCheckpoint writes the stepper's checkpoint to path via a temp file
 // and rename, so a crash mid-write never leaves a truncated checkpoint where
-// a loadable one is expected.
-func atomicCheckpoint(sv Saver, path string) error {
+// a loadable one is expected. With retain > 1 the existing ring rotates down
+// one slot just before the rename — only once the new checkpoint is fully
+// written and synced, so a failed save leaves the ring untouched.
+//
+// The write stream and the pre-rename window are fault-injection points
+// (checkpoint.write, checkpoint.rename). An injected fault stands in for a
+// crash at that moment, so cleanup is deliberately skipped for it: the torn
+// or orphaned temp file stays on disk exactly as a real kill would leave it,
+// and the sweep/fallback machinery has real debris to recover from.
+func atomicCheckpoint(sv Saver, path string, retain int) error {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("train: checkpoint: %w", err)
 	}
 	tmp := f.Name()
-	if err := sv.Save(f); err != nil {
+	cleanup := func(err error) error {
 		f.Close()
-		os.Remove(tmp)
+		if !errors.Is(err, faultinject.ErrInjected) {
+			os.Remove(tmp)
+		}
 		return fmt.Errorf("train: checkpoint: %w", err)
 	}
+	if err := sv.Save(faultinject.Writer(faultinject.PointCheckpointWrite, f)); err != nil {
+		return cleanup(err)
+	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("train: checkpoint: %w", err)
+		return cleanup(err)
 	}
 	// CreateTemp opens 0600; match the 0644 a plain SaveFile produces so the
 	// rename doesn't silently make the checkpoint owner-only.
 	if err := f.Chmod(0o644); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("train: checkpoint: %w", err)
+		return cleanup(err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("train: checkpoint: %w", err)
+	}
+	if err := faultinject.Hit(faultinject.PointCheckpointRename); err != nil {
+		// Simulated crash between write and rename: the temp file is orphaned.
+		return fmt.Errorf("train: checkpoint: %w", err)
+	}
+	if retain > 1 {
+		if err := rotateRing(path, retain); err != nil {
+			os.Remove(tmp)
+			return err
+		}
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
@@ -292,6 +324,14 @@ func Run(ctx context.Context, s Stepper, src dataset.Source, cfg Config) (Report
 		defer c.Close()
 	}
 	se := &session{cfg: cfg, s: s, src: src}
+
+	// Opening the checkpoint schedule sweeps debris from crashed sessions:
+	// orphaned temp files and ring slots past the retention bound.
+	if cfg.CheckpointEvery > 0 {
+		if _, err := SweepStale(cfg.CheckpointPath, cfg.CheckpointRetain); err != nil {
+			return Report{}, err
+		}
+	}
 
 	// Resume fast-forward: place the source where the interrupted session's
 	// pass left off, deterministically from the step counter alone.
@@ -354,6 +394,10 @@ func Run(ctx context.Context, s Stepper, src dataset.Source, cfg Config) (Report
 			if err := ctx.Err(); err != nil {
 				stopped = StopCanceled
 				break
+			}
+			if err := faultinject.Hit(faultinject.PointSourceRead); err != nil {
+				se.mergeEpoch(ep)
+				return se.rep, fmt.Errorf("train: reading batch: %w", err)
 			}
 			b, err := src.Next()
 			if errors.Is(err, io.EOF) {
@@ -440,9 +484,10 @@ func (se *session) step(b sparse.Batch, pass, batchIdx int, ep *EpochInfo) error
 	return nil
 }
 
-// checkpoint writes one atomic checkpoint and fires the hook.
+// checkpoint writes one atomic checkpoint (rotating the retention ring) and
+// fires the hook.
 func (se *session) checkpoint(step int64) error {
-	if err := atomicCheckpoint(se.s.(Saver), se.cfg.CheckpointPath); err != nil {
+	if err := atomicCheckpoint(se.s.(Saver), se.cfg.CheckpointPath, se.cfg.CheckpointRetain); err != nil {
 		return err
 	}
 	se.last = step

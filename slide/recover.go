@@ -1,0 +1,59 @@
+package slide
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"github.com/slide-cpu/slide/internal/network"
+	"github.com/slide-cpu/slide/internal/train"
+)
+
+// ErrCorruptCheckpoint is wrapped by every load failure caused by checkpoint
+// damage — a checksum mismatch, truncation, or a structurally impossible
+// field. errors.Is(err, ErrCorruptCheckpoint) distinguishes "this file is
+// damaged, fall back to an older checkpoint" from configuration or version
+// errors that no fallback will fix.
+var ErrCorruptCheckpoint = network.ErrCorruptCheckpoint
+
+// CorruptSection reports which checkpoint section a load error blamed
+// (config, hidden, middle, output, tables, rng, or preamble) and the byte
+// offset of that section's payload. ok is false when err is not a
+// corruption report.
+func CorruptSection(err error) (section string, offset int64, ok bool) {
+	var ce *network.CorruptError
+	if !errors.As(err, &ce) {
+		return "", 0, false
+	}
+	return ce.Section, ce.Offset, true
+}
+
+// LoadLastGood restores a model from the newest valid checkpoint in the
+// retention ring rooted at path (see WithCheckpointRetain): it tries path,
+// then path.1, path.2, … up to retain slots, skipping missing files and
+// falling past damaged or unreadable ones. It returns the model and the
+// path that actually loaded. When no slot holds a valid checkpoint the
+// error joins every slot's failure (and wraps ErrCorruptCheckpoint if any
+// slot was damaged rather than merely absent).
+func LoadLastGood(path string, retain int) (*Model, string, error) {
+	var failures []error
+	for _, p := range train.RingPaths(path, retain) {
+		f, err := os.Open(p)
+		if err != nil {
+			if !os.IsNotExist(err) {
+				failures = append(failures, fmt.Errorf("slide: %w", err))
+			}
+			continue
+		}
+		m, err := Load(f)
+		f.Close()
+		if err == nil {
+			return m, p, nil
+		}
+		failures = append(failures, fmt.Errorf("%s: %w", p, err))
+	}
+	if len(failures) == 0 {
+		return nil, "", fmt.Errorf("slide: no checkpoint at %s (ring of %d)", path, max(retain, 1))
+	}
+	return nil, "", fmt.Errorf("slide: no valid checkpoint in ring: %w", errors.Join(failures...))
+}

@@ -1,0 +1,138 @@
+package slide
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/slide-cpu/slide/internal/faultinject"
+)
+
+// runTrainer runs one Trainer session to maxSteps on a fresh source.
+func runTrainer(t *testing.T, m *Model, train *Dataset, maxSteps int64, extra ...TrainerOption) Report {
+	t.Helper()
+	src, err := NewDatasetSource(train, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := append([]TrainerOption{WithEpochs(0), WithMaxSteps(maxSteps)}, extra...)
+	tr, err := NewTrainer(m, src, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tr.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// damage rewrites path through fn.
+func damage(t *testing.T, path string, fn func([]byte) []byte) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, fn(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosResumeFromLastGood is the acceptance scenario end to end: a
+// seeded chaos run kills training mid-checkpoint (torn write), then the
+// newest surviving checkpoint is truncated and the next one bit-flipped —
+// and LoadLastGood still resumes from the newest valid ring slot,
+// bit-identically to an uninterrupted run.
+func TestChaosResumeFromLastGood(t *testing.T) {
+	train, _ := tinyData(t)
+	const total = 12
+
+	full := detModel(t, train)
+	runTrainer(t, full, train, total)
+	want := modelBytes(t, full)
+
+	// Chaos run: checkpoint every 2 steps, ring of 3; the fourth checkpoint
+	// write (step 8) is torn after 128 bytes — a simulated kill.
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ck.slide")
+	plan, err := faultinject.Parse("checkpoint.write@4=cut:128", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm(plan)
+	t.Cleanup(faultinject.Disarm)
+
+	crashed := detModel(t, train)
+	src, err := NewDatasetSource(train, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTrainer(crashed, src,
+		WithEpochs(0), WithMaxSteps(total),
+		WithCheckpoints(ckpt, 2), WithCheckpointRetain(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Run(context.Background()); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("chaos run err = %v, want an injected fault", err)
+	}
+	faultinject.Disarm()
+
+	// The kill left the ring at steps 6, 4, 2. Damage the two newest: the
+	// primary is truncated, the first fallback gets one flipped bit.
+	damage(t, ckpt, func(b []byte) []byte { return b[:len(b)/2] })
+	damage(t, ckpt+".1", func(b []byte) []byte {
+		b[len(b)/2] ^= 0x10
+		return b
+	})
+
+	// The damaged slots must report typed corruption with a section name.
+	if _, err := LoadFile(ckpt); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("truncated checkpoint err = %v, want ErrCorruptCheckpoint", err)
+	}
+	_, err = LoadFile(ckpt + ".1")
+	if !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("bit-flipped checkpoint err = %v, want ErrCorruptCheckpoint", err)
+	}
+	if sec, _, ok := CorruptSection(err); !ok || sec == "" {
+		t.Fatalf("CorruptSection(%v) = %q, %v", err, sec, ok)
+	}
+
+	// LoadLastGood falls through both damaged slots to the step-2 survivor.
+	m, used, err := LoadLastGood(ckpt, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != ckpt+".2" {
+		t.Fatalf("loaded %s, want the second fallback", used)
+	}
+	if m.Steps() != 2 {
+		t.Fatalf("last-good checkpoint at step %d, want 2", m.Steps())
+	}
+
+	// Resume to the full step budget: bit-identical to the clean run.
+	runTrainer(t, m, train, total, WithResume())
+	if !bytes.Equal(want, modelBytes(t, m)) {
+		t.Fatal("chaos-resumed weights differ from the uninterrupted run")
+	}
+}
+
+func TestLoadLastGoodErrors(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "none.slide")
+	if _, _, err := LoadLastGood(ckpt, 3); err == nil {
+		t.Fatal("empty ring loaded")
+	}
+	// A ring whose every slot is damaged reports corruption.
+	if err := os.WriteFile(ckpt, []byte("SLIDnope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := LoadLastGood(ckpt, 1)
+	if !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("err = %v, want ErrCorruptCheckpoint", err)
+	}
+}

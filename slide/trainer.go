@@ -43,6 +43,7 @@ type trainerOptions struct {
 	lr            LRSchedule
 	ckptPath      string
 	ckptEvery     int
+	ckptRetain    int
 	snapEvery     int
 	snapPublish   func(*Predictor)
 	earlyPatience int
@@ -115,6 +116,17 @@ func WithLRSchedule(s LRSchedule) TrainerOption {
 // checkpoint. Resume with LoadFile + a Trainer on the loaded model.
 func WithCheckpoints(path string, everySteps int) TrainerOption {
 	return func(o *trainerOptions) { o.ckptPath, o.ckptEvery = path, everySteps }
+}
+
+// WithCheckpointRetain keeps the n most recent checkpoints instead of only
+// the newest: the current one at the WithCheckpoints path and older
+// generations at path.1, path.2, …, rotated on every write. Paired with
+// LoadLastGood, a corrupted newest checkpoint (torn by a crash faster than
+// fsync, or damaged at rest) falls back to the newest older one that still
+// verifies. Opening the schedule also sweeps stale .tmp-* files and ring
+// slots beyond n left by crashed sessions.
+func WithCheckpointRetain(n int) TrainerOption {
+	return func(o *trainerOptions) { o.ckptRetain = n }
 }
 
 // WithSnapshots freezes a Predictor snapshot every everySteps optimizer
@@ -284,6 +296,12 @@ func NewTrainer(m *Model, src DataSource, opts ...TrainerOption) (*Trainer, erro
 	if o.ckptEvery < 0 {
 		return nil, fmt.Errorf("slide: checkpoint interval %d must be >= 0", o.ckptEvery)
 	}
+	if o.ckptRetain < 0 {
+		return nil, fmt.Errorf("slide: WithCheckpointRetain(%d) must be >= 0", o.ckptRetain)
+	}
+	if o.ckptRetain > 1 && o.ckptEvery == 0 {
+		return nil, fmt.Errorf("slide: WithCheckpointRetain needs WithCheckpoints")
+	}
 	if o.snapEvery < 0 {
 		return nil, fmt.Errorf("slide: snapshot interval %d must be >= 0", o.snapEvery)
 	}
@@ -308,6 +326,7 @@ func (t *Trainer) Run(ctx context.Context) (Report, error) {
 		MaxSteps:          o.maxSteps,
 		CheckpointPath:    o.ckptPath,
 		CheckpointEvery:   int64(o.ckptEvery),
+		CheckpointRetain:  o.ckptRetain,
 		SnapshotEvery:     int64(o.snapEvery),
 		EarlyStopPatience: o.earlyPatience,
 		EarlyStopMinDelta: o.earlyMinDelta,
