@@ -9,6 +9,7 @@
 package repro_test
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -29,6 +30,7 @@ import (
 	"github.com/slide-cpu/slide/internal/metrics"
 	"github.com/slide-cpu/slide/internal/network"
 	"github.com/slide-cpu/slide/internal/platform"
+	"github.com/slide-cpu/slide/internal/replicate"
 	"github.com/slide-cpu/slide/internal/serving"
 	"github.com/slide-cpu/slide/internal/simd"
 	"github.com/slide-cpu/slide/internal/sparse"
@@ -830,4 +832,185 @@ func servePredictBench(w http.ResponseWriter, r *http.Request, mgr *serving.Snap
 		labels = mgr.Current().Predict(e.Indices, e.Values, e.K)
 	}
 	json.NewEncoder(w).Encode(map[string]any{"labels": labels})
+}
+
+// replicationBenchNet builds the benchmark-workload network with delta
+// tracking on and a few warm-up batches applied, plus a fresh batch
+// iterator for per-iteration training.
+func replicationBenchNet(b *testing.B) (*network.Network, func() sparse.Batch) {
+	b.Helper()
+	w := benchWorkload(b)
+	opts := benchOpts()
+	cfg := w.NetworkConfig(opts, layer.FP32, layer.Contiguous)
+	net, err := network.New(&cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net.EnableDeltaTracking()
+	it := w.Train.Iter(w.Batch, sparse.Coalesced, opts.Seed)
+	next := func() sparse.Batch {
+		batch, ok := it.Next()
+		if !ok {
+			it = w.Train.Iter(w.Batch, sparse.Coalesced, opts.Seed)
+			batch, _ = it.Next()
+		}
+		return batch
+	}
+	for i := 0; i < 5; i++ {
+		net.TrainBatch(next())
+	}
+	return net, next
+}
+
+// BenchmarkReplicationPublish compares what the trainer pays per publish
+// interval: a full deep Snapshot (the pre-replication path) vs the
+// copy-on-write SnapshotDelta that also yields the sparse delta. One
+// training batch runs untimed between iterations so each snapshot covers a
+// realistic touched set.
+func BenchmarkReplicationPublish(b *testing.B) {
+	b.Run("FullSnapshot", func(b *testing.B) {
+		net, next := replicationBenchNet(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			net.TrainBatch(next())
+			b.StartTimer()
+			net.Snapshot()
+		}
+	})
+	b.Run("DeltaSnapshot", func(b *testing.B) {
+		net, next := replicationBenchNet(b)
+		net.SnapshotDelta() // establish the base so every iteration yields a delta
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			net.TrainBatch(next())
+			b.StartTimer()
+			net.SnapshotDelta()
+		}
+	})
+}
+
+// wideReplicationNet builds a wide-output network — SLIDE's
+// extreme-classification regime, where LSH-sampled training touches a
+// small fraction of output rows per batch and sparse deltas pay off. The
+// benchmark workload at bench scale has only ~670 output rows, so a batch
+// touches nearly all of them; delta economics only appear when the output
+// layer dwarfs batch × active-set.
+func wideReplicationNet(b testing.TB) (*network.Network, func() sparse.Batch) {
+	b.Helper()
+	cfg := network.Config{
+		InputDim: 1000, HiddenDim: 64, OutputDim: 30000,
+		Hash: network.DWTA, K: 5, L: 16, BucketCap: 64,
+		MinActive: 16, MaxActive: 48, LR: 1e-4, Workers: 2,
+		RebuildEvery: 100, Seed: 42,
+	}
+	net, err := network.New(&cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net.EnableDeltaTracking()
+	rng := rand.New(rand.NewPCG(7, 0x5eed))
+	next := func() sparse.Batch {
+		var bu sparse.Builder
+		for i := 0; i < 32; i++ {
+			idx := make([]int32, 20)
+			vals := make([]float32, 20)
+			seen := map[int32]bool{}
+			for j := range idx {
+				v := int32(rng.IntN(1000))
+				for seen[v] {
+					v = int32(rng.IntN(1000))
+				}
+				seen[v] = true
+				idx[j] = v
+				vals[j] = 1
+			}
+			for i := 1; i < len(idx); i++ {
+				for j := i; j > 0 && idx[j] < idx[j-1]; j-- {
+					idx[j], idx[j-1] = idx[j-1], idx[j]
+				}
+			}
+			bu.Add(idx, vals, []int32{int32(rng.IntN(30000))})
+		}
+		batch, err := bu.CSR()
+		if err != nil {
+			panic(err)
+		}
+		return batch
+	}
+	for i := 0; i < 3; i++ {
+		net.TrainBatch(next())
+	}
+	return net, next
+}
+
+// BenchmarkReplicationEncode measures wire encoding and reports the
+// bytes a steady-state delta moves relative to a full base snapshot, on
+// the wide-output regime.
+func BenchmarkReplicationEncode(b *testing.B) {
+	net, next := wideReplicationNet(b)
+	base, _ := net.SnapshotDelta()
+	net.TrainBatch(next())
+	_, d := net.SnapshotDelta()
+	encBase, err := replicate.EncodeBase(base, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Base", func(b *testing.B) {
+		b.ReportMetric(float64(len(encBase)), "bytes")
+		for i := 0; i < b.N; i++ {
+			if _, err := replicate.EncodeBase(base, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Delta", func(b *testing.B) {
+		enc, err := replicate.EncodeDelta(d, 1, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(enc)), "bytes")
+		b.ReportMetric(float64(len(enc))/float64(len(encBase)), "of-base")
+		for i := 0; i < b.N; i++ {
+			if _, err := replicate.EncodeDelta(d, 1, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkReplicationApply measures the replica side: decoding one delta
+// message and applying it copy-on-write onto the current predictor.
+func BenchmarkReplicationApply(b *testing.B) {
+	net, next := wideReplicationNet(b)
+	base, _ := net.SnapshotDelta()
+	net.TrainBatch(next())
+	_, d := net.SnapshotDelta()
+	encBase, err := replicate.EncodeBase(base, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	encDelta, err := replicate.EncodeDelta(d, 1, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bm, _, err := replicate.ReadMessage(bytes.NewReader(encBase))
+	if err != nil {
+		b.Fatal(err)
+	}
+	remote, err := network.NewPredictorFromBase(bm.Parts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, dm, err := replicate.ReadMessage(bytes.NewReader(encDelta))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := remote.ApplyDelta(dm.Parts); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

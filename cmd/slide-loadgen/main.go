@@ -17,6 +17,14 @@
 // mean coalesced batch size (and zero request errors), or the command
 // exits non-zero — CI uses this to prove the micro-batcher actually
 // batches under concurrent load.
+//
+// Cluster mode (-targets host1:8081,host2:8082) spreads the same request
+// set round-robin across a fleet of replicas (slide-replica) instead of a
+// single server: the report gains per-target sections, the snapshot
+// versions observed in responses, and the cluster-wide version skew; each
+// target's /stats replication counters (replica_version, trainer_version,
+// deltas_applied, resyncs) are echoed when present. The -max-skew flag
+// fails the run when the observed version spread exceeds it.
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/slide-cpu/slide/internal/serving"
@@ -45,11 +54,26 @@ func main() {
 		deadline     = flag.Duration("deadline", 0, "per-request service deadline sent as deadline_ms; server 504s count as deadline sheds, not errors (0 = none)")
 		minMeanBatch = flag.Float64("min-mean-batch", 0, "fail unless server /stats mean_batch >= this after the run (0 = skip)")
 		jsonOut      = flag.Bool("json", false, "emit the report as JSON")
+		targets      = flag.String("targets", "", "comma-separated replica base URLs for cluster mode (overrides -addr)")
+		maxSkew      = flag.Uint64("max-skew", 0, "cluster mode: fail when the observed version spread exceeds this (0 = report only)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("slide-loadgen: ")
 
+	if *targets != "" {
+		urls := strings.Split(*targets, ",")
+		for i := range urls {
+			urls[i] = strings.TrimSpace(urls[i])
+			if !strings.Contains(urls[i], "://") {
+				urls[i] = "http://" + urls[i]
+			}
+		}
+		if err := runCluster(urls, *clients, *n, *k, *mixedK, *seed, *scale, *timeout, *deadline, *maxSkew, *jsonOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if err := run(*addr, *clients, *n, *k, *mixedK, *seed, *scale, *timeout, *deadline, *minMeanBatch, *jsonOut); err != nil {
 		log.Fatal(err)
 	}
@@ -116,6 +140,117 @@ func run(addr string, clients, n, k int, mixedK bool, seed uint64, scale float64
 		return fmt.Errorf("server mean batch size %.2f below required %.2f — micro-batching is not coalescing", meanBatch, minMeanBatch)
 	}
 	return nil
+}
+
+// runCluster drives the request set round-robin across the replica fleet
+// and reports per-target outcomes plus the observed version skew.
+func runCluster(targets []string, clients, n, k int, mixedK bool, seed uint64, scale float64, timeout, deadline time.Duration, maxSkew uint64, jsonOut bool) error {
+	entries, err := serving.BuildLoad(serving.LoadSpec{
+		Scale: scale, Seed: seed, Requests: n, K: k, MixedK: mixedK,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	report := serving.RunLoadCluster(ctx, targets, nil, entries, clients,
+		serving.LoadOptions{Deadline: deadline})
+
+	targetsOut := make([]map[string]any, len(report.Targets))
+	for i, tr := range report.Targets {
+		t := map[string]any{
+			"url":         tr.URL,
+			"requests":    tr.Report.Requests,
+			"errors":      tr.Report.Errors,
+			"degraded":    tr.Report.Degraded,
+			"p50_ms":      float64(tr.Report.P50.Microseconds()) / 1000,
+			"p99_ms":      float64(tr.Report.P99.Microseconds()) / 1000,
+			"min_version": tr.Report.MinVersion,
+			"max_version": tr.Report.MaxVersion,
+		}
+		if repl, err := fetchReplicaStats(ctx, tr.URL); err == nil && repl != nil {
+			t["replica_stats"] = repl
+		}
+		targetsOut[i] = t
+	}
+
+	if jsonOut {
+		out := map[string]any{
+			"targets":      targetsOut,
+			"requests":     report.Requests,
+			"errors":       report.Errors,
+			"retried_429":  report.Retried429,
+			"degraded":     report.Degraded,
+			"deadline_504": report.Deadline504,
+			"duration_ms":  float64(report.Duration.Microseconds()) / 1000,
+			"qps":          report.QPS,
+			"min_version":  report.MinVersion,
+			"max_version":  report.MaxVersion,
+			"version_skew": report.Skew(),
+		}
+		if report.FirstError != "" {
+			out["first_error"] = report.FirstError
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	} else {
+		log.Printf("cluster of %d: %d requests, %.0f qps, %d errors, %d degraded, versions [%d, %d] (skew %d)",
+			len(targets), report.Requests, report.QPS, report.Errors, report.Degraded,
+			report.MinVersion, report.MaxVersion, report.Skew())
+		for _, t := range targetsOut {
+			line := fmt.Sprintf("  %s: %d req, %d err, versions [%v, %v]",
+				t["url"], t["requests"], t["errors"], t["min_version"], t["max_version"])
+			if repl, ok := t["replica_stats"].(map[string]any); ok {
+				line += fmt.Sprintf(", replica v%v of trainer v%v (%v deltas, %v resyncs)",
+					repl["replica_version"], repl["trainer_version"],
+					repl["deltas_applied"], repl["resyncs"])
+			}
+			log.Print(line)
+		}
+	}
+
+	if report.Errors > 0 {
+		return fmt.Errorf("%d of %d requests failed (first: %s)", report.Errors, report.Requests, report.FirstError)
+	}
+	if maxSkew > 0 && report.Skew() > maxSkew {
+		return fmt.Errorf("version skew %d exceeds -max-skew %d", report.Skew(), maxSkew)
+	}
+	return nil
+}
+
+// fetchReplicaStats pulls the replication counters from a target's /stats,
+// returning nil when the target is not a replica (no replica_version key).
+func fetchReplicaStats(ctx context.Context, addr string) (map[string]any, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/stats returned %d", resp.StatusCode)
+	}
+	var all map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&all); err != nil {
+		return nil, err
+	}
+	if _, ok := all["replica_version"]; !ok {
+		return nil, nil
+	}
+	out := map[string]any{}
+	for _, key := range []string{"replica_version", "trainer_version", "deltas_applied", "resyncs", "corrupt"} {
+		if v, ok := all[key]; ok {
+			out[key] = v
+		}
+	}
+	return out, nil
 }
 
 // fetchMeanBatch reads mean_batch from the server's /stats endpoint.

@@ -32,6 +32,13 @@
 //
 // The -no-batch flag serves every request with its own forward pass (the
 // pre-batching behavior) — the A/B baseline for cmd/slide-loadgen.
+//
+// With -replicate the server additionally exposes the snapshot replication
+// endpoints (GET /replicate/base, /replicate/deltas, /replicate/status):
+// in demo mode the background trainer publishes sparse deltas — only the
+// rows SLIDE's sampled training touched since the last refresh — and any
+// number of cmd/slide-replica processes can follow the stream and serve
+// the same versions.
 package main
 
 import (
@@ -45,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/slide-cpu/slide/internal/replicate"
 	"github.com/slide-cpu/slide/internal/serving"
 	"github.com/slide-cpu/slide/slide"
 )
@@ -62,6 +70,7 @@ func main() {
 		maxBatch  = flag.Int("max-batch", 32, "micro-batcher: flush when this many requests coalesce")
 		maxWait   = flag.Duration("max-wait", 2*time.Millisecond, "micro-batcher: flush a partial batch after this wait")
 		queueCap  = flag.Int("queue-cap", 0, "admission queue bound; overflow sheds with 429 (0 = 8×max-batch)")
+		replFlag  = flag.Bool("replicate", false, "expose /replicate/* so slide-replica processes can follow this server's snapshots")
 
 		defaultDeadline = flag.Duration("default-deadline", 0, "service deadline for requests without deadline_ms; misses answer 504 (0 = none)")
 		degradeHigh     = flag.Float64("degrade-high", 0, "queue occupancy fraction that engages degraded (sampled) serving (0 = disabled)")
@@ -74,10 +83,10 @@ func main() {
 	log.SetPrefix("slide-serve: ")
 	log.Printf("kernels: %s active (host supports: %v)", slide.KernelInfo(), slide.AvailableKernelModes())
 
-	cfg := serverConfig{
-		defaultK: *k,
-		direct:   *noBatch,
-		batch: serving.Config{
+	cfg := serving.ServerConfig{
+		DefaultK: *k,
+		Direct:   *noBatch,
+		Batch: serving.Config{
 			MaxBatch: *maxBatch,
 			MaxWait:  *maxWait,
 			QueueCap: *queueCap,
@@ -87,20 +96,25 @@ func main() {
 				After:     *degradeAfter,
 			},
 		},
-		defaultDeadline: *defaultDeadline,
-		maxStale:        *maxStale,
+		DefaultDeadline: *defaultDeadline,
+		MaxStale:        *maxStale,
 	}
-	if err := run(*addr, *modelPath, cfg, *demo, *demoScale, *refresh, *seed); err != nil {
+	if err := run(*addr, *modelPath, cfg, *demo, *demoScale, *refresh, *seed, *replFlag); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, modelPath string, cfg serverConfig, demo bool, demoScale float64, refresh int, seed uint64) error {
+func run(addr, modelPath string, cfg serving.ServerConfig, demo bool, demoScale float64, refresh int, seed uint64, replicated bool) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var hub *replicate.Hub
+	if replicated {
+		hub = replicate.NewHub()
+	}
+
 	var (
-		srv     *server
+		srv     *serving.Server
 		trainer func(ctx context.Context) // nil when serving a frozen checkpoint
 	)
 	switch {
@@ -109,10 +123,21 @@ func run(addr, modelPath string, cfg serverConfig, demo bool, demoScale float64,
 		if err != nil {
 			return err
 		}
-		srv = newServer(m.Snapshot(), cfg)
+		if hub != nil {
+			// Journal from the first snapshot on, so every refresh after the
+			// base publishes as a sparse delta.
+			m.EnableDeltas()
+		}
+		p := m.Snapshot()
+		srv = serving.NewServer(p, cfg)
+		if hub != nil {
+			if err := hub.Publish(p.Raw(), nil); err != nil {
+				return err
+			}
+		}
 		if refresh > 0 {
 			trainer = func(ctx context.Context) {
-				backgroundTrain(ctx, m, train, refresh, srv)
+				backgroundTrain(ctx, m, train, refresh, srv, hub)
 			}
 		}
 	case modelPath != "":
@@ -121,23 +146,37 @@ func run(addr, modelPath string, cfg serverConfig, demo bool, demoScale float64,
 			return err
 		}
 		p := m.Snapshot()
-		srv = newServer(p, cfg)
+		srv = serving.NewServer(p, cfg)
+		if hub != nil {
+			// Frozen checkpoint: replicas bootstrap from the one base and
+			// never see a delta.
+			if err := hub.Publish(p.Raw(), nil); err != nil {
+				return err
+			}
+		}
 		log.Printf("loaded %s (%d labels, step %d)", modelPath, p.NumLabels(), m.Steps())
 	default:
 		return errors.New("either -model or -demo is required")
 	}
-	defer srv.close()
+	defer srv.Close()
 
 	if trainer != nil {
 		go trainer(ctx)
 	}
 
-	httpSrv := &http.Server{Addr: addr, Handler: srv.mux()}
+	mux := srv.Mux()
+	if hub != nil {
+		hub.Register(mux)
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: mux}
 	errc := make(chan error, 1)
 	go func() {
 		mode := "micro-batched"
-		if cfg.direct {
+		if cfg.Direct {
 			mode = "direct (one forward per request)"
+		}
+		if hub != nil {
+			mode += ", replicating"
 		}
 		log.Printf("listening on %s, %s", addr, mode)
 		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -180,20 +219,33 @@ func demoModel(scale float64, seed uint64) (*slide.Model, *slide.Dataset, error)
 
 // backgroundTrain runs an unbounded Trainer session over the demo dataset,
 // publishing a fresh snapshot into the serving pipeline every refresh
-// batches (WithSnapshots → SnapshotManager.Publish). Training, snapshotting
-// and hooks all stay on this single goroutine (their documented contract);
-// the serving side reads the published snapshots concurrently, and in-flight
-// batches finish on the snapshot they captured. Cancelling ctx stops the
-// session gracefully between batches.
-func backgroundTrain(ctx context.Context, m *slide.Model, train *slide.Dataset, refresh int, srv *server) {
+// batches. Training, snapshotting and hooks all stay on this single
+// goroutine (their documented contract); the serving side reads the
+// published snapshots concurrently, and in-flight batches finish on the
+// snapshot they captured. With a replication hub the session publishes
+// sparse deltas (WithDeltas) so following replicas move only the touched
+// rows per refresh. Cancelling ctx stops the session gracefully between
+// batches.
+func backgroundTrain(ctx context.Context, m *slide.Model, train *slide.Dataset, refresh int, srv *serving.Server, hub *replicate.Hub) {
 	src, err := slide.NewDatasetSource(train, 64)
 	if err != nil {
 		log.Printf("background training unavailable: %v", err)
 		return
 	}
-	trainer, err := slide.NewTrainer(m, src,
+	opts := []slide.TrainerOption{
 		slide.WithEpochs(0), // unbounded: the ctx ends the session
-		slide.WithSnapshots(refresh, serving.Publisher(srv.mgr)))
+	}
+	if hub != nil {
+		opts = append(opts, slide.WithDeltas(refresh, func(p *slide.Predictor, d *slide.Delta) {
+			srv.Publish(p)
+			if err := hub.Publish(p.Raw(), d.Raw()); err != nil {
+				log.Printf("replication publish failed: %v", err)
+			}
+		}))
+	} else {
+		opts = append(opts, slide.WithSnapshots(refresh, serving.Publisher(srv.Manager())))
+	}
+	trainer, err := slide.NewTrainer(m, src, opts...)
 	if err != nil {
 		log.Printf("background training unavailable: %v", err)
 		return

@@ -26,6 +26,10 @@
 //	cut:<bytes>    (writer points) the write stream is severed after <bytes>
 //	               more bytes — a torn write, as if the process was killed
 //	               mid-write
+//	flip:<n>       (writer points) the byte at stream offset <n> is XOR'd
+//	               with 0xFF and the stream otherwise delivered intact —
+//	               silent single-byte corruption, the fault checksums exist
+//	               to catch
 //
 // Example — fail the second checkpoint mid-write after 512 bytes and stall
 // every third data read for 5ms:
@@ -63,6 +67,14 @@ const (
 	// PointSnapshotPublish is hit on every snapshot publication into the
 	// serving pipeline (stall rules only — Publish cannot fail).
 	PointSnapshotPublish = "snapshot.publish"
+	// PointReplicateSend is hit when the replication hub writes a base or
+	// delta message onto an HTTP response; cut rules tear the stream
+	// mid-message, flip rules corrupt a byte in flight.
+	PointReplicateSend = "replicate.send"
+	// PointReplicateRecv is hit before a replica client issues a fetch on
+	// the replication stream (err and stall rules — a flaky or slow
+	// subscriber).
+	PointReplicateRecv = "replicate.recv"
 )
 
 // ErrInjected is the sentinel every injected fault wraps.
@@ -212,8 +224,14 @@ func parseClause(clause string) (*rule, error) {
 			return nil, fmt.Errorf("faultinject: bad cut byte count %q in %q", param, clause)
 		}
 		r.bytes = n
+	case "flip":
+		n, err := strconv.ParseInt(param, 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("faultinject: bad flip byte offset %q in %q", param, clause)
+		}
+		r.bytes = n
 	default:
-		return nil, fmt.Errorf("faultinject: unknown action %q in %q (err|stall|cut)", action, clause)
+		return nil, fmt.Errorf("faultinject: unknown action %q in %q (err|stall|cut|flip)", action, clause)
 	}
 	r.act = action
 	return r, nil
@@ -268,15 +286,15 @@ func (p *Plan) hit(point string) (*rule, uint64) {
 
 // Hit marks one invocation of a point. It returns an injected error when an
 // err rule fires, after sleeping when a stall rule fires, and nil otherwise
-// (including always when no plan is armed). cut rules do not fire here —
-// they need a write stream; see Writer.
+// (including always when no plan is armed). cut and flip rules do not fire
+// here — they need a write stream; see Writer.
 func Hit(point string) error {
 	p := active.Load()
 	if p == nil {
 		return nil
 	}
 	r, call := p.hit(point)
-	if r == nil || r.act == "cut" {
+	if r == nil || r.act == "cut" || r.act == "flip" {
 		return nil
 	}
 	return &Fault{Point: point, Call: call, Action: r.act}
@@ -298,8 +316,11 @@ func Writer(point string, w io.Writer) io.Writer {
 		return w
 	}
 	f := &Fault{Point: point, Call: call, Action: r.act}
-	if r.act == "err" {
+	switch r.act {
+	case "err":
 		return &cutWriter{w: w, left: 0, fault: f}
+	case "flip":
+		return &flipWriter{w: w, at: r.bytes}
 	}
 	return &cutWriter{w: w, left: r.bytes, fault: f}
 }
@@ -326,4 +347,26 @@ func (c *cutWriter) Write(b []byte) (int, error) {
 		return n, err
 	}
 	return n, c.fault
+}
+
+// flipWriter passes the stream through verbatim except for one byte at
+// absolute offset at, which it XORs with 0xFF. Every write reports full
+// success — the corruption is silent, detectable only by a checksum.
+type flipWriter struct {
+	w   io.Writer
+	at  int64 // target offset, relative to the stream's remaining bytes
+	off int64 // bytes passed through so far
+}
+
+func (fw *flipWriter) Write(b []byte) (int, error) {
+	if fw.at >= fw.off && fw.at < fw.off+int64(len(b)) {
+		mut := append([]byte(nil), b...)
+		mut[fw.at-fw.off] ^= 0xFF
+		n, err := fw.w.Write(mut)
+		fw.off += int64(n)
+		return n, err
+	}
+	n, err := fw.w.Write(b)
+	fw.off += int64(n)
+	return n, err
 }

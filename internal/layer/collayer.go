@@ -37,6 +37,7 @@ type ColLayer struct {
 	m, v    [][]float32 // ADAM moments per column
 	mb, vb  []float32
 	touched *touchSet
+	journal *touchSet // nil unless EnableJournal; columns touched since last drain
 	lk      locks
 
 	// fwd is the live forward view over the storage above; Forward and
@@ -129,6 +130,9 @@ func (l *ColLayer) ApplyAdam(ks *simd.Kernels, p simd.AdamParams, workers int) {
 			simd.Zero(l.grad[j])
 		})
 	}
+	if l.journal != nil {
+		l.journal.orFrom(l.touched)
+	}
 	l.touched.clear()
 	ks.AdamStep(l.bias, l.mb, l.vb, l.gbias, p)
 	simd.Zero(l.gbias)
@@ -137,6 +141,29 @@ func (l *ColLayer) ApplyAdam(ks *simd.Kernels, p simd.AdamParams, workers int) {
 // TouchedCols returns how many columns currently hold unapplied gradient
 // (diagnostics; meaningful between Backward and ApplyAdam).
 func (l *ColLayer) TouchedCols() int { return l.touched.count() }
+
+// EnableJournal starts accumulating a touch journal: every column stepped by
+// ApplyAdam stays recorded across batches until DrainJournal collects it.
+// The bias is deliberately not journaled — it receives dense gradient every
+// batch (Backward adds dh into gbias unconditionally), so delta consumers
+// must always treat the full bias vector as changed.
+func (l *ColLayer) EnableJournal() {
+	if l.journal == nil {
+		l.journal = newTouchSet(l.In)
+	}
+}
+
+// DrainJournal returns the columns stepped since the previous drain
+// (ascending) and resets the journal. Call between batches, never
+// concurrently with ApplyAdam. Returns nil when no journal is enabled.
+func (l *ColLayer) DrainJournal() []int32 {
+	if l.journal == nil {
+		return nil
+	}
+	ids := l.journal.ids()
+	l.journal.clear()
+	return ids
+}
 
 // Col returns column j of the weight matrix as float32 values. For BF16Both
 // the column is expanded into buf (len >= Out); otherwise a direct view is

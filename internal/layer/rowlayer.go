@@ -31,6 +31,7 @@ type RowLayer struct {
 	m, v    [][]float32
 	mb, vb  []float32
 	touched *touchSet
+	journal *touchSet // nil unless EnableJournal; rows touched since last drain
 	lk      locks
 
 	// fwd is the live forward view over the storage above; the forward
@@ -159,11 +160,36 @@ func (l *RowLayer) ApplyAdam(ks *simd.Kernels, p simd.AdamParams, workers int) {
 			l.gbias[id] = 0
 		})
 	}
+	if l.journal != nil {
+		l.journal.orFrom(l.touched)
+	}
 	l.touched.clear()
 }
 
 // TouchedRows returns how many rows currently hold unapplied gradient.
 func (l *RowLayer) TouchedRows() int { return l.touched.count() }
+
+// EnableJournal starts accumulating a touch journal: every row stepped by
+// ApplyAdam (or all rows, under ApplyAdamAll) stays recorded across batches
+// until DrainJournal collects it. The journal is what turns per-batch touch
+// tracking into per-publish-interval delta extents.
+func (l *RowLayer) EnableJournal() {
+	if l.journal == nil {
+		l.journal = newTouchSet(l.Out)
+	}
+}
+
+// DrainJournal returns the rows stepped since the previous drain (ascending)
+// and resets the journal. Call between batches, never concurrently with
+// ApplyAdam. Returns nil when no journal is enabled.
+func (l *RowLayer) DrainJournal() []int32 {
+	if l.journal == nil {
+		return nil
+	}
+	ids := l.journal.ids()
+	l.journal.clear()
+	return ids
+}
 
 // ApplyAdamAll steps every row unconditionally — the dense update of the
 // full-softmax baseline, where all parameters change every batch. Rows are
@@ -197,6 +223,9 @@ func (l *RowLayer) ApplyAdamAll(ks *simd.Kernels, p simd.AdamParams, workers int
 		}(lo, hi)
 	}
 	wg.Wait()
+	if l.journal != nil {
+		l.journal.markAll() // dense step: every row changed
+	}
 	l.touched.clear()
 }
 

@@ -56,6 +56,42 @@ func (t *touchSet) clear() {
 	}
 }
 
+// orFrom folds src's marked bits into t. Called between batches (after the
+// gradient pass, before src is cleared), so plain word-wise OR of atomic
+// loads is enough — no concurrent markers are active.
+func (t *touchSet) orFrom(src *touchSet) {
+	for i := range t.words {
+		if bits := src.words[i].Load(); bits != 0 {
+			t.words[i].Store(t.words[i].Load() | bits)
+		}
+	}
+}
+
+// markAll sets every bit — the dense-update case (ApplyAdamAll), where the
+// whole layer changed and a journal consumer must treat every id as touched.
+func (t *touchSet) markAll() {
+	for i := range t.words {
+		t.words[i].Store(^uint32(0))
+	}
+}
+
+// ids returns the marked ids in ascending order.
+func (t *touchSet) ids() []int32 {
+	out := make([]int32, 0, t.count())
+	for wi := range t.words {
+		bits := t.words[wi].Load()
+		for bits != 0 {
+			b := bits & -bits
+			id := int32(wi*32) + int32(trailingZeros(bits))
+			if int(id) < t.n {
+				out = append(out, id)
+			}
+			bits ^= b
+		}
+	}
+	return out
+}
+
 // forEachParallel invokes f(id) for every marked id, splitting word ranges
 // across workers. f must be safe to call concurrently for distinct ids.
 func (t *touchSet) forEachParallel(workers int, f func(id int32)) {

@@ -1,0 +1,375 @@
+package layer
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/slide-cpu/slide/internal/bf16"
+	"github.com/slide-cpu/slide/internal/mem"
+)
+
+// Copy-on-write snapshots and the view-level wire codecs behind snapshot
+// replication. SLIDE's defining property — each step touches only the
+// active-set rows — means consecutive snapshots differ in a tiny fraction
+// of vectors, so:
+//
+//   - SnapshotWeightsCOW copies only the vectors a touch journal names and
+//     shares everything else with the previous (immutable) snapshot view,
+//     turning publish cost from O(model) into O(touched).
+//   - SerializeView/ReadColWeights/ReadRowWeights move a full view (weights
+//     and bias, no optimizer state) — the replication base payload.
+//   - SerializeRowsDelta/PatchRows (and the column analogs) move just the
+//     touched vectors — the replication delta payload. Patching is itself
+//     copy-on-write: the patched view shares untouched vectors with the view
+//     it was applied to.
+//
+// Sharing is sound because snapshot views are immutable by contract: live
+// storage mutates only under ApplyAdam/ApplyAdamAll (journaled) and
+// Deserialize (which targets a fresh layer, never one with outstanding
+// views).
+
+// SnapshotWeightsCOW deep-copies only the rows in ids (ascending, from
+// DrainJournal) and shares every other row with prev. The bias vector is
+// always copied whole — it is O(Out) scalars, not O(Out×In). Falls back to
+// a full SnapshotWeights when prev does not match the layer's shape or
+// precision. Same concurrency contract as SnapshotWeights.
+func (l *RowLayer) SnapshotWeightsCOW(prev *RowWeights, ids []int32) *RowWeights {
+	if prev == nil || prev.In != l.In || prev.Out != l.Out || prev.prec != l.opts.Precision {
+		return l.SnapshotWeights()
+	}
+	w := &RowWeights{In: l.In, Out: l.Out, prec: l.opts.Precision}
+	if l.opts.Precision == BF16Both {
+		w.rowsBF = append([][]bf16.BF16(nil), prev.rowsBF...)
+		for _, id := range ids {
+			w.rowsBF[id] = append([]bf16.BF16(nil), l.rowsBF[id]...)
+		}
+	} else {
+		w.rows = append([][]float32(nil), prev.rows...)
+		for _, id := range ids {
+			w.rows[id] = append([]float32(nil), l.rows[id]...)
+		}
+	}
+	w.bias = append([]float32(nil), l.bias...)
+	return w
+}
+
+// SnapshotWeightsCOW is the column-major analog: only the columns in ids are
+// copied, the rest share prev's backing arrays.
+func (l *ColLayer) SnapshotWeightsCOW(prev *ColWeights, ids []int32) *ColWeights {
+	if prev == nil || prev.In != l.In || prev.Out != l.Out || prev.prec != l.opts.Precision || prev.act != l.act {
+		return l.SnapshotWeights()
+	}
+	w := &ColWeights{In: l.In, Out: l.Out, prec: l.opts.Precision, act: l.act}
+	if l.opts.Precision == BF16Both {
+		w.colsBF = append([][]bf16.BF16(nil), prev.colsBF...)
+		for _, id := range ids {
+			w.colsBF[id] = append([]bf16.BF16(nil), l.colsBF[id]...)
+		}
+	} else {
+		w.cols = append([][]float32(nil), prev.cols...)
+		for _, id := range ids {
+			w.cols[id] = append([]float32(nil), l.cols[id]...)
+		}
+	}
+	w.bias = append([]float32(nil), l.bias...)
+	return w
+}
+
+// maxViewDim bounds deserialized view dimensions — wire headers are read
+// before allocation, and a corrupted (but CRC-passing, e.g. attacker-crafted)
+// header must not provoke a multi-terabyte allocation.
+const maxViewDim = 1 << 28
+
+func checkViewDims(kind string, in, out, prec uint32) error {
+	if in == 0 || out == 0 || in > maxViewDim || out > maxViewDim {
+		return fmt.Errorf("layer: %s view dims %dx%d out of range", kind, in, out)
+	}
+	if Precision(prec) != FP32 && Precision(prec) != BF16Act && Precision(prec) != BF16Both {
+		return fmt.Errorf("layer: %s view precision %d unknown", kind, prec)
+	}
+	return nil
+}
+
+// SerializeView writes the view's shape, weights and bias — no optimizer
+// state (a replica serves, it does not train). The caller provides
+// buffering.
+func (w *ColWeights) SerializeView(out io.Writer) error {
+	for _, v := range []uint32{uint32(w.In), uint32(w.Out), uint32(w.prec), uint32(w.act)} {
+		if err := writeU32(out, v); err != nil {
+			return err
+		}
+	}
+	for j := 0; j < w.In; j++ {
+		if err := w.writeCol(out, int32(j)); err != nil {
+			return err
+		}
+	}
+	return writeF32s(out, w.bias)
+}
+
+// ReadColWeights reconstructs a view written by SerializeView into fresh
+// contiguous storage.
+func ReadColWeights(r io.Reader) (*ColWeights, error) {
+	var in, out, prec, act uint32
+	for _, p := range []*uint32{&in, &out, &prec, &act} {
+		if err := readU32(r, p); err != nil {
+			return nil, fmt.Errorf("layer: reading ColWeights header: %w", err)
+		}
+	}
+	if err := checkViewDims("ColWeights", in, out, prec); err != nil {
+		return nil, err
+	}
+	if Activation(act) != ReLU && Activation(act) != Linear {
+		return nil, fmt.Errorf("layer: ColWeights activation %d unknown", act)
+	}
+	w := &ColWeights{In: int(in), Out: int(out), prec: Precision(prec), act: Activation(act)}
+	if w.prec == BF16Both {
+		w.colsBF = freshBF16(w.In, w.Out)
+		for j := 0; j < w.In; j++ {
+			if err := readBF16s(r, w.colsBF[j]); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		w.cols, _ = mem.Contiguous2D(w.In, w.Out)
+		for j := 0; j < w.In; j++ {
+			if err := readF32s(r, w.cols[j]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	w.bias = make([]float32, w.Out)
+	if err := readF32s(r, w.bias); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// SerializeView writes the view's shape, weights and bias — no optimizer
+// state.
+func (w *RowWeights) SerializeView(out io.Writer) error {
+	for _, v := range []uint32{uint32(w.In), uint32(w.Out), uint32(w.prec)} {
+		if err := writeU32(out, v); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < w.Out; i++ {
+		if err := w.writeRow(out, int32(i)); err != nil {
+			return err
+		}
+	}
+	return writeF32s(out, w.bias)
+}
+
+// ReadRowWeights reconstructs a view written by SerializeView into fresh
+// contiguous storage.
+func ReadRowWeights(r io.Reader) (*RowWeights, error) {
+	var in, out, prec uint32
+	for _, p := range []*uint32{&in, &out, &prec} {
+		if err := readU32(r, p); err != nil {
+			return nil, fmt.Errorf("layer: reading RowWeights header: %w", err)
+		}
+	}
+	if err := checkViewDims("RowWeights", in, out, prec); err != nil {
+		return nil, err
+	}
+	w := &RowWeights{In: int(in), Out: int(out), prec: Precision(prec)}
+	if w.prec == BF16Both {
+		w.rowsBF = freshBF16(w.Out, w.In)
+		for i := 0; i < w.Out; i++ {
+			if err := readBF16s(r, w.rowsBF[i]); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		w.rows, _ = mem.Contiguous2D(w.Out, w.In)
+		for i := 0; i < w.Out; i++ {
+			if err := readF32s(r, w.rows[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	w.bias = make([]float32, w.Out)
+	if err := readF32s(r, w.bias); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// SerializeRowsDelta writes the sparse row patch for ids (ascending): the
+// view header, the id count, then one [id, row, bias] record per touched
+// row. Untouched rows — and their biases, which only move when the row's
+// gradient does — are not on the wire at all.
+func (w *RowWeights) SerializeRowsDelta(out io.Writer, ids []int32) error {
+	for _, v := range []uint32{uint32(w.In), uint32(w.Out), uint32(w.prec), uint32(len(ids))} {
+		if err := writeU32(out, v); err != nil {
+			return err
+		}
+	}
+	for _, id := range ids {
+		if err := writeU32(out, uint32(id)); err != nil {
+			return err
+		}
+		if err := w.writeRow(out, id); err != nil {
+			return err
+		}
+		if err := writeF32s(out, w.bias[id:id+1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PatchRows applies a SerializeRowsDelta payload to w, returning a new view
+// that shares every untouched row with w (copy-on-write). w itself is never
+// modified. The payload's shape must match w's.
+func (w *RowWeights) PatchRows(r io.Reader) (*RowWeights, error) {
+	var in, out, prec, n uint32
+	for _, p := range []*uint32{&in, &out, &prec, &n} {
+		if err := readU32(r, p); err != nil {
+			return nil, fmt.Errorf("layer: reading rows delta header: %w", err)
+		}
+	}
+	if int(in) != w.In || int(out) != w.Out || Precision(prec) != w.prec {
+		return nil, fmt.Errorf("layer: rows delta mismatch: wire %dx%d/%v, view %dx%d/%v",
+			in, out, Precision(prec), w.In, w.Out, w.prec)
+	}
+	if n > out {
+		return nil, fmt.Errorf("layer: rows delta names %d rows, view has %d", n, out)
+	}
+	p := &RowWeights{In: w.In, Out: w.Out, prec: w.prec}
+	if w.prec == BF16Both {
+		p.rowsBF = append([][]bf16.BF16(nil), w.rowsBF...)
+	} else {
+		p.rows = append([][]float32(nil), w.rows...)
+	}
+	p.bias = append([]float32(nil), w.bias...)
+	last := int64(-1)
+	for k := uint32(0); k < n; k++ {
+		var id uint32
+		if err := readU32(r, &id); err != nil {
+			return nil, fmt.Errorf("layer: reading rows delta record %d: %w", k, err)
+		}
+		if int64(id) <= last || id >= out {
+			return nil, fmt.Errorf("layer: rows delta id %d out of order or range (prev %d, rows %d)", id, last, out)
+		}
+		last = int64(id)
+		if w.prec == BF16Both {
+			row := make([]bf16.BF16, w.In)
+			if err := readBF16s(r, row); err != nil {
+				return nil, err
+			}
+			p.rowsBF[id] = row
+		} else {
+			row := make([]float32, w.In)
+			if err := readF32s(r, row); err != nil {
+				return nil, err
+			}
+			p.rows[id] = row
+		}
+		if err := readF32s(r, p.bias[id:id+1]); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// SerializeColsDelta writes the sparse column patch for ids (ascending): the
+// view header, the id count, one [id, column] record per touched column, then
+// the full bias vector — the hidden bias receives dense gradient every batch
+// (ColLayer.Backward adds dh into gbias unconditionally), so it always ships
+// whole.
+func (w *ColWeights) SerializeColsDelta(out io.Writer, ids []int32) error {
+	for _, v := range []uint32{uint32(w.In), uint32(w.Out), uint32(w.prec), uint32(len(ids))} {
+		if err := writeU32(out, v); err != nil {
+			return err
+		}
+	}
+	for _, id := range ids {
+		if err := writeU32(out, uint32(id)); err != nil {
+			return err
+		}
+		if err := w.writeCol(out, id); err != nil {
+			return err
+		}
+	}
+	return writeF32s(out, w.bias)
+}
+
+// PatchCols applies a SerializeColsDelta payload to w, returning a new view
+// that shares every untouched column with w (copy-on-write). w itself is
+// never modified.
+func (w *ColWeights) PatchCols(r io.Reader) (*ColWeights, error) {
+	var in, out, prec, n uint32
+	for _, p := range []*uint32{&in, &out, &prec, &n} {
+		if err := readU32(r, p); err != nil {
+			return nil, fmt.Errorf("layer: reading cols delta header: %w", err)
+		}
+	}
+	if int(in) != w.In || int(out) != w.Out || Precision(prec) != w.prec {
+		return nil, fmt.Errorf("layer: cols delta mismatch: wire %dx%d/%v, view %dx%d/%v",
+			in, out, Precision(prec), w.In, w.Out, w.prec)
+	}
+	if n > in {
+		return nil, fmt.Errorf("layer: cols delta names %d columns, view has %d", n, in)
+	}
+	p := &ColWeights{In: w.In, Out: w.Out, prec: w.prec, act: w.act}
+	if w.prec == BF16Both {
+		p.colsBF = append([][]bf16.BF16(nil), w.colsBF...)
+	} else {
+		p.cols = append([][]float32(nil), w.cols...)
+	}
+	last := int64(-1)
+	for k := uint32(0); k < n; k++ {
+		var id uint32
+		if err := readU32(r, &id); err != nil {
+			return nil, fmt.Errorf("layer: reading cols delta record %d: %w", k, err)
+		}
+		if int64(id) <= last || id >= in {
+			return nil, fmt.Errorf("layer: cols delta id %d out of order or range (prev %d, cols %d)", id, last, in)
+		}
+		last = int64(id)
+		if w.prec == BF16Both {
+			col := make([]bf16.BF16, w.Out)
+			if err := readBF16s(r, col); err != nil {
+				return nil, err
+			}
+			p.colsBF[id] = col
+		} else {
+			col := make([]float32, w.Out)
+			if err := readF32s(r, col); err != nil {
+				return nil, err
+			}
+			p.cols[id] = col
+		}
+	}
+	p.bias = make([]float32, w.Out)
+	if err := readF32s(r, p.bias); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (w *RowWeights) writeRow(out io.Writer, id int32) error {
+	if w.prec == BF16Both {
+		return writeBF16s(out, w.rowsBF[id])
+	}
+	return writeF32s(out, w.rows[id])
+}
+
+func (w *ColWeights) writeCol(out io.Writer, id int32) error {
+	if w.prec == BF16Both {
+		return writeBF16s(out, w.colsBF[id])
+	}
+	return writeF32s(out, w.cols[id])
+}
+
+// freshBF16 allocates an nVec×vecLen bfloat16 matrix in one backing block.
+func freshBF16(nVec, vecLen int) [][]bf16.BF16 {
+	backing := make([]bf16.BF16, nVec*vecLen)
+	views := make([][]bf16.BF16, nVec)
+	for i := range views {
+		views[i] = backing[i*vecLen : (i+1)*vecLen : (i+1)*vecLen]
+	}
+	return views
+}

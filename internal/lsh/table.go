@@ -97,8 +97,9 @@ func (t *Table) Query(h uint32) []int32 {
 
 // Clone deep-copies the table: the clone's buckets share no storage with
 // the original, so the two evolve independently. Lifetime insert counts are
-// reset — a clone serves read-mostly snapshot queries, and fresh counts only
-// shift where a *subsequent* eviction lands, never what is currently stored.
+// copied too, so Serialize(clone) is byte-identical to serializing the
+// original at clone time — replication ships table snapshots, and a count
+// below a bucket's population would be rejected on deserialize as corrupt.
 // The caller provides synchronization against concurrent Inserts (TableSet
 // clones under its read lock).
 func (t *Table) Clone() *Table {
@@ -109,7 +110,7 @@ func (t *Table) Clone() *Table {
 		policy:    t.policy,
 		seed:      t.seed,
 		buckets:   make([][]int32, len(t.buckets)),
-		counts:    make([]uint32, len(t.counts)),
+		counts:    append([]uint32(nil), t.counts...),
 	}
 	for i, b := range t.buckets {
 		if len(b) > 0 {

@@ -43,6 +43,16 @@ type Network struct {
 	sinceRebuild  int
 	rebuildPeriod float64
 
+	// Delta-tracking state (EnableDeltaTracking): layer touch journals
+	// accumulate between snapshots, lastSnap remembers the previous
+	// snapshot's views for copy-on-write sharing, and rebuildGen counts
+	// table rebuilds so a delta ships tables only when they changed.
+	deltas      bool
+	lastSnap    *forwardState
+	lastStep    int64
+	rebuildGen  uint64
+	lastSnapGen uint64
+
 	workers []*scratch
 }
 
@@ -61,8 +71,7 @@ func New(cfg *Config) (*Network, error) {
 	oOpts := opts
 	oOpts.Seed = splitSeed(cfg.Seed, 2)
 
-	dims := append([]int{cfg.HiddenDim}, cfg.HiddenLayers...)
-	lastDim := dims[len(dims)-1]
+	dims, lastDim, middleAll, all := forwardGeometry(cfg)
 	n := &Network{
 		cfg:           *cfg,
 		hidden:        layer.NewColLayer(cfg.InputDim, cfg.HiddenDim, cfg.HiddenActivation, hOpts),
@@ -72,54 +81,18 @@ func New(cfg *Config) (*Network, error) {
 	}
 	// Stacked dense hidden layers stay FP32: the quantization modes target
 	// the memory-bound wide layers, not the small dense middle (§4.4).
-	var middleAll [][]int32
 	for i := 1; i < len(dims); i++ {
 		mOpts := opts
 		mOpts.Seed = splitSeed(cfg.Seed, 16+uint64(i))
 		mOpts.Precision = layer.FP32
 		n.middle = append(n.middle, layer.NewRowLayer(dims[i-1], dims[i], mOpts))
-		all := make([]int32, dims[i])
-		for r := range all {
-			all[r] = int32(r)
-		}
-		middleAll = append(middleAll, all)
 	}
 
-	if !cfg.NoSampling && !cfg.UniformSampling {
-		var hasher lsh.Hasher
-		var err error
-		switch cfg.Hash {
-		case DWTA:
-			hasher, err = lsh.NewDWTA(lsh.DWTAConfig{
-				K: cfg.K, L: cfg.L, BinSize: cfg.BinSize,
-				Dim: n.lastDim, Seed: splitSeed(cfg.Seed, 3),
-			})
-		case SimHash:
-			hasher, err = lsh.NewSimHash(lsh.SimHashConfig{
-				K: cfg.K, L: cfg.L,
-				Dim: n.lastDim, Seed: splitSeed(cfg.Seed, 3),
-			})
-		case DOPH:
-			hasher, err = lsh.NewDOPH(lsh.DOPHConfig{
-				K: cfg.K, L: cfg.L,
-				Dim: n.lastDim, Seed: splitSeed(cfg.Seed, 3),
-			})
-		default:
-			err = fmt.Errorf("network: unknown hash family %d", cfg.Hash)
-		}
-		if err != nil {
-			return nil, err
-		}
-		n.tables = lsh.NewTableSet(hasher, cfg.BucketCap, cfg.BucketPolicy, splitSeed(cfg.Seed, 4))
+	tables, err := newTables(cfg, lastDim)
+	if err != nil {
+		return nil, err
 	}
-
-	var all []int32
-	if cfg.NoSampling {
-		all = make([]int32, cfg.OutputDim)
-		for i := range all {
-			all[i] = int32(i)
-		}
-	}
+	n.tables = tables
 
 	// The live forward view: layer views alias the training weights, so
 	// every ApplyAdam is visible to the next forward pass.
@@ -158,6 +131,65 @@ func splitSeed(seed uint64, stream uint64) uint64 {
 	return x
 }
 
+// forwardGeometry computes the derived index structures of a validated
+// config: the hidden-stack dims, the width feeding the output layer, the
+// all-rows index lists for the dense middle stack, and (under NoSampling)
+// the full output index list. Pure function of the config — New and the
+// replication base decode must derive identical geometry.
+func forwardGeometry(cfg *Config) (dims []int, lastDim int, middleAll [][]int32, all []int32) {
+	dims = append([]int{cfg.HiddenDim}, cfg.HiddenLayers...)
+	lastDim = dims[len(dims)-1]
+	for i := 1; i < len(dims); i++ {
+		idx := make([]int32, dims[i])
+		for r := range idx {
+			idx[r] = int32(r)
+		}
+		middleAll = append(middleAll, idx)
+	}
+	if cfg.NoSampling {
+		all = make([]int32, cfg.OutputDim)
+		for i := range all {
+			all[i] = int32(i)
+		}
+	}
+	return dims, lastDim, middleAll, all
+}
+
+// newTables builds the LSH table set a validated config declares (nil under
+// NoSampling/UniformSampling). Hasher and table seeds derive from cfg.Seed
+// exactly as in training, so a replica deserializing table contents into a
+// fresh set gets bit-identical query behavior.
+func newTables(cfg *Config, lastDim int) (*lsh.TableSet, error) {
+	if cfg.NoSampling || cfg.UniformSampling {
+		return nil, nil
+	}
+	var hasher lsh.Hasher
+	var err error
+	switch cfg.Hash {
+	case DWTA:
+		hasher, err = lsh.NewDWTA(lsh.DWTAConfig{
+			K: cfg.K, L: cfg.L, BinSize: cfg.BinSize,
+			Dim: lastDim, Seed: splitSeed(cfg.Seed, 3),
+		})
+	case SimHash:
+		hasher, err = lsh.NewSimHash(lsh.SimHashConfig{
+			K: cfg.K, L: cfg.L,
+			Dim: lastDim, Seed: splitSeed(cfg.Seed, 3),
+		})
+	case DOPH:
+		hasher, err = lsh.NewDOPH(lsh.DOPHConfig{
+			K: cfg.K, L: cfg.L,
+			Dim: lastDim, Seed: splitSeed(cfg.Seed, 3),
+		})
+	default:
+		err = fmt.Errorf("network: unknown hash family %d", cfg.Hash)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return lsh.NewTableSet(hasher, cfg.BucketCap, cfg.BucketPolicy, splitSeed(cfg.Seed, 4)), nil
+}
+
 // Config returns the validated configuration.
 func (n *Network) Config() Config { return n.cfg }
 
@@ -188,6 +220,7 @@ func (n *Network) SetLR(lr float64) {
 // rebuildTables re-hashes every output neuron into fresh tables.
 func (n *Network) rebuildTables() {
 	n.tables.RebuildDense(n.cfg.OutputDim, n.lastDim, n.output.RowF32, n.cfg.Workers)
+	n.rebuildGen++
 }
 
 // backwardStack propagates ws.dhLast() through the middle stack and into

@@ -41,12 +41,32 @@ func newPredictor(f *forwardState, seed uint64) *Predictor {
 	return p
 }
 
-// Snapshot produces an immutable Predictor over a deep copy of the current
+// Snapshot produces an immutable Predictor over a copy of the current
 // weights and a clone of the LSH tables. Call it between TrainBatch calls
 // (the same contract as Save); afterwards the Predictor is fully
 // independent — training continues on the network without ever touching
 // the snapshot, and any number of goroutines may serve from it.
+//
+// Under EnableDeltaTracking the copy is copy-on-write against the previous
+// snapshot: only rows the touch journal names since the last Snapshot are
+// duplicated, the rest share backing arrays with the (immutable) previous
+// views — publish cost drops from O(model) to O(touched rows).
 func (n *Network) Snapshot() *Predictor {
+	p, _ := n.SnapshotDelta()
+	return p
+}
+
+// snapshotSeed derives the predictor seed at a given optimizer step: the
+// step is folded in so successive snapshots draw different (still
+// deterministic) random top-up streams. A replica reconstructing a
+// predictor at the same step derives the same seed — part of the
+// bit-identity contract.
+func snapshotSeed(cfg *Config, step int64) uint64 {
+	return splitSeed(cfg.Seed, 6) ^ uint64(step)
+}
+
+// fullSnapshotState deep-copies the live forward state.
+func (n *Network) fullSnapshotState() *forwardState {
 	f := &forwardState{
 		cfg:       n.cfg,
 		hidden:    n.hidden.SnapshotWeights(),
@@ -62,11 +82,7 @@ func (n *Network) Snapshot() *Predictor {
 	if n.tables != nil {
 		f.tables = n.tables.Clone()
 	}
-	// Fold the optimizer step into the seed so successive snapshots draw
-	// different (still deterministic) random top-up streams.
-	p := newPredictor(f, splitSeed(n.cfg.Seed, 6)^uint64(n.step))
-	p.steps = n.step
-	return p
+	return f
 }
 
 // Steps returns the optimizer step count of the source network at snapshot

@@ -116,10 +116,10 @@ func (n *Network) Save(w io.Writer) error {
 			return fmt.Errorf("network: writing checkpoint preamble: %w", err)
 		}
 	}
-	sw := sectionWriter{w: bw}
-	sw.section(secConfig, n.writeConfig)
-	sw.section(secHidden, n.hidden.Serialize)
-	sw.section(secMiddle, func(w io.Writer) error {
+	sw := NewSectionWriter(bw)
+	sw.Section(secConfig, sectionNames[secConfig], n.writeConfig)
+	sw.Section(secHidden, sectionNames[secHidden], n.hidden.Serialize)
+	sw.Section(secMiddle, sectionNames[secMiddle], func(w io.Writer) error {
 		for i, ml := range n.middle {
 			if err := ml.Serialize(w); err != nil {
 				return fmt.Errorf("hidden layer %d: %w", i+1, err)
@@ -127,83 +127,54 @@ func (n *Network) Save(w io.Writer) error {
 		}
 		return nil
 	})
-	sw.section(secOutput, n.output.Serialize)
+	sw.Section(secOutput, sectionNames[secOutput], n.output.Serialize)
 	if n.tables != nil {
-		sw.section(secTables, n.tables.Serialize)
+		sw.Section(secTables, sectionNames[secTables], n.tables.Serialize)
 	}
-	sw.section(secRNG, n.writeRNG)
-	if sw.err != nil {
-		return sw.err
+	sw.Section(secRNG, sectionNames[secRNG], n.writeRNG)
+	if err := sw.Err(); err != nil {
+		return err
 	}
 	return bw.Flush()
-}
-
-// sectionWriter frames sections: each payload is buffered (so its length
-// prefix and checksum can precede the next section), CRC32C'd, and written
-// as id + length + payload + crc. The buffer is reused across sections; the
-// transient copy is the price of a stream a reader can verify before
-// parsing, and the checkpoint benchmark puts the total overhead vs the
-// unframed v2 format in the noise next to the weight serialization itself.
-type sectionWriter struct {
-	w   io.Writer
-	buf bytes.Buffer
-	err error
-}
-
-func (sw *sectionWriter) section(id uint32, fill func(io.Writer) error) {
-	if sw.err != nil {
-		return
-	}
-	name := sectionNames[id]
-	sw.buf.Reset()
-	if err := fill(&sw.buf); err != nil {
-		sw.err = fmt.Errorf("network: writing checkpoint section %s: %w", name, err)
-		return
-	}
-	payload := sw.buf.Bytes()
-	hdr := make([]byte, 12)
-	binary.LittleEndian.PutUint32(hdr[0:4], id)
-	binary.LittleEndian.PutUint64(hdr[4:12], uint64(len(payload)))
-	var trailer [4]byte
-	binary.LittleEndian.PutUint32(trailer[:], crc32.Checksum(payload, castagnoli))
-	for _, b := range [][]byte{hdr, payload, trailer[:]} {
-		if _, err := sw.w.Write(b); err != nil {
-			sw.err = fmt.Errorf("network: writing checkpoint section %s: %w", name, err)
-			return
-		}
-	}
 }
 
 // writeConfig emits the config payload: the fixed uint64 fields, the float64
 // fields, and the middle-stack shape. Identical to the version-2 bytes that
 // followed the preamble, so the v2 loader shares readConfig.
 func (n *Network) writeConfig(w io.Writer) error {
+	return writeConfigPayload(w, &n.cfg, n.step, n.sinceRebuild, n.rebuildPeriod)
+}
+
+// writeConfigPayload is the config payload serializer shared by checkpoints
+// (full training state) and replication base snapshots (which carry no
+// rebuild-schedule position — they pass zeros).
+func writeConfigPayload(w io.Writer, cfg *Config, step int64, sinceRebuild int, rebuildPeriod float64) error {
 	hdr := []uint64{
-		uint64(n.cfg.InputDim), uint64(n.cfg.HiddenDim), uint64(n.cfg.OutputDim),
-		uint64(n.cfg.HiddenActivation), uint64(n.cfg.Hash),
-		uint64(n.cfg.K), uint64(n.cfg.L), uint64(n.cfg.BinSize),
-		uint64(n.cfg.BucketCap), uint64(n.cfg.BucketPolicy),
-		uint64(n.cfg.MinActive), uint64(n.cfg.MaxActive),
-		boolU64(n.cfg.NoSampling), boolU64(n.cfg.UniformSampling),
-		uint64(n.cfg.Precision), uint64(n.cfg.Placement),
-		boolU64(n.cfg.Locked),
-		uint64(n.cfg.RebuildEvery), uint64(n.cfg.Seed),
-		uint64(n.step), uint64(n.sinceRebuild),
+		uint64(cfg.InputDim), uint64(cfg.HiddenDim), uint64(cfg.OutputDim),
+		uint64(cfg.HiddenActivation), uint64(cfg.Hash),
+		uint64(cfg.K), uint64(cfg.L), uint64(cfg.BinSize),
+		uint64(cfg.BucketCap), uint64(cfg.BucketPolicy),
+		uint64(cfg.MinActive), uint64(cfg.MaxActive),
+		boolU64(cfg.NoSampling), boolU64(cfg.UniformSampling),
+		uint64(cfg.Precision), uint64(cfg.Placement),
+		boolU64(cfg.Locked),
+		uint64(cfg.RebuildEvery), uint64(cfg.Seed),
+		uint64(step), uint64(sinceRebuild),
 	}
 	for _, v := range hdr {
 		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
 			return err
 		}
 	}
-	for _, f := range []float64{n.cfg.LR, n.cfg.Beta1, n.cfg.Beta2, n.cfg.Eps, n.cfg.RebuildGrowth, n.rebuildPeriod} {
+	for _, f := range []float64{cfg.LR, cfg.Beta1, cfg.Beta2, cfg.Eps, cfg.RebuildGrowth, rebuildPeriod} {
 		if err := binary.Write(w, binary.LittleEndian, f); err != nil {
 			return err
 		}
 	}
-	if err := binary.Write(w, binary.LittleEndian, uint64(len(n.cfg.HiddenLayers))); err != nil {
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(cfg.HiddenLayers))); err != nil {
 		return err
 	}
-	for _, d := range n.cfg.HiddenLayers {
+	for _, d := range cfg.HiddenLayers {
 		if err := binary.Write(w, binary.LittleEndian, uint64(d)); err != nil {
 			return err
 		}
@@ -271,38 +242,9 @@ func Load(r io.Reader, workers int) (*Network, error) {
 
 // loadV3 reads the framed, checksummed format.
 func loadV3(br *bufio.Reader, workers int) (*Network, error) {
-	offset := int64(16) // past the preamble
+	sr := NewSectionReader(br, 16) // past the preamble
 	next := func(wantID uint32) ([]byte, int64, error) {
-		name := sectionNames[wantID]
-		secStart := offset
-		var id uint32
-		if err := binary.Read(br, binary.LittleEndian, &id); err != nil {
-			return nil, 0, corrupt(name, secStart, "truncated before section header: %w", err)
-		}
-		if id != wantID {
-			return nil, 0, corrupt(name, secStart, "expected section %s (%d), found id %d", name, wantID, id)
-		}
-		var length uint64
-		if err := binary.Read(br, binary.LittleEndian, &length); err != nil {
-			return nil, 0, corrupt(name, secStart, "truncated in section header: %w", err)
-		}
-		if length > maxSectionBytes {
-			return nil, 0, corrupt(name, secStart, "declared length %d exceeds bound %d", length, maxSectionBytes)
-		}
-		payloadOff := secStart + 12
-		payload := make([]byte, length)
-		if _, err := io.ReadFull(br, payload); err != nil {
-			return nil, 0, corrupt(name, payloadOff, "truncated payload (%d bytes declared): %w", length, err)
-		}
-		var sum uint32
-		if err := binary.Read(br, binary.LittleEndian, &sum); err != nil {
-			return nil, 0, corrupt(name, payloadOff, "truncated before checksum: %w", err)
-		}
-		if got := crc32.Checksum(payload, castagnoli); got != sum {
-			return nil, 0, corrupt(name, payloadOff, "CRC32C mismatch: computed %#x, stored %#x", got, sum)
-		}
-		offset = payloadOff + int64(length) + 4
-		return payload, payloadOff, nil
+		return sr.Next(wantID, sectionNames[wantID])
 	}
 
 	cfgPayload, cfgOff, err := next(secConfig)
@@ -398,30 +340,48 @@ func readConfig(r io.Reader, workers int, section string, off int64) (*Network, 
 		}
 		return fmt.Errorf("network: reading checkpoint header: %w", fmt.Errorf(format, args...))
 	}
+	cfg, step, sinceRebuild, rebuildPeriod, err := parseConfigPayload(r, fail)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Workers = workers
+	n, err := New(&cfg)
+	if err != nil {
+		return nil, fmt.Errorf("network: checkpoint config invalid: %w", err)
+	}
+	n.step = step
+	n.sinceRebuild = sinceRebuild
+	n.rebuildPeriod = rebuildPeriod
+	return n, nil
+}
+
+// parseConfigPayload reads the payload written by writeConfigPayload. fail
+// wraps field-level read failures with the caller's error shape.
+func parseConfigPayload(r io.Reader, fail func(format string, args ...any) error) (Config, int64, int, float64, error) {
 	hdr := make([]uint64, 21)
 	for i := range hdr {
 		if err := binary.Read(r, binary.LittleEndian, &hdr[i]); err != nil {
-			return nil, fail("reading config field %d: %w", i, err)
+			return Config{}, 0, 0, 0, fail("reading config field %d: %w", i, err)
 		}
 	}
 	fs := make([]float64, 6)
 	for i := range fs {
 		if err := binary.Read(r, binary.LittleEndian, &fs[i]); err != nil {
-			return nil, fail("reading config float %d: %w", i, err)
+			return Config{}, 0, 0, 0, fail("reading config float %d: %w", i, err)
 		}
 	}
 	var nMiddle uint64
 	if err := binary.Read(r, binary.LittleEndian, &nMiddle); err != nil {
-		return nil, fail("reading middle-stack size: %w", err)
+		return Config{}, 0, 0, 0, fail("reading middle-stack size: %w", err)
 	}
 	if nMiddle > 64 {
-		return nil, fail("checkpoint declares %d hidden layers", nMiddle)
+		return Config{}, 0, 0, 0, fail("checkpoint declares %d hidden layers", nMiddle)
 	}
 	middleDims := make([]int, nMiddle)
 	for i := range middleDims {
 		var d uint64
 		if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
-			return nil, fail("reading middle dims: %w", err)
+			return Config{}, 0, 0, 0, fail("reading middle dims: %w", err)
 		}
 		middleDims[i] = int(d)
 	}
@@ -451,16 +411,8 @@ func readConfig(r io.Reader, workers int, section string, off int64) (*Network, 
 		Beta2:            fs[2],
 		Eps:              fs[3],
 		RebuildGrowth:    fs[4],
-		Workers:          workers,
 	}
-	n, err := New(&cfg)
-	if err != nil {
-		return nil, fmt.Errorf("network: checkpoint config invalid: %w", err)
-	}
-	n.step = int64(hdr[19])
-	n.sinceRebuild = int(hdr[20])
-	n.rebuildPeriod = fs[5]
-	return n, nil
+	return cfg, int64(hdr[19]), int(hdr[20]), fs[5], nil
 }
 
 // readRNG restores the per-worker RNG states. A load with the same worker

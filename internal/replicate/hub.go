@@ -1,0 +1,264 @@
+package replicate
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/slide-cpu/slide/internal/faultinject"
+	"github.com/slide-cpu/slide/internal/network"
+)
+
+// defaultRingCap bounds how many encoded deltas the hub retains. A replica
+// further behind than the ring reaches gets 410 Gone and re-syncs from a
+// base — bounded trainer memory, unbounded replica lag tolerance.
+const defaultRingCap = 64
+
+// defaultPollWait caps how long a delta long-poll parks before answering
+// 204 No Content (clients just poll again).
+const defaultPollWait = 25 * time.Second
+
+// encDelta is one encoded delta message held in the replay ring.
+type encDelta struct {
+	from, to uint64
+	data     []byte
+}
+
+// Hub is the trainer-side replication endpoint. The training loop calls
+// Publish after each snapshot; replicas fetch bases and long-poll deltas
+// over the HTTP handlers Register installs. Publish must be called from
+// the training goroutine (it serializes views, same contract as
+// Snapshot); the HTTP side is safe for unbounded concurrency.
+type Hub struct {
+	ringCap  int
+	pollWait time.Duration
+
+	mu      sync.Mutex
+	version uint64             // replication version of the newest snapshot
+	cur     *network.Predictor // newest snapshot, for base re-encodes
+	base    []byte             // cached encoded base message
+	baseVer uint64             // version base encodes (0 = no cache)
+	ring    []encDelta         // contiguous deltas ending at version
+	wake    chan struct{}      // closed and replaced on every Publish
+}
+
+// NewHub returns an empty hub; it serves errors until the first Publish.
+func NewHub() *Hub {
+	return &Hub{ringCap: defaultRingCap, pollWait: defaultPollWait, wake: make(chan struct{})}
+}
+
+// Publish makes (p, d) the newest replicated snapshot. A nil delta
+// publishes p as a fresh base (first snapshot, or tracking disabled) and
+// clears the delta ring — followers see a gap and re-sync. With a delta,
+// the hub encodes it immediately (the delta references immutable snapshot
+// views, but encoding now keeps memory bounded to the encoded bytes) and
+// appends it to the replay ring.
+func (h *Hub) Publish(p *network.Predictor, d *network.Delta) error {
+	var enc []byte
+	var err error
+	h.mu.Lock()
+	from, to := h.version, h.version+1
+	h.mu.Unlock()
+	if d != nil {
+		// Encode outside the lock: serving-path handlers must not wait on
+		// snapshot serialization.
+		if enc, err = EncodeDelta(d, from, to); err != nil {
+			return err
+		}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.version = to
+	h.cur = p
+	h.base, h.baseVer = nil, 0 // stale; re-encoded on demand
+	if d == nil {
+		h.ring = nil
+	} else {
+		h.ring = append(h.ring, encDelta{from: from, to: to, data: enc})
+		if len(h.ring) > h.ringCap {
+			h.ring = h.ring[len(h.ring)-h.ringCap:]
+		}
+	}
+	close(h.wake)
+	h.wake = make(chan struct{})
+	return nil
+}
+
+// Version returns the replication version of the newest published
+// snapshot (0 before the first Publish).
+func (h *Hub) Version() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.version
+}
+
+// encodedBase returns the cached encoded base message for the newest
+// snapshot, encoding it if the cache is stale.
+func (h *Hub) encodedBase() ([]byte, uint64, error) {
+	h.mu.Lock()
+	cur, ver := h.cur, h.version
+	if h.baseVer == ver && h.base != nil {
+		b := h.base
+		h.mu.Unlock()
+		return b, ver, nil
+	}
+	h.mu.Unlock()
+	if cur == nil {
+		return nil, 0, fmt.Errorf("replicate: nothing published yet")
+	}
+	enc, err := EncodeBase(cur, ver)
+	if err != nil {
+		return nil, 0, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	// Another goroutine may have encoded (or Publish advanced) meanwhile;
+	// only cache when still current.
+	if h.version == ver {
+		h.base, h.baseVer = enc, ver
+	}
+	return enc, ver, nil
+}
+
+// errGone signals the requested version predates the replay ring.
+var errGone = fmt.Errorf("replicate: version no longer in delta ring")
+
+// deltasSince returns the encoded deltas moving version from → current,
+// concatenation-ready, or (nil, nil) when from is already current, or
+// errGone when the ring no longer reaches back to from.
+func (h *Hub) deltasSince(from uint64) ([][]byte, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if from >= h.version {
+		if from > h.version {
+			return nil, errGone // replica claims a future version: trainer restarted
+		}
+		return nil, nil
+	}
+	if len(h.ring) == 0 || h.ring[0].from > from {
+		return nil, errGone
+	}
+	var out [][]byte
+	for _, e := range h.ring {
+		if e.from >= from {
+			out = append(out, e.data)
+		}
+	}
+	return out, nil
+}
+
+// waitBeyond parks until the hub's version exceeds after, the wait
+// budget elapses, or ctx is done. Reports whether the version advanced.
+func (h *Hub) waitBeyond(ctx context.Context, after uint64, wait time.Duration) bool {
+	deadline := time.Now().Add(wait)
+	for {
+		h.mu.Lock()
+		if h.version > after {
+			h.mu.Unlock()
+			return true
+		}
+		wake := h.wake
+		h.mu.Unlock()
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return false
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-wake:
+			t.Stop()
+		case <-t.C:
+			return false
+		case <-ctx.Done():
+			t.Stop()
+			return false
+		}
+	}
+}
+
+// Register installs the replication endpoints on mux:
+//
+//	GET /replicate/base          full base snapshot (X-Replicate-Version)
+//	GET /replicate/deltas?from=V long-poll; deltas after V, 204 on
+//	                             timeout, 410 Gone when V left the ring
+//	GET /replicate/status        JSON version/step/ring observability
+func (h *Hub) Register(mux *http.ServeMux) {
+	mux.HandleFunc("GET /replicate/base", h.handleBase)
+	mux.HandleFunc("GET /replicate/deltas", h.handleDeltas)
+	mux.HandleFunc("GET /replicate/status", h.handleStatus)
+}
+
+func (h *Hub) handleBase(w http.ResponseWriter, r *http.Request) {
+	enc, ver, err := h.encodedBase()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Replicate-Version", strconv.FormatUint(ver, 10))
+	w.Header().Set("Content-Length", strconv.Itoa(len(enc)))
+	// The chaos point: cut rules tear the body mid-message, flip rules
+	// corrupt a byte in flight. The hub's copy stays pristine.
+	faultinject.Writer(faultinject.PointReplicateSend, w).Write(enc)
+}
+
+func (h *Hub) handleDeltas(w http.ResponseWriter, r *http.Request) {
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	if err != nil {
+		http.Error(w, "replicate: bad or missing from parameter", http.StatusBadRequest)
+		return
+	}
+	deltas, derr := h.deltasSince(from)
+	if derr == nil && deltas == nil {
+		// Caught up: park until something newer is published.
+		if h.waitBeyond(r.Context(), from, h.pollWait) {
+			deltas, derr = h.deltasSince(from)
+		}
+	}
+	ver := h.Version()
+	w.Header().Set("X-Replicate-Version", strconv.FormatUint(ver, 10))
+	if derr != nil {
+		http.Error(w, derr.Error(), http.StatusGone)
+		return
+	}
+	if deltas == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	total := 0
+	for _, d := range deltas {
+		total += len(d)
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(total))
+	out := faultinject.Writer(faultinject.PointReplicateSend, w)
+	for _, d := range deltas {
+		if _, err := out.Write(d); err != nil {
+			return // client gone or injected tear — nothing to clean up
+		}
+	}
+}
+
+func (h *Hub) handleStatus(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	st := struct {
+		Version   uint64 `json:"version"`
+		Step      int64  `json:"step"`
+		RingLen   int    `json:"ring_len"`
+		RingFrom  uint64 `json:"ring_from"`
+		BaseBytes int    `json:"base_bytes"`
+	}{Version: h.version, RingLen: len(h.ring), BaseBytes: len(h.base)}
+	if h.cur != nil {
+		st.Step = h.cur.Steps()
+	}
+	if len(h.ring) > 0 {
+		st.RingFrom = h.ring[0].from
+	}
+	h.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}

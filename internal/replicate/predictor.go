@@ -1,0 +1,85 @@
+package replicate
+
+import (
+	"fmt"
+
+	"github.com/slide-cpu/slide/internal/network"
+	"github.com/slide-cpu/slide/internal/serving"
+	"github.com/slide-cpu/slide/internal/sparse"
+	"github.com/slide-cpu/slide/slide"
+)
+
+var _ serving.Predictor = (*Served)(nil)
+
+// Served adapts a replicated network.Predictor to the serving.Predictor
+// interface, carrying the hub replication version in place of the local
+// process-wide snapshot counter — across a cluster, version equality
+// means weight equality.
+type Served struct {
+	p       *network.Predictor
+	version uint64
+}
+
+// NewServed wraps a replicated predictor at the given hub version.
+func NewServed(p *network.Predictor, version uint64) *Served {
+	return &Served{p: p, version: version}
+}
+
+// Version returns the hub replication version of the applied snapshot.
+func (s *Served) Version() uint64 { return s.version }
+
+// Steps returns the trainer's optimizer step count at snapshot time.
+func (s *Served) Steps() int64 { return s.p.Steps() }
+
+// NumLabels returns the label-space size.
+func (s *Served) NumLabels() int { return s.p.Config().OutputDim }
+
+// NumFeatures bounds valid feature indices.
+func (s *Served) NumFeatures() int { return s.p.Config().InputDim }
+
+// Sampled reports whether LSH-sampled inference is available.
+func (s *Served) Sampled() bool { return s.p.Sampled() }
+
+// Predict is single-sample exact top-k.
+func (s *Served) Predict(indices []int32, values []float32, k int) []int32 {
+	return s.p.Predict(sparse.Vector{Indices: indices, Values: values}, k)
+}
+
+// PredictSampled is sub-linear LSH inference.
+func (s *Served) PredictSampled(indices []int32, values []float32, k int) ([]int32, error) {
+	return s.p.PredictSampled(sparse.Vector{Indices: indices, Values: values}, k)
+}
+
+// PredictBatch is the single-caller data-parallel uniform-k path.
+func (s *Served) PredictBatch(samples []slide.Sample, k int) ([][]int32, error) {
+	xs := make([]sparse.Vector, len(samples))
+	for i, smp := range samples {
+		if len(smp.Indices) != len(smp.Values) {
+			return nil, fmt.Errorf("replicate: sample %d has %d indices but %d values",
+				i, len(smp.Indices), len(smp.Values))
+		}
+		xs[i] = sparse.Vector{Indices: smp.Indices, Values: smp.Values}
+	}
+	return s.p.PredictBatch(xs, k), nil
+}
+
+// PredictEntries runs coalesced exact top-k with per-entry k — same
+// validation and fused walk as slide.Predictor.PredictEntries, so a
+// replica's responses are bit-identical to the trainer's at the same
+// version.
+func (s *Served) PredictEntries(entries []slide.BatchEntry) ([][]int32, error) {
+	xs := make([]sparse.Vector, len(entries))
+	ks := make([]int, len(entries))
+	for i, e := range entries {
+		if len(e.Indices) != len(e.Values) {
+			return nil, fmt.Errorf("replicate: entry %d has %d indices but %d values",
+				i, len(e.Indices), len(e.Values))
+		}
+		if e.K <= 0 {
+			return nil, fmt.Errorf("replicate: entry %d has non-positive k %d", i, e.K)
+		}
+		xs[i] = sparse.Vector{Indices: e.Indices, Values: e.Values}
+		ks[i] = e.K
+	}
+	return s.p.PredictBatchK(xs, ks), nil
+}

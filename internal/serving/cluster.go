@@ -1,0 +1,109 @@
+package serving
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/slide-cpu/slide/slide"
+)
+
+// Multi-target (cluster) load generation: the same deterministic request
+// set, spread round-robin across a fleet of replicas. Request i goes to
+// targets[i % len(targets)], so every run exercises every replica with
+// the same sub-stream, and the per-response snapshot versions expose the
+// cluster's version skew under live replication.
+
+// TargetReport is one replica's share of a cluster run.
+type TargetReport struct {
+	// URL is the replica's base URL.
+	URL string
+	// Report summarizes the requests routed to this replica; its
+	// MinVersion/MaxVersion bound the versions this replica served.
+	Report LoadReport
+}
+
+// ClusterReport aggregates a multi-target run.
+type ClusterReport struct {
+	// Duration is the wall clock of the whole run (targets run
+	// concurrently); QPS counts completed requests across all targets.
+	Duration time.Duration
+	QPS      float64
+	// Totals across all targets (see LoadReport for field semantics).
+	Requests, Errors, Retried429 int
+	Degraded, Deadline504        int
+	// MinVersion/MaxVersion bound the snapshot versions observed across
+	// every successful response on every target; MaxVersion-MinVersion is
+	// the observed cluster-wide version skew.
+	MinVersion, MaxVersion uint64
+	// Targets holds each replica's sub-report, ordered as given.
+	Targets []TargetReport
+	// FirstError samples one failure for diagnostics.
+	FirstError string
+}
+
+// Skew is the observed cluster-wide version spread (0 when fewer than
+// two versioned responses arrived).
+func (c *ClusterReport) Skew() uint64 {
+	if c.MinVersion == 0 {
+		return 0
+	}
+	return c.MaxVersion - c.MinVersion
+}
+
+// RunLoadCluster drives the request set against a fleet: request i is
+// routed to targets[i % len(targets)], each target is driven by
+// clients/len(targets) closed-loop clients (min 1), and all targets run
+// concurrently. Assignment and payloads are deterministic in (entries,
+// targets); only timing varies between runs.
+func RunLoadCluster(ctx context.Context, targets []string, client *http.Client, entries []slide.BatchEntry, clients int, opts LoadOptions) ClusterReport {
+	n := len(targets)
+	out := ClusterReport{Targets: make([]TargetReport, n)}
+	if n == 0 || len(entries) == 0 {
+		return out
+	}
+	perTarget := make([][]slide.BatchEntry, n)
+	for i, e := range entries {
+		t := i % n
+		perTarget[t] = append(perTarget[t], e)
+	}
+	perClients := max(clients/n, 1)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for t := 0; t < n; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			out.Targets[t] = TargetReport{
+				URL:    targets[t],
+				Report: RunLoadOpts(ctx, targets[t], client, perTarget[t], perClients, opts),
+			}
+		}(t)
+	}
+	wg.Wait()
+	out.Duration = time.Since(start)
+
+	for _, tr := range out.Targets {
+		r := &tr.Report
+		out.Requests += r.Requests
+		out.Errors += r.Errors
+		out.Retried429 += r.Retried429
+		out.Degraded += r.Degraded
+		out.Deadline504 += r.Deadline504
+		if r.MinVersion > 0 && (out.MinVersion == 0 || r.MinVersion < out.MinVersion) {
+			out.MinVersion = r.MinVersion
+		}
+		if r.MaxVersion > out.MaxVersion {
+			out.MaxVersion = r.MaxVersion
+		}
+		if out.FirstError == "" && r.FirstError != "" {
+			out.FirstError = r.FirstError
+		}
+	}
+	if out.Duration > 0 {
+		out.QPS = float64(out.Requests-out.Errors-out.Deadline504) / out.Duration.Seconds()
+	}
+	return out
+}

@@ -1,4 +1,4 @@
-package main
+package serving
 
 import (
 	"context"
@@ -8,60 +8,82 @@ import (
 	"net/http"
 	"time"
 
-	"github.com/slide-cpu/slide/internal/serving"
 	"github.com/slide-cpu/slide/slide"
 )
 
-// server routes prediction traffic through the serving pipeline: a
+// Server routes prediction traffic through the serving pipeline: a
 // SnapshotManager publishes versioned Predictor snapshots (hot-swapped by
-// the optional background trainer without stalling in-flight batches), and
-// a Batcher coalesces concurrent /predict requests into fused batch
-// forwards. With cfg.direct (the -no-batch flag) the batcher is bypassed
-// and every request runs its own forward pass — the pre-batching behavior,
-// kept as the A/B baseline for the load generator.
-type server struct {
-	cfg     serverConfig
-	mgr     *serving.SnapshotManager
-	batcher *serving.Batcher // nil in direct mode
+// the publisher — a background trainer or a replication client — without
+// stalling in-flight batches), and a Batcher coalesces concurrent
+// /predict requests into fused batch forwards. With cfg.Direct the
+// batcher is bypassed and every request runs its own forward pass — the
+// pre-batching behavior, kept as the A/B baseline for the load generator.
+//
+// It is the shared HTTP front end of cmd/slide-serve (trainer/checkpoint
+// serving) and cmd/slide-replica (replicated serving); the hooks on
+// ServerConfig let each binary extend readiness and /stats without
+// forking the handler set.
+type Server struct {
+	cfg     ServerConfig
+	mgr     *SnapshotManager
+	batcher *Batcher // nil in direct mode
 }
 
-type serverConfig struct {
-	defaultK int
-	direct   bool
-	batch    serving.Config
-	// defaultDeadline is the service deadline applied to requests that do
+// ServerConfig configures a Server.
+type ServerConfig struct {
+	// DefaultK is the top-k applied when a request omits k (default 5).
+	DefaultK int
+	// Direct bypasses the micro-batcher: one forward pass per request.
+	Direct bool
+	// Batch configures the micro-batcher (ignored under Direct).
+	Batch Config
+	// DefaultDeadline is the service deadline applied to requests that do
 	// not carry their own deadline_ms (zero = none).
-	defaultDeadline time.Duration
-	// maxStale is the snapshot age beyond which /healthz/ready reports the
-	// server unready — the training side stopped publishing and traffic
-	// should drain to a healthier replica (zero = staleness never gates
+	DefaultDeadline time.Duration
+	// MaxStale is the snapshot age beyond which /healthz/ready reports the
+	// server unready — the publishing side stopped and traffic should
+	// drain to a healthier replica (zero = staleness never gates
 	// readiness, the right call for frozen-checkpoint serving).
-	maxStale time.Duration
+	MaxStale time.Duration
+	// ReadyReasons, when set, contributes additional unreadiness reasons
+	// to /healthz/ready (e.g. a replica's version skew or a disconnected
+	// replication stream). Empty result = ready.
+	ReadyReasons func() []string
+	// StatsExtra, when set, is merged into the /stats JSON object (e.g. a
+	// replica's applied-version and re-sync counters). Keys collide with
+	// the built-in fields at the caller's peril.
+	StatsExtra func() map[string]any
 }
 
-func newServer(p serving.Predictor, cfg serverConfig) *server {
-	if cfg.defaultK <= 0 {
-		cfg.defaultK = 5
+// NewServer wires a serving pipeline around the initial predictor.
+func NewServer(p Predictor, cfg ServerConfig) *Server {
+	if cfg.DefaultK <= 0 {
+		cfg.DefaultK = 5
 	}
-	s := &server{cfg: cfg, mgr: serving.NewSnapshotManager(p)}
-	if !cfg.direct {
-		s.batcher = serving.NewBatcher(s.mgr, cfg.batch)
+	s := &Server{cfg: cfg, mgr: NewSnapshotManager(p)}
+	if !cfg.Direct {
+		s.batcher = NewBatcher(s.mgr, cfg.Batch)
 	}
 	return s
 }
 
-// publish hot-swaps in a new snapshot; in-flight requests and batches
+// Publish hot-swaps in a new snapshot; in-flight requests and batches
 // finish on the one they captured.
-func (s *server) publish(p serving.Predictor) { s.mgr.Publish(p) }
+func (s *Server) Publish(p Predictor) { s.mgr.Publish(p) }
 
-// close releases the batcher workers (draining anything queued).
-func (s *server) close() {
+// Manager exposes the snapshot manager (for Publisher wiring).
+func (s *Server) Manager() *SnapshotManager { return s.mgr }
+
+// Close releases the batcher workers (draining anything queued).
+func (s *Server) Close() {
 	if s.batcher != nil {
 		s.batcher.Close()
 	}
 }
 
-func (s *server) mux() *http.ServeMux {
+// Mux returns the endpoint set; callers may add more handlers (e.g. the
+// replication hub's /replicate/*) before serving it.
+func (s *Server) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /predict", s.handlePredict)
 	mux.HandleFunc("POST /predict/batch", s.handlePredictBatch)
@@ -152,7 +174,7 @@ func writeOverloaded(w http.ResponseWriter) {
 // indices (which would otherwise panic deep in the forward pass),
 // mismatched indices/values lengths, and explicit k <= 0 or k beyond the
 // label space — the server never silently clamps what the client asked for.
-func (s *server) validate(r *predictRequest, p serving.Predictor) (slide.BatchEntry, error) {
+func (s *Server) validate(r *predictRequest, p Predictor) (slide.BatchEntry, error) {
 	if len(r.Indices) == 0 {
 		return slide.BatchEntry{}, fmt.Errorf("indices must be non-empty")
 	}
@@ -171,7 +193,7 @@ func (s *server) validate(r *predictRequest, p serving.Predictor) (slide.BatchEn
 	if len(r.Values) != len(r.Indices) {
 		return slide.BatchEntry{}, fmt.Errorf("%d indices but %d values", len(r.Indices), len(r.Values))
 	}
-	k := s.cfg.defaultK
+	k := s.cfg.DefaultK
 	if r.K != nil {
 		k = *r.K
 		if k <= 0 {
@@ -192,7 +214,7 @@ func (s *server) validate(r *predictRequest, p serving.Predictor) (slide.BatchEn
 // predictSampledOne serves one sampled request directly on the snapshot,
 // with exact fallback. Sampled retrieval is inherently per-sample (each
 // request probes its own LSH buckets), so it bypasses the batcher.
-func predictSampledOne(p serving.Predictor, e slide.BatchEntry) ([]int32, bool) {
+func predictSampledOne(p Predictor, e slide.BatchEntry) ([]int32, bool) {
 	labels, err := p.PredictSampled(e.Indices, e.Values, e.K)
 	if err == nil {
 		return labels, true
@@ -201,7 +223,7 @@ func predictSampledOne(p serving.Predictor, e slide.BatchEntry) ([]int32, bool) 
 	return p.Predict(e.Indices, e.Values, e.K), false
 }
 
-func (s *server) handlePredict(w http.ResponseWriter, req *http.Request) {
+func (s *Server) handlePredict(w http.ResponseWriter, req *http.Request) {
 	var pr predictRequest
 	if err := json.NewDecoder(req.Body).Decode(&pr); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
@@ -236,8 +258,8 @@ func (s *server) handlePredict(w http.ResponseWriter, req *http.Request) {
 // wins, then the server default, else the transport context unchanged. The
 // batcher propagates the deadline with the queued request and rejects it
 // with ErrDeadline (→ 504) once it cannot be met.
-func (s *server) deadlineCtx(parent context.Context, deadlineMS int64) (context.Context, context.CancelFunc) {
-	d := s.cfg.defaultDeadline
+func (s *Server) deadlineCtx(parent context.Context, deadlineMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultDeadline
 	if deadlineMS > 0 {
 		d = time.Duration(deadlineMS) * time.Millisecond
 	}
@@ -254,20 +276,20 @@ func (s *server) deadlineCtx(parent context.Context, deadlineMS int64) (context.
 // genuine 500.
 func writeBatcherError(w http.ResponseWriter, req *http.Request, err error) {
 	switch {
-	case errors.Is(err, serving.ErrOverloaded):
+	case errors.Is(err, ErrOverloaded):
 		writeOverloaded(w)
-	case errors.Is(err, serving.ErrDeadline):
+	case errors.Is(err, ErrDeadline):
 		// Deliberate deadline shedding: the request's budget (deadline_ms or
 		// the server default) could not be met. Checked before the transport
 		// context, because a server-derived deadline expiring also cancels
 		// the derived context while the client is still listening for the 504.
 		writeError(w, http.StatusGatewayTimeout, "%v", err)
-	case errors.Is(err, serving.ErrSnapshotSkew):
+	case errors.Is(err, ErrSnapshotSkew):
 		// The model was hot-swapped between admission and flush and the new
 		// one rejects this request's shape; a retry revalidates against it.
 		w.Header().Set("Retry-After", "0")
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
-	case errors.Is(err, serving.ErrClosed):
+	case errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, "server shutting down")
 	case req.Context().Err() != nil:
 		// Client disconnected or timed out while queued; nobody is reading.
@@ -276,7 +298,7 @@ func writeBatcherError(w http.ResponseWriter, req *http.Request, err error) {
 	}
 }
 
-func (s *server) handlePredictBatch(w http.ResponseWriter, req *http.Request) {
+func (s *Server) handlePredictBatch(w http.ResponseWriter, req *http.Request) {
 	var br batchRequest
 	if err := json.NewDecoder(req.Body).Decode(&br); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
@@ -358,7 +380,7 @@ func (s *server) handlePredictBatch(w http.ResponseWriter, req *http.Request) {
 // the pre-batching execution shape: a uniform-k batch goes through the
 // data-parallel PredictBatch fan-out (GOMAXPROCS goroutines), mixed k
 // through the fused per-entry walk.
-func directBatch(p serving.Predictor, entries []slide.BatchEntry) ([][]int32, error) {
+func directBatch(p Predictor, entries []slide.BatchEntry) ([][]int32, error) {
 	uniform := true
 	for _, e := range entries[1:] {
 		if e.K != entries[0].K {
@@ -376,7 +398,7 @@ func directBatch(p serving.Predictor, entries []slide.BatchEntry) ([][]int32, er
 	return p.PredictBatch(samples, entries[0].K)
 }
 
-func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	p := s.mgr.Current()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
@@ -390,27 +412,31 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // handleLive is the liveness probe: the process is up and serving HTTP.
 // Always 200 — an overloaded or stale server must not be restarted, only
 // taken out of rotation (that's readiness).
-func (s *server) handleLive(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleLive(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "live"})
 }
 
 // handleReady is the readiness probe: 503 when new traffic should go
-// elsewhere — the admission queue is saturated (arrivals are being shed) or
-// the snapshot is older than -max-snapshot-stale (the training side stopped
-// publishing). Both conditions are reported, so an operator sees why a
-// replica left rotation.
-func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
+// elsewhere — the admission queue is saturated (arrivals are being shed),
+// the snapshot is older than MaxStale (the publishing side stopped), or
+// the ReadyReasons hook reports a problem (a replica's version skew or
+// lost replication stream). All conditions are reported, so an operator
+// sees why a replica left rotation.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	var reasons []string
 	if s.batcher != nil {
 		if st := s.batcher.Stats(); st.QueueDepth >= st.QueueCap {
 			reasons = append(reasons, fmt.Sprintf("admission queue full (%d/%d)", st.QueueDepth, st.QueueCap))
 		}
 	}
-	if s.cfg.maxStale > 0 {
-		if age := s.mgr.Age(); age > s.cfg.maxStale {
+	if s.cfg.MaxStale > 0 {
+		if age := s.mgr.Age(); age > s.cfg.MaxStale {
 			reasons = append(reasons, fmt.Sprintf("snapshot stale: published %s ago (limit %s)",
-				age.Round(time.Millisecond), s.cfg.maxStale))
+				age.Round(time.Millisecond), s.cfg.MaxStale))
 		}
+	}
+	if s.cfg.ReadyReasons != nil {
+		reasons = append(reasons, s.cfg.ReadyReasons()...)
 	}
 	if len(reasons) > 0 {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "unready", "reasons": reasons})
@@ -448,7 +474,7 @@ type statsResponse struct {
 	SnapshotAgeMs   float64  `json:"snapshot_age_ms"`
 }
 
-func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	p := s.mgr.Current()
 	resp := statsResponse{
 		Mode:            "direct",
@@ -480,5 +506,21 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		resp.P50Ms = float64(st.P50.Microseconds()) / 1000
 		resp.P99Ms = float64(st.P99.Microseconds()) / 1000
 	}
-	writeJSON(w, http.StatusOK, resp)
+	if s.cfg.StatsExtra == nil {
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	// Merge the hook's fields into the payload: round-trip the typed
+	// struct through a map (cold path; /stats is observability traffic).
+	raw, err := json.Marshal(resp)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	merged := map[string]any{}
+	_ = json.Unmarshal(raw, &merged)
+	for k, v := range s.cfg.StatsExtra() {
+		merged[k] = v
+	}
+	writeJSON(w, http.StatusOK, merged)
 }

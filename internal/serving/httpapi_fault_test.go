@@ -1,4 +1,4 @@
-package main
+package serving
 
 import (
 	"encoding/json"
@@ -9,7 +9,6 @@ import (
 	"testing"
 	"time"
 
-	"github.com/slide-cpu/slide/internal/serving"
 	"github.com/slide-cpu/slide/slide"
 )
 
@@ -61,8 +60,8 @@ func (g *gateStub) NumFeatures() int { return 100 }
 
 // batchCfg is the deterministic one-at-a-time pipeline shape the fault
 // tests share: single worker, no coalescing, explicit queue bound.
-func batchCfg(queueCap int) serving.Config {
-	return serving.Config{MaxBatch: 1, Workers: 1, QueueCap: queueCap}
+func batchCfg(queueCap int) Config {
+	return Config{MaxBatch: 1, Workers: 1, QueueCap: queueCap}
 }
 
 // postResult is one asynchronous /predict outcome.
@@ -113,7 +112,7 @@ func getPath(t *testing.T, ts *httptest.Server, path string) (int, string) {
 // and not counted as a server error.
 func TestPredictDeadline504(t *testing.T) {
 	stub := newGateStub(3)
-	srv, ts := testServer(t, stub, serverConfig{defaultK: 5, batch: batchCfg(8)})
+	srv, ts := testServer(t, stub, ServerConfig{DefaultK: 5, Batch: batchCfg(8)})
 
 	req := predictRequest{Indices: []int32{1, 2}, K: kp(3)}
 	a := postAsync(t, ts, req)
@@ -141,10 +140,10 @@ func TestPredictDeadline504(t *testing.T) {
 // requests that carry no deadline_ms of their own.
 func TestDefaultDeadline504(t *testing.T) {
 	stub := newGateStub(3)
-	srv, ts := testServer(t, stub, serverConfig{
-		defaultK:        5,
-		batch:           batchCfg(8),
-		defaultDeadline: 30 * time.Millisecond,
+	srv, ts := testServer(t, stub, ServerConfig{
+		DefaultK:        5,
+		Batch:           batchCfg(8),
+		DefaultDeadline: 30 * time.Millisecond,
 	})
 
 	req := predictRequest{Indices: []int32{1, 2}, K: kp(3)}
@@ -166,12 +165,12 @@ func TestDefaultDeadline504(t *testing.T) {
 
 // TestPredictDegraded: under queue pressure with a degradation policy,
 // responses come back 200 with "degraded":true and the correct snapshot
-// version — served, not shed — and recovery restores exact serving.
+// version — served, not shed — and recovery restores exact
 func TestPredictDegraded(t *testing.T) {
 	stub := newGateStub(9)
 	cfg := batchCfg(4)
-	cfg.Degrade = serving.DegradePolicy{HighWater: 0.5, LowWater: 0.25, After: 1}
-	srv, ts := testServer(t, stub, serverConfig{defaultK: 5, batch: cfg})
+	cfg.Degrade = DegradePolicy{HighWater: 0.5, LowWater: 0.25, After: 1}
+	srv, ts := testServer(t, stub, ServerConfig{DefaultK: 5, Batch: cfg})
 
 	req := predictRequest{Indices: []int32{1, 2}, K: kp(3)}
 	a := postAsync(t, ts, req)
@@ -221,7 +220,7 @@ func TestPredictDegraded(t *testing.T) {
 // throughout (a saturated server must not be restarted).
 func TestHealthzReadyQueue(t *testing.T) {
 	stub := newGateStub(1)
-	srv, ts := testServer(t, stub, serverConfig{defaultK: 5, batch: batchCfg(2)})
+	srv, ts := testServer(t, stub, ServerConfig{DefaultK: 5, Batch: batchCfg(2)})
 
 	req := predictRequest{Indices: []int32{1, 2}, K: kp(3)}
 	a := postAsync(t, ts, req)
@@ -263,8 +262,8 @@ func TestHealthzReadyQueue(t *testing.T) {
 // -max-snapshot-stale, and a fresh Publish restores it.
 func TestHealthzReadyStale(t *testing.T) {
 	stub := newGateStub(1)
-	srv, ts := testServer(t, stub, serverConfig{
-		defaultK: 5, direct: true, maxStale: 50 * time.Millisecond,
+	srv, ts := testServer(t, stub, ServerConfig{
+		DefaultK: 5, Direct: true, MaxStale: 50 * time.Millisecond,
 	})
 
 	if status, _ := getPath(t, ts, "/healthz/ready"); status != http.StatusOK {
@@ -275,7 +274,7 @@ func TestHealthzReadyStale(t *testing.T) {
 	if status != http.StatusServiceUnavailable || !strings.Contains(body, "stale") {
 		t.Fatalf("stale ready = %d %q, want 503 naming staleness", status, body)
 	}
-	srv.publish(newGateStub(2))
+	srv.Publish(newGateStub(2))
 	if status, _ := getPath(t, ts, "/healthz/ready"); status != http.StatusOK {
 		t.Fatalf("republished ready = %d, want 200", status)
 	}

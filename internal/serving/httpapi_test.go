@@ -1,4 +1,4 @@
-package main
+package serving
 
 import (
 	"bytes"
@@ -11,7 +11,6 @@ import (
 	"testing"
 	"time"
 
-	"github.com/slide-cpu/slide/internal/serving"
 	"github.com/slide-cpu/slide/slide"
 )
 
@@ -39,11 +38,11 @@ func testPredictor(t *testing.T, opts ...slide.Option) (*slide.Predictor, *slide
 
 // testServer wires a predictor into a started pipeline server + httptest
 // front end, cleaning both up with the test.
-func testServer(t *testing.T, p serving.Predictor, cfg serverConfig) (*server, *httptest.Server) {
+func testServer(t *testing.T, p Predictor, cfg ServerConfig) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := newServer(p, cfg)
-	t.Cleanup(srv.close)
-	ts := httptest.NewServer(srv.mux())
+	srv := NewServer(p, cfg)
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Mux())
 	t.Cleanup(ts.Close)
 	return srv, ts
 }
@@ -70,7 +69,7 @@ func postJSON(t *testing.T, ts *httptest.Server, path string, body any) (*http.R
 
 func TestServePredictRoundTrip(t *testing.T) {
 	p, test := testPredictor(t, slide.WithDWTA(3, 8))
-	_, ts := testServer(t, p, serverConfig{defaultK: 5})
+	_, ts := testServer(t, p, ServerConfig{DefaultK: 5})
 
 	s := test.Sample(0)
 	resp, body := postJSON(t, ts, "/predict", predictRequest{Indices: s.Indices, Values: s.Values, K: kp(3)})
@@ -112,7 +111,7 @@ func TestServePredictRoundTrip(t *testing.T) {
 func TestServeSampledAndFallback(t *testing.T) {
 	// On an LSH model, sampled requests are served sampled.
 	p, test := testPredictor(t, slide.WithDWTA(3, 8))
-	_, ts := testServer(t, p, serverConfig{defaultK: 5})
+	_, ts := testServer(t, p, ServerConfig{DefaultK: 5})
 
 	s := test.Sample(0)
 	resp, body := postJSON(t, ts, "/predict", predictRequest{Indices: s.Indices, Values: s.Values, K: kp(2), Sampled: true})
@@ -130,7 +129,7 @@ func TestServeSampledAndFallback(t *testing.T) {
 	// On a dense model, a sampled request falls back to the exact path
 	// instead of erroring (the documented ErrNoSampling fallback).
 	dense, _ := testPredictor(t, slide.WithFullSoftmax())
-	_, ts2 := testServer(t, dense, serverConfig{defaultK: 5})
+	_, ts2 := testServer(t, dense, ServerConfig{DefaultK: 5})
 
 	resp, body = postJSON(t, ts2, "/predict", predictRequest{Indices: s.Indices, Values: s.Values, K: kp(2), Sampled: true})
 	if resp.StatusCode != http.StatusOK {
@@ -160,7 +159,7 @@ func TestServePredictBatch(t *testing.T) {
 		direct bool
 	}{{"batched", false}, {"direct", true}} {
 		t.Run(mode.name, func(t *testing.T) {
-			_, ts := testServer(t, p, serverConfig{defaultK: 5, direct: mode.direct})
+			_, ts := testServer(t, p, ServerConfig{DefaultK: 5, Direct: mode.direct})
 			var reqs []predictRequest
 			for i := 0; i < 4; i++ {
 				s := test.Sample(i % test.Len())
@@ -191,10 +190,10 @@ func TestServePredictBatch(t *testing.T) {
 
 func TestServeBatchHonorsPerSampleOptions(t *testing.T) {
 	p, test := testPredictor(t, slide.WithDWTA(3, 8))
-	_, ts := testServer(t, p, serverConfig{defaultK: 5})
+	_, ts := testServer(t, p, ServerConfig{DefaultK: 5})
 
 	s0, s1 := test.Sample(0), test.Sample(1)
-	// Mixed batch: per-sample k and a per-sample sampled flag, no top-level
+	// Mixed Batch: per-sample k and a per-sample sampled flag, no top-level
 	// overrides — both must be honored.
 	resp, body := postJSON(t, ts, "/predict/batch", batchRequest{Samples: []predictRequest{
 		{Indices: s0.Indices, Values: s0.Values, K: kp(1)},
@@ -241,7 +240,7 @@ func TestServeBatchHonorsPerSampleOptions(t *testing.T) {
 // clamp, never a panic in the forward pass.
 func TestServeValidation(t *testing.T) {
 	p, test := testPredictor(t, slide.WithDWTA(3, 8))
-	_, ts := testServer(t, p, serverConfig{defaultK: 5})
+	_, ts := testServer(t, p, ServerConfig{DefaultK: 5})
 	s := test.Sample(0)
 	labels := p.NumLabels()
 
@@ -302,7 +301,7 @@ func TestServeValidation(t *testing.T) {
 
 func TestServeHealthAndStats(t *testing.T) {
 	p, test := testPredictor(t, slide.WithDWTA(3, 8))
-	srv, ts := testServer(t, p, serverConfig{defaultK: 5})
+	srv, ts := testServer(t, p, ServerConfig{DefaultK: 5})
 
 	hr, err := ts.Client().Get(ts.URL + "/healthz")
 	if err != nil {
@@ -343,7 +342,7 @@ func TestServeHealthAndStats(t *testing.T) {
 
 	// Snapshot hot-swap: version advances, requests keep working.
 	p2, _ := testPredictor(t, slide.WithDWTA(3, 8))
-	srv.publish(p2)
+	srv.Publish(p2)
 	resp, body := postJSON(t, ts, "/predict", predictRequest{Indices: s.Indices, Values: s.Values, K: kp(2)})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("predict after swap: %d (%s)", resp.StatusCode, body)
@@ -397,9 +396,9 @@ func (g *gatedPredictor) NumFeatures() int { return 100 }
 // excess, 200 for everything admitted once the backend drains.
 func TestServeOverloadHTTP(t *testing.T) {
 	g := &gatedPredictor{entered: make(chan struct{}, 64), release: make(chan struct{})}
-	srv, ts := testServer(t, g, serverConfig{
-		defaultK: 5,
-		batch:    serving.Config{Workers: 1, MaxBatch: 1, QueueCap: 2, MaxWait: time.Millisecond},
+	srv, ts := testServer(t, g, ServerConfig{
+		DefaultK: 5,
+		Batch:    Config{Workers: 1, MaxBatch: 1, QueueCap: 2, MaxWait: time.Millisecond},
 	})
 
 	body := func() []byte {
@@ -472,15 +471,15 @@ func TestServeLoadgenEndToEnd(t *testing.T) {
 		t.Skip("closed-loop load test skipped in -short mode")
 	}
 	p, _ := testPredictor(t, slide.WithDWTA(3, 8))
-	spec := serving.LoadSpec{Scale: 1e-9, Seed: 5, Requests: 512, K: min(4, p.NumLabels()), MixedK: true}
-	entries, err := serving.BuildLoad(spec)
+	spec := LoadSpec{Scale: 1e-9, Seed: 5, Requests: 512, K: min(4, p.NumLabels()), MixedK: true}
+	entries, err := BuildLoad(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	run := func(direct bool) (serving.LoadReport, *server) {
-		srv, ts := testServer(t, p, serverConfig{defaultK: 5, direct: direct})
-		report := serving.RunLoad(context.Background(), ts.URL, nil, entries, 64)
+	run := func(direct bool) (LoadReport, *Server) {
+		srv, ts := testServer(t, p, ServerConfig{DefaultK: 5, Direct: direct})
+		report := RunLoad(context.Background(), ts.URL, nil, entries, 64)
 		return report, srv
 	}
 
@@ -514,6 +513,6 @@ func TestServeLoadgenEndToEnd(t *testing.T) {
 		t.Errorf("64 concurrent closed-loop clients never coalesced: mean batch %.2f over %d batches",
 			st.MeanBatch, st.Batches)
 	}
-	t.Logf("batched: %.0f qps (mean batch %.1f, p50 %v, p99 %v); direct: %.0f qps; ratio %.2fx",
+	t.Logf("batched: %.0f qps (mean batch %.1f, p50 %v, p99 %v); Direct: %.0f qps; ratio %.2fx",
 		batched.QPS, st.MeanBatch, batched.P50, batched.P99, direct.QPS, batched.QPS/direct.QPS)
 }

@@ -80,6 +80,11 @@ type LoadReport struct {
 	Degraded, Deadline504 int
 	// P50/P99 are successful-request latencies (final attempt only).
 	P50, P99 time.Duration
+	// MinVersion/MaxVersion bound the snapshot versions that served the
+	// successful responses (both zero when no response carried a version)
+	// — across a replica cluster, their spread is the observed version
+	// skew.
+	MinVersion, MaxVersion uint64
 	// Responses[i] holds the labels served for request i (nil on error) —
 	// index-aligned with the BuildLoad request set, for bit-identity
 	// checks against a direct Predictor.
@@ -99,6 +104,7 @@ type loadReq struct {
 type loadResp struct {
 	Labels   []int32 `json:"labels"`
 	Degraded bool    `json:"degraded,omitempty"`
+	Version  uint64  `json:"version,omitempty"`
 }
 
 // LoadOptions tunes RunLoadOpts beyond the request set itself.
@@ -134,6 +140,7 @@ func RunLoadOpts(ctx context.Context, baseURL string, client *http.Client, entri
 
 	report := LoadReport{Responses: make([][]int32, len(entries))}
 	latencies := make([]time.Duration, len(entries))
+	versions := make([]uint64, len(entries))
 	errs := make([]string, clients)
 	perErr := make([]int, clients)
 	perRetry := make([]int, clients)
@@ -172,6 +179,7 @@ func RunLoadOpts(ctx context.Context, baseURL string, client *http.Client, entri
 				}
 				report.Responses[i] = r.labels
 				latencies[i] = r.latency
+				versions[i] = r.version
 			}
 		}(c)
 	}
@@ -194,6 +202,14 @@ func RunLoadOpts(ctx context.Context, baseURL string, client *http.Client, entri
 	for i, l := range latencies {
 		if report.Responses[i] != nil {
 			ok = append(ok, l)
+			if v := versions[i]; v > 0 {
+				if report.MinVersion == 0 || v < report.MinVersion {
+					report.MinVersion = v
+				}
+				if v > report.MaxVersion {
+					report.MaxVersion = v
+				}
+			}
 		}
 	}
 	if len(ok) > 0 {
@@ -215,6 +231,7 @@ type attempt struct {
 	labels   []int32
 	latency  time.Duration
 	retries  int
+	version  uint64
 	degraded bool
 	deadline bool // the server answered 504: deadline shed, not an error
 	err      error
@@ -285,6 +302,7 @@ func postPredict(ctx context.Context, client *http.Client, baseURL string, e sli
 		out.labels = pr.Labels
 		out.latency = time.Since(start)
 		out.degraded = pr.Degraded
+		out.version = pr.Version
 		return out
 	}
 }

@@ -46,6 +46,8 @@ type trainerOptions struct {
 	ckptRetain    int
 	snapEvery     int
 	snapPublish   func(*Predictor)
+	deltaEvery    int
+	deltaPublish  func(*Predictor, *Delta)
 	earlyPatience int
 	earlyMinDelta float64
 	resume        bool
@@ -135,6 +137,16 @@ func WithCheckpointRetain(n int) TrainerOption {
 // from one object.
 func WithSnapshots(everySteps int, publish func(*Predictor)) TrainerOption {
 	return func(o *trainerOptions) { o.snapEvery, o.snapPublish = everySteps, publish }
+}
+
+// WithDeltas is WithSnapshots for replicated serving: every everySteps
+// optimizer steps the model is snapshotted copy-on-write (delta tracking
+// is enabled automatically) and publish receives the Predictor plus the
+// sparse Delta since the previous snapshot (nil on the first snapshot —
+// publish a full base then, e.g. via the replication hub). Mutually
+// exclusive with WithSnapshots; use one or the other.
+func WithDeltas(everySteps int, publish func(*Predictor, *Delta)) TrainerOption {
+	return func(o *trainerOptions) { o.deltaEvery, o.deltaPublish = everySteps, publish }
 }
 
 // WithEarlyStopping ends the session when the per-pass mean loss has not
@@ -308,6 +320,15 @@ func NewTrainer(m *Model, src DataSource, opts ...TrainerOption) (*Trainer, erro
 	if o.snapEvery > 0 && o.snapPublish == nil {
 		return nil, fmt.Errorf("slide: WithSnapshots needs a publish function")
 	}
+	if o.deltaEvery < 0 {
+		return nil, fmt.Errorf("slide: delta interval %d must be >= 0", o.deltaEvery)
+	}
+	if o.deltaEvery > 0 && o.deltaPublish == nil {
+		return nil, fmt.Errorf("slide: WithDeltas needs a publish function")
+	}
+	if o.deltaEvery > 0 && o.snapEvery > 0 {
+		return nil, fmt.Errorf("slide: WithDeltas and WithSnapshots are mutually exclusive")
+	}
 	if o.earlyPatience < 0 || o.earlyMinDelta < 0 {
 		return nil, fmt.Errorf("slide: early-stopping parameters must be >= 0")
 	}
@@ -362,6 +383,12 @@ func (t *Trainer) Run(ctx context.Context) (Report, error) {
 	if o.snapEvery > 0 {
 		publish := o.snapPublish
 		cfg.Hooks.OnSnapshot = func(int64) { publish(t.m.Snapshot()) }
+	}
+	if o.deltaEvery > 0 {
+		publish := o.deltaPublish
+		t.m.EnableDeltas()
+		cfg.SnapshotEvery = int64(o.deltaEvery)
+		cfg.Hooks.OnSnapshot = func(int64) { publish(t.m.SnapshotDelta()) }
 	}
 
 	rep, err := train.Run(ctx, t.m.net, t.internalSource(), cfg)
