@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/slide-cpu/slide/internal/harness"
+	"github.com/slide-cpu/slide/internal/layer"
+	"github.com/slide-cpu/slide/internal/network"
+	"github.com/slide-cpu/slide/internal/sparse"
+)
+
+// shardingResult is the machine-readable scaling curve the CI multicore
+// lane gates on (and the source of BENCH_baseline.json's "sharding"
+// section).
+type shardingResult struct {
+	Command      string             `json:"command"`
+	HostCores    int                `json:"host_cores"`
+	Shards       int                `json:"shards"`
+	Steps        int                `json:"steps"`
+	NsPerStep    map[string]float64 `json:"ns_per_step"`
+	SpeedupW4    float64            `json:"speedup_w4"`
+	BitIdentical bool               `json:"bit_identical"`
+}
+
+// runSharding measures the sharded trainer's worker-scaling curve: the same
+// model (fixed shard count — a model property) trained at W in {1, 2, 4},
+// reporting ns per TrainBatch step and the W=4 speedup. Because the sharded
+// engine is deterministic by construction, the run also saves a checkpoint
+// per worker count and verifies all three are bit-identical — the scaling
+// number is only meaningful if the workers changed nothing but wall-clock.
+func runSharding(opts harness.Options, shards, steps int, jsonPath string) error {
+	ws, err := harness.Workloads(opts)
+	if err != nil {
+		return err
+	}
+	w := ws[0] // Amazon-670K-like, the paper's headline workload
+
+	res := shardingResult{
+		Command:   fmt.Sprintf("slide-bench -exp sharding -scale %g -shards %d -bench-steps %d", opts.Scale, shards, steps),
+		HostCores: runtime.NumCPU(),
+		Shards:    shards,
+		Steps:     steps,
+		NsPerStep: map[string]float64{},
+	}
+	var refCkpt []byte
+	res.BitIdentical = true
+	const warmup = 3
+	for _, workers := range []int{1, 2, 4} {
+		cfg := w.NetworkConfig(opts, layer.FP32, layer.Contiguous)
+		cfg.Workers = workers
+		cfg.Shards = shards
+		net, err := network.New(&cfg)
+		if err != nil {
+			return err
+		}
+		next, err := shardingFeeder(w, opts)
+		if err != nil {
+			return err
+		}
+		for s := 0; s < warmup; s++ {
+			net.TrainBatch(next())
+		}
+		start := time.Now()
+		for s := 0; s < steps; s++ {
+			net.TrainBatch(next())
+		}
+		elapsed := time.Since(start)
+		res.NsPerStep[fmt.Sprintf("W%d", workers)] = float64(elapsed.Nanoseconds()) / float64(steps)
+
+		var ckpt bytes.Buffer
+		if err := net.Save(&ckpt); err != nil {
+			return err
+		}
+		if refCkpt == nil {
+			refCkpt = ckpt.Bytes()
+		} else if !bytes.Equal(refCkpt, ckpt.Bytes()) {
+			res.BitIdentical = false
+		}
+	}
+	if w1, w4 := res.NsPerStep["W1"], res.NsPerStep["W4"]; w4 > 0 {
+		res.SpeedupW4 = w1 / w4
+	}
+
+	fmt.Printf("sharded scaling, %s (scale %g, shards %d, %d steps/point, %d host cores)\n\n",
+		w.Name, opts.Scale, shards, steps, res.HostCores)
+	for _, workers := range []int{1, 2, 4} {
+		key := fmt.Sprintf("W%d", workers)
+		fmt.Printf("  %-3s %12.0f ns/step  (%.2fx)\n", key, res.NsPerStep[key],
+			res.NsPerStep["W1"]/res.NsPerStep[key])
+	}
+	fmt.Printf("\n  checkpoints bit-identical across worker counts: %v\n", res.BitIdentical)
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// shardingFeeder yields an endless deterministic batch stream (iterator
+// reseeded by absolute step when the scaled dataset runs dry), so every
+// worker count consumes identical data.
+func shardingFeeder(w *harness.Workload, opts harness.Options) (func() sparse.Batch, error) {
+	it := w.Train.Iter(w.Batch, sparse.Coalesced, opts.Seed)
+	step := 0
+	return func() sparse.Batch {
+		b, ok := it.Next()
+		if !ok {
+			it = w.Train.Iter(w.Batch, sparse.Coalesced, opts.Seed+uint64(step))
+			b, _ = it.Next()
+		}
+		step++
+		return b
+	}, nil
+}

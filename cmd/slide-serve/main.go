@@ -65,6 +65,7 @@ func main() {
 		demo      = flag.Bool("demo", false, "train a synthetic model instead of loading a checkpoint")
 		demoScale = flag.Float64("demo-scale", 1e-6, "demo workload scale (fraction of Amazon-670K dims)")
 		refresh   = flag.Int("refresh", 20, "demo: batches between snapshot refreshes (0 = freeze after warmup)")
+		shards    = flag.Int("shards", 0, "demo: output-layer shards for the deterministic sharded trainer (0 = legacy HOGWILD)")
 		seed      = flag.Uint64("seed", 42, "demo RNG seed")
 		noBatch   = flag.Bool("no-batch", false, "bypass the micro-batcher: one forward pass per request (A/B baseline)")
 		maxBatch  = flag.Int("max-batch", 32, "micro-batcher: flush when this many requests coalesce")
@@ -99,12 +100,12 @@ func main() {
 		DefaultDeadline: *defaultDeadline,
 		MaxStale:        *maxStale,
 	}
-	if err := run(*addr, *modelPath, cfg, *demo, *demoScale, *refresh, *seed, *replFlag); err != nil {
+	if err := run(*addr, *modelPath, cfg, *demo, *demoScale, *refresh, *shards, *seed, *replFlag); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, modelPath string, cfg serving.ServerConfig, demo bool, demoScale float64, refresh int, seed uint64, replicated bool) error {
+func run(addr, modelPath string, cfg serving.ServerConfig, demo bool, demoScale float64, refresh, shards int, seed uint64, replicated bool) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -119,7 +120,7 @@ func run(addr, modelPath string, cfg serving.ServerConfig, demo bool, demoScale 
 	)
 	switch {
 	case demo:
-		m, train, err := demoModel(demoScale, seed)
+		m, train, err := demoModel(demoScale, shards, seed)
 		if err != nil {
 			return err
 		}
@@ -196,16 +197,22 @@ func run(addr, modelPath string, cfg serving.ServerConfig, demo bool, demoScale 
 }
 
 // demoModel builds and warm-trains a model on the synthetic Amazon-670K-like
-// workload.
-func demoModel(scale float64, seed uint64) (*slide.Model, *slide.Dataset, error) {
+// workload. With shards > 0 the background trainer runs the deterministic
+// sharded engine instead of HOGWILD.
+func demoModel(scale float64, shards int, seed uint64) (*slide.Model, *slide.Dataset, error) {
 	train, _, err := slide.AmazonLike(scale, seed)
 	if err != nil {
 		return nil, nil, err
 	}
-	m, err := slide.New(train.Features(), 32, train.NumLabels(),
+	opts := []slide.Option{
 		slide.WithDWTA(3, 10),
 		slide.WithLearningRate(0.01),
-		slide.WithSeed(seed))
+		slide.WithSeed(seed),
+	}
+	if shards > 0 {
+		opts = append(opts, slide.WithShards(shards))
+	}
+	m, err := slide.New(train.Features(), 32, train.NumLabels(), opts...)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,75 @@
+package costmodel
+
+import (
+	"testing"
+
+	"github.com/slide-cpu/slide/internal/platform"
+)
+
+func TestShardedScalingCurveShape(t *testing.T) {
+	w := amazonWorkload()
+	s := OptimizedSLIDE(platform.CLX)
+
+	// The curve is monotone non-decreasing while phases still divide
+	// (through W=16 on CLX); past bandwidth saturation the linearly growing
+	// barrier cost may bend it down, but only marginally — a collapse would
+	// mean the barrier term is mis-scaled.
+	prev := 0.0
+	peak := 0.0
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		sp := ShardedSpeedup(w, s, platform.CLX, workers)
+		if sp < prev {
+			t.Errorf("speedup dips at W=%d: %.3f after %.3f", workers, sp, prev)
+		}
+		prev = sp
+		peak = max(peak, sp)
+	}
+	for _, workers := range []int{32, 48} {
+		sp := ShardedSpeedup(w, s, platform.CLX, workers)
+		peak = max(peak, sp)
+		if sp < 0.9*peak {
+			t.Errorf("speedup collapses at W=%d: %.3f vs peak %.3f", workers, sp, peak)
+		}
+	}
+
+	// W=1 pays barrier overhead against the straight-line reference, so its
+	// "speedup" must sit just below 1 — the honest cost of determinism.
+	if sp := ShardedSpeedup(w, s, platform.CLX, 1); sp >= 1 || sp < 0.9 {
+		t.Errorf("W=1 sharded speedup %.4f, want slightly under 1", sp)
+	}
+
+	// At the paper's batch size the 4-worker engine must clear the CI
+	// scaling gate's 1.6x with room to spare, and 48 workers must not
+	// exceed perfect linear scaling.
+	if sp := ShardedSpeedup(w, s, platform.CLX, 4); sp < 1.6 {
+		t.Errorf("W=4 sharded speedup %.2f, want >= 1.6", sp)
+	}
+	if sp := ShardedSpeedup(w, s, platform.CLX, 48); sp > 48 {
+		t.Errorf("W=48 sharded speedup %.2f exceeds linear", sp)
+	}
+}
+
+func TestShardingCrossoverBatch(t *testing.T) {
+	w := amazonWorkload()
+	s := OptimizedSLIDE(platform.CLX)
+
+	bs := ShardingCrossoverBatch(w, s, platform.CLX, 8)
+	if bs <= 0 {
+		t.Fatal("no crossover batch found — barrier cost modeled as unamortizable")
+	}
+	if bs > w.BatchSize {
+		t.Errorf("crossover batch %d exceeds the paper's batch %d: sharding would never pay off", bs, w.BatchSize)
+	}
+	// The returned batch is a genuine crossover point: sharded wins at it,
+	// single-worker wins (or ties) one power of two below.
+	w.BatchSize = bs
+	if ShardedStep(w, s, platform.CLX, 8) >= SingleStep(w, s, platform.CLX) {
+		t.Errorf("sharded does not win at its own crossover batch %d", bs)
+	}
+	if bs > 1 {
+		w.BatchSize = bs / 2
+		if ShardedStep(w, s, platform.CLX, 8) < SingleStep(w, s, platform.CLX) {
+			t.Errorf("sharded already wins below the reported crossover batch %d", bs)
+		}
+	}
+}

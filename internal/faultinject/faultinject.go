@@ -75,6 +75,11 @@ const (
 	// the replication stream (err and stall rules — a flaky or slow
 	// subscriber).
 	PointReplicateRecv = "replicate.recv"
+	// PointShardBarrier is hit by every sharded-training worker as it
+	// arrives at a phase barrier (stall rules only — barriers cannot fail).
+	// A stall makes one worker arrive late, proving the barrier protocol
+	// neither deadlocks nor lets a merge start on partial shard results.
+	PointShardBarrier = "shard.barrier"
 )
 
 // ErrInjected is the sentinel every injected fault wraps.

@@ -113,6 +113,37 @@ func (l *ColLayer) Backward(ks *simd.Kernels, x sparse.Vector, h, dh []float32) 
 	}
 }
 
+// BackwardBatchRange accumulates the batch's hidden gradients for output
+// units [lo, hi) only: for every sample i (in order), it ReLU-masks
+// dhs[i][lo:hi] against acts[i], adds it into the bias gradient subrange,
+// and accumulates xⱼ·dh[lo:hi] into each touched column's subrange. Workers
+// own disjoint [lo, hi) tiles, so no locks are needed; because every kernel
+// involved is elementwise, the per-scalar accumulation order is sample-
+// ascending regardless of where the tile boundaries fall — the result is
+// bit-identical for any tile count. Used by the deterministic sharded
+// trainer in place of per-sample Backward calls; apply with ApplyAdam as
+// usual.
+func (l *ColLayer) BackwardBatchRange(ks *simd.Kernels, xs []sparse.Vector, acts, dhs [][]float32, lo, hi int) {
+	for i := range xs {
+		h, dh := acts[i], dhs[i]
+		if len(h) != l.Out || len(dh) != l.Out {
+			panic("layer: ColLayer.BackwardBatchRange size mismatch")
+		}
+		if l.act == ReLU {
+			for u := lo; u < hi; u++ {
+				if h[u] <= 0 {
+					dh[u] = 0
+				}
+			}
+		}
+		ks.Add(dh[lo:hi], l.gbias[lo:hi])
+		for k, j := range xs[i].Indices {
+			ks.Axpy(xs[i].Values[k], dh[lo:hi], l.grad[j][lo:hi])
+			l.touched.mark(j)
+		}
+	}
+}
+
 // ApplyAdam steps every touched column (plus the bias) with the fused
 // vector ADAM kernel of §4.3.1, zeroes the consumed gradients and clears the
 // touched set. Call only after all Backward calls for the batch completed.

@@ -216,6 +216,21 @@ func (w *RowWeights) ForwardAllBatch(ks *simd.Kernels, hs [][]float32, hBFs [][]
 	w.forwardRowRange(ks, hs, hBFs, outs, 0, w.Out)
 }
 
+// ForwardAllBatchRange is ForwardAllBatch restricted to rows [lo, hi) —
+// the per-shard slice of the scatter-gather serving path. Shards call it
+// concurrently over disjoint ranges into shared outs; each (row, sample)
+// logit is the same kernel call ForwardAllBatch makes, so the assembled
+// score vector is bit-identical to the unsharded walk.
+func (w *RowWeights) ForwardAllBatchRange(ks *simd.Kernels, hs [][]float32, hBFs [][]bf16.BF16, outs [][]float32, lo, hi int) {
+	if len(outs) != len(hs) {
+		panic("layer: ForwardAllBatchRange batch size mismatch")
+	}
+	if lo < 0 || hi > w.Out || lo > hi {
+		panic("layer: ForwardAllBatchRange row range out of bounds")
+	}
+	w.forwardRowRange(ks, hs, hBFs, outs, lo, hi)
+}
+
 // forwardRowRange fills outs[s][i] for i in [lo, hi) and every sample s —
 // the row-outer inner loop of ForwardAllBatch, with the precision switch
 // hoisted out of both loops.

@@ -166,6 +166,40 @@ func (l *RowLayer) ApplyAdam(ks *simd.Kernels, p simd.AdamParams, workers int) {
 	l.touched.clear()
 }
 
+// ApplyAdamRange steps every touched row in [lo, hi) and its bias, zeroing
+// consumed gradients. The sharded optimizer runs one call per shard
+// concurrently — safe because shard row ranges are disjoint and touch reads
+// are atomic. Unlike ApplyAdam it does NOT fold the touched set into the
+// journal or clear it; after all ranges complete, the caller must invoke
+// FinishAdam exactly once.
+func (l *RowLayer) ApplyAdamRange(ks *simd.Kernels, p simd.AdamParams, lo, hi int) {
+	if l.opts.Precision == BF16Both {
+		l.touched.forEachRange(lo, hi, func(id int32) {
+			ks.AdamStepBF16(l.rowsBF[id], l.m[id], l.v[id], l.grad[id], p)
+			simd.Zero(l.grad[id])
+			adamScalar(&l.bias[id], &l.mb[id], &l.vb[id], l.gbias[id], p)
+			l.gbias[id] = 0
+		})
+	} else {
+		l.touched.forEachRange(lo, hi, func(id int32) {
+			ks.AdamStep(l.rows[id], l.m[id], l.v[id], l.grad[id], p)
+			simd.Zero(l.grad[id])
+			adamScalar(&l.bias[id], &l.mb[id], &l.vb[id], l.gbias[id], p)
+			l.gbias[id] = 0
+		})
+	}
+}
+
+// FinishAdam completes a set of ApplyAdamRange calls covering the full row
+// space: it folds the touched set into the journal (when enabled) and clears
+// it. Must not run concurrently with ApplyAdamRange.
+func (l *RowLayer) FinishAdam() {
+	if l.journal != nil {
+		l.journal.orFrom(l.touched)
+	}
+	l.touched.clear()
+}
+
 // TouchedRows returns how many rows currently hold unapplied gradient.
 func (l *RowLayer) TouchedRows() int { return l.touched.count() }
 

@@ -132,6 +132,40 @@ func (t *touchSet) forEachParallel(workers int, f func(id int32)) {
 	wg.Wait()
 }
 
+// forEachRange invokes f(id) for every marked id in [lo, hi), ascending.
+// Partial boundary words are masked, so shards whose row ranges share a
+// 32-bit word never visit each other's ids. Single-threaded per call; the
+// sharded ADAM pass runs one call per shard concurrently, which is safe
+// because the ranges are disjoint and reads are atomic.
+func (t *touchSet) forEachRange(lo, hi int, f func(id int32)) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > t.n {
+		hi = t.n
+	}
+	if lo >= hi {
+		return
+	}
+	wLo, wHi := lo>>5, (hi-1)>>5
+	for wi := wLo; wi <= wHi; wi++ {
+		bits := t.words[wi].Load()
+		if wi == wLo {
+			bits &= ^uint32(0) << (uint32(lo) & 31)
+		}
+		if wi == wHi {
+			if r := (uint32(hi)-1)&31 + 1; r < 32 {
+				bits &= (uint32(1) << r) - 1
+			}
+		}
+		for bits != 0 {
+			b := bits & -bits
+			f(int32(wi*32) + int32(trailingZeros(bits)))
+			bits ^= b
+		}
+	}
+}
+
 func trailingZeros(x uint32) int {
 	n := 0
 	for x&1 == 0 {

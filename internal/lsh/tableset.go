@@ -133,6 +133,61 @@ func (ts *TableSet) RebuildDense(n, bufLen int, row func(i int, buf []float32) [
 	}
 }
 
+// RebuildRange clears all tables and re-inserts only neurons [lo, hi),
+// keeping their global ids. A sharded output layer gives each shard its own
+// TableSet rebuilt over just the rows it owns; queries then return global
+// ids directly. Insertion order is ascending id, exactly as RebuildDense,
+// so table contents are a pure function of (lo, hi, weights) — independent
+// of the worker count used for hashing.
+func (ts *TableSet) RebuildRange(lo, hi, bufLen int, row func(i int, buf []float32) []float32, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ts.mu.Lock()
+	for _, t := range ts.tables {
+		t.Clear()
+	}
+	ts.mu.Unlock()
+
+	const chunk = 2048
+	l := len(ts.tables)
+	hashes := make([]uint32, chunk*l)
+
+	for cl := lo; cl < hi; cl += chunk {
+		ch := min(cl+chunk, hi)
+		cnt := ch - cl
+
+		var wg sync.WaitGroup
+		per := (cnt + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			s := cl + w*per
+			e := min(s+per, ch)
+			if s >= e {
+				break
+			}
+			wg.Add(1)
+			go func(s, e int) {
+				defer wg.Done()
+				buf := make([]float32, bufLen)
+				for i := s; i < e; i++ {
+					ts.hasher.HashDense(row(i, buf), hashes[(i-cl)*l:(i-cl+1)*l])
+				}
+			}(s, e)
+		}
+		wg.Wait()
+
+		ts.mu.Lock()
+		for i := 0; i < cnt; i++ {
+			id := int32(cl + i)
+			hs := hashes[i*l : (i+1)*l]
+			for t, table := range ts.tables {
+				table.Insert(id, hs[t])
+			}
+		}
+		ts.mu.Unlock()
+	}
+}
+
 // QueryDense hashes a dense activation vector and calls visit for every id
 // found across the L tables' matching buckets. Ids repeat across tables;
 // callers dedup (see Dedup). visit runs under the read lock and must not
@@ -142,6 +197,21 @@ func (ts *TableSet) QueryDense(act []float32, visit func(id int32)) {
 	ts.hasher.HashDense(act, *bp)
 	ts.query(*bp, visit)
 	ts.hashBuf.Put(bp)
+}
+
+// HashDense hashes a dense activation vector into hs (length L) without
+// querying. Sharded execution hashes each sample once and then probes every
+// shard's tables with QueryHashes, instead of re-hashing per shard.
+func (ts *TableSet) HashDense(act []float32, hs []uint32) {
+	ts.hasher.HashDense(act, hs)
+}
+
+// QueryHashes is QueryDense with the hashing already done: hs holds one
+// bucket hash per table, as produced by HashDense with the same hasher
+// parameters. Visit order (table-major, bucket order within) matches
+// QueryDense exactly.
+func (ts *TableSet) QueryHashes(hs []uint32, visit func(id int32)) {
+	ts.query(hs, visit)
 }
 
 func (ts *TableSet) query(hs []uint32, visit func(id int32)) {

@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+)
+
+// mergeViaShards runs the sharded selection path over an explicit contiguous
+// partition: per-shard TopKInto on each score range (ids offset back to
+// global), then TopKMergeInto. This is exactly what forwardState.rank does
+// for sharded models; the tests below hold its output bit-equal to the
+// single-heap TopKInto over the whole vector.
+func mergeViaShards(scores []float32, bounds []int32, k int) []int32 {
+	lists := make([][]int32, len(bounds)-1)
+	for s := 0; s+1 < len(bounds); s++ {
+		lo, hi := bounds[s], bounds[s+1]
+		l := TopKInto(scores[lo:hi], k, nil)
+		for i := range l {
+			l[i] += lo
+		}
+		lists[s] = l
+	}
+	return TopKMergeInto(scores, lists, k, nil)
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// randomBounds draws a random contiguous partition of [0, n) into s shards,
+// allowing zero-width shards (a shard can own no rows when s > n).
+func randomBounds(rng *rand.Rand, n, s int) []int32 {
+	cuts := make([]int, s-1)
+	for i := range cuts {
+		cuts[i] = rng.IntN(n + 1)
+	}
+	bounds := make([]int32, 0, s+1)
+	bounds = append(bounds, 0)
+	// insertion-sort the cuts (s is small) and append.
+	for i := 1; i < len(cuts); i++ {
+		for j := i; j > 0 && cuts[j] < cuts[j-1]; j-- {
+			cuts[j], cuts[j-1] = cuts[j-1], cuts[j]
+		}
+	}
+	for _, c := range cuts {
+		bounds = append(bounds, int32(c))
+	}
+	return append(bounds, int32(n))
+}
+
+// TestTopKMergeMatchesSingleHeapFuzz: for random score vectors — drawn from
+// a tiny value alphabet so duplicate scores are everywhere — and random
+// contiguous partitions, the scatter-gather selection must reproduce the
+// single-heap TopKInto exactly, including its deterministic tie order
+// (equal scores rank by ascending id). Shard-local positions map
+// monotonically onto global ids only because partitions are contiguous;
+// this is the property the sharded predictor's rank path leans on.
+func TestTopKMergeMatchesSingleHeapFuzz(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.IntN(64)
+		scores := make([]float32, n)
+		for i := range scores {
+			// 5-value alphabet: collisions within and across shards are the
+			// common case, not the corner case.
+			scores[i] = float32(rng.IntN(5)) * 0.25
+		}
+		s := 1 + rng.IntN(6)
+		bounds := randomBounds(rng, n, s)
+		// k sweeps past every interesting boundary: 0, < shard width,
+		// > per-shard candidates, > n.
+		k := rng.IntN(n + 8)
+		want := TopKInto(scores, k, nil)
+		got := mergeViaShards(scores, bounds, k)
+		if !equalIDs(got, want) {
+			t.Fatalf("trial %d (n=%d k=%d bounds=%v):\nscores %v\nmerge %v\nheap  %v",
+				trial, n, k, bounds, scores, got, want)
+		}
+	}
+}
+
+// TestTopKMergeEdges pins the boundary behaviors the fuzz loop visits only
+// probabilistically.
+func TestTopKMergeEdges(t *testing.T) {
+	scores := []float32{3, 1, 3, 2, 3, 0, 2, 3}
+	cases := []struct {
+		name   string
+		bounds []int32
+		k      int
+	}{
+		{"single shard", []int32{0, 8}, 4},
+		{"k zero", []int32{0, 4, 8}, 0},
+		{"k exceeds total", []int32{0, 4, 8}, 50},
+		{"k exceeds every shard", []int32{0, 2, 4, 6, 8}, 7},
+		{"empty shards", []int32{0, 0, 5, 5, 8}, 5},
+		{"all ties", []int32{0, 3, 8}, 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := TopKInto(scores, tc.k, nil)
+			got := mergeViaShards(scores, tc.bounds, tc.k)
+			if !equalIDs(got, want) {
+				t.Fatalf("merge %v, heap %v", got, want)
+			}
+		})
+	}
+	t.Run("duplicate ids across lists drained once", func(t *testing.T) {
+		// The merge contract assumes disjoint lists (shards own disjoint
+		// rows); this documents—rather than accidentally depends on—the
+		// current behavior: it never invents ids that are in no list.
+		got := TopKMergeInto(scores, [][]int32{{0, 2}, {4, 7}}, 3, nil)
+		for _, id := range got {
+			if id != 0 && id != 2 && id != 4 && id != 7 {
+				t.Fatalf("merge surfaced id %d not present in any list: %v", id, got)
+			}
+		}
+	})
+}
+
+// TestTopKMergeReusesBuffer: the out buffer is reused in place (the serving
+// path passes the pooled active buffer), so the result must alias it when
+// capacity suffices.
+func TestTopKMergeReusesBuffer(t *testing.T) {
+	scores := []float32{5, 4, 3, 2, 1, 0}
+	buf := make([]int32, 0, 8)
+	got := TopKMergeInto(scores, [][]int32{{0, 1, 2}, {3, 4, 5}}, 4, buf)
+	if fmt.Sprintf("%p", got[:1]) != fmt.Sprintf("%p", buf[:1]) {
+		t.Error("merge reallocated despite sufficient capacity")
+	}
+	if !equalIDs(got, []int32{0, 1, 2, 3}) {
+		t.Errorf("merge = %v", got)
+	}
+}

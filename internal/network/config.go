@@ -90,8 +90,20 @@ type Config struct {
 	Precision layer.Precision
 	Placement layer.Placement
 	Locked    bool
-	// Workers is the HOGWILD thread count (default GOMAXPROCS).
+	// Workers is the HOGWILD thread count (default GOMAXPROCS). Under
+	// sharded execution (Shards > 0) it is instead the size of the pinned
+	// worker pool executing shard tasks.
 	Workers int
+	// Shards > 0 replaces HOGWILD sample-striping with the deterministic
+	// sharded output layer: the label space is partitioned into Shards
+	// contiguous row ranges, each with its own LSH tables, active-set
+	// budget, RNG stream, and gradient arena. The shard count is a model
+	// property — results, checkpoints, and deltas are bit-identical for any
+	// Workers value, because workers merely execute the fixed shard task
+	// list. 0 keeps the legacy single-table HOGWILD engine. Requires LSH
+	// sampling (incompatible with NoSampling / UniformSampling); clamped to
+	// OutputDim.
+	Shards int
 
 	// RebuildEvery is the initial hash-table rebuild period in batches
 	// (default 50); RebuildGrowth stretches the period multiplicatively
@@ -167,6 +179,15 @@ func (c *Config) Validate() error {
 	}
 	if c.RebuildGrowth < 1 {
 		return fmt.Errorf("network: RebuildGrowth must be >= 1, got %g", c.RebuildGrowth)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("network: Shards must be non-negative, got %d", c.Shards)
+	}
+	if c.Shards > 0 && (c.NoSampling || c.UniformSampling) {
+		return fmt.Errorf("network: sharded execution requires LSH sampling")
+	}
+	if c.Shards > c.OutputDim {
+		c.Shards = c.OutputDim
 	}
 	return nil
 }

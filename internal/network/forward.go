@@ -27,7 +27,13 @@ type forwardState struct {
 	hidden *layer.ColWeights
 	middle []*layer.RowWeights
 	output *layer.RowWeights
-	tables *lsh.TableSet // nil when sampling is disabled
+	tables *lsh.TableSet // nil when sampling is disabled or sharded
+
+	// Sharded execution (cfg.Shards > 0): per-shard table sets and the
+	// immutable shard geometry replace the single global table set. Exactly
+	// one of tables/shTables is non-nil on a sampled model.
+	shTables []*lsh.TableSet
+	plan     *shardPlan
 
 	// middleAll[i] lists every row id of middle layer i (dense forward).
 	middleAll [][]int32
@@ -57,7 +63,15 @@ type scratch struct {
 	// rngSrc is rng's underlying PCG, retained so checkpoints can serialize
 	// the random top-up state — part of the exact-resume contract.
 	rngSrc *rand.PCG
+	// hashBuf holds the per-table bucket hashes of one query on sharded
+	// models: the sample is hashed once, then every shard's tables are
+	// probed with the same hashes.
+	hashBuf []uint32
 }
+
+// sampled reports whether the model retrieves candidates via LSH (either
+// the single table set or the per-shard sets).
+func (f *forwardState) sampled() bool { return f.tables != nil || len(f.shTables) > 0 }
 
 // newScratch sizes a scratch set for this network shape. train additionally
 // allocates the backward buffers; stream separates the random top-up
@@ -86,6 +100,9 @@ func (f *forwardState) newScratch(train bool, seed, stream uint64) *scratch {
 	}
 	if f.cfg.Precision != layer.FP32 {
 		ws.hBF = make([]bf16.BF16, f.lastDim)
+	}
+	if len(f.shTables) > 0 {
+		ws.hashBuf = make([]uint32, f.shTables[0].Tables())
 	}
 	return ws
 }
@@ -133,15 +150,23 @@ func (f *forwardState) sampleActive(ws *scratch, labels []int32) int {
 	if limit > 0 && nLabels > limit {
 		limit = nLabels // labels always survive
 	}
+	visit := func(id int32) {
+		if limit > 0 && len(ws.active) >= limit {
+			return
+		}
+		if !ws.dedup.Seen(id) {
+			ws.active = append(ws.active, id)
+		}
+	}
 	if f.tables != nil {
-		f.tables.QueryDense(ws.last(), func(id int32) {
-			if limit > 0 && len(ws.active) >= limit {
-				return
-			}
-			if !ws.dedup.Seen(id) {
-				ws.active = append(ws.active, id)
-			}
-		})
+		f.tables.QueryDense(ws.last(), visit)
+	} else if len(f.shTables) > 0 {
+		// Hash once (all shard hashers are seed-identical), probe every
+		// shard's tables in shard order — ids are disjoint across shards.
+		f.shTables[0].HashDense(ws.last(), ws.hashBuf)
+		for _, ts := range f.shTables {
+			ts.QueryHashes(ws.hashBuf, visit)
+		}
 	}
 
 	// Random top-up: keeps gradient flowing when buckets run cold early in
@@ -180,4 +205,27 @@ func (f *forwardState) predictSampled(ws *scratch, x sparse.Vector, k int) []int
 		out[i] = ws.active[pos]
 	}
 	return out
+}
+
+// rank selects the top-k ids from a full score vector. Unsharded models run
+// the single-heap selection; sharded models run the scatter-gather path —
+// a per-shard TopKInto over each contiguous score range, then the k-way
+// TopKMergeInto — which is bit-identical to the single heap because the
+// contiguous ranges map local-position ties monotonically onto global-id
+// ties (the merge fuzz test in metrics proves the comparator equivalence).
+func (f *forwardState) rank(ws *scratch, scores []float32, k int) []int32 {
+	if f.plan == nil {
+		return metrics.TopKInto(scores, k, ws.active[:0])
+	}
+	lists := make([][]int32, f.plan.s)
+	for s := 0; s < f.plan.s; s++ {
+		lo, hi := f.plan.bounds[s], f.plan.bounds[s+1]
+		kk := min(k, int(hi-lo))
+		l := metrics.TopKInto(scores[lo:hi], k, make([]int32, 0, kk))
+		for i := range l {
+			l[i] += lo
+		}
+		lists[s] = l
+	}
+	return metrics.TopKMergeInto(scores, lists, k, ws.active[:0])
 }

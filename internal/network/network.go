@@ -53,6 +53,10 @@ type Network struct {
 	rebuildGen  uint64
 	lastSnapGen uint64
 
+	// sh is the sharded-execution state (nil when cfg.Shards == 0); see
+	// sharded.go. workers is the legacy HOGWILD per-worker scratch, unused
+	// (and unallocated) in sharded mode.
+	sh      *shardState
 	workers []*scratch
 }
 
@@ -88,11 +92,20 @@ func New(cfg *Config) (*Network, error) {
 		n.middle = append(n.middle, layer.NewRowLayer(dims[i-1], dims[i], mOpts))
 	}
 
-	tables, err := newTables(cfg, lastDim)
-	if err != nil {
-		return nil, err
+	if cfg.Shards > 0 {
+		// Sharded mode: per-shard table sets replace the single global one.
+		sh, err := newShardState(cfg, lastDim)
+		if err != nil {
+			return nil, err
+		}
+		n.sh = sh
+	} else {
+		tables, err := newTables(cfg, lastDim)
+		if err != nil {
+			return nil, err
+		}
+		n.tables = tables
 	}
-	n.tables = tables
 
 	// The live forward view: layer views alias the training weights, so
 	// every ApplyAdam is visible to the next forward pass.
@@ -111,14 +124,20 @@ func New(cfg *Config) (*Network, error) {
 		lastDim:   lastDim,
 		all:       all,
 	}
-	if n.tables != nil {
+	if n.sh != nil {
+		n.fwd.shTables = n.sh.tables
+		n.fwd.plan = n.sh.plan
+	}
+	if n.tables != nil || n.sh != nil {
 		n.rebuildTables()
 	}
 	n.live = newPredictor(n.fwd, splitSeed(cfg.Seed, 7))
 
-	n.workers = make([]*scratch, cfg.Workers)
-	for w := range n.workers {
-		n.workers[w] = n.fwd.newScratch(true, splitSeed(cfg.Seed, 5), uint64(w))
+	if n.sh == nil {
+		n.workers = make([]*scratch, cfg.Workers)
+		for w := range n.workers {
+			n.workers[w] = n.fwd.newScratch(true, splitSeed(cfg.Seed, 5), uint64(w))
+		}
 	}
 	return n, nil
 }
@@ -217,8 +236,13 @@ func (n *Network) SetLR(lr float64) {
 	}
 }
 
-// rebuildTables re-hashes every output neuron into fresh tables.
+// rebuildTables re-hashes every output neuron into fresh tables (each
+// shard's rows into its own set under sharded execution).
 func (n *Network) rebuildTables() {
+	if n.sh != nil {
+		n.rebuildShardTables() // increments rebuildGen itself
+		return
+	}
 	n.tables.RebuildDense(n.cfg.OutputDim, n.lastDim, n.output.RowF32, n.cfg.Workers)
 	n.rebuildGen++
 }
@@ -331,6 +355,9 @@ type BatchStats struct {
 // accumulate into per-layer buffers, and one fused ADAM step applies to the
 // touched rows/columns. It then advances the hash-table rebuild schedule.
 func (n *Network) TrainBatch(b sparse.Batch) BatchStats {
+	if n.sh != nil {
+		return n.trainBatchSharded(b)
+	}
 	stats := BatchStats{Samples: b.Len()}
 	// Resolve the kernel table once for the whole batch: every per-row call
 	// below goes through this table, not the atomic-dispatching wrappers.

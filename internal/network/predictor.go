@@ -24,19 +24,19 @@ var ErrNoSampling = errors.New("network: PredictSampled requires an LSH-sampled 
 // (the network's own compatibility path) it inherits the network's
 // single-threaded contract with training.
 type Predictor struct {
-	fwd    *forwardState
-	seed   uint64
-	steps  int64
-	stream atomic.Uint64
-	pool   sync.Pool // *scratch
+	fwd   *forwardState
+	seed  uint64
+	steps int64
+	calls atomic.Uint64
+	pool  sync.Pool // *scratch
 }
 
 func newPredictor(f *forwardState, seed uint64) *Predictor {
 	p := &Predictor{fwd: f, seed: seed}
 	p.pool.New = func() any {
-		// Distinct streams keep sibling scratches' random top-up sequences
-		// (PredictSampled on cold buckets) decorrelated.
-		return f.newScratch(false, seed, p.stream.Add(1))
+		// The RNG stream is reseeded per call in get(); the construction
+		// stream value never survives to a draw.
+		return f.newScratch(false, seed, 0)
 	}
 	return p
 }
@@ -82,6 +82,10 @@ func (n *Network) fullSnapshotState() *forwardState {
 	if n.tables != nil {
 		f.tables = n.tables.Clone()
 	}
+	if n.sh != nil {
+		f.shTables = cloneShardTables(n.sh.tables)
+		f.plan = n.sh.plan
+	}
 	return f
 }
 
@@ -92,13 +96,20 @@ func (p *Predictor) Steps() int64 { return p.steps }
 // Config returns the configuration of the snapshotted network.
 func (p *Predictor) Config() Config { return p.fwd.cfg }
 
-// Sampled reports whether the predictor carries LSH tables, i.e. whether
-// PredictSampled is available.
-func (p *Predictor) Sampled() bool { return p.fwd.tables != nil }
+// Sampled reports whether the predictor carries LSH tables (single-set or
+// per-shard), i.e. whether PredictSampled is available.
+func (p *Predictor) Sampled() bool { return p.fwd.sampled() }
 
 func (p *Predictor) get() *scratch {
 	ws := p.pool.Get().(*scratch)
 	ws.ks = simd.Active()
+	// Reseed the random top-up stream per call: sampled answers become a
+	// pure function of (predictor seed, call index, query) instead of the
+	// scratch's pooling history — sync.Pool is free to drop and recreate
+	// scratches (it does so randomly under the race detector), and two
+	// predictors at the same seed and call sequence still draw identical
+	// top-ups. The replica bit-identity contract relies on this.
+	ws.rngSrc.Seed(p.seed, p.calls.Add(1))
 	return ws
 }
 
@@ -130,8 +141,9 @@ func (p *Predictor) Predict(x sparse.Vector, k int) []int32 {
 	scores := ws.logits[:p.fwd.cfg.OutputDim]
 	p.fwd.output.ForwardAll(ws.ks, ws.last(), ws.hBF, scores, 1)
 	// Rank in place in the pooled active buffer, then hand back a fresh
-	// slice the caller may retain.
-	top := metrics.TopKInto(scores, k, ws.active[:0])
+	// slice the caller may retain. Sharded models take the scatter-gather
+	// selection inside rank — bit-identical to the single heap.
+	top := p.fwd.rank(ws, scores, k)
 	out := make([]int32, len(top))
 	copy(out, top)
 	return out
@@ -142,7 +154,7 @@ func (p *Predictor) Predict(x sparse.Vector, k int) []int32 {
 // counterpart of SLIDE's sampled training. Returns ErrNoSampling for
 // models built without LSH tables.
 func (p *Predictor) PredictSampled(x sparse.Vector, k int) ([]int32, error) {
-	if p.fwd.tables == nil {
+	if !p.fwd.sampled() {
 		return nil, ErrNoSampling
 	}
 	ws := p.get()
@@ -213,9 +225,26 @@ func (p *Predictor) PredictBatchK(xs []sparse.Vector, ks []int) [][]int32 {
 			hBFs[i] = ws.hBF
 			scores[i] = ws.logits[:p.fwd.cfg.OutputDim]
 		}
-		p.fwd.output.ForwardAllBatch(wss[0].ks, hs, hBFs, scores)
+		if plan := p.fwd.plan; plan != nil && plan.s > 1 {
+			// Sharded scatter: each shard's contiguous row range walks the
+			// chunk concurrently (disjoint output columns, shared inputs),
+			// with the same per-(row, sample) kernel calls as the fused
+			// single-threaded walk — scores are bit-identical.
+			var wg sync.WaitGroup
+			for s := 0; s < plan.s; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					p.fwd.output.ForwardAllBatchRange(wss[0].ks, hs, hBFs, scores,
+						int(plan.bounds[s]), int(plan.bounds[s+1]))
+				}(s)
+			}
+			wg.Wait()
+		} else {
+			p.fwd.output.ForwardAllBatch(wss[0].ks, hs, hBFs, scores)
+		}
 		for i := lo; i < hi; i++ {
-			top := metrics.TopKInto(scores[i-lo], ks[i], wss[i-lo].active[:0])
+			top := p.fwd.rank(wss[i-lo], scores[i-lo], ks[i])
 			out[i] = make([]int32, len(top))
 			copy(out[i], top)
 			p.pool.Put(wss[i-lo])

@@ -8,6 +8,7 @@ import (
 	"io"
 
 	"github.com/slide-cpu/slide/internal/layer"
+	"github.com/slide-cpu/slide/internal/lsh"
 )
 
 // Sparse delta snapshots: the engine-level machinery behind snapshot
@@ -97,6 +98,13 @@ func (n *Network) SnapshotDelta() (*Predictor, *Delta) {
 			} else {
 				f.tables = n.lastSnap.tables // unchanged since last snapshot: share
 			}
+		} else if n.sh != nil {
+			if tablesChanged {
+				f.shTables = cloneShardTables(n.sh.tables)
+			} else {
+				f.shTables = n.lastSnap.shTables // unchanged: share the clone
+			}
+			f.plan = n.sh.plan
 		}
 		d = &Delta{
 			FromStep:      n.lastStep,
@@ -132,11 +140,15 @@ func (d *Delta) WriteOutput(w io.Writer) error {
 	return d.to.output.SerializeRowsDelta(w, d.OutputRows)
 }
 
-// WriteTables encodes the full LSH table state. Valid only when
+// WriteTables encodes the full LSH table state (the single set, or every
+// per-shard set back to back on sharded models). Valid only when
 // TablesChanged — otherwise the receiver keeps its current tables.
 func (d *Delta) WriteTables(w io.Writer) error {
-	if !d.TablesChanged || d.to.tables == nil {
+	if !d.TablesChanged || !d.to.sampled() {
 		return fmt.Errorf("network: delta carries no table change")
+	}
+	if len(d.to.shTables) > 0 {
+		return serializeShardTables(w, d.to.shTables)
 	}
 	return d.to.tables.Serialize(w)
 }
@@ -165,6 +177,12 @@ func configChecksum(cfg *Config) uint32 {
 	for _, d := range cfg.HiddenLayers {
 		fields = append(fields, uint64(d))
 	}
+	// Shards partitions the active-set budgets and LSH tables, so producer
+	// and consumer must agree on it. Appended only when set, so unsharded
+	// fingerprints keep their pre-sharding values.
+	if cfg.Shards > 0 {
+		fields = append(fields, uint64(cfg.Shards))
+	}
 	binary.Write(&b, binary.LittleEndian, fields)
 	return crc32.Checksum(b.Bytes(), castagnoli)
 }
@@ -186,12 +204,16 @@ func (p *Predictor) WriteMiddle(w io.Writer) error { return writeMiddleViews(w, 
 // WriteOutput encodes the full output view.
 func (p *Predictor) WriteOutput(w io.Writer) error { return p.fwd.output.SerializeView(w) }
 
-// HasTables reports whether the predictor carries LSH tables (and thus
-// whether WriteTables produces a payload).
-func (p *Predictor) HasTables() bool { return p.fwd.tables != nil }
+// HasTables reports whether the predictor carries LSH tables (single-set or
+// per-shard — and thus whether WriteTables produces a payload).
+func (p *Predictor) HasTables() bool { return p.fwd.sampled() }
 
-// WriteTables encodes the full LSH table state.
+// WriteTables encodes the full LSH table state (the single set, or every
+// per-shard set back to back on sharded models).
 func (p *Predictor) WriteTables(w io.Writer) error {
+	if len(p.fwd.shTables) > 0 {
+		return serializeShardTables(w, p.fwd.shTables)
+	}
 	if p.fwd.tables == nil {
 		return fmt.Errorf("network: predictor has no LSH tables")
 	}
@@ -249,7 +271,7 @@ func NewPredictorFromBase(parts BaseParts) (*Predictor, error) {
 	fail := func(format string, args ...any) error {
 		return fmt.Errorf("network: base snapshot: %w", fmt.Errorf(format, args...))
 	}
-	cfg, step, _, _, err := parseConfigPayload(bytes.NewReader(parts.Config), fail)
+	cfg, step, _, _, err := parseConfigPayload(bytes.NewReader(parts.Config), true, fail)
 	if err != nil {
 		return nil, err
 	}
@@ -279,17 +301,39 @@ func NewPredictorFromBase(parts BaseParts) (*Predictor, error) {
 			output.In, output.Out, output.Precision(), lastDim, cfg.OutputDim, cfg.Precision)
 	}
 
-	tables, err := newTables(&cfg, lastDim)
-	if err != nil {
-		return nil, err
-	}
-	if (tables != nil) != (parts.Tables != nil) {
-		return nil, fail("tables payload presence (%v) disagrees with config sampling (%v)",
-			parts.Tables != nil, tables != nil)
-	}
-	if tables != nil {
-		if err := tables.Deserialize(bytes.NewReader(parts.Tables)); err != nil {
+	var tables *lsh.TableSet
+	var shTables []*lsh.TableSet
+	var plan *shardPlan
+	if cfg.Shards > 0 {
+		// Sharded model: rebuild the (config-derived) shard geometry and one
+		// table set per shard, restored from the concatenated payload.
+		plan = newShardPlan(&cfg)
+		for s := 0; s < plan.s; s++ {
+			ts, err := newTables(&cfg, lastDim)
+			if err != nil {
+				return nil, err
+			}
+			shTables = append(shTables, ts)
+		}
+		if parts.Tables == nil {
+			return nil, fail("sharded config requires a tables payload")
+		}
+		if err := deserializeShardTables(bytes.NewReader(parts.Tables), shTables); err != nil {
 			return nil, fail("tables: %w", err)
+		}
+	} else {
+		tables, err = newTables(&cfg, lastDim)
+		if err != nil {
+			return nil, err
+		}
+		if (tables != nil) != (parts.Tables != nil) {
+			return nil, fail("tables payload presence (%v) disagrees with config sampling (%v)",
+				parts.Tables != nil, tables != nil)
+		}
+		if tables != nil {
+			if err := tables.Deserialize(bytes.NewReader(parts.Tables)); err != nil {
+				return nil, fail("tables: %w", err)
+			}
 		}
 	}
 
@@ -299,6 +343,8 @@ func NewPredictorFromBase(parts BaseParts) (*Predictor, error) {
 		middle:    middle,
 		output:    output,
 		tables:    tables,
+		shTables:  shTables,
+		plan:      plan,
 		middleAll: middleAll,
 		dims:      dims,
 		lastDim:   lastDim,
@@ -344,18 +390,36 @@ func (p *Predictor) ApplyDelta(parts DeltaParts) (*Predictor, error) {
 		return nil, fmt.Errorf("network: delta output: %w", err)
 	}
 	tables := p.fwd.tables
+	shTables := p.fwd.shTables
 	if parts.Tables != nil {
-		if tables == nil {
-			return nil, fmt.Errorf("network: delta carries tables but predictor has none")
+		if p.fwd.plan != nil {
+			// Sharded: the payload carries every shard's set; deserialize into
+			// fresh sets so the previous predictor's tables stay untouched.
+			fresh := make([]*lsh.TableSet, p.fwd.plan.s)
+			for s := range fresh {
+				ts, err := newTables(&cfg, p.fwd.lastDim)
+				if err != nil {
+					return nil, err
+				}
+				fresh[s] = ts
+			}
+			if err := deserializeShardTables(bytes.NewReader(parts.Tables), fresh); err != nil {
+				return nil, fmt.Errorf("network: delta tables: %w", err)
+			}
+			shTables = fresh
+		} else {
+			if tables == nil {
+				return nil, fmt.Errorf("network: delta carries tables but predictor has none")
+			}
+			fresh, err := newTables(&cfg, p.fwd.lastDim)
+			if err != nil {
+				return nil, err
+			}
+			if err := fresh.Deserialize(bytes.NewReader(parts.Tables)); err != nil {
+				return nil, fmt.Errorf("network: delta tables: %w", err)
+			}
+			tables = fresh
 		}
-		fresh, err := newTables(&cfg, p.fwd.lastDim)
-		if err != nil {
-			return nil, err
-		}
-		if err := fresh.Deserialize(bytes.NewReader(parts.Tables)); err != nil {
-			return nil, fmt.Errorf("network: delta tables: %w", err)
-		}
-		tables = fresh
 	}
 	f := &forwardState{
 		cfg:       cfg,
@@ -363,6 +427,8 @@ func (p *Predictor) ApplyDelta(parts DeltaParts) (*Predictor, error) {
 		middle:    middle,
 		output:    output,
 		tables:    tables,
+		shTables:  shTables,
+		plan:      p.fwd.plan,
 		middleAll: p.fwd.middleAll,
 		dims:      p.fwd.dims,
 		lastDim:   p.fwd.lastDim,

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math/rand/v2"
 
 	"github.com/slide-cpu/slide/internal/layer"
 	"github.com/slide-cpu/slide/internal/lsh"
@@ -128,7 +129,14 @@ func (n *Network) Save(w io.Writer) error {
 		return nil
 	})
 	sw.Section(secOutput, sectionNames[secOutput], n.output.Serialize)
-	if n.tables != nil {
+	if n.sh != nil {
+		// Per-shard table sets, back to back (TableSet framing is
+		// self-delimiting). The shard count is config-derived, so the
+		// section needs no count prefix.
+		sw.Section(secTables, sectionNames[secTables], func(w io.Writer) error {
+			return serializeShardTables(w, n.sh.tables)
+		})
+	} else if n.tables != nil {
 		sw.Section(secTables, sectionNames[secTables], n.tables.Serialize)
 	}
 	sw.Section(secRNG, sectionNames[secRNG], n.writeRNG)
@@ -179,18 +187,30 @@ func writeConfigPayload(w io.Writer, cfg *Config, step int64, sinceRebuild int, 
 			return err
 		}
 	}
-	return nil
+	// Shards trails the original payload so pre-sharding checkpoints (which
+	// simply end here) keep loading: the reader treats EOF as Shards=0.
+	return binary.Write(w, binary.LittleEndian, uint64(cfg.Shards))
 }
 
-// writeRNG emits the per-worker random top-up RNG states: without them a
-// resumed run draws a different top-up sequence and diverges from the
-// uninterrupted one.
+// writeRNG emits the random top-up RNG states: without them a resumed run
+// draws a different top-up sequence and diverges from the uninterrupted one.
+// Sharded networks emit the per-shard streams — keyed by shard, a model
+// property, so the section is identical for any worker count and loads
+// exactly at a different count. Legacy HOGWILD emits per-worker streams.
 func (n *Network) writeRNG(w io.Writer) error {
-	if err := binary.Write(w, binary.LittleEndian, uint64(len(n.workers))); err != nil {
+	srcs := make([]*rand.PCG, 0, len(n.workers))
+	if n.sh != nil {
+		srcs = n.sh.rngSrcs
+	} else {
+		for _, ws := range n.workers {
+			srcs = append(srcs, ws.rngSrc)
+		}
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(srcs))); err != nil {
 		return err
 	}
-	for _, ws := range n.workers {
-		state, err := ws.rngSrc.MarshalBinary()
+	for _, src := range srcs {
+		state, err := src.MarshalBinary()
 		if err != nil {
 			return fmt.Errorf("marshaling RNG state: %w", err)
 		}
@@ -281,7 +301,15 @@ func loadV3(br *bufio.Reader, workers int) (*Network, error) {
 			return nil, corrupt(sectionNames[sec.id], off, "parsing verified section: %w", err)
 		}
 	}
-	if n.tables != nil {
+	if n.sh != nil {
+		payload, off, err := next(secTables)
+		if err != nil {
+			return nil, err
+		}
+		if err := deserializeShardTables(bytes.NewReader(payload), n.sh.tables); err != nil {
+			return nil, corrupt("tables", off, "parsing verified section: %w", err)
+		}
+	} else if n.tables != nil {
 		payload, off, err := next(secTables)
 		if err != nil {
 			return nil, err
@@ -340,7 +368,7 @@ func readConfig(r io.Reader, workers int, section string, off int64) (*Network, 
 		}
 		return fmt.Errorf("network: reading checkpoint header: %w", fmt.Errorf(format, args...))
 	}
-	cfg, step, sinceRebuild, rebuildPeriod, err := parseConfigPayload(r, fail)
+	cfg, step, sinceRebuild, rebuildPeriod, err := parseConfigPayload(r, section != "", fail)
 	if err != nil {
 		return nil, err
 	}
@@ -356,8 +384,11 @@ func readConfig(r io.Reader, workers int, section string, off int64) (*Network, 
 }
 
 // parseConfigPayload reads the payload written by writeConfigPayload. fail
-// wraps field-level read failures with the caller's error shape.
-func parseConfigPayload(r io.Reader, fail func(format string, args ...any) error) (Config, int64, int, float64, error) {
+// wraps field-level read failures with the caller's error shape. trailing
+// permits reading the optional fields appended after the original payload
+// (Shards); it must be false on the v2 path, where the config is not framed
+// and reading past its end would consume the next payload's bytes.
+func parseConfigPayload(r io.Reader, trailing bool, fail func(format string, args ...any) error) (Config, int64, int, float64, error) {
 	hdr := make([]uint64, 21)
 	for i := range hdr {
 		if err := binary.Read(r, binary.LittleEndian, &hdr[i]); err != nil {
@@ -412,15 +443,65 @@ func parseConfigPayload(r io.Reader, fail func(format string, args ...any) error
 		Eps:              fs[3],
 		RebuildGrowth:    fs[4],
 	}
+	if trailing {
+		var shards uint64
+		switch err := binary.Read(r, binary.LittleEndian, &shards); err {
+		case nil:
+			cfg.Shards = int(shards)
+		case io.EOF: // payload predates the Shards field
+		default:
+			return Config{}, 0, 0, 0, fail("reading shard count: %w", err)
+		}
+	}
 	return cfg, int64(hdr[19]), int(hdr[20]), fs[5], nil
 }
 
-// readRNG restores the per-worker RNG states. A load with the same worker
-// count resumes exactly; with fewer or more workers the overlapping workers
+// serializeShardTables writes the per-shard table sets back to back. The
+// TableSet framing is self-delimiting and the shard count is derived from
+// the config, so the stream needs no count prefix — and the bytes are a
+// pure function of (seed, shard count, insert history), never of the worker
+// count, which is what makes sharded checkpoints bit-identical across W.
+func serializeShardTables(w io.Writer, sets []*lsh.TableSet) error {
+	for s, ts := range sets {
+		if err := ts.Serialize(w); err != nil {
+			return fmt.Errorf("shard %d tables: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// deserializeShardTables restores the per-shard table sets written by
+// serializeShardTables, in shard order.
+func deserializeShardTables(r io.Reader, sets []*lsh.TableSet) error {
+	for s, ts := range sets {
+		if err := ts.Deserialize(r); err != nil {
+			return fmt.Errorf("shard %d tables: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// readRNG restores the RNG states. Sharded networks restore the per-shard
+// streams — the shard count comes from the config, so the counts always
+// match and a checkpoint written at W workers resumes bit-exactly at W'.
+// Legacy HOGWILD restores per-worker: a load with the same worker count
+// resumes exactly; with fewer or more workers the overlapping workers
 // restore and the rest keep their fresh seeds (exact resume requires
 // matching worker counts anyway — HOGWILD partitioning changes with the
 // count).
 func readRNG(r io.Reader, n *Network) error {
+	into := func(i int) *rand.PCG {
+		if n.sh != nil {
+			if i < len(n.sh.rngSrcs) {
+				return n.sh.rngSrcs[i]
+			}
+			return nil
+		}
+		if i < len(n.workers) {
+			return n.workers[i].rngSrc
+		}
+		return nil
+	}
 	var nRNG uint64
 	if err := binary.Read(r, binary.LittleEndian, &nRNG); err != nil {
 		return fmt.Errorf("reading RNG states: %w", err)
@@ -440,8 +521,8 @@ func readRNG(r io.Reader, n *Network) error {
 		if _, err := io.ReadFull(r, state); err != nil {
 			return fmt.Errorf("reading RNG states: %w", err)
 		}
-		if int(i) < len(n.workers) {
-			if err := n.workers[i].rngSrc.UnmarshalBinary(state); err != nil {
+		if src := into(int(i)); src != nil {
+			if err := src.UnmarshalBinary(state); err != nil {
 				return fmt.Errorf("restoring RNG state %d: %w", i, err)
 			}
 		}

@@ -19,7 +19,13 @@ func saveV2(n *Network, w *bytes.Buffer) error {
 			return err
 		}
 	}
-	if err := n.writeConfig(w); err != nil {
+	// A real v2 writer predates the trailing Shards field: write the config
+	// payload aside and strip the trailing 8 bytes to reproduce its layout.
+	var cfgBuf bytes.Buffer
+	if err := n.writeConfig(&cfgBuf); err != nil {
+		return err
+	}
+	if _, err := w.Write(cfgBuf.Bytes()[:cfgBuf.Len()-8]); err != nil {
 		return err
 	}
 	if err := n.hidden.Serialize(w); err != nil {

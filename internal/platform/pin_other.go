@@ -1,0 +1,7 @@
+//go:build !linux
+
+package platform
+
+// PinThread is a no-op outside Linux: affinity syscalls are platform-
+// specific and pinning is only a performance hint.
+func PinThread(cpu int) error { return nil }

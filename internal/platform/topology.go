@@ -1,0 +1,39 @@
+package platform
+
+import "runtime"
+
+// Topology describes the cache hierarchy the sharded output layer sizes its
+// per-shard arenas against: shard-private working sets should fit L2, and
+// the sum of all shards' hot state should stay within the shared L3 so
+// scatter-gather merges hit cache instead of DRAM.
+type Topology struct {
+	// CPUs is the number of schedulable logical CPUs.
+	CPUs int
+	// L2Bytes is the per-core private L2 capacity.
+	L2Bytes int64
+	// L3Bytes is the shared last-level cache capacity.
+	L3Bytes int64
+}
+
+// DetectTopology reports the host cache topology. On Linux it reads the
+// sysfs cache hierarchy of cpu0; elsewhere (or when sysfs is unreadable,
+// e.g. minimal containers) it falls back to the conservative Host()
+// descriptor: 1 MB L2 and Host().L3MB of L3. The values steer arena sizing
+// and the costmodel's sharding crossover — they are never correctness-
+// relevant, so a wrong fallback only mis-tunes, never breaks.
+func DetectTopology() Topology {
+	t := Topology{
+		CPUs:    runtime.NumCPU(),
+		L2Bytes: 1 << 20,
+		L3Bytes: int64(Host().L3MB * (1 << 20)),
+	}
+	if l2, l3, ok := sysfsCacheSizes(); ok {
+		if l2 > 0 {
+			t.L2Bytes = l2
+		}
+		if l3 > 0 {
+			t.L3Bytes = l3
+		}
+	}
+	return t
+}

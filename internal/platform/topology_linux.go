@@ -1,0 +1,69 @@
+//go:build linux
+
+package platform
+
+import (
+	"os"
+	"strconv"
+	"strings"
+)
+
+// sysfsCacheSizes reads cpu0's cache hierarchy from sysfs. Each indexN
+// directory describes one cache level; "level" + "type" identify it and
+// "size" is a humanized byte count ("1024K", "32M"). Returns ok=false when
+// the hierarchy is absent (containers without /sys, non-x86 layouts).
+func sysfsCacheSizes() (l2, l3 int64, ok bool) {
+	const base = "/sys/devices/system/cpu/cpu0/cache"
+	entries, err := os.ReadDir(base)
+	if err != nil {
+		return 0, 0, false
+	}
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), "index") {
+			continue
+		}
+		dir := base + "/" + e.Name()
+		level := readTrim(dir + "/level")
+		typ := readTrim(dir + "/type")
+		if typ == "Instruction" {
+			continue
+		}
+		size := parseCacheSize(readTrim(dir + "/size"))
+		switch level {
+		case "2":
+			l2 = size
+		case "3":
+			l3 = size
+		}
+	}
+	return l2, l3, l2 > 0 || l3 > 0
+}
+
+func readTrim(path string) string {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(b))
+}
+
+// parseCacheSize converts sysfs's "1024K" / "32M" notation to bytes.
+func parseCacheSize(s string) int64 {
+	if s == "" {
+		return 0
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'K', 'k':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'M', 'm':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'G', 'g':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n * mult
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package platform
+
+// sysfsCacheSizes is the non-Linux stub: no sysfs cache hierarchy, so
+// DetectTopology keeps its conservative defaults.
+func sysfsCacheSizes() (l2, l3 int64, ok bool) { return 0, 0, false }

@@ -1,0 +1,147 @@
+package slide
+
+import (
+	"math/rand/v2"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/slide-cpu/slide/internal/faultinject"
+)
+
+// randomShardedSamples draws a deterministic stream of sparse samples for
+// the sharded concurrency tests.
+func randomShardedSamples(rng *rand.Rand, n, inputDim, outputDim int) []Sample {
+	samples := make([]Sample, n)
+	for i := range samples {
+		nnz := 3 + rng.IntN(5)
+		s := Sample{
+			Indices: make([]int32, 0, nnz),
+			Values:  make([]float32, 0, nnz),
+			Labels:  []int32{int32(rng.IntN(outputDim))},
+		}
+		seen := map[int32]bool{}
+		for len(s.Indices) < nnz {
+			id := int32(rng.IntN(inputDim))
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			s.Indices = append(s.Indices, id)
+		}
+		slices.Sort(s.Indices) // sparse vectors are strictly ascending
+		for range s.Indices {
+			s.Values = append(s.Values, rng.Float32()+0.1)
+		}
+		samples[i] = s
+	}
+	return samples
+}
+
+// TestShardedChaosConcurrentServing runs sharded TrainBatch with a scripted
+// stall at the shard barrier while serving goroutines hammer PredictEntries
+// against snapshots that are swapped mid-flight after every batch. Run under
+// -race this is the torn-merge detector for the sharded engine: the barrier
+// protocol must neither deadlock when a worker arrives late (the stall rule
+// fires on real barrier arrivals — asserted) nor let a phase read partial
+// shard results, and every snapshot must stay immutable under concurrent
+// batched reads (PredictEntries bit-equal to Predict on the same snapshot).
+func TestShardedChaosConcurrentServing(t *testing.T) {
+	const (
+		inputDim, hiddenDim, outputDim = 48, 24, 40
+		shards, workers                = 4, 4
+		batches, servers               = 24, 3
+	)
+	m, err := New(inputDim, hiddenDim, outputDim,
+		WithDWTA(2, 6),
+		WithShards(shards),
+		WithWorkers(workers),
+		WithActiveSet(12, 0),
+		WithRebuildSchedule(5, 1),
+		WithSeed(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stall every 7th barrier arrival: with W workers and ~8 barriers per
+	// batch the late worker rotates across phases and worker indices.
+	plan, err := faultinject.Parse("shard.barrier@every:7=stall:1ms", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm(plan)
+	t.Cleanup(faultinject.Disarm)
+
+	var snap atomic.Pointer[Predictor]
+	snap.Store(m.Snapshot())
+
+	rng := rand.New(rand.NewPCG(5, 17))
+	query := randomShardedSamples(rng, 16, inputDim, outputDim)
+	entries := make([]BatchEntry, len(query))
+	for i, s := range query {
+		entries[i] = BatchEntry{Indices: s.Indices, Values: s.Values, K: 1 + i%5}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errc := make(chan error, servers)
+	for w := 0; w < servers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := snap.Load() // one immutable snapshot for the whole round
+				got, err := p.PredictEntries(entries)
+				if err != nil {
+					errc <- err
+					return
+				}
+				for i, ids := range got {
+					if len(ids) != entries[i].K {
+						t.Errorf("entry %d returned %d ids, want %d", i, len(ids), entries[i].K)
+					}
+					for _, id := range ids {
+						if id < 0 || int(id) >= outputDim {
+							t.Errorf("entry %d returned out-of-range id %d", i, id)
+						}
+					}
+				}
+				// Torn-merge probe: against the same immutable snapshot the
+				// batched walk must be bit-identical to the direct path.
+				i := int(p.Steps()) % len(entries)
+				direct := p.Predict(entries[i].Indices, entries[i].Values, entries[i].K)
+				for j := range direct {
+					if got[i][j] != direct[j] {
+						t.Errorf("snapshot step %d entry %d: batched %v vs direct %v",
+							p.Steps(), i, got[i], direct)
+						break
+					}
+				}
+			}
+		}()
+	}
+
+	for b := 0; b < batches; b++ {
+		batch := randomShardedSamples(rng, 32, inputDim, outputDim)
+		if _, err := m.TrainBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		snap.Store(m.Snapshot()) // mid-flight swap under the servers
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	if len(plan.Fired()) == 0 {
+		t.Fatal("barrier stall rule never fired — the chaos run exercised nothing")
+	}
+}

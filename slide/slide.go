@@ -267,6 +267,18 @@ func WithWorkers(n int) Option {
 	return func(c *config) { c.net.Workers = n }
 }
 
+// WithShards partitions the output layer into n contiguous shards, each
+// owning its rows' LSH tables, active-set budget, and RNG stream, and
+// replaces the HOGWILD trainer with the deterministic scatter-gather
+// engine: batches run as barrier-separated phases striped over the worker
+// pool, so trained weights, checkpoints, and deltas are bit-identical for
+// any WithWorkers value. The shard count is a model property (it is
+// checkpointed and fingerprinted); the worker count remains an execution
+// resource. Requires LSH sampling.
+func WithShards(n int) Option {
+	return func(c *config) { c.net.Shards = n }
+}
+
 // WithLockedGradients replaces HOGWILD's benign-race gradient accumulation
 // with striped locks — slower but race-detector clean and deterministic
 // with one worker.
