@@ -18,6 +18,10 @@
 // exits non-zero — CI uses this to prove the micro-batcher actually
 // batches under concurrent load.
 //
+// Connection failures (refused/reset, e.g. a replica restarting mid-run)
+// are retried for up to ~10s and reported in a separate reconnects bucket
+// instead of failing the run — rolling restarts are not outages.
+//
 // Cluster mode (-targets host1:8081,host2:8082) spreads the same request
 // set round-robin across a fleet of replicas (slide-replica) instead of a
 // single server: the report gains per-target sections, the snapshot
@@ -106,6 +110,7 @@ func run(addr string, clients, n, k int, mixedK bool, seed uint64, scale float64
 			"requests":     report.Requests,
 			"errors":       report.Errors,
 			"retried_429":  report.Retried429,
+			"reconnects":   report.Reconnects,
 			"degraded":     report.Degraded,
 			"deadline_504": report.Deadline504,
 			"duration_ms":  float64(report.Duration.Microseconds()) / 1000,
@@ -125,9 +130,9 @@ func run(addr string, clients, n, k int, mixedK bool, seed uint64, scale float64
 			return err
 		}
 	} else {
-		log.Printf("%d requests, %d clients: %.0f qps, p50 %v, p99 %v, %d errors, %d retried (429), %d degraded, %d deadline-shed (504)",
+		log.Printf("%d requests, %d clients: %.0f qps, p50 %v, p99 %v, %d errors, %d retried (429), %d reconnects, %d degraded, %d deadline-shed (504)",
 			report.Requests, clients, report.QPS, report.P50, report.P99, report.Errors,
-			report.Retried429, report.Degraded, report.Deadline504)
+			report.Retried429, report.Reconnects, report.Degraded, report.Deadline504)
 		if meanBatch >= 0 {
 			log.Printf("server mean batch size: %.2f", meanBatch)
 		}
@@ -181,6 +186,7 @@ func runCluster(targets []string, clients, n, k int, mixedK bool, seed uint64, s
 			"requests":     report.Requests,
 			"errors":       report.Errors,
 			"retried_429":  report.Retried429,
+			"reconnects":   report.Reconnects,
 			"degraded":     report.Degraded,
 			"deadline_504": report.Deadline504,
 			"duration_ms":  float64(report.Duration.Microseconds()) / 1000,

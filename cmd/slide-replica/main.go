@@ -16,7 +16,13 @@
 // answers 503 when the stream is disconnected or the replica has fallen
 // more than -max-version-lag versions behind the trainer, and /stats
 // additionally reports replica_version, trainer_version, deltas_applied,
-// resyncs, and corrupt counters.
+// resyncs, corrupt, quarantined (deltas/bases refused for non-finite
+// weights), and resync_backoff_ms (the current capped-exponential re-sync
+// pause; -seed makes its jitter deterministic).
+//
+// On SIGTERM/SIGINT the replica drains gracefully: readiness flips to 503
+// so load balancers steer away, in-flight batches flush, then the process
+// exits 0. A second signal kills it immediately.
 //
 // The -chaos flag arms the same deterministic fault injector the trainer
 // binaries use — e.g. 'replicate.recv@3=err' makes the third stream fetch
@@ -33,6 +39,7 @@ import (
 	"os"
 	"os/signal"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -56,6 +63,7 @@ func main() {
 		maxLag      = flag.Int64("max-version-lag", 0, "versions behind the trainer before /healthz/ready reports unready (0 = lag never gates readiness)")
 		pollTimeout = flag.Duration("poll-timeout", 30*time.Second, "delta long-poll budget per round trip")
 		syncWait    = flag.Duration("sync-timeout", 2*time.Minute, "how long to wait for the initial base sync before giving up")
+		seed        = flag.Uint64("seed", 1, "seed for the deterministic re-sync backoff jitter (desynchronizes a fleet reproducibly)")
 
 		defaultDeadline = flag.Duration("default-deadline", 0, "service deadline for requests without deadline_ms; misses answer 504 (0 = none)")
 		chaos           = flag.String("chaos", "", "fault-injection scenario, e.g. 'replicate.recv@3=err' (self-healing drills)")
@@ -87,22 +95,27 @@ func main() {
 		},
 		DefaultDeadline: *defaultDeadline,
 	}
-	if err := run(*addr, *trainerURL, cfg, *maxLag, *pollTimeout, *syncWait); err != nil {
+	if err := run(*addr, *trainerURL, cfg, *maxLag, *pollTimeout, *syncWait, *seed); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, trainerURL string, cfg serving.ServerConfig, maxLag int64, pollTimeout, syncWait time.Duration) error {
+func run(addr, trainerURL string, cfg serving.ServerConfig, maxLag int64, pollTimeout, syncWait time.Duration, seed uint64) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	client := &replicate.Client{
 		BaseURL:     trainerURL,
 		PollTimeout: pollTimeout,
+		JitterSeed:  seed,
 		// A long-poll must be able to run its course before the transport
 		// gives up.
 		HTTP: &http.Client{Timeout: pollTimeout + 15*time.Second},
 	}
+
+	// Graceful drain: flipped on the first SIGTERM/SIGINT so readiness
+	// reports 503 while in-flight batches flush.
+	var draining atomic.Bool
 
 	// The serving pipeline needs an initial predictor, which only the first
 	// base sync can provide; until then swaps park under the mutex.
@@ -117,7 +130,7 @@ func run(addr, trainerURL string, cfg serving.ServerConfig, maxLag int64, pollTi
 		mu.Lock()
 		defer mu.Unlock()
 		if srv == nil {
-			srv = serving.NewServer(sp, withReplicaHooks(cfg, client, maxLag))
+			srv = serving.NewServer(sp, withReplicaHooks(cfg, client, maxLag, &draining))
 			once.Do(func() { close(first) })
 			return
 		}
@@ -157,18 +170,26 @@ func run(addr, trainerURL string, cfg serving.ServerConfig, maxLag int64, pollTi
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("shutting down (applied %d deltas, %d resyncs)",
+	stop() // restore default signal handling: a second SIGTERM is immediate
+	draining.Store(true)
+	log.Printf("draining: admission stopped, flushing in-flight batches (applied %d deltas, %d resyncs)",
 		client.Stats.DeltasApplied.Load(), client.Stats.Resyncs.Load())
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	return httpSrv.Shutdown(shutCtx)
+	err := httpSrv.Shutdown(shutCtx) // close listeners, wait for handlers
+	s.Close()                        // drain the batcher queue, join workers
+	log.Printf("drain complete")
+	return err
 }
 
 // withReplicaHooks extends the serving config with replication-aware
 // readiness and stats.
-func withReplicaHooks(cfg serving.ServerConfig, client *replicate.Client, maxLag int64) serving.ServerConfig {
+func withReplicaHooks(cfg serving.ServerConfig, client *replicate.Client, maxLag int64, draining *atomic.Bool) serving.ServerConfig {
 	cfg.ReadyReasons = func() []string {
 		var reasons []string
+		if draining.Load() {
+			reasons = append(reasons, "draining: shutdown in progress")
+		}
 		if client.Stats.Connected.Load() == 0 {
 			reasons = append(reasons, "replication stream disconnected")
 		}
@@ -185,11 +206,13 @@ func withReplicaHooks(cfg serving.ServerConfig, client *replicate.Client, maxLag
 	}
 	cfg.StatsExtra = func() map[string]any {
 		return map[string]any{
-			"replica_version": client.Stats.Version.Load(),
-			"trainer_version": client.Stats.TrainerVersion.Load(),
-			"deltas_applied":  client.Stats.DeltasApplied.Load(),
-			"resyncs":         client.Stats.Resyncs.Load(),
-			"corrupt":         client.Stats.Corrupt.Load(),
+			"replica_version":   client.Stats.Version.Load(),
+			"trainer_version":   client.Stats.TrainerVersion.Load(),
+			"deltas_applied":    client.Stats.DeltasApplied.Load(),
+			"resyncs":           client.Stats.Resyncs.Load(),
+			"corrupt":           client.Stats.Corrupt.Load(),
+			"quarantined":       client.Stats.Quarantined.Load(),
+			"resync_backoff_ms": client.Stats.BackoffMS.Load(),
 		}
 	}
 	return cfg

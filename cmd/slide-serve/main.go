@@ -49,6 +49,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -108,6 +109,18 @@ func main() {
 func run(addr, modelPath string, cfg serving.ServerConfig, demo bool, demoScale float64, refresh, shards int, seed uint64, replicated bool) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Graceful drain: the first SIGTERM/SIGINT flips readiness to 503 (load
+	// balancers steer new traffic away) while in-flight batches flush; a
+	// second signal kills the process immediately (stop() below restores
+	// default handling).
+	var draining atomic.Bool
+	cfg.ReadyReasons = func() []string {
+		if draining.Load() {
+			return []string{"draining: shutdown in progress"}
+		}
+		return nil
+	}
 
 	var hub *replicate.Hub
 	if replicated {
@@ -190,10 +203,15 @@ func run(addr, modelPath string, cfg serving.ServerConfig, demo bool, demoScale 
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("shutting down")
+	stop() // restore default signal handling: a second SIGTERM is immediate
+	draining.Store(true)
+	log.Printf("draining: admission stopped, flushing in-flight batches")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	return httpSrv.Shutdown(shutCtx)
+	err := httpSrv.Shutdown(shutCtx) // close listeners, wait for handlers
+	srv.Close()                      // drain the batcher queue, join workers
+	log.Printf("drain complete")
+	return err
 }
 
 // demoModel builds and warm-trains a model on the synthetic Amazon-670K-like

@@ -23,6 +23,15 @@
 //
 //	slide-train -dataset amazon -epochs 1 -save model.slide \
 //	    -checkpoint-every 100 -retain 3 -chaos 'checkpoint.write@2=cut:64'
+//
+// Numerical health: -health arms per-step NaN/Inf guards and loss-spike
+// detection; -auto-rollback N closes the self-healing loop, reloading the
+// newest valid checkpoint and replaying (with -rollback-lr-factor backoff)
+// up to N times. Drill it with the numeric poison actions:
+//
+//	slide-train -dataset amazon -epochs 1 -save model.slide \
+//	    -checkpoint-every 50 -retain 3 -auto-rollback 2 \
+//	    -chaos 'train.batch@120=nan:0'
 package main
 
 import (
@@ -74,6 +83,10 @@ func main() {
 
 		chaos     = flag.String("chaos", "", "fault-injection scenario, e.g. 'checkpoint.write@2=cut:64,datasource.read@5=err' (crash-recovery drills)")
 		chaosSeed = flag.Uint64("chaos-seed", 1, "seed for probabilistic chaos rules (p0.x)")
+
+		healthOn = flag.Bool("health", false, "enable numerical health guards (NaN/Inf + loss-spike detection); training aborts on a red verdict unless -auto-rollback recovers")
+		autoRB   = flag.Int("auto-rollback", 0, "on a red health verdict, roll back to the newest valid checkpoint and replay, up to N times (implies -health; needs -checkpoint-every)")
+		rbLR     = flag.Float64("rollback-lr-factor", 1.0, "multiply the learning rate by this per rollback (compounding)")
 	)
 	flag.Parse()
 	fmt.Printf("kernels: %s active (host supports: %v)\n", slide.KernelInfo(), slide.AvailableKernelModes())
@@ -241,6 +254,18 @@ func main() {
 	}
 	if *early > 0 {
 		topts = append(topts, slide.WithEarlyStopping(*early, *earlyD))
+	}
+	if *healthOn || *autoRB > 0 {
+		topts = append(topts, slide.WithOnHealth(func(ev slide.HealthEvent) {
+			fmt.Printf("health: %s\n", ev)
+		}))
+	}
+	if *autoRB > 0 {
+		topts = append(topts, slide.WithAutoRollback(*autoRB, *rbLR),
+			slide.WithOnRollback(func(ev slide.RollbackEvent) {
+				fmt.Printf("rolled back to %s (step %d, attempt %d/%d, lr scale %g)\n",
+					ev.Checkpoint, ev.Step, ev.Attempt, *autoRB, ev.LRScale)
+			}))
 	}
 	if resumed {
 		topts = append(topts, slide.WithResume())

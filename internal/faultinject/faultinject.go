@@ -30,6 +30,13 @@
 //	               with 0xFF and the stream otherwise delivered intact —
 //	               silent single-byte corruption, the fault checksums exist
 //	               to catch
+//	nan:<row>      (poison points) plant a NaN in parameter row <row> just
+//	               before the call proceeds — numeric corruption the health
+//	               guards exist to catch
+//	inf:<row>      (poison points) plant a +Inf in parameter row <row>
+//	gradscale:<f>  (poison points) scale the effective learning rate of one
+//	               optimizer step by <f> — an exploding-step drill for the
+//	               loss-spike detector
 //
 // Example — fail the second checkpoint mid-write after 512 bytes and stall
 // every third data read for 5ms:
@@ -80,6 +87,11 @@ const (
 	// A stall makes one worker arrive late, proving the barrier protocol
 	// neither deadlocks nor lets a merge start on partial shard results.
 	PointShardBarrier = "shard.barrier"
+	// PointTrainBatch is polled (via Poison) at the top of every optimizer
+	// step. nan/inf rules plant a non-finite value in the model's hidden
+	// bias, gradscale rules scale that one step's learning rate — the
+	// numeric-corruption drills for the detect → rollback loop.
+	PointTrainBatch = "train.batch"
 )
 
 // ErrInjected is the sentinel every injected fault wraps.
@@ -108,9 +120,10 @@ type rule struct {
 	call  uint64  // fire on this 1-based call…
 	every uint64  // …or on every Nth call…
 	prob  float64 // …or per-call with this probability (seeded, counter-hashed)
-	act   string  // "err", "stall", "cut"
+	act   string  // "err", "stall", "cut", "flip", "nan", "inf", "gradscale"
 	dur   time.Duration
 	bytes int64
+	fval  float64 // gradscale factor
 }
 
 // matches reports whether the rule fires on the given 1-based call. The
@@ -235,8 +248,22 @@ func parseClause(clause string) (*rule, error) {
 			return nil, fmt.Errorf("faultinject: bad flip byte offset %q in %q", param, clause)
 		}
 		r.bytes = n
+	case "nan", "inf":
+		if hasParam {
+			n, err := strconv.ParseInt(param, 10, 64)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("faultinject: bad %s row index %q in %q", action, param, clause)
+			}
+			r.bytes = n
+		}
+	case "gradscale":
+		f, err := strconv.ParseFloat(param, 64)
+		if err != nil || f <= 0 {
+			return nil, fmt.Errorf("faultinject: bad gradscale factor %q in %q", param, clause)
+		}
+		r.fval = f
 	default:
-		return nil, fmt.Errorf("faultinject: unknown action %q in %q (err|stall|cut|flip)", action, clause)
+		return nil, fmt.Errorf("faultinject: unknown action %q in %q (err|stall|cut|flip|nan|inf|gradscale)", action, clause)
 	}
 	r.act = action
 	return r, nil
@@ -292,17 +319,43 @@ func (p *Plan) hit(point string) (*rule, uint64) {
 // Hit marks one invocation of a point. It returns an injected error when an
 // err rule fires, after sleeping when a stall rule fires, and nil otherwise
 // (including always when no plan is armed). cut and flip rules do not fire
-// here — they need a write stream; see Writer.
+// here — they need a write stream (see Writer) — and the numeric-poison
+// rules do not either (they need a model; see Poison).
 func Hit(point string) error {
 	p := active.Load()
 	if p == nil {
 		return nil
 	}
 	r, call := p.hit(point)
-	if r == nil || r.act == "cut" || r.act == "flip" {
+	if r == nil || r.act != "err" {
 		return nil
 	}
 	return &Fault{Point: point, Call: call, Action: r.act}
+}
+
+// Poison polls a poison point: when a nan/inf/gradscale rule fires for this
+// invocation it returns the action, the target row (nan/inf), and the scale
+// factor (gradscale). With no armed plan, no firing rule, or a non-poison
+// rule, ok is false and the call proceeds untouched. One-shot rules stay
+// consumed after firing — a rollback replay of the same steps re-polls the
+// point at ever-higher call indices and runs clean, which is exactly the
+// transient-fault shape the self-healing loop is drilled against.
+func Poison(point string) (action string, row int, factor float64, ok bool) {
+	p := active.Load()
+	if p == nil {
+		return "", 0, 0, false
+	}
+	r, _ := p.hit(point)
+	if r == nil {
+		return "", 0, 0, false
+	}
+	switch r.act {
+	case "nan", "inf":
+		return r.act, int(r.bytes), 0, true
+	case "gradscale":
+		return r.act, 0, r.fval, true
+	}
+	return "", 0, 0, false
 }
 
 // Writer instruments a write stream at a point. When a cut rule fires for

@@ -1,0 +1,147 @@
+package layer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/slide-cpu/slide/internal/health"
+)
+
+// Finite-weight validation for the quarantine layer. Snapshot publication
+// and replica delta admission scan weight views for NaN/Inf before a
+// version is allowed to serve: a sampled (strided) full scan on base
+// snapshots — cheap, and biases are always scanned completely because
+// poisoned gradients reach every bias they touch — and an exact scan on
+// delta-touched rows, where the row list is known and small.
+
+// ErrNonFinite is the sentinel every finite-scan failure wraps; the
+// quarantine paths test errors.Is against it.
+var ErrNonFinite = errors.New("layer: non-finite parameter")
+
+// CheckFinite scans the bias completely and every stride-th weight vector
+// completely (stride <= 1 scans everything). Deterministic: the visited
+// set depends only on stride and the layer shape.
+func (w *ColWeights) CheckFinite(stride int) error {
+	if i := health.FirstNonFinite32(w.bias); i >= 0 {
+		return fmt.Errorf("%w: hidden bias[%d]", ErrNonFinite, i)
+	}
+	if stride < 1 {
+		stride = 1
+	}
+	if w.colsBF != nil {
+		for j := 0; j < len(w.colsBF); j += stride {
+			if k := health.FirstNonFiniteBF16(w.colsBF[j]); k >= 0 {
+				return fmt.Errorf("%w: hidden col %d element %d", ErrNonFinite, j, k)
+			}
+		}
+		return nil
+	}
+	for j := 0; j < len(w.cols); j += stride {
+		if k := health.FirstNonFinite32(w.cols[j]); k >= 0 {
+			return fmt.Errorf("%w: hidden col %d element %d", ErrNonFinite, j, k)
+		}
+	}
+	return nil
+}
+
+// CheckFiniteCols scans exactly the named columns (plus the full bias) —
+// the delta-admission path, where ids is the touch journal.
+func (w *ColWeights) CheckFiniteCols(ids []int32) error {
+	if i := health.FirstNonFinite32(w.bias); i >= 0 {
+		return fmt.Errorf("%w: hidden bias[%d]", ErrNonFinite, i)
+	}
+	for _, j := range ids {
+		if int(j) >= len(w.cols) && int(j) >= len(w.colsBF) {
+			continue
+		}
+		if w.colsBF != nil {
+			if k := health.FirstNonFiniteBF16(w.colsBF[j]); k >= 0 {
+				return fmt.Errorf("%w: hidden col %d element %d", ErrNonFinite, j, k)
+			}
+		} else if k := health.FirstNonFinite32(w.cols[j]); k >= 0 {
+			return fmt.Errorf("%w: hidden col %d element %d", ErrNonFinite, j, k)
+		}
+	}
+	return nil
+}
+
+// CheckFinite scans the bias completely and every stride-th row completely
+// (stride <= 1 scans everything).
+func (w *RowWeights) CheckFinite(stride int) error {
+	if i := health.FirstNonFinite32(w.bias); i >= 0 {
+		return fmt.Errorf("%w: bias[%d]", ErrNonFinite, i)
+	}
+	if stride < 1 {
+		stride = 1
+	}
+	if w.rowsBF != nil {
+		for i := 0; i < len(w.rowsBF); i += stride {
+			if k := health.FirstNonFiniteBF16(w.rowsBF[i]); k >= 0 {
+				return fmt.Errorf("%w: row %d element %d", ErrNonFinite, i, k)
+			}
+		}
+		return nil
+	}
+	for i := 0; i < len(w.rows); i += stride {
+		if k := health.FirstNonFinite32(w.rows[i]); k >= 0 {
+			return fmt.Errorf("%w: row %d element %d", ErrNonFinite, i, k)
+		}
+	}
+	return nil
+}
+
+// CheckFiniteRows scans exactly the named rows (plus their biases and the
+// full bias vector) — the delta-admission path.
+func (w *RowWeights) CheckFiniteRows(ids []int32) error {
+	if i := health.FirstNonFinite32(w.bias); i >= 0 {
+		return fmt.Errorf("%w: bias[%d]", ErrNonFinite, i)
+	}
+	for _, i := range ids {
+		if int(i) >= len(w.rows) && int(i) >= len(w.rowsBF) {
+			continue
+		}
+		if w.rowsBF != nil {
+			if k := health.FirstNonFiniteBF16(w.rowsBF[i]); k >= 0 {
+				return fmt.Errorf("%w: row %d element %d", ErrNonFinite, i, k)
+			}
+		} else if k := health.FirstNonFinite32(w.rows[i]); k >= 0 {
+			return fmt.Errorf("%w: row %d element %d", ErrNonFinite, i, k)
+		}
+	}
+	return nil
+}
+
+// PoisonBias overwrites hidden bias i with v. Fault injection only (the
+// faultinject nan:<row>/inf:<row> actions): a poisoned hidden bias feeds
+// every downstream unit, so the very next forward pass produces non-finite
+// logits for every sample regardless of which rows LSH sampling selects —
+// the deterministic way to drill the detect → rollback loop.
+func (l *ColLayer) PoisonBias(i int, v float32) {
+	if len(l.bias) == 0 {
+		return
+	}
+	if i < 0 || i >= len(l.bias) {
+		i = 0
+	}
+	l.bias[i] = v
+}
+
+// PoisonBias overwrites output bias i with v. Fault injection only.
+func (l *RowLayer) PoisonBias(i int, v float32) {
+	if len(l.bias) == 0 {
+		return
+	}
+	if i < 0 || i >= len(l.bias) {
+		i = 0
+	}
+	l.bias[i] = v
+}
+
+// PoisonValue maps a faultinject poison action name to the value planted.
+func PoisonValue(action string) float32 {
+	if action == "inf" {
+		return float32(math.Inf(1))
+	}
+	return float32(math.NaN())
+}

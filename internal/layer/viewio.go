@@ -221,21 +221,23 @@ func (w *RowWeights) SerializeRowsDelta(out io.Writer, ids []int32) error {
 }
 
 // PatchRows applies a SerializeRowsDelta payload to w, returning a new view
-// that shares every untouched row with w (copy-on-write). w itself is never
-// modified. The payload's shape must match w's.
-func (w *RowWeights) PatchRows(r io.Reader) (*RowWeights, error) {
+// that shares every untouched row with w (copy-on-write) plus the ascending
+// ids the payload named (so admission validation can scan exactly the rows
+// that changed). w itself is never modified. The payload's shape must match
+// w's.
+func (w *RowWeights) PatchRows(r io.Reader) (*RowWeights, []int32, error) {
 	var in, out, prec, n uint32
 	for _, p := range []*uint32{&in, &out, &prec, &n} {
 		if err := readU32(r, p); err != nil {
-			return nil, fmt.Errorf("layer: reading rows delta header: %w", err)
+			return nil, nil, fmt.Errorf("layer: reading rows delta header: %w", err)
 		}
 	}
 	if int(in) != w.In || int(out) != w.Out || Precision(prec) != w.prec {
-		return nil, fmt.Errorf("layer: rows delta mismatch: wire %dx%d/%v, view %dx%d/%v",
+		return nil, nil, fmt.Errorf("layer: rows delta mismatch: wire %dx%d/%v, view %dx%d/%v",
 			in, out, Precision(prec), w.In, w.Out, w.prec)
 	}
 	if n > out {
-		return nil, fmt.Errorf("layer: rows delta names %d rows, view has %d", n, out)
+		return nil, nil, fmt.Errorf("layer: rows delta names %d rows, view has %d", n, out)
 	}
 	p := &RowWeights{In: w.In, Out: w.Out, prec: w.prec}
 	if w.prec == BF16Both {
@@ -244,34 +246,36 @@ func (w *RowWeights) PatchRows(r io.Reader) (*RowWeights, error) {
 		p.rows = append([][]float32(nil), w.rows...)
 	}
 	p.bias = append([]float32(nil), w.bias...)
+	ids := make([]int32, 0, n)
 	last := int64(-1)
 	for k := uint32(0); k < n; k++ {
 		var id uint32
 		if err := readU32(r, &id); err != nil {
-			return nil, fmt.Errorf("layer: reading rows delta record %d: %w", k, err)
+			return nil, nil, fmt.Errorf("layer: reading rows delta record %d: %w", k, err)
 		}
 		if int64(id) <= last || id >= out {
-			return nil, fmt.Errorf("layer: rows delta id %d out of order or range (prev %d, rows %d)", id, last, out)
+			return nil, nil, fmt.Errorf("layer: rows delta id %d out of order or range (prev %d, rows %d)", id, last, out)
 		}
 		last = int64(id)
+		ids = append(ids, int32(id))
 		if w.prec == BF16Both {
 			row := make([]bf16.BF16, w.In)
 			if err := readBF16s(r, row); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			p.rowsBF[id] = row
 		} else {
 			row := make([]float32, w.In)
 			if err := readF32s(r, row); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			p.rows[id] = row
 		}
 		if err := readF32s(r, p.bias[id:id+1]); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return p, nil
+	return p, ids, nil
 }
 
 // SerializeColsDelta writes the sparse column patch for ids (ascending): the
@@ -297,21 +301,21 @@ func (w *ColWeights) SerializeColsDelta(out io.Writer, ids []int32) error {
 }
 
 // PatchCols applies a SerializeColsDelta payload to w, returning a new view
-// that shares every untouched column with w (copy-on-write). w itself is
-// never modified.
-func (w *ColWeights) PatchCols(r io.Reader) (*ColWeights, error) {
+// that shares every untouched column with w (copy-on-write) plus the
+// ascending ids the payload named. w itself is never modified.
+func (w *ColWeights) PatchCols(r io.Reader) (*ColWeights, []int32, error) {
 	var in, out, prec, n uint32
 	for _, p := range []*uint32{&in, &out, &prec, &n} {
 		if err := readU32(r, p); err != nil {
-			return nil, fmt.Errorf("layer: reading cols delta header: %w", err)
+			return nil, nil, fmt.Errorf("layer: reading cols delta header: %w", err)
 		}
 	}
 	if int(in) != w.In || int(out) != w.Out || Precision(prec) != w.prec {
-		return nil, fmt.Errorf("layer: cols delta mismatch: wire %dx%d/%v, view %dx%d/%v",
+		return nil, nil, fmt.Errorf("layer: cols delta mismatch: wire %dx%d/%v, view %dx%d/%v",
 			in, out, Precision(prec), w.In, w.Out, w.prec)
 	}
 	if n > in {
-		return nil, fmt.Errorf("layer: cols delta names %d columns, view has %d", n, in)
+		return nil, nil, fmt.Errorf("layer: cols delta names %d columns, view has %d", n, in)
 	}
 	p := &ColWeights{In: w.In, Out: w.Out, prec: w.prec, act: w.act}
 	if w.prec == BF16Both {
@@ -319,35 +323,37 @@ func (w *ColWeights) PatchCols(r io.Reader) (*ColWeights, error) {
 	} else {
 		p.cols = append([][]float32(nil), w.cols...)
 	}
+	ids := make([]int32, 0, n)
 	last := int64(-1)
 	for k := uint32(0); k < n; k++ {
 		var id uint32
 		if err := readU32(r, &id); err != nil {
-			return nil, fmt.Errorf("layer: reading cols delta record %d: %w", k, err)
+			return nil, nil, fmt.Errorf("layer: reading cols delta record %d: %w", k, err)
 		}
 		if int64(id) <= last || id >= in {
-			return nil, fmt.Errorf("layer: cols delta id %d out of order or range (prev %d, cols %d)", id, last, in)
+			return nil, nil, fmt.Errorf("layer: cols delta id %d out of order or range (prev %d, cols %d)", id, last, in)
 		}
 		last = int64(id)
+		ids = append(ids, int32(id))
 		if w.prec == BF16Both {
 			col := make([]bf16.BF16, w.Out)
 			if err := readBF16s(r, col); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			p.colsBF[id] = col
 		} else {
 			col := make([]float32, w.Out)
 			if err := readF32s(r, col); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			p.cols[id] = col
 		}
 	}
 	p.bias = make([]float32, w.Out)
 	if err := readF32s(r, p.bias); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return p, nil
+	return p, ids, nil
 }
 
 func (w *RowWeights) writeRow(out io.Writer, id int32) error {

@@ -1,0 +1,49 @@
+package network
+
+import (
+	"testing"
+
+	"github.com/slide-cpu/slide/internal/layer"
+	"github.com/slide-cpu/slide/internal/sparse"
+)
+
+// guardBenchSetup builds a mid-sized planted problem and a fixed batch so
+// the guards-on/guards-off pair measures the same work.
+func guardBenchSetup(b *testing.B) (*Network, sparse.Batch) {
+	b.Helper()
+	p := newPlanted(256, 512, 8, 31)
+	cfg := Config{
+		InputDim: 256, HiddenDim: 64, OutputDim: 512,
+		Hash: DWTA, K: 3, L: 10, BucketCap: 64,
+		MinActive: 32, LR: 0.01, Workers: 1,
+		Precision: layer.FP32, RebuildEvery: 1 << 30, Seed: 77,
+	}
+	n, err := New(&cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := p.batch(64)
+	n.TrainBatch(batch) // warm caches and tables
+	return n, batch
+}
+
+// BenchmarkTrainBatchGuardsOff is the baseline for the guard-overhead
+// acceptance bound (guards-on must stay within ~2%).
+func BenchmarkTrainBatchGuardsOff(b *testing.B) {
+	n, batch := guardBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.TrainBatch(batch)
+	}
+}
+
+// BenchmarkTrainBatchGuardsOn measures the per-step health guards: the
+// non-finite scan of each sample's active logits plus the loss check.
+func BenchmarkTrainBatchGuardsOn(b *testing.B) {
+	n, batch := guardBenchSetup(b)
+	n.SetGuards(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.TrainBatch(batch)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"math"
 	"sync"
 
+	"github.com/slide-cpu/slide/internal/faultinject"
+	"github.com/slide-cpu/slide/internal/health"
 	"github.com/slide-cpu/slide/internal/layer"
 	"github.com/slide-cpu/slide/internal/lsh"
 	"github.com/slide-cpu/slide/internal/metrics"
@@ -58,6 +60,12 @@ type Network struct {
 	// (and unallocated) in sharded mode.
 	sh      *shardState
 	workers []*scratch
+
+	// guards enables the per-step NaN/Inf scan of active-set logits and
+	// per-sample losses (SetGuards): BatchStats.NonFinite reports what the
+	// scan found. Runtime state, not a Config field — it never changes the
+	// math or the checkpoint format, only what TrainBatch observes.
+	guards bool
 }
 
 // New builds a SLIDE network from cfg (validated and defaulted in place).
@@ -236,6 +244,17 @@ func (n *Network) SetLR(lr float64) {
 	}
 }
 
+// SetGuards toggles the numerical health guards: with guards on, every
+// TrainBatch counts the non-finite values among its active-set logits and
+// per-sample losses into BatchStats.NonFinite. The scan is O(active set)
+// integer compares over data the forward pass just produced — well under
+// 1% of TrainBatch — and the count is an order-independent sum of
+// per-sample verdicts, each a pure function of (weights at batch start,
+// sample), so it is bit-identical at any worker count in both engines.
+// Guards off (the default) cost nothing. Not safe concurrently with
+// training; call between batches.
+func (n *Network) SetGuards(on bool) { n.guards = on }
+
 // rebuildTables re-hashes every output neuron into fresh tables (each
 // shard's rows into its own set under sharded execution).
 func (n *Network) rebuildTables() {
@@ -268,8 +287,9 @@ func (n *Network) backwardStack(ws *scratch, x sparse.Vector) {
 }
 
 // trainSample processes one sample end to end (forward, sampled softmax,
-// backward) and returns its loss and active-set size.
-func (n *Network) trainSample(ws *scratch, x sparse.Vector, labels []int32) (float64, int) {
+// backward) and returns its loss, active-set size, and (guards on) the
+// count of non-finite logits/losses the health scan found.
+func (n *Network) trainSample(ws *scratch, x sparse.Vector, labels []int32) (float64, int, int64) {
 	n.fwd.forwardStack(ws, x)
 
 	var nLabels int
@@ -292,11 +312,19 @@ func (n *Network) trainSample(ws *scratch, x sparse.Vector, labels []int32) (flo
 	}
 	na := len(active)
 	if na == 0 {
-		return 0, 0
+		return 0, 0, 0
 	}
 	logits := ws.logits[:na]
 	probs := ws.probs[:na]
 	n.output.ForwardActive(ws.ks, active, ws.last(), ws.hBF, logits)
+
+	// Health guard: scan the raw logits before the softmax transform — a
+	// poisoned weight or activation lands here first, and the buffer is
+	// about to be consumed anyway, so the scan rides hot cache lines.
+	var bad int64
+	if n.guards {
+		bad = health.CountNonFinite32(logits)
+	}
 
 	// Numerically stable softmax over the active set.
 	maxLogit := ws.ks.Max(logits)
@@ -334,7 +362,10 @@ func (n *Network) trainSample(ws *scratch, x sparse.Vector, labels []int32) (flo
 	}
 
 	n.backwardStack(ws, x)
-	return loss, na
+	if n.guards && bad == 0 && (math.IsNaN(loss) || math.IsInf(loss, 0)) {
+		bad = 1
+	}
+	return loss, na, bad
 }
 
 // BatchStats reports one TrainBatch call.
@@ -346,6 +377,11 @@ type BatchStats struct {
 	// ActiveSum is the total active-set size across samples; ActiveSum /
 	// Samples is the mean sparsity the LSH sampling achieved.
 	ActiveSum int64
+	// NonFinite counts the NaN/Inf logits and losses the health guards
+	// found in this batch (always zero with guards off — see SetGuards).
+	// An order-independent sum of per-sample counts: bit-identical at any
+	// worker count.
+	NonFinite int64
 	// Rebuilt reports whether the hash tables were rebuilt after this batch.
 	Rebuilt bool
 }
@@ -355,6 +391,15 @@ type BatchStats struct {
 // accumulate into per-layer buffers, and one fused ADAM step applies to the
 // touched rows/columns. It then advances the hash-table rebuild schedule.
 func (n *Network) TrainBatch(b sparse.Batch) BatchStats {
+	// Numeric-poison drill: a nan/inf rule plants a non-finite hidden bias
+	// (feeding every unit, so the very next forward pass is non-finite for
+	// every sample at any worker count), a gradscale rule scales this one
+	// step's learning rate. No-op single atomic load when nothing is armed.
+	if act, row, f, ok := faultinject.Poison(faultinject.PointTrainBatch); ok {
+		if restore := n.applyPoison(act, row, f); restore != nil {
+			defer restore()
+		}
+	}
 	if n.sh != nil {
 		return n.trainBatchSharded(b)
 	}
@@ -372,15 +417,17 @@ func (n *Network) TrainBatch(b sparse.Batch) BatchStats {
 			ws := n.workers[w]
 			ws.ks = ks
 			var loss float64
-			var activeSum int64
+			var activeSum, nonFin int64
 			for i := w; i < b.Len(); i += nw {
-				l, na := n.trainSample(ws, b.Sample(i), b.Labels(i))
+				l, na, bad := n.trainSample(ws, b.Sample(i), b.Labels(i))
 				loss += l
 				activeSum += int64(na)
+				nonFin += bad
 			}
 			mu.Lock()
 			stats.Loss += loss
 			stats.ActiveSum += activeSum
+			stats.NonFinite += nonFin
 			mu.Unlock()
 		}(w)
 	}
@@ -408,6 +455,21 @@ func (n *Network) TrainBatch(b sparse.Batch) BatchStats {
 		}
 	}
 	return stats
+}
+
+// applyPoison executes one fired poison rule. nan/inf plant the value in
+// the hidden bias; gradscale scales the LR for exactly this step (the
+// returned restore closure undoes it after ApplyAdam).
+func (n *Network) applyPoison(action string, row int, factor float64) func() {
+	switch action {
+	case "nan", "inf":
+		n.hidden.PoisonBias(row, layer.PoisonValue(action))
+	case "gradscale":
+		old := n.cfg.LR
+		n.cfg.LR *= factor
+		return func() { n.cfg.LR = old }
+	}
+	return nil
 }
 
 // Scores computes the full output-layer logits for one sample into out

@@ -368,16 +368,19 @@ type DeltaParts struct {
 // ToStep. Copy-on-write: only rows the delta carries are fresh allocations,
 // everything else shares backing arrays with p, which is never modified —
 // a half-applied delta can simply be dropped, so a decode failure can never
-// tear the currently-served version. The caller must have verified that
-// FromStep matches (it is re-checked here) and that the config fingerprints
-// agree.
+// tear the currently-served version. Admission validation is built in: the
+// patched rows (exactly the ones the delta touched, plus every bias) are
+// scanned for NaN/Inf and a poisoned delta is refused with an error wrapping
+// ErrNonFinite — the replica keeps serving the version it has. The caller
+// must have verified that FromStep matches (it is re-checked here) and that
+// the config fingerprints agree.
 func (p *Predictor) ApplyDelta(parts DeltaParts) (*Predictor, error) {
 	if parts.FromStep != p.steps {
 		return nil, fmt.Errorf("network: delta applies to step %d, predictor is at step %d",
 			parts.FromStep, p.steps)
 	}
 	cfg := p.fwd.cfg
-	hidden, err := p.fwd.hidden.PatchCols(bytes.NewReader(parts.Hidden))
+	hidden, hiddenIDs, err := p.fwd.hidden.PatchCols(bytes.NewReader(parts.Hidden))
 	if err != nil {
 		return nil, fmt.Errorf("network: delta hidden: %w", err)
 	}
@@ -385,9 +388,20 @@ func (p *Predictor) ApplyDelta(parts DeltaParts) (*Predictor, error) {
 	if err != nil {
 		return nil, fmt.Errorf("network: delta middle: %w", err)
 	}
-	output, err := p.fwd.output.PatchRows(bytes.NewReader(parts.Output))
+	output, outputIDs, err := p.fwd.output.PatchRows(bytes.NewReader(parts.Output))
 	if err != nil {
 		return nil, fmt.Errorf("network: delta output: %w", err)
+	}
+	if err := hidden.CheckFiniteCols(hiddenIDs); err != nil {
+		return nil, fmt.Errorf("network: delta to step %d: %w", parts.ToStep, err)
+	}
+	for i, mv := range middle {
+		if err := mv.CheckFinite(1); err != nil {
+			return nil, fmt.Errorf("network: delta to step %d: middle %d: %w", parts.ToStep, i+1, err)
+		}
+	}
+	if err := output.CheckFiniteRows(outputIDs); err != nil {
+		return nil, fmt.Errorf("network: delta to step %d: output: %w", parts.ToStep, err)
 	}
 	tables := p.fwd.tables
 	shTables := p.fwd.shTables

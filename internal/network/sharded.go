@@ -8,6 +8,7 @@ import (
 
 	"github.com/slide-cpu/slide/internal/bf16"
 	"github.com/slide-cpu/slide/internal/faultinject"
+	"github.com/slide-cpu/slide/internal/health"
 	"github.com/slide-cpu/slide/internal/layer"
 	"github.com/slide-cpu/slide/internal/lsh"
 	"github.com/slide-cpu/slide/internal/mem"
@@ -115,6 +116,7 @@ type shardState struct {
 	hashes  [][]uint32 // [sample] one bucket hash per table
 	losses  []float64
 	actN    []int64
+	nonFin  []int64     // [sample] health-guard non-finite counts
 	labelLg [][]float32 // [sample] label-entry logits in canonical order
 
 	shards []*shardScratch
@@ -178,6 +180,7 @@ func (sh *shardState) ensureBatch(f *forwardState, b int) {
 	sh.xs = make([]sparse.Vector, b)
 	sh.losses = make([]float64, b)
 	sh.actN = make([]int64, b)
+	sh.nonFin = make([]int64, b)
 	for s, ss := range sh.shards {
 		for i := len(ss.active); i < b; i++ {
 			ss.active = append(ss.active, make([]int32, 0, sh.plan.minAct[s]+8))
@@ -365,6 +368,16 @@ func (n *Network) trainBatchSharded(b sparse.Batch) BatchStats {
 	// Phase C: canonical per-sample softmax merge. Every reduction walks
 	// shards in ascending order, so the float accumulation order is fixed.
 	pool.run(B, func(i int) {
+		// Health guard: scan each shard's raw logits before the exp
+		// transform overwrites them. Per-sample integer sum over per-shard
+		// partials — a pure function of (weights at batch start, sample),
+		// independent of which worker runs the merge.
+		var bad int64
+		if n.guards {
+			for s := 0; s < S; s++ {
+				bad += health.CountNonFinite32(sh.shards[s].gz[i])
+			}
+		}
 		m := float32(math.Inf(-1))
 		total := 0
 		for s := 0; s < S; s++ {
@@ -377,7 +390,7 @@ func (n *Network) trainBatchSharded(b sparse.Batch) BatchStats {
 			}
 		}
 		if total == 0 {
-			sh.losses[i], sh.actN[i] = 0, 0
+			sh.losses[i], sh.actN[i], sh.nonFin[i] = 0, 0, bad
 			return
 		}
 		// Save the label-entry logits before the buffers are overwritten
@@ -419,8 +432,12 @@ func (n *Network) trainBatchSharded(b sparse.Batch) BatchStats {
 				p++
 			}
 		}
+		if n.guards && bad == 0 && (math.IsNaN(loss) || math.IsInf(loss, 0)) {
+			bad = 1
+		}
 		sh.losses[i] = loss
 		sh.actN[i] = int64(total)
+		sh.nonFin[i] = bad
 	})
 
 	// Phase D: output gradients. Each shard owns its rows exclusively, and
@@ -510,6 +527,7 @@ func (n *Network) trainBatchSharded(b sparse.Batch) BatchStats {
 	for i := 0; i < B; i++ {
 		stats.Loss += sh.losses[i]
 		stats.ActiveSum += sh.actN[i]
+		stats.NonFinite += sh.nonFin[i]
 	}
 	return stats
 }

@@ -3,6 +3,7 @@ package replicate
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -34,8 +35,17 @@ type Stats struct {
 	Resyncs atomic.Uint64
 	// Corrupt counts messages rejected for CRC/parse/config failures.
 	Corrupt atomic.Uint64
+	// Quarantined counts messages rejected for non-finite weights — a
+	// poisoned delta or base refused at admission. Handled like corruption
+	// (re-sync, served predictor untouched) but counted apart so operators
+	// can tell numerical poison from wire damage.
+	Quarantined atomic.Uint64
 	// Connected is 1 while the stream is healthy (last fetch succeeded).
 	Connected atomic.Uint64
+	// BackoffMS is the re-sync backoff the client is currently waiting (or
+	// last waited), in milliseconds; 0 after a healthy sync. Exposed as
+	// resync_backoff_ms in replica /stats.
+	BackoffMS atomic.Uint64
 }
 
 // Client follows one trainer's replication stream: sync a base, long-poll
@@ -55,15 +65,25 @@ type Client struct {
 	OnSwap func(p *network.Predictor, version uint64)
 	// PollTimeout caps one delta long-poll round trip (default 30s).
 	PollTimeout time.Duration
-	// ResyncBackoff is the pause before retrying after a failed sync
-	// (default 500ms).
+	// ResyncBackoff is the initial pause before retrying after a failed
+	// sync (default 250ms). Consecutive failures double it up to
+	// MaxResyncBackoff; a successful sync resets it.
 	ResyncBackoff time.Duration
+	// MaxResyncBackoff caps the exponential backoff (default 8s).
+	MaxResyncBackoff time.Duration
+	// JitterSeed seeds the deterministic backoff jitter (so a restarted
+	// replica fleet doesn't retry in lockstep, yet a given seed replays the
+	// exact same schedule). Wire it to the replica's -seed flag.
+	JitterSeed uint64
 
 	// Stats is updated throughout Run.
 	Stats Stats
 
 	cur     *network.Predictor
 	version uint64
+	// failures counts consecutive failed syncs, driving the backoff
+	// exponent. Only touched from the Run goroutine.
+	failures int
 }
 
 func (c *Client) http() *http.Client {
@@ -73,17 +93,56 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
+// splitmix64 is the standard 64-bit mix, here hashing (seed, attempt) into
+// deterministic backoff jitter.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// backoff sleeps the capped exponential re-sync pause: base << failures,
+// clamped to the max, plus deterministic jitter in [0, d/4) derived from
+// (JitterSeed, attempt). Replaces the old tight fixed-interval retry —
+// a hub that stays down sees a decaying probe rate, and a seeded fleet
+// desynchronizes its retries without losing reproducibility.
 func (c *Client) backoff(ctx context.Context) {
-	d := c.ResyncBackoff
-	if d <= 0 {
-		d = 500 * time.Millisecond
+	base := c.ResyncBackoff
+	if base <= 0 {
+		base = 250 * time.Millisecond
 	}
+	maxB := c.MaxResyncBackoff
+	if maxB <= 0 {
+		maxB = 8 * time.Second
+	}
+	if maxB < base {
+		maxB = base
+	}
+	d := base
+	for i := 0; i < c.failures && d < maxB; i++ {
+		d *= 2
+	}
+	if d > maxB {
+		d = maxB
+	}
+	if q := d / 4; q > 0 {
+		d += time.Duration(splitmix64(c.JitterSeed+uint64(c.failures)) % uint64(q))
+	}
+	c.failures++
+	c.Stats.BackoffMS.Store(uint64(d.Milliseconds()))
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-t.C:
 	case <-ctx.Done():
 	}
+}
+
+// backoffReset clears the exponential schedule after a healthy sync.
+func (c *Client) backoffReset() {
+	c.failures = 0
+	c.Stats.BackoffMS.Store(0)
 }
 
 // Run follows the stream until ctx is done. It always returns
@@ -149,8 +208,16 @@ func (c *Client) syncBase(ctx context.Context) error {
 		c.Stats.Corrupt.Add(1)
 		return err
 	}
+	// Admission validation: a poisoned base never reaches OnSwap — the
+	// replica keeps whatever it serves and retries (with backoff) until the
+	// trainer publishes a clean version.
+	if err := p.CheckFinite(); err != nil {
+		c.Stats.Quarantined.Add(1)
+		return err
+	}
 	c.cur, c.version = p, base.Version
 	c.Stats.Version.Store(base.Version)
+	c.backoffReset()
 	if c.OnSwap != nil {
 		c.OnSwap(p, base.Version)
 	}
@@ -171,6 +238,9 @@ func (c *Client) follow(ctx context.Context) {
 		if resync {
 			c.Stats.Resyncs.Add(1)
 			return
+		}
+		if err == nil {
+			c.backoffReset()
 		}
 		if err != nil && ctx.Err() == nil {
 			// Transient (timeout, connection refused): poll again after a
@@ -228,7 +298,14 @@ func (c *Client) pollOnce(ctx context.Context) (resync bool, err error) {
 		}
 		p, err := c.cur.ApplyDelta(delta.Parts)
 		if err != nil {
-			c.Stats.Corrupt.Add(1)
+			// ApplyDelta validates the touched rows for NaN/Inf; a poisoned
+			// delta is quarantined — same recovery as corruption (re-sync,
+			// the served predictor never tears), counted apart.
+			if errors.Is(err, network.ErrNonFinite) {
+				c.Stats.Quarantined.Add(1)
+			} else {
+				c.Stats.Corrupt.Add(1)
+			}
 			return true, err
 		}
 		c.cur, c.version = p, delta.ToVersion

@@ -37,13 +37,14 @@ type Hub struct {
 	ringCap  int
 	pollWait time.Duration
 
-	mu      sync.Mutex
-	version uint64             // replication version of the newest snapshot
-	cur     *network.Predictor // newest snapshot, for base re-encodes
-	base    []byte             // cached encoded base message
-	baseVer uint64             // version base encodes (0 = no cache)
-	ring    []encDelta         // contiguous deltas ending at version
-	wake    chan struct{}      // closed and replaced on every Publish
+	mu          sync.Mutex
+	version     uint64             // replication version of the newest snapshot
+	cur         *network.Predictor // newest snapshot, for base re-encodes
+	base        []byte             // cached encoded base message
+	baseVer     uint64             // version base encodes (0 = no cache)
+	ring        []encDelta         // contiguous deltas ending at version
+	wake        chan struct{}      // closed and replaced on every Publish
+	quarantined uint64             // snapshots refused at admission (non-finite)
 }
 
 // NewHub returns an empty hub; it serves errors until the first Publish.
@@ -57,7 +58,25 @@ func NewHub() *Hub {
 // the hub encodes it immediately (the delta references immutable snapshot
 // views, but encoding now keeps memory bounded to the encoded bytes) and
 // appends it to the replay ring.
+//
+// Admission validation: the candidate is scanned for NaN/Inf before any
+// state changes — exact on the delta's touched rows, sampled on a full
+// base. A poisoned snapshot is refused with an error wrapping
+// network.ErrNonFinite, the version does not advance, and followers keep
+// replicating the last good version.
 func (h *Hub) Publish(p *network.Predictor, d *network.Delta) error {
+	var verr error
+	if d != nil {
+		verr = d.CheckFinite()
+	} else if p != nil {
+		verr = p.CheckFinite()
+	}
+	if verr != nil {
+		h.mu.Lock()
+		h.quarantined++
+		h.mu.Unlock()
+		return fmt.Errorf("replicate: quarantined: %w", verr)
+	}
 	var enc []byte
 	var err error
 	h.mu.Lock()
@@ -246,12 +265,13 @@ func (h *Hub) handleDeltas(w http.ResponseWriter, r *http.Request) {
 func (h *Hub) handleStatus(w http.ResponseWriter, r *http.Request) {
 	h.mu.Lock()
 	st := struct {
-		Version   uint64 `json:"version"`
-		Step      int64  `json:"step"`
-		RingLen   int    `json:"ring_len"`
-		RingFrom  uint64 `json:"ring_from"`
-		BaseBytes int    `json:"base_bytes"`
-	}{Version: h.version, RingLen: len(h.ring), BaseBytes: len(h.base)}
+		Version     uint64 `json:"version"`
+		Step        int64  `json:"step"`
+		RingLen     int    `json:"ring_len"`
+		RingFrom    uint64 `json:"ring_from"`
+		BaseBytes   int    `json:"base_bytes"`
+		Quarantined uint64 `json:"quarantined"`
+	}{Version: h.version, RingLen: len(h.ring), BaseBytes: len(h.base), Quarantined: h.quarantined}
 	if h.cur != nil {
 		st.Step = h.cur.Steps()
 	}

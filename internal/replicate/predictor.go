@@ -40,6 +40,10 @@ func (s *Served) NumFeatures() int { return s.p.Config().InputDim }
 // Sampled reports whether LSH-sampled inference is available.
 func (s *Served) Sampled() bool { return s.p.Sampled() }
 
+// CheckFinite scans the snapshot's weights for NaN/Inf — the serving-side
+// quarantine hook, same contract as slide.Predictor.CheckFinite.
+func (s *Served) CheckFinite() error { return s.p.CheckFinite() }
+
 // Predict is single-sample exact top-k.
 func (s *Served) Predict(indices []int32, values []float32, k int) []int32 {
 	return s.p.Predict(sparse.Vector{Indices: indices, Values: values}, k)

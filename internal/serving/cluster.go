@@ -32,6 +32,7 @@ type ClusterReport struct {
 	QPS      float64
 	// Totals across all targets (see LoadReport for field semantics).
 	Requests, Errors, Retried429 int
+	Reconnects                   int
 	Degraded, Deadline504        int
 	// MinVersion/MaxVersion bound the snapshot versions observed across
 	// every successful response on every target; MaxVersion-MinVersion is
@@ -90,6 +91,7 @@ func RunLoadCluster(ctx context.Context, targets []string, client *http.Client, 
 		out.Requests += r.Requests
 		out.Errors += r.Errors
 		out.Retried429 += r.Retried429
+		out.Reconnects += r.Reconnects
 		out.Degraded += r.Degraded
 		out.Deadline504 += r.Deadline504
 		if r.MinVersion > 0 && (out.MinVersion == 0 || r.MinVersion < out.MinVersion) {

@@ -435,6 +435,9 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 				age.Round(time.Millisecond), s.cfg.MaxStale))
 		}
 	}
+	if s.mgr.QuarantinedLast() {
+		reasons = append(reasons, fmt.Sprintf("latest snapshot quarantined: %s", s.mgr.QuarantineReason()))
+	}
 	if s.cfg.ReadyReasons != nil {
 		reasons = append(reasons, s.cfg.ReadyReasons()...)
 	}
@@ -472,6 +475,10 @@ type statsResponse struct {
 	SnapshotSteps   int64    `json:"snapshot_steps"`
 	SnapshotSwaps   uint64   `json:"snapshot_swaps"`
 	SnapshotAgeMs   float64  `json:"snapshot_age_ms"`
+	// Quarantined counts snapshot candidates refused at admission for
+	// non-finite weights; QuarantineReason is the most recent refusal.
+	Quarantined      uint64 `json:"quarantined"`
+	QuarantineReason string `json:"quarantine_reason,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -482,6 +489,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		SnapshotSteps:   p.Steps(),
 		SnapshotSwaps:   s.mgr.Swaps(),
 		SnapshotAgeMs:   float64(s.mgr.Age().Microseconds()) / 1000,
+
+		Quarantined:      s.mgr.Quarantined(),
+		QuarantineReason: s.mgr.QuarantineReason(),
 	}
 	if s.batcher != nil {
 		st := s.batcher.Stats()

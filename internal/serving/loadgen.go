@@ -4,12 +4,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
 	"strconv"
 	"sync"
+	"syscall"
 	"time"
 
 	"github.com/slide-cpu/slide/slide"
@@ -73,6 +75,11 @@ type LoadReport struct {
 	// Retry-After, so a shed request still completes — closed-loop load
 	// generators must retry or overload tests undercount).
 	Retried429 int
+	// Reconnects counts transport-level connection failures (refused, reset,
+	// torn mid-response) that were retried rather than failed. A replica
+	// restarting under load drops its connections; counting those against
+	// Errors would make every rolling restart look like an outage.
+	Reconnects int
 	// Degraded counts requests served through the degraded (sampled) path,
 	// as reported by the server. Deadline504 counts requests the server
 	// timed out (504) — deliberate deadline shedding under the client's
@@ -144,6 +151,7 @@ func RunLoadOpts(ctx context.Context, baseURL string, client *http.Client, entri
 	errs := make([]string, clients)
 	perErr := make([]int, clients)
 	perRetry := make([]int, clients)
+	perReconn := make([]int, clients)
 	perDegraded := make([]int, clients)
 	perDeadline := make([]int, clients)
 
@@ -163,6 +171,7 @@ func RunLoadOpts(ctx context.Context, baseURL string, client *http.Client, entri
 				}
 				r := postPredict(ctx, client, baseURL, entries[i], opts)
 				perRetry[c] += r.retries
+				perReconn[c] += r.reconnects
 				if r.deadline {
 					perDeadline[c]++
 					continue
@@ -189,6 +198,7 @@ func RunLoadOpts(ctx context.Context, baseURL string, client *http.Client, entri
 	for c := 0; c < clients; c++ {
 		report.Errors += perErr[c]
 		report.Retried429 += perRetry[c]
+		report.Reconnects += perReconn[c]
 		report.Degraded += perDegraded[c]
 		report.Deadline504 += perDeadline[c]
 		if report.FirstError == "" && errs[c] != "" {
@@ -226,19 +236,41 @@ func RunLoadOpts(ctx context.Context, baseURL string, client *http.Client, entri
 // for a day.
 const maxRetryAfter = time.Second
 
-// attempt is the outcome of one postPredict request (after 429 retries).
+// attempt is the outcome of one postPredict request (after 429 retries and
+// connection-failure reconnects).
 type attempt struct {
-	labels   []int32
-	latency  time.Duration
-	retries  int
-	version  uint64
-	degraded bool
-	deadline bool // the server answered 504: deadline shed, not an error
-	err      error
+	labels     []int32
+	latency    time.Duration
+	retries    int
+	reconnects int
+	version    uint64
+	degraded   bool
+	deadline   bool // the server answered 504: deadline shed, not an error
+	err        error
+}
+
+// Reconnect budget: a connection-refused/reset request is retried every
+// reconnectPause up to maxReconnects times (~10s total) — long enough to
+// ride out a replica restart, bounded so a dead server still fails the run.
+const (
+	maxReconnects  = 40
+	reconnectPause = 250 * time.Millisecond
+)
+
+// isConnError reports whether err is a transport-level connection failure
+// (refused, reset, or torn mid-exchange) — the signature of a server
+// restarting, as opposed to a protocol or payload error.
+func isConnError(err error) bool {
+	return errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.EOF)
 }
 
 // postPredict sends one /predict request, retrying 429s after the server's
-// Retry-After hint (capped at maxRetryAfter, cancellable through ctx).
+// Retry-After hint (capped at maxRetryAfter, cancellable through ctx) and
+// connection failures after reconnectPause (up to maxReconnects — a
+// restarting replica counts as a reconnect, not an error).
 func postPredict(ctx context.Context, client *http.Client, baseURL string, e slide.BatchEntry, opts LoadOptions) attempt {
 	lr := loadReq{Indices: e.Indices, Values: e.Values, K: e.K}
 	if opts.Deadline > 0 {
@@ -259,6 +291,16 @@ func postPredict(ctx context.Context, client *http.Client, baseURL string, e sli
 		req.Header.Set("Content-Type", "application/json")
 		resp, err := client.Do(req)
 		if err != nil {
+			if isConnError(err) && out.reconnects < maxReconnects && ctx.Err() == nil {
+				out.reconnects++
+				select {
+				case <-time.After(reconnectPause):
+					continue
+				case <-ctx.Done():
+					out.err = ctx.Err()
+					return out
+				}
+			}
 			out.err = err
 			return out
 		}
@@ -283,6 +325,18 @@ func postPredict(ctx context.Context, client *http.Client, baseURL string, e sli
 		payload, readErr := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if readErr != nil {
+			// Torn mid-body by a restarting server: same reconnect treatment
+			// as a refused dial (the request is re-sent whole).
+			if isConnError(readErr) && out.reconnects < maxReconnects && ctx.Err() == nil {
+				out.reconnects++
+				select {
+				case <-time.After(reconnectPause):
+					continue
+				case <-ctx.Done():
+					out.err = ctx.Err()
+					return out
+				}
+			}
 			out.err = readErr
 			return out
 		}

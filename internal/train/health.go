@@ -1,0 +1,28 @@
+package train
+
+import (
+	"fmt"
+
+	"github.com/slide-cpu/slide/internal/health"
+)
+
+// GuardSetter is implemented by steppers whose per-step numerical guards can
+// be toggled (network.Network). A session with Config.Health set switches
+// guards on for its duration; steppers without the interface still get the
+// loss-based detectors (spike, divergence, non-finite loss).
+type GuardSetter interface {
+	SetGuards(on bool)
+}
+
+// HealthError is the typed abort a session returns when the health monitor
+// flags a red batch. The session stops before the offending step's
+// checkpoint and snapshot work, so the newest on-disk checkpoint predates
+// the fault — exactly what the rollback loop reloads.
+type HealthError struct {
+	Event health.Event
+}
+
+// Error implements error.
+func (e *HealthError) Error() string {
+	return fmt.Sprintf("train: health abort: %s", e.Event)
+}

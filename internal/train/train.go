@@ -27,6 +27,7 @@ import (
 
 	"github.com/slide-cpu/slide/internal/dataset"
 	"github.com/slide-cpu/slide/internal/faultinject"
+	"github.com/slide-cpu/slide/internal/health"
 	"github.com/slide-cpu/slide/internal/network"
 	"github.com/slide-cpu/slide/internal/sparse"
 )
@@ -108,6 +109,9 @@ type Hooks struct {
 	// OnSnapshot fires every SnapshotEvery steps; the caller (slide.Trainer)
 	// turns it into a Predictor snapshot and publishes it.
 	OnSnapshot func(step int64)
+	// OnHealth fires when the health monitor flags a red batch, immediately
+	// before the session aborts with *HealthError. Requires Config.Health.
+	OnHealth func(health.Event)
 }
 
 // Config parameterizes one session.
@@ -149,6 +153,12 @@ type Config struct {
 	// re-derives the interrupted pass's seed and skips the batches the
 	// checkpointed run already consumed.
 	Resume bool
+	// Health enables the numerical-health monitor: per-batch NaN/Inf guard
+	// counts (steppers implementing GuardSetter are switched on for the
+	// session) plus EWMA loss-spike and divergence detection. A red batch
+	// aborts the session with *HealthError before the step's checkpoint or
+	// snapshot work, so poisoned weights are never persisted or published.
+	Health *health.Config
 
 	Hooks Hooks
 }
@@ -307,6 +317,7 @@ type session struct {
 	src  dataset.Source
 	rep  Report
 	last int64 // step of the last checkpoint (0 = none yet this session)
+	mon  *health.Monitor
 }
 
 // Run executes one training session. Cancellation via ctx is a graceful stop
@@ -324,6 +335,14 @@ func Run(ctx context.Context, s Stepper, src dataset.Source, cfg Config) (Report
 		defer c.Close()
 	}
 	se := &session{cfg: cfg, s: s, src: src}
+
+	if cfg.Health != nil {
+		if g, ok := s.(GuardSetter); ok {
+			g.SetGuards(true)
+			defer g.SetGuards(false)
+		}
+		se.mon = health.NewMonitor(*cfg.Health)
+	}
 
 	// Opening the checkpoint schedule sweeps debris from crashed sessions:
 	// orphaned temp files and ring slots past the retention bound.
@@ -466,12 +485,27 @@ func (se *session) step(b sparse.Batch, pass, batchIdx int, ep *EpochInfo) error
 	ep.Stats.Loss += st.Loss
 	ep.Stats.ActiveSum += st.ActiveSum
 	ep.Stats.Rebuilt = ep.Stats.Rebuilt || st.Rebuilt
+	ep.Stats.NonFinite += st.NonFinite
 
 	if cfg.Hooks.OnBatch != nil {
 		cfg.Hooks.OnBatch(BatchInfo{
 			Step: step, Epoch: pass, Batch: batchIdx,
 			Stats: st, LR: lr, TrainTime: dt,
 		})
+	}
+	// Health verdict comes before the step's checkpoint and snapshot work: a
+	// red batch must never persist or publish the weights it poisoned.
+	if se.mon != nil {
+		var meanLoss float64
+		if st.Samples > 0 {
+			meanLoss = st.Loss / float64(st.Samples)
+		}
+		if ev, red := se.mon.Observe(step, meanLoss, st.NonFinite); red {
+			if cfg.Hooks.OnHealth != nil {
+				cfg.Hooks.OnHealth(ev)
+			}
+			return &HealthError{Event: ev}
+		}
 	}
 	if cfg.CheckpointEvery > 0 && step%cfg.CheckpointEvery == 0 {
 		if err := se.checkpoint(step); err != nil {
@@ -506,6 +540,7 @@ func (se *session) mergeEpoch(ep EpochInfo) {
 	se.rep.Stats.Loss += ep.Stats.Loss
 	se.rep.Stats.ActiveSum += ep.Stats.ActiveSum
 	se.rep.Stats.Rebuilt = se.rep.Stats.Rebuilt || ep.Stats.Rebuilt
+	se.rep.Stats.NonFinite += ep.Stats.NonFinite
 }
 
 // finish writes the final checkpoint (if the schedule is on and steps ran

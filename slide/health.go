@@ -1,0 +1,166 @@
+package slide
+
+import (
+	"fmt"
+
+	"github.com/slide-cpu/slide/internal/health"
+)
+
+// Numerical health monitoring and self-healing rollback. With monitoring
+// enabled the engine runs cheap per-step guards — a NaN/Inf scan of the
+// active-set logits (order-independent, so the verdict is bit-identical at
+// any worker or shard count) plus an EWMA loss-spike and divergence
+// detector — and aborts the session with *HealthError before a red step can
+// checkpoint or publish. WithAutoRollback turns the abort into recovery:
+// reload the newest valid checkpoint from the retention ring, back off the
+// learning rate, and replay; the replay is deterministic, so once past a
+// transient fault window the healed run is bit-identical to a run that
+// never faulted (given an unchanged LR scale).
+
+// HealthKind classifies a red health verdict.
+type HealthKind int
+
+const (
+	// HealthNonFinite: NaN/Inf in the logits or the batch loss.
+	HealthNonFinite HealthKind = iota + 1
+	// HealthLossSpike: batch mean loss exceeded SpikeFactor x the EWMA.
+	HealthLossSpike
+	// HealthDivergence: batch mean loss exceeded the configured ceiling.
+	HealthDivergence
+)
+
+// String implements fmt.Stringer.
+func (k HealthKind) String() string {
+	switch k {
+	case HealthNonFinite:
+		return "non-finite"
+	case HealthLossSpike:
+		return "loss-spike"
+	case HealthDivergence:
+		return "divergence"
+	default:
+		return "unknown"
+	}
+}
+
+// HealthEvent describes one red health verdict.
+type HealthEvent struct {
+	// Kind classifies the verdict.
+	Kind HealthKind
+	// Step is the optimizer step of the offending batch.
+	Step int64
+	// Loss is the batch mean loss; EWMA the detector's smoothed loss at the
+	// time of the verdict.
+	Loss, EWMA float64
+	// NonFinite is the number of non-finite logits the guards counted
+	// (HealthNonFinite only).
+	NonFinite int64
+}
+
+// String implements fmt.Stringer.
+func (e HealthEvent) String() string {
+	switch e.Kind {
+	case HealthNonFinite:
+		return fmt.Sprintf("non-finite values at step %d (%d logits, loss %g)", e.Step, e.NonFinite, e.Loss)
+	case HealthLossSpike:
+		return fmt.Sprintf("loss spike at step %d (%g vs EWMA %g)", e.Step, e.Loss, e.EWMA)
+	case HealthDivergence:
+		return fmt.Sprintf("divergence at step %d (loss %g)", e.Step, e.Loss)
+	default:
+		return fmt.Sprintf("health event at step %d", e.Step)
+	}
+}
+
+func healthEvent(e health.Event) HealthEvent {
+	return HealthEvent{
+		Kind: HealthKind(e.Kind), Step: e.Step,
+		Loss: e.Loss, EWMA: e.EWMA, NonFinite: e.NonFinite,
+	}
+}
+
+// HealthConfig tunes the monitor. The zero value means defaults.
+type HealthConfig struct {
+	// Warmup is the number of batches observed before spike detection arms
+	// (default 20) — early-training loss is legitimately volatile.
+	Warmup int
+	// Alpha is the EWMA smoothing factor in (0, 1] (default 0.1).
+	Alpha float64
+	// SpikeFactor flags a batch whose mean loss exceeds SpikeFactor x EWMA
+	// (default 3; <= 1 disables spike detection).
+	SpikeFactor float64
+	// DivergenceLoss flags any batch mean loss above this ceiling,
+	// warmup or not (default 0 = disabled).
+	DivergenceLoss float64
+}
+
+// HealthError is the typed error a session returns when the health monitor
+// flags a red batch and auto-rollback is off (or exhausted before this
+// attempt started). The newest checkpoint on disk predates the fault.
+type HealthError struct {
+	Event HealthEvent
+}
+
+// Error implements error.
+func (e *HealthError) Error() string { return fmt.Sprintf("health abort: %s", e.Event) }
+
+// RollbackExhaustedError is the terminal error when every WithAutoRollback
+// retry was spent and the monitor still flagged the run.
+type RollbackExhaustedError struct {
+	// Attempts is the number of rollbacks performed.
+	Attempts int
+	// Event is the verdict that ended the final attempt.
+	Event HealthEvent
+}
+
+// Error implements error.
+func (e *RollbackExhaustedError) Error() string {
+	return fmt.Sprintf("rollback budget exhausted after %d attempt(s): %s", e.Attempts, e.Event)
+}
+
+// RollbackEvent reports one automatic rollback, delivered to WithOnRollback
+// after the model has been restored and before the replay starts.
+type RollbackEvent struct {
+	// Attempt is the 1-based rollback count within this Run.
+	Attempt int
+	// Step is the optimizer step of the checkpoint restored.
+	Step int64
+	// Checkpoint is the ring path that loaded.
+	Checkpoint string
+	// Cause is the health verdict that triggered the rollback.
+	Cause HealthEvent
+	// LRScale is the cumulative learning-rate factor the replay will use.
+	LRScale float64
+}
+
+// WithHealthMonitor enables numerical health monitoring with explicit
+// detector settings: per-step NaN/Inf guards on the training pass plus
+// EWMA loss-spike and divergence detection. A red verdict aborts Run with
+// *HealthError — before the offending step can checkpoint or publish a
+// snapshot — unless WithAutoRollback turns it into recovery.
+func WithHealthMonitor(cfg HealthConfig) TrainerOption {
+	return func(o *trainerOptions) { o.health = &cfg }
+}
+
+// WithOnHealth registers a hook called on every red health verdict, right
+// before the session aborts (and, under WithAutoRollback, rolls back).
+// Implies monitoring with default settings.
+func WithOnHealth(fn func(HealthEvent)) TrainerOption {
+	return func(o *trainerOptions) { o.onHealth = fn }
+}
+
+// WithAutoRollback closes the detect → rollback → retune loop: when the
+// health monitor flags the run, the trainer reloads the newest valid
+// checkpoint from the retention ring (LoadLastGood), multiplies the
+// learning rate by lrFactor (compounding per rollback; 1.0 replays at full
+// rate), and resumes deterministically. After maxRetries rollbacks the next
+// red verdict returns *RollbackExhaustedError. Implies monitoring with
+// default settings; requires WithCheckpoints.
+func WithAutoRollback(maxRetries int, lrFactor float64) TrainerOption {
+	return func(o *trainerOptions) { o.rollbackMax, o.rollbackLR = maxRetries, lrFactor }
+}
+
+// WithOnRollback registers a hook called after every automatic rollback,
+// once the model is restored and before the replay starts.
+func WithOnRollback(fn func(RollbackEvent)) TrainerOption {
+	return func(o *trainerOptions) { o.onRollback = fn }
+}

@@ -63,6 +63,12 @@ func (p *Predictor) NumFeatures() int { return p.p.Config().InputDim }
 // PredictSampled is available.
 func (p *Predictor) Sampled() bool { return p.p.Sampled() }
 
+// CheckFinite scans the snapshot's weights for NaN/Inf (full bias scans, a
+// deterministic strided sample of the weight vectors) and returns an error
+// naming the first bad parameter. Serving pipelines call it at admission to
+// quarantine poisoned snapshots instead of swapping them in.
+func (p *Predictor) CheckFinite() error { return p.p.CheckFinite() }
+
 // Predict returns the top-k label ids for a sparse input, best first. It
 // ranks the full output layer (exact inference); results are bit-identical
 // to Model.Predict on the same weights.

@@ -2,12 +2,14 @@ package slide
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"time"
 
 	"github.com/slide-cpu/slide/internal/dataset"
+	"github.com/slide-cpu/slide/internal/health"
 	"github.com/slide-cpu/slide/internal/sparse"
 	"github.com/slide-cpu/slide/internal/train"
 )
@@ -54,6 +56,16 @@ type trainerOptions struct {
 	onBatch       func(BatchEvent)
 	onEpoch       func(EpochEvent)
 	onCheckpoint  func(CheckpointEvent)
+	health        *HealthConfig
+	onHealth      func(HealthEvent)
+	rollbackMax   int
+	rollbackLR    float64
+	onRollback    func(RollbackEvent)
+}
+
+// healthOn reports whether any option asked for the health monitor.
+func (o *trainerOptions) healthOn() bool {
+	return o.health != nil || o.onHealth != nil || o.rollbackMax > 0
 }
 
 // TrainerOption configures NewTrainer.
@@ -332,6 +344,22 @@ func NewTrainer(m *Model, src DataSource, opts ...TrainerOption) (*Trainer, erro
 	if o.earlyPatience < 0 || o.earlyMinDelta < 0 {
 		return nil, fmt.Errorf("slide: early-stopping parameters must be >= 0")
 	}
+	if o.rollbackMax < 0 {
+		return nil, fmt.Errorf("slide: WithAutoRollback retries %d must be >= 0", o.rollbackMax)
+	}
+	if o.rollbackMax > 0 {
+		if o.rollbackLR <= 0 || o.rollbackLR > 1 {
+			return nil, fmt.Errorf("slide: WithAutoRollback lrFactor %g must be in (0, 1]", o.rollbackLR)
+		}
+		if o.ckptEvery == 0 {
+			return nil, fmt.Errorf("slide: WithAutoRollback needs WithCheckpoints (rollback reloads the ring)")
+		}
+	}
+	if h := o.health; h != nil {
+		if h.Warmup < 0 || h.Alpha < 0 || h.Alpha > 1 || h.SpikeFactor < 0 || h.DivergenceLoss < 0 {
+			return nil, fmt.Errorf("slide: invalid health config %+v", *h)
+		}
+	}
 	return &Trainer{m: m, src: src, o: o}, nil
 }
 
@@ -340,7 +368,60 @@ func NewTrainer(m *Model, src DataSource, opts ...TrainerOption) (*Trainer, erro
 // Report.Reason says which). The model must not be trained, snapshotted, or
 // saved from other goroutines while Run executes; hooks run on the session
 // goroutine and may do all of those.
+//
+// With WithAutoRollback, a red health verdict restores the newest valid
+// checkpoint into the model and replays; the returned Report then covers
+// the final attempt only (the WithOnRollback and per-batch hooks observed
+// the aborted ones).
 func (t *Trainer) Run(ctx context.Context) (Report, error) {
+	o := &t.o
+	lrScale := 1.0
+	attempt := 0
+	for {
+		rep, err := t.runOnce(ctx, attempt > 0, lrScale)
+		if err == nil {
+			return rep, nil
+		}
+		var he *train.HealthError
+		if !errors.As(err, &he) || o.rollbackMax == 0 {
+			return rep, wrapRunError(err)
+		}
+		if attempt >= o.rollbackMax {
+			return rep, fmt.Errorf("slide: %w",
+				&RollbackExhaustedError{Attempts: attempt, Event: healthEvent(he.Event)})
+		}
+		attempt++
+		loaded, used, lerr := LoadLastGood(o.ckptPath, o.ckptRetain)
+		if lerr != nil {
+			return rep, fmt.Errorf("slide: rollback attempt %d: %w", attempt, lerr)
+		}
+		// Adopt the restored state in place so the caller's *Model (and any
+		// publish hooks capturing it) keeps working across the rollback.
+		t.m.net = loaded.net
+		t.m.scores = loaded.scores
+		lrScale *= o.rollbackLR
+		if o.onRollback != nil {
+			o.onRollback(RollbackEvent{
+				Attempt: attempt, Step: loaded.Steps(), Checkpoint: used,
+				Cause: healthEvent(he.Event), LRScale: lrScale,
+			})
+		}
+	}
+}
+
+// wrapRunError translates engine errors onto the public surface.
+func wrapRunError(err error) error {
+	var he *train.HealthError
+	if errors.As(err, &he) {
+		return fmt.Errorf("slide: %w", &HealthError{Event: healthEvent(he.Event)})
+	}
+	return fmt.Errorf("slide: %w", err)
+}
+
+// runOnce executes one engine session. retry marks a post-rollback replay
+// (forces the deterministic resume fast-forward); lrScale multiplies the
+// learning rate — schedule or model-configured — when != 1.
+func (t *Trainer) runOnce(ctx context.Context, retry bool, lrScale float64) (Report, error) {
 	o := &t.o
 	cfg := train.Config{
 		Epochs:            o.epochs,
@@ -351,10 +432,35 @@ func (t *Trainer) Run(ctx context.Context) (Report, error) {
 		SnapshotEvery:     int64(o.snapEvery),
 		EarlyStopPatience: o.earlyPatience,
 		EarlyStopMinDelta: o.earlyMinDelta,
-		Resume:            o.resume,
+		Resume:            o.resume || retry,
 	}
 	if o.lr != nil {
 		cfg.LR = train.Schedule(o.lr)
+	}
+	if lrScale != 1 {
+		// The backoff compounds on whatever drove the rate before: the
+		// schedule, or the model's configured base rate.
+		if o.lr != nil {
+			base := o.lr
+			cfg.LR = func(step int64) float64 { return base(step) * lrScale }
+		} else {
+			base := t.m.net.Config().LR
+			cfg.LR = func(int64) float64 { return base * lrScale }
+		}
+	}
+	if o.healthOn() {
+		var hc HealthConfig
+		if o.health != nil {
+			hc = *o.health
+		}
+		cfg.Health = &health.Config{
+			Warmup: hc.Warmup, Alpha: hc.Alpha,
+			SpikeFactor: hc.SpikeFactor, DivergenceLoss: hc.DivergenceLoss,
+		}
+		if o.onHealth != nil {
+			fn := o.onHealth
+			cfg.Hooks.OnHealth = func(ev health.Event) { fn(healthEvent(ev)) }
+		}
 	}
 	if o.onBatch != nil {
 		fn := o.onBatch
@@ -399,10 +505,7 @@ func (t *Trainer) Run(ctx context.Context) (Report, error) {
 		Reason:         stopReason(rep.Reason),
 		LastCheckpoint: rep.LastCheckpoint,
 	}
-	if err != nil {
-		return out, fmt.Errorf("slide: %w", err)
-	}
-	return out, nil
+	return out, err // raw engine error; Run wraps or rolls back
 }
 
 // internalSource unwraps built-in sources (their batches were validated at
