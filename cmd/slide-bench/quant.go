@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/slide-cpu/slide/internal/harness"
+	"github.com/slide-cpu/slide/internal/layer"
+	"github.com/slide-cpu/slide/internal/network"
+)
+
+// quantResult is the machine-readable quantized-serving report (the source
+// of BENCH_baseline.json's "quant" section). Bytes come from the fixed
+// 30k-output/128-hidden regime — the size gate regime — so the compression
+// ratio is comparable across hosts and scales; accuracy and latency come
+// from a trained run on the Amazon-670K-like workload at opts.Scale.
+type quantResult struct {
+	Command string `json:"command"`
+	Steps   int    `json:"steps"`
+	// Output-view bytes on the 30k x 128 regime, per precision.
+	F32Bytes  int64   `json:"f32_bytes"`
+	Int8Bytes int64   `json:"int8_bytes"`
+	Int4Bytes int64   `json:"int4_bytes"`
+	Int8Ratio float64 `json:"int8_ratio"`
+	Int4Ratio float64 `json:"int4_ratio"`
+	// Exact-predict latency per query, per precision.
+	NsPerQuery map[string]float64 `json:"ns_per_query"`
+	// Mean precision@1 over the held-out slice, per precision, and the
+	// quantization deltas in points (positive = quantized is worse).
+	P1          map[string]float64 `json:"p1"`
+	P1DeltaInt8 float64            `json:"p1_delta_int8_points"`
+	P1DeltaInt4 float64            `json:"p1_delta_int4_points"`
+}
+
+// quantSizeRegime measures serialized output-view bytes at the gate shape:
+// 30k outputs x 128 hidden. No training needed — sizes are a pure function
+// of the shape — so the model is snapshotted straight from init.
+func quantSizeRegime(seed uint64) (f32b, i8b, i4b int64, err error) {
+	cfg := network.Config{
+		InputDim: 64, HiddenDim: 128, OutputDim: 30000,
+		NoSampling: true, LR: 0.01, Workers: 1, Seed: seed,
+	}
+	net, err := network.New(&cfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	p := net.Snapshot()
+	q8, err := p.Quantize(8)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	q4, err := p.Quantize(4)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return p.PackedBytes(), q8.PackedBytes(), q4.PackedBytes(), nil
+}
+
+// runQuant measures the quantized serving tier against the f32 baseline:
+// packed snapshot bytes on the 30k-output regime, exact-predict latency,
+// and the precision@1 cost of int8/int4 on a trained Amazon-670K-like
+// model. The acceptance gates (int8 <= 30% of f32 bytes, p@1 delta within
+// half a point) live in the CI quant lane; this command produces the
+// numbers they check.
+func runQuant(opts harness.Options, steps int, jsonPath string) error {
+	res := quantResult{
+		Command:    fmt.Sprintf("slide-bench -exp quant -scale %g -bench-steps %d", opts.Scale, steps),
+		Steps:      steps,
+		NsPerQuery: map[string]float64{},
+		P1:         map[string]float64{},
+	}
+	var err error
+	if res.F32Bytes, res.Int8Bytes, res.Int4Bytes, err = quantSizeRegime(opts.Seed); err != nil {
+		return err
+	}
+	res.Int8Ratio = float64(res.Int8Bytes) / float64(res.F32Bytes)
+	res.Int4Ratio = float64(res.Int4Bytes) / float64(res.F32Bytes)
+
+	ws, err := harness.Workloads(opts)
+	if err != nil {
+		return err
+	}
+	w := ws[0] // Amazon-670K-like, the paper's headline workload
+
+	cfg := w.NetworkConfig(opts, layer.FP32, layer.Contiguous)
+	net, err := network.New(&cfg)
+	if err != nil {
+		return err
+	}
+	next, err := shardingFeeder(w, opts)
+	if err != nil {
+		return err
+	}
+	for s := 0; s < steps; s++ {
+		net.TrainBatch(next())
+	}
+	p := net.Snapshot()
+	q8, err := p.Quantize(8)
+	if err != nil {
+		return err
+	}
+	q4, err := p.Quantize(4)
+	if err != nil {
+		return err
+	}
+
+	evalN := min(opts.EvalSamples, w.Test.Len())
+	if evalN <= 0 {
+		return fmt.Errorf("quant: empty held-out slice")
+	}
+	preds := []struct {
+		name string
+		p    *network.Predictor
+	}{{"f32", p}, {"int8", q8}, {"int4", q4}}
+	for _, pr := range preds {
+		var sum float64
+		for i := 0; i < evalN; i++ {
+			sum += pr.p.PrecisionAtK(w.Test.Sample(i), w.Test.LabelsOf(i), 1)
+		}
+		res.P1[pr.name] = sum / float64(evalN)
+
+		// Latency: exact Predict (ForwardAll-dominated, the serving path)
+		// over the same slice, after one warm pass.
+		const warmup = 3
+		queries := min(evalN, 64)
+		for i := 0; i < warmup; i++ {
+			pr.p.Predict(w.Test.Sample(i%queries), 5)
+		}
+		start := time.Now()
+		for i := 0; i < queries; i++ {
+			pr.p.Predict(w.Test.Sample(i), 5)
+		}
+		res.NsPerQuery[pr.name] = float64(time.Since(start).Nanoseconds()) / float64(queries)
+	}
+	res.P1DeltaInt8 = (res.P1["f32"] - res.P1["int8"]) * 100
+	res.P1DeltaInt4 = (res.P1["f32"] - res.P1["int4"]) * 100
+
+	fmt.Printf("quantized serving tier, %s (scale %g, %d train steps, %d eval samples)\n\n",
+		w.Name, opts.Scale, steps, evalN)
+	fmt.Printf("  output-view bytes (30000x128 regime):\n")
+	fmt.Printf("    f32  %12d\n", res.F32Bytes)
+	fmt.Printf("    int8 %12d  (%.1f%% of f32)\n", res.Int8Bytes, res.Int8Ratio*100)
+	fmt.Printf("    int4 %12d  (%.1f%% of f32)\n\n", res.Int4Bytes, res.Int4Ratio*100)
+	for _, name := range []string{"f32", "int8", "int4"} {
+		fmt.Printf("  %-5s p@1 %.4f   %12.0f ns/query\n", name, res.P1[name], res.NsPerQuery[name])
+	}
+	fmt.Printf("\n  p@1 delta vs f32: int8 %+.2f points, int4 %+.2f points\n",
+		res.P1DeltaInt8, res.P1DeltaInt4)
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", jsonPath)
+	}
+	return nil
+}

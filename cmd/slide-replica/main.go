@@ -68,6 +68,7 @@ func main() {
 		defaultDeadline = flag.Duration("default-deadline", 0, "service deadline for requests without deadline_ms; misses answer 504 (0 = none)")
 		chaos           = flag.String("chaos", "", "fault-injection scenario, e.g. 'replicate.recv@3=err' (self-healing drills)")
 		chaosSeed       = flag.Uint64("chaos-seed", 1, "seed for probabilistic chaos rules (p0.x)")
+		quantize        = flag.Int("quantize", 0, "require an int-quantized stream at this width (8 or 4); refuses f32 bases so a replica sized for packed snapshots never inflates (0 = accept whatever the trainer streams)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -95,19 +96,23 @@ func main() {
 		},
 		DefaultDeadline: *defaultDeadline,
 	}
-	if err := run(*addr, *trainerURL, cfg, *maxLag, *pollTimeout, *syncWait, *seed); err != nil {
+	if *quantize != 0 && *quantize != 8 && *quantize != 4 {
+		log.Fatalf("-quantize must be 0, 8, or 4 (got %d)", *quantize)
+	}
+	if err := run(*addr, *trainerURL, cfg, *maxLag, *pollTimeout, *syncWait, *seed, *quantize); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, trainerURL string, cfg serving.ServerConfig, maxLag int64, pollTimeout, syncWait time.Duration, seed uint64) error {
+func run(addr, trainerURL string, cfg serving.ServerConfig, maxLag int64, pollTimeout, syncWait time.Duration, seed uint64, quantize int) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	client := &replicate.Client{
-		BaseURL:     trainerURL,
-		PollTimeout: pollTimeout,
-		JitterSeed:  seed,
+		BaseURL:          trainerURL,
+		PollTimeout:      pollTimeout,
+		JitterSeed:       seed,
+		RequireQuantized: quantize,
 		// A long-poll must be able to run its course before the transport
 		// gives up.
 		HTTP: &http.Client{Timeout: pollTimeout + 15*time.Second},

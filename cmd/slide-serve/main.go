@@ -45,6 +45,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -73,6 +74,7 @@ func main() {
 		maxWait   = flag.Duration("max-wait", 2*time.Millisecond, "micro-batcher: flush a partial batch after this wait")
 		queueCap  = flag.Int("queue-cap", 0, "admission queue bound; overflow sheds with 429 (0 = 8×max-batch)")
 		replFlag  = flag.Bool("replicate", false, "expose /replicate/* so slide-replica processes can follow this server's snapshots")
+		quantize  = flag.Int("quantize", 0, "serve int-quantized snapshots: 8 (int8) or 4 (experimental int4); with -replicate the stream ships packed bases and deltas (0 = full precision)")
 
 		defaultDeadline = flag.Duration("default-deadline", 0, "service deadline for requests without deadline_ms; misses answer 504 (0 = none)")
 		degradeHigh     = flag.Float64("degrade-high", 0, "queue occupancy fraction that engages degraded (sampled) serving (0 = disabled)")
@@ -101,12 +103,15 @@ func main() {
 		DefaultDeadline: *defaultDeadline,
 		MaxStale:        *maxStale,
 	}
-	if err := run(*addr, *modelPath, cfg, *demo, *demoScale, *refresh, *shards, *seed, *replFlag); err != nil {
+	if *quantize != 0 && *quantize != 8 && *quantize != 4 {
+		log.Fatalf("-quantize must be 0, 8, or 4 (got %d)", *quantize)
+	}
+	if err := run(*addr, *modelPath, cfg, *demo, *demoScale, *refresh, *shards, *seed, *replFlag, *quantize); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, modelPath string, cfg serving.ServerConfig, demo bool, demoScale float64, refresh, shards int, seed uint64, replicated bool) error {
+func run(addr, modelPath string, cfg serving.ServerConfig, demo bool, demoScale float64, refresh, shards int, seed uint64, replicated bool, qbits int) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -125,6 +130,22 @@ func run(addr, modelPath string, cfg serving.ServerConfig, demo bool, demoScale 
 	var hub *replicate.Hub
 	if replicated {
 		hub = replicate.NewHub()
+		if qbits != 0 {
+			if err := hub.SetQuantize(qbits); err != nil {
+				return err
+			}
+		}
+	}
+
+	// servable renders a training snapshot at the serving precision:
+	// quantized when -quantize is set, the snapshot itself otherwise. The
+	// hub always receives the full-precision snapshot (p.Raw()) — the wire
+	// layer quantizes at encode time, keeping delta publish O(touched rows).
+	servable := func(p *slide.Predictor) (*slide.Predictor, error) {
+		if qbits == 0 {
+			return p, nil
+		}
+		return p.Quantize(qbits)
 	}
 
 	var (
@@ -143,7 +164,11 @@ func run(addr, modelPath string, cfg serving.ServerConfig, demo bool, demoScale 
 			m.EnableDeltas()
 		}
 		p := m.Snapshot()
-		srv = serving.NewServer(p, cfg)
+		sp, err := servable(p)
+		if err != nil {
+			return err
+		}
+		srv = serving.NewServer(sp, cfg)
 		if hub != nil {
 			if err := hub.Publish(p.Raw(), nil); err != nil {
 				return err
@@ -151,7 +176,7 @@ func run(addr, modelPath string, cfg serving.ServerConfig, demo bool, demoScale 
 		}
 		if refresh > 0 {
 			trainer = func(ctx context.Context) {
-				backgroundTrain(ctx, m, train, refresh, srv, hub)
+				backgroundTrain(ctx, m, train, refresh, srv, hub, servable)
 			}
 		}
 	case modelPath != "":
@@ -160,7 +185,11 @@ func run(addr, modelPath string, cfg serving.ServerConfig, demo bool, demoScale 
 			return err
 		}
 		p := m.Snapshot()
-		srv = serving.NewServer(p, cfg)
+		sp, err := servable(p)
+		if err != nil {
+			return err
+		}
+		srv = serving.NewServer(sp, cfg)
 		if hub != nil {
 			// Frozen checkpoint: replicas bootstrap from the one base and
 			// never see a delta.
@@ -191,6 +220,9 @@ func run(addr, modelPath string, cfg serving.ServerConfig, demo bool, demoScale 
 		}
 		if hub != nil {
 			mode += ", replicating"
+		}
+		if qbits != 0 {
+			mode += fmt.Sprintf(", int%d-quantized", qbits)
 		}
 		log.Printf("listening on %s, %s", addr, mode)
 		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -251,24 +283,36 @@ func demoModel(scale float64, shards int, seed uint64) (*slide.Model, *slide.Dat
 // sparse deltas (WithDeltas) so following replicas move only the touched
 // rows per refresh. Cancelling ctx stops the session gracefully between
 // batches.
-func backgroundTrain(ctx context.Context, m *slide.Model, train *slide.Dataset, refresh int, srv *serving.Server, hub *replicate.Hub) {
+func backgroundTrain(ctx context.Context, m *slide.Model, train *slide.Dataset, refresh int, srv *serving.Server, hub *replicate.Hub, servable func(*slide.Predictor) (*slide.Predictor, error)) {
 	src, err := slide.NewDatasetSource(train, 64)
 	if err != nil {
 		log.Printf("background training unavailable: %v", err)
 		return
+	}
+	// publish renders the snapshot at the serving precision before handing
+	// it to the pipeline; a snapshot that refuses (non-finite under
+	// quantization) is skipped and the server keeps its current version —
+	// same quarantine posture as the snapshot manager's own admission.
+	publish := func(p *slide.Predictor) {
+		sp, err := servable(p)
+		if err != nil {
+			log.Printf("snapshot publish skipped: %v", err)
+			return
+		}
+		srv.Publish(sp)
 	}
 	opts := []slide.TrainerOption{
 		slide.WithEpochs(0), // unbounded: the ctx ends the session
 	}
 	if hub != nil {
 		opts = append(opts, slide.WithDeltas(refresh, func(p *slide.Predictor, d *slide.Delta) {
-			srv.Publish(p)
+			publish(p)
 			if err := hub.Publish(p.Raw(), d.Raw()); err != nil {
 				log.Printf("replication publish failed: %v", err)
 			}
 		}))
 	} else {
-		opts = append(opts, slide.WithSnapshots(refresh, serving.Publisher(srv.Manager())))
+		opts = append(opts, slide.WithSnapshots(refresh, publish))
 	}
 	trainer, err := slide.NewTrainer(m, src, opts...)
 	if err != nil {

@@ -33,6 +33,15 @@ type Features struct {
 	AVX512DQ bool
 	// AVX512BF16 is the bfloat16 extension (VCVTNEPS2BF16, VDPBF16PS).
 	AVX512BF16 bool
+	// AVX512VNNI is the 512-bit integer dot-product extension (VPDPBUSD):
+	// u8 x s8 multiply-accumulate into i32 lanes, the int8 serving kernel.
+	AVX512VNNI bool
+	// AVXVNNI is the VEX-encoded 256-bit VNNI found on AVX-512-less client
+	// parts (Alder Lake and later). Detection-only today: the repo's ymm
+	// integer kernel uses the universally-available VPMADDWD path, because
+	// the Go assembler emits EVEX (AVX512VL) encodings for VPDPBUSD on ymm
+	// operands, which an AVX-VNNI-only part cannot execute.
+	AVXVNNI bool
 }
 
 // HasAVX2Tier reports whether the AVX2+FMA assembly kernel tier can run.
@@ -45,6 +54,10 @@ func (f Features) HasAVX2Tier() bool { return f.AVX2 && f.FMA }
 func (f Features) HasAVX512Tier() bool {
 	return f.AVX512F && f.AVX512BW && f.AVX512VL && f.AVX512DQ
 }
+
+// HasVNNITier reports whether the AVX-512 VNNI integer kernel (VPDPBUSD on
+// zmm registers) can run: the full AVX-512 tier plus the VNNI extension.
+func (f Features) HasVNNITier() bool { return f.HasAVX512Tier() && f.AVX512VNNI }
 
 // VectorLanesF32 returns the widest float32 SIMD lane count the detected
 // features can drive: 16 under AVX-512, 8 under AVX2, 0 when no vector
@@ -62,7 +75,7 @@ func (f Features) VectorLanesF32() int {
 }
 
 // String renders the detected feature set compactly, e.g.
-// "avx2+fma avx512[f,bw,vl,dq] bf16".
+// "avx2+fma avx512[f,bw,vl,dq] bf16 vnni".
 func (f Features) String() string {
 	s := ""
 	if f.AVX2 {
@@ -86,6 +99,12 @@ func (f Features) String() string {
 	}
 	if f.AVX512BF16 {
 		s += " bf16"
+	}
+	if f.AVX512VNNI {
+		s += " vnni"
+	}
+	if f.AVXVNNI {
+		s += " avx-vnni"
 	}
 	if s == "" {
 		return "none"

@@ -17,6 +17,12 @@ func TestDetectConsistency(t *testing.T) {
 	if f.AVX512BF16 && !f.AVX512F {
 		t.Error("AVX512-BF16 detected without AVX512F")
 	}
+	if f.AVX512VNNI && !f.AVX512F {
+		t.Error("AVX512-VNNI detected without AVX512F")
+	}
+	if f.HasVNNITier() && !f.HasAVX512Tier() {
+		t.Error("VNNI tier detected without the AVX-512 tier")
+	}
 
 	switch f.VectorLanesF32() {
 	case 0, 8, 16:
@@ -35,13 +41,34 @@ func TestDetectCached(t *testing.T) {
 	}
 }
 
-func TestStringNonEmpty(t *testing.T) {
-	if (Features{}).String() != "none" {
-		t.Errorf("zero Features.String() = %q, want none", (Features{}).String())
+func TestString(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Features
+		want string
+	}{
+		{"zero", Features{}, "none"},
+		{"avx2-only", Features{AVX2: true, FMA: true}, "avx2+fma"},
+		{"avx512-no-bf16", Features{AVX2: true, FMA: true, AVX512F: true,
+			AVX512BW: true, AVX512VL: true, AVX512DQ: true},
+			"avx2+fma avx512[f,bw,vl,dq]"},
+		{"full-pre-vnni", Features{AVX2: true, FMA: true, AVX512F: true, AVX512BW: true,
+			AVX512VL: true, AVX512DQ: true, AVX512BF16: true},
+			"avx2+fma avx512[f,bw,vl,dq] bf16"},
+		{"full-with-vnni", Features{AVX2: true, FMA: true, AVX512F: true, AVX512BW: true,
+			AVX512VL: true, AVX512DQ: true, AVX512BF16: true, AVX512VNNI: true},
+			"avx2+fma avx512[f,bw,vl,dq] bf16 vnni"},
+		{"client-avx-vnni", Features{AVX2: true, FMA: true, AVXVNNI: true},
+			"avx2+fma avx-vnni"},
+		{"everything", Features{AVX2: true, FMA: true, AVX512F: true, AVX512BW: true,
+			AVX512VL: true, AVX512DQ: true, AVX512BF16: true, AVX512VNNI: true, AVXVNNI: true},
+			"avx2+fma avx512[f,bw,vl,dq] bf16 vnni avx-vnni"},
 	}
-	all := Features{AVX2: true, FMA: true, AVX512F: true, AVX512BW: true,
-		AVX512VL: true, AVX512DQ: true, AVX512BF16: true}
-	if got := all.String(); got != "avx2+fma avx512[f,bw,vl,dq] bf16" {
-		t.Errorf("full Features.String() = %q", got)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.f.String(); got != tc.want {
+				t.Errorf("String() = %q, want %q", got, tc.want)
+			}
+		})
 	}
 }

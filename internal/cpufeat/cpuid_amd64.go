@@ -26,7 +26,11 @@ const (
 	bitAVX512BW = 1 << 30
 	bitAVX512VL = 1 << 31
 
+	// leaf 7 subleaf 0 ECX
+	bitAVX512VNNI = 1 << 11
+
 	// leaf 7 subleaf 1 EAX
+	bitAVXVNNI    = 1 << 4
 	bitAVX512BF16 = 1 << 5
 
 	// XCR0 state-component bits
@@ -58,15 +62,19 @@ func detect() Features {
 		return f
 	}
 
-	_, ebx7, _, _ := cpuid(7, 0)
+	_, ebx7, ecx7, _ := cpuid(7, 0)
+	eax71, _, _, _ := cpuid(7, 1)
 	f.FMA = ecx1&bitFMA != 0
 	f.AVX2 = ebx7&bitAVX2 != 0
+	// AVX-VNNI needs only the VEX (256-bit) AVX state the osAVX check above
+	// already proved enabled.
+	f.AVXVNNI = eax71&bitAVXVNNI != 0
 	if osAVX512 {
 		f.AVX512F = ebx7&bitAVX512F != 0
 		f.AVX512DQ = ebx7&bitAVX512DQ != 0
 		f.AVX512BW = ebx7&bitAVX512BW != 0
 		f.AVX512VL = ebx7&bitAVX512VL != 0
-		eax71, _, _, _ := cpuid(7, 1)
+		f.AVX512VNNI = f.AVX512F && ecx7&bitAVX512VNNI != 0
 		f.AVX512BF16 = f.AVX512F && eax71&bitAVX512BF16 != 0
 	}
 	return f

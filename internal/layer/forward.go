@@ -260,6 +260,11 @@ func (w *RowWeights) forwardRowRange(ks *simd.Kernels, hs [][]float32, hBFs [][]
 	}
 }
 
+// Bias returns a read-only view of the bias vector. The quantized serving
+// tier carries biases in float32 alongside its packed rows, so quantization
+// reads them straight from the source view.
+func (w *RowWeights) Bias() []float32 { return w.bias }
+
 // RowF32 returns neuron i's weight vector as float32. For BF16Both it is
 // expanded into buf (len >= In); otherwise a direct view is returned.
 // Read-only; used by the LSH rebuild to hash current weights.

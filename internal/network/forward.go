@@ -7,6 +7,7 @@ import (
 	"github.com/slide-cpu/slide/internal/layer"
 	"github.com/slide-cpu/slide/internal/lsh"
 	"github.com/slide-cpu/slide/internal/metrics"
+	"github.com/slide-cpu/slide/internal/quant"
 	"github.com/slide-cpu/slide/internal/simd"
 	"github.com/slide-cpu/slide/internal/sparse"
 )
@@ -27,6 +28,12 @@ type forwardState struct {
 	hidden *layer.ColWeights
 	middle []*layer.RowWeights
 	output *layer.RowWeights
+	// qout is the quantized serving rendering of the output layer. Exactly
+	// one of output/qout is non-nil: quantized predictors (Quantize, or a
+	// replica holding an int8 base) drop the f32 view entirely and serve
+	// every output-layer pass from the packed rows. Training states never
+	// set it.
+	qout   *quant.RowQ
 	tables *lsh.TableSet // nil when sampling is disabled or sharded
 
 	// Sharded execution (cfg.Shards > 0): per-shard table sets and the
@@ -67,6 +74,12 @@ type scratch struct {
 	// models: the sample is hashed once, then every shard's tables are
 	// probed with the same hashes.
 	hashBuf []uint32
+	// qa/qsa/qzp hold the quantized activation vector of the current sample
+	// on quantized predictors (forwardState.qout != nil): the last hidden
+	// activation rendered as u7 codes with its scale and zero point.
+	qa  []uint8
+	qsa float32
+	qzp int32
 }
 
 // sampled reports whether the model retrieves candidates via LSH (either
@@ -98,8 +111,13 @@ func (f *forwardState) newScratch(train bool, seed, stream uint64) *scratch {
 	if train {
 		ws.probs = make([]float32, actCap)
 	}
-	if f.cfg.Precision != layer.FP32 {
+	if f.cfg.Precision != layer.FP32 && f.qout == nil {
+		// The BF16 rendering only feeds the output layer; a quantized
+		// predictor renders the activation as u7 codes instead.
 		ws.hBF = make([]bf16.BF16, f.lastDim)
+	}
+	if f.qout != nil {
+		ws.qa = make([]uint8, f.lastDim)
 	}
 	if len(f.shTables) > 0 {
 		ws.hashBuf = make([]uint32, f.shTables[0].Tables())
@@ -180,11 +198,29 @@ func (f *forwardState) sampleActive(ws *scratch, labels []int32) int {
 	return nLabels
 }
 
+// quantActs renders the last hidden activation as u7 codes into ws.qa —
+// the quantized predictor's counterpart of the PackBF16 step. Called after
+// forwardStack, before any output-layer pass.
+func (f *forwardState) quantActs(ws *scratch) {
+	ws.qsa, ws.qzp = quant.QuantizeActs(ws.last(), ws.qa)
+}
+
+// forwardAllOut computes every output neuron's logit into out, dispatching
+// on the output representation (f32/BF16 view vs packed rows).
+func (f *forwardState) forwardAllOut(ws *scratch, out []float32, workers int) {
+	if f.qout != nil {
+		f.quantActs(ws)
+		f.qout.ForwardAll(ws.ks, ws.qa, ws.qsa, ws.qzp, out, workers)
+		return
+	}
+	f.output.ForwardAll(ws.ks, ws.last(), ws.hBF, out, workers)
+}
+
 // scoresInto computes the full output-layer logits for one sample into out
 // (len OutputDim), tiling the output rows over workers (<=1 runs inline).
 func (f *forwardState) scoresInto(ws *scratch, x sparse.Vector, out []float32, workers int) {
 	f.forwardStack(ws, x)
-	f.output.ForwardAll(ws.ks, ws.last(), ws.hBF, out, workers)
+	f.forwardAllOut(ws, out, workers)
 }
 
 // predictSampled ranks the LSH-retrieved candidate set for one sample and
@@ -198,7 +234,12 @@ func (f *forwardState) predictSampled(ws *scratch, x sparse.Vector, k int) []int
 		return nil
 	}
 	logits := ws.logits[:na]
-	f.output.ForwardActive(ws.ks, ws.active, ws.last(), ws.hBF, logits)
+	if f.qout != nil {
+		f.quantActs(ws)
+		f.qout.ForwardActive(ws.ks, ws.active, ws.qa, ws.qsa, ws.qzp, logits)
+	} else {
+		f.output.ForwardActive(ws.ks, ws.active, ws.last(), ws.hBF, logits)
+	}
 	top := metrics.TopK(logits, k)
 	out := make([]int32, len(top))
 	for i, pos := range top {

@@ -36,6 +36,15 @@ func (p *Predictor) CheckFinite() error {
 			return fmt.Errorf("network: snapshot step %d: middle %d: %w", p.steps, i+1, err)
 		}
 	}
+	if q := p.fwd.qout; q != nil {
+		// Quantized output: the packed integer codes cannot hold NaN/Inf by
+		// construction, so the scan covers the f32 sidecars (scales, biases)
+		// exactly — cheaper than the strided f32 row scan and just as strict.
+		if err := q.CheckFinite(quarantineStride); err != nil {
+			return fmt.Errorf("network: snapshot step %d: output: %w", p.steps, err)
+		}
+		return nil
+	}
 	if err := p.fwd.output.CheckFinite(quarantineStride); err != nil {
 		return fmt.Errorf("network: snapshot step %d: output: %w", p.steps, err)
 	}

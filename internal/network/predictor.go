@@ -139,7 +139,7 @@ func (p *Predictor) Predict(x sparse.Vector, k int) []int32 {
 	defer p.pool.Put(ws)
 	p.fwd.forwardStack(ws, x)
 	scores := ws.logits[:p.fwd.cfg.OutputDim]
-	p.fwd.output.ForwardAll(ws.ks, ws.last(), ws.hBF, scores, 1)
+	p.fwd.forwardAllOut(ws, scores, 1)
 	// Rank in place in the pooled active buffer, then hand back a fresh
 	// slice the caller may retain. Sharded models take the scatter-gather
 	// selection inside rank — bit-identical to the single heap.
@@ -210,6 +210,7 @@ const fusedChunk = 64
 // single-caller data-parallel fan-out.
 func (p *Predictor) PredictBatchK(xs []sparse.Vector, ks []int) [][]int32 {
 	out := make([][]int32, len(xs))
+	quantized := p.fwd.qout != nil
 	for lo := 0; lo < len(xs); lo += fusedChunk {
 		hi := min(lo+fusedChunk, len(xs))
 		n := hi - lo
@@ -217,6 +218,14 @@ func (p *Predictor) PredictBatchK(xs []sparse.Vector, ks []int) [][]int32 {
 		hs := make([][]float32, n)
 		hBFs := make([][]bf16.BF16, n)
 		scores := make([][]float32, n)
+		var qas [][]uint8
+		var sas []float32
+		var zps []int32
+		if quantized {
+			qas = make([][]uint8, n)
+			sas = make([]float32, n)
+			zps = make([]int32, n)
+		}
 		for i, x := range xs[lo:hi] {
 			ws := p.get()
 			wss[i] = ws
@@ -224,6 +233,23 @@ func (p *Predictor) PredictBatchK(xs []sparse.Vector, ks []int) [][]int32 {
 			hs[i] = ws.last()
 			hBFs[i] = ws.hBF
 			scores[i] = ws.logits[:p.fwd.cfg.OutputDim]
+			if quantized {
+				p.fwd.quantActs(ws)
+				qas[i] = ws.qa
+				sas[i] = ws.qsa
+				zps[i] = ws.qzp
+			}
+		}
+		// One fused walk over the chunk, on whichever output representation
+		// this predictor holds. Per-(row, sample) kernel calls match the
+		// per-sample path exactly, so both representations keep the
+		// batched-equals-direct bit-identity contract.
+		batchRange := func(ks *simd.Kernels, rlo, rhi int) {
+			if quantized {
+				p.fwd.qout.ForwardAllBatchRange(ks, qas, sas, zps, scores, rlo, rhi)
+			} else {
+				p.fwd.output.ForwardAllBatchRange(ks, hs, hBFs, scores, rlo, rhi)
+			}
 		}
 		if plan := p.fwd.plan; plan != nil && plan.s > 1 {
 			// Sharded scatter: each shard's contiguous row range walks the
@@ -235,13 +261,12 @@ func (p *Predictor) PredictBatchK(xs []sparse.Vector, ks []int) [][]int32 {
 				wg.Add(1)
 				go func(s int) {
 					defer wg.Done()
-					p.fwd.output.ForwardAllBatchRange(wss[0].ks, hs, hBFs, scores,
-						int(plan.bounds[s]), int(plan.bounds[s+1]))
+					batchRange(wss[0].ks, int(plan.bounds[s]), int(plan.bounds[s+1]))
 				}(s)
 			}
 			wg.Wait()
 		} else {
-			p.fwd.output.ForwardAllBatch(wss[0].ks, hs, hBFs, scores)
+			batchRange(wss[0].ks, 0, p.fwd.cfg.OutputDim)
 		}
 		for i := lo; i < hi; i++ {
 			top := p.fwd.rank(wss[i-lo], scores[i-lo], ks[i])
@@ -261,6 +286,6 @@ func (p *Predictor) PrecisionAtK(x sparse.Vector, labels []int32, k int) float64
 	defer p.pool.Put(ws)
 	p.fwd.forwardStack(ws, x)
 	scores := ws.logits[:p.fwd.cfg.OutputDim]
-	p.fwd.output.ForwardAll(ws.ks, ws.last(), ws.hBF, scores, 1)
+	p.fwd.forwardAllOut(ws, scores, 1)
 	return metrics.PrecisionAtK(scores, labels, k)
 }

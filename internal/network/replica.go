@@ -9,6 +9,7 @@ import (
 
 	"github.com/slide-cpu/slide/internal/layer"
 	"github.com/slide-cpu/slide/internal/lsh"
+	"github.com/slide-cpu/slide/internal/quant"
 )
 
 // Sparse delta snapshots: the engine-level machinery behind snapshot
@@ -140,6 +141,15 @@ func (d *Delta) WriteOutput(w io.Writer) error {
 	return d.to.output.SerializeRowsDelta(w, d.OutputRows)
 }
 
+// WriteOutputQ encodes the touched output rows quantized to bits (8 or 4):
+// each journaled row is packed on the fly from the snapshot's f32 view, so
+// delta publish stays O(touched rows) even on a quantized stream. Because
+// row quantization is a pure per-row function, the receiver's patched view
+// is bit-identical to a full re-quantize of the trainer snapshot.
+func (d *Delta) WriteOutputQ(w io.Writer, bits int) error {
+	return quant.WriteRowsDelta(w, d.to.output, d.OutputRows, bits)
+}
+
 // WriteTables encodes the full LSH table state (the single set, or every
 // per-shard set back to back on sharded models). Valid only when
 // TablesChanged — otherwise the receiver keeps its current tables.
@@ -201,8 +211,32 @@ func (p *Predictor) WriteHidden(w io.Writer) error { return p.fwd.hidden.Seriali
 // WriteMiddle encodes the dense middle stack (layer count, then each view).
 func (p *Predictor) WriteMiddle(w io.Writer) error { return writeMiddleViews(w, p.fwd.middle) }
 
-// WriteOutput encodes the full output view.
-func (p *Predictor) WriteOutput(w io.Writer) error { return p.fwd.output.SerializeView(w) }
+// WriteOutput encodes the full output view: the f32/BF16 codec on a
+// full-precision predictor, the packed codec on a quantized one.
+func (p *Predictor) WriteOutput(w io.Writer) error {
+	if q := p.fwd.qout; q != nil {
+		return q.SerializeView(w)
+	}
+	return p.fwd.output.SerializeView(w)
+}
+
+// WriteOutputQ encodes the output view quantized to bits (8 or 4) — the
+// hub-side base encoder for a quantized stream. An already-quantized
+// predictor at the same width writes its packed rows directly; otherwise
+// the f32 view is quantized on the fly (the source is unmodified).
+func (p *Predictor) WriteOutputQ(w io.Writer, bits int) error {
+	if q := p.fwd.qout; q != nil {
+		if q.Bits != bits {
+			return fmt.Errorf("network: predictor is quantized int%d, stream wants int%d", q.Bits, bits)
+		}
+		return q.SerializeView(w)
+	}
+	q, err := quant.QuantizeRowWeights(p.fwd.output, bits)
+	if err != nil {
+		return err
+	}
+	return q.SerializeView(w)
+}
 
 // HasTables reports whether the predictor carries LSH tables (single-set or
 // per-shard — and thus whether WriteTables produces a payload).
@@ -257,9 +291,11 @@ func readMiddleViews(r io.Reader, dims []int) ([]*layer.RowWeights, error) {
 
 // BaseParts carries the decoded (already CRC-verified) payloads of one full
 // base snapshot. Tables must be nil exactly when the config disables
-// sampling.
+// sampling. QBits != 0 declares the Output payload quantized (written by
+// WriteOutputQ): the reconstructed predictor serves from packed int rows.
 type BaseParts struct {
 	Config, Hidden, Middle, Output, Tables []byte
+	QBits                                  int
 }
 
 // NewPredictorFromBase reconstructs a serving Predictor from base payloads
@@ -292,13 +328,26 @@ func NewPredictorFromBase(parts BaseParts) (*Predictor, error) {
 	if err != nil {
 		return nil, fail("%w", err)
 	}
-	output, err := layer.ReadRowWeights(bytes.NewReader(parts.Output))
-	if err != nil {
-		return nil, fail("output: %w", err)
-	}
-	if output.In != lastDim || output.Out != cfg.OutputDim || output.Precision() != cfg.Precision {
-		return nil, fail("output view is %dx%d/%v, config declares %dx%d/%v",
-			output.In, output.Out, output.Precision(), lastDim, cfg.OutputDim, cfg.Precision)
+	var output *layer.RowWeights
+	var qout *quant.RowQ
+	if parts.QBits != 0 {
+		qout, err = quant.ReadRowQ(bytes.NewReader(parts.Output))
+		if err != nil {
+			return nil, fail("output: %w", err)
+		}
+		if qout.In != lastDim || qout.Out != cfg.OutputDim || qout.Bits != parts.QBits {
+			return nil, fail("output view is %dx%d/int%d, stream declares %dx%d/int%d",
+				qout.In, qout.Out, qout.Bits, lastDim, cfg.OutputDim, parts.QBits)
+		}
+	} else {
+		output, err = layer.ReadRowWeights(bytes.NewReader(parts.Output))
+		if err != nil {
+			return nil, fail("output: %w", err)
+		}
+		if output.In != lastDim || output.Out != cfg.OutputDim || output.Precision() != cfg.Precision {
+			return nil, fail("output view is %dx%d/%v, config declares %dx%d/%v",
+				output.In, output.Out, output.Precision(), lastDim, cfg.OutputDim, cfg.Precision)
+		}
 	}
 
 	var tables *lsh.TableSet
@@ -342,6 +391,7 @@ func NewPredictorFromBase(parts BaseParts) (*Predictor, error) {
 		hidden:    hidden,
 		middle:    middle,
 		output:    output,
+		qout:      qout,
 		tables:    tables,
 		shTables:  shTables,
 		plan:      plan,
@@ -357,11 +407,14 @@ func NewPredictorFromBase(parts BaseParts) (*Predictor, error) {
 
 // DeltaParts carries the decoded (already CRC-verified) payloads of one
 // delta. Tables is nil when the interval saw no LSH rebuild — the receiver
-// keeps its current tables.
+// keeps its current tables. QBits != 0 declares the Output payload
+// quantized (written by Delta.WriteOutputQ) and must match the width the
+// receiving predictor holds.
 type DeltaParts struct {
 	FromStep, ToStep       int64
 	Hidden, Middle, Output []byte
 	Tables                 []byte
+	QBits                  int
 }
 
 // ApplyDelta patches the delta onto p, returning a new Predictor at
@@ -388,9 +441,26 @@ func (p *Predictor) ApplyDelta(parts DeltaParts) (*Predictor, error) {
 	if err != nil {
 		return nil, fmt.Errorf("network: delta middle: %w", err)
 	}
-	output, outputIDs, err := p.fwd.output.PatchRows(bytes.NewReader(parts.Output))
-	if err != nil {
-		return nil, fmt.Errorf("network: delta output: %w", err)
+	if (parts.QBits != 0) != (p.fwd.qout != nil) {
+		return nil, fmt.Errorf("network: delta quantization (int%d) disagrees with predictor (quantized=%v)",
+			parts.QBits, p.fwd.qout != nil)
+	}
+	var output *layer.RowWeights
+	var qout *quant.RowQ
+	var outputIDs []int32
+	if q := p.fwd.qout; q != nil {
+		if parts.QBits != q.Bits {
+			return nil, fmt.Errorf("network: delta is int%d, predictor holds int%d", parts.QBits, q.Bits)
+		}
+		qout, outputIDs, err = q.PatchRows(bytes.NewReader(parts.Output))
+		if err != nil {
+			return nil, fmt.Errorf("network: delta output: %w", err)
+		}
+	} else {
+		output, outputIDs, err = p.fwd.output.PatchRows(bytes.NewReader(parts.Output))
+		if err != nil {
+			return nil, fmt.Errorf("network: delta output: %w", err)
+		}
 	}
 	if err := hidden.CheckFiniteCols(hiddenIDs); err != nil {
 		return nil, fmt.Errorf("network: delta to step %d: %w", parts.ToStep, err)
@@ -400,7 +470,11 @@ func (p *Predictor) ApplyDelta(parts DeltaParts) (*Predictor, error) {
 			return nil, fmt.Errorf("network: delta to step %d: middle %d: %w", parts.ToStep, i+1, err)
 		}
 	}
-	if err := output.CheckFiniteRows(outputIDs); err != nil {
+	if qout != nil {
+		if err := qout.CheckFiniteRows(outputIDs); err != nil {
+			return nil, fmt.Errorf("network: delta to step %d: output: %w", parts.ToStep, err)
+		}
+	} else if err := output.CheckFiniteRows(outputIDs); err != nil {
 		return nil, fmt.Errorf("network: delta to step %d: output: %w", parts.ToStep, err)
 	}
 	tables := p.fwd.tables
@@ -440,6 +514,7 @@ func (p *Predictor) ApplyDelta(parts DeltaParts) (*Predictor, error) {
 		hidden:    hidden,
 		middle:    middle,
 		output:    output,
+		qout:      qout,
 		tables:    tables,
 		shTables:  shTables,
 		plan:      p.fwd.plan,

@@ -1,0 +1,158 @@
+package quant
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/slide-cpu/slide/internal/health"
+	"github.com/slide-cpu/slide/internal/layer"
+	"github.com/slide-cpu/slide/internal/simd"
+)
+
+// Forward methods mirroring layer.RowWeights' serving surface, over packed
+// rows and a quantized activation vector (qa, sa, zp from QuantizeActs)
+// instead of (h, hBF). The score vectors they produce feed the existing
+// TopKInto / scatter-gather ranking unchanged.
+
+// dot resolves the packed dot for one row at the view's bit width.
+func (q *RowQ) dot(ks *simd.Kernels, id int32, qa []uint8) int32 {
+	if q.Bits == 4 {
+		return ks.DotU8S4(qa, q.rows4[id])
+	}
+	return ks.DotU8S8(qa, q.rows8[id])
+}
+
+// dequant maps the integer accumulator back to a float32 logit. The
+// explicit float32 conversions pin every intermediate to a single rounding
+// — no FMA contraction — so logits are bit-stable across builds and tiers.
+func (q *RowQ) dequant(id int32, acc int32, sa float32, zp int32) float32 {
+	d := float32(q.scales[id] * sa)
+	v := float32(acc - zp*q.rowSums[id])
+	return float32(d*v) + q.bias[id]
+}
+
+// Logit computes neuron id's dequantized pre-activation.
+func (q *RowQ) Logit(ks *simd.Kernels, id int32, qa []uint8, sa float32, zp int32) float32 {
+	return q.dequant(id, q.dot(ks, id, qa), sa, zp)
+}
+
+// ForwardActive fills logits[k] with Logit(active[k]) — the sampled serving
+// path over the LSH-retrieved candidate set.
+func (q *RowQ) ForwardActive(ks *simd.Kernels, active []int32, qa []uint8, sa float32, zp int32, logits []float32) {
+	if len(logits) < len(active) {
+		panic("quant: ForwardActive logits buffer too short")
+	}
+	for k, id := range active {
+		logits[k] = q.Logit(ks, id, qa, sa, zp)
+	}
+}
+
+// ForwardAll computes every neuron's logit into out (len Out), tiling rows
+// over workers (<=1 runs inline — the serving path).
+func (q *RowQ) ForwardAll(ks *simd.Kernels, qa []uint8, sa float32, zp int32, out []float32, workers int) {
+	if len(out) != q.Out {
+		panic("quant: ForwardAll output size mismatch")
+	}
+	if workers <= 1 {
+		for i := range out {
+			out[i] = q.Logit(ks, int32(i), qa, sa, zp)
+		}
+		return
+	}
+	per := (q.Out + workers - 1) / workers
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		lo := wk * per
+		hi := min(lo+per, q.Out)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = q.Logit(ks, int32(i), qa, sa, zp)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForwardAllBatch is the fused micro-batch walk: outs[s][i] = Logit(i, qas[s]).
+// Row-outer, sample-inner — each packed row streams from memory once per
+// chunk, the same bandwidth amortization as the f32 batch walk (and the
+// packed stream is 4x narrower, which is the point of this tier).
+func (q *RowQ) ForwardAllBatch(ks *simd.Kernels, qas [][]uint8, sas []float32, zps []int32, outs [][]float32) {
+	if len(outs) != len(qas) {
+		panic("quant: ForwardAllBatch batch size mismatch")
+	}
+	for s := range outs {
+		if len(outs[s]) != q.Out {
+			panic("quant: ForwardAllBatch output size mismatch")
+		}
+	}
+	q.forwardRowRange(ks, qas, sas, zps, outs, 0, q.Out)
+}
+
+// ForwardAllBatchRange is ForwardAllBatch restricted to rows [lo, hi) — the
+// per-shard slice of the scatter-gather serving path. Same per-(row, sample)
+// kernel calls as the unsharded walk, so assembled scores are bit-identical.
+func (q *RowQ) ForwardAllBatchRange(ks *simd.Kernels, qas [][]uint8, sas []float32, zps []int32, outs [][]float32, lo, hi int) {
+	if len(outs) != len(qas) {
+		panic("quant: ForwardAllBatchRange batch size mismatch")
+	}
+	if lo < 0 || hi > q.Out || lo > hi {
+		panic("quant: ForwardAllBatchRange row range out of bounds")
+	}
+	q.forwardRowRange(ks, qas, sas, zps, outs, lo, hi)
+}
+
+func (q *RowQ) forwardRowRange(ks *simd.Kernels, qas [][]uint8, sas []float32, zps []int32, outs [][]float32, lo, hi int) {
+	if q.Bits == 4 {
+		for i := lo; i < hi; i++ {
+			row := q.rows4[i]
+			for s := range outs {
+				outs[s][i] = q.dequant(int32(i), ks.DotU8S4(qas[s], row), sas[s], zps[s])
+			}
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		row := q.rows8[i]
+		for s := range outs {
+			outs[s][i] = q.dequant(int32(i), ks.DotU8S8(qas[s], row), sas[s], zps[s])
+		}
+	}
+}
+
+// CheckFinite scans the scales and biases — the only float state this view
+// holds; packed integer rows cannot be non-finite. The stride parameter
+// exists for signature parity with the layer views; the scan is O(Out)
+// scalars either way, so it is always complete.
+func (q *RowQ) CheckFinite(stride int) error {
+	_ = stride
+	if i := health.FirstNonFinite32(q.scales); i >= 0 {
+		return fmt.Errorf("%w: quantized scale[%d]", layer.ErrNonFinite, i)
+	}
+	if i := health.FirstNonFinite32(q.bias); i >= 0 {
+		return fmt.Errorf("%w: quantized bias[%d]", layer.ErrNonFinite, i)
+	}
+	return nil
+}
+
+// CheckFiniteRows scans exactly the named rows' scales plus the full bias —
+// the delta-admission path.
+func (q *RowQ) CheckFiniteRows(ids []int32) error {
+	if i := health.FirstNonFinite32(q.bias); i >= 0 {
+		return fmt.Errorf("%w: quantized bias[%d]", layer.ErrNonFinite, i)
+	}
+	for _, id := range ids {
+		if int(id) >= len(q.scales) {
+			continue
+		}
+		if health.FirstNonFinite32(q.scales[id:id+1]) >= 0 {
+			return fmt.Errorf("%w: quantized scale[%d]", layer.ErrNonFinite, id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,250 @@
+// Package quant is the quantized serving tier: packed int8 (and experimental
+// int4) renderings of the output layer's row weights, produced at snapshot
+// time from the f32/BF16 training views. Training never sees this package —
+// quantization is a one-way, serving-side transform, the deployment
+// counterpart of the paper's precision ablations.
+//
+// Scheme (following FullPack's per-vector symmetric layout):
+//
+//   - Weights: per-row symmetric int8. scale = maxabs/127 (maxabs/7 for
+//     int4), q = clamp(round(w/scale)). Zero rows quantize to scale 0 and an
+//     all-zero row. Each row also carries its element sum (recomputed on
+//     deserialize, never on the wire) for the zero-point correction below.
+//   - Activations: per-sample asymmetric u7 in [0,127] with a zero point:
+//     lo = min(0, min h), hi = max(0, max h), scale = (hi-lo)/127,
+//     zp = round(-lo/scale). The u7 bound makes the AVX2 widening kernels
+//     saturation-free, so every kernel tier accumulates the identical int32.
+//   - Dequantized logit: float32(sw*sa) * float32(acc - zp*rowSum) + bias,
+//     with explicit float32 conversions so the compiler cannot fuse the
+//     multiply-add (bit-stable across builds).
+//
+// Determinism: row quantization is a pure per-row function of the f32 bytes
+// (float64 divide + round-half-away, no accumulation across rows), so the
+// same snapshot packs to bit-identical bytes at any worker count — the
+// sharded-determinism contract survives quantization.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/slide-cpu/slide/internal/health"
+	"github.com/slide-cpu/slide/internal/layer"
+)
+
+// ErrNonFinite aliases the layer sentinel: a NaN/Inf row refuses to
+// quantize, the same quarantine signal snapshot publication already tests
+// with errors.Is.
+var ErrNonFinite = layer.ErrNonFinite
+
+// MaxDotLen bounds In so the int32 dequant arithmetic cannot overflow:
+// |acc - zp*rowSum| <= 2 * 127*127 * In must stay under 2^31, giving
+// In < 66577. Hidden widths are orders of magnitude below this.
+const MaxDotLen = 1 << 16
+
+// RowQ is an immutable quantized rendering of a RowWeights view: packed
+// rows, per-row scales, and the f32 biases. Like the layer views it is
+// copy-on-write friendly — PatchRows shares untouched rows with its source.
+type RowQ struct {
+	In, Out int
+	// Bits is the weight width: 8 (packed int8, stride In) or 4 (packed
+	// two's-complement nibbles, stride (In+1)/2, low nibble = even index).
+	Bits int
+
+	scales  []float32
+	rowSums []int32 // per-row element sums, recomputed on read
+	rows8   [][]int8
+	rows4   [][]uint8
+	bias    []float32
+}
+
+func validBits(bits int) error {
+	if bits != 8 && bits != 4 {
+		return fmt.Errorf("quant: unsupported bit width %d (want 8 or 4)", bits)
+	}
+	return nil
+}
+
+// stride returns the packed byte length of one row.
+func stride(in, bits int) int {
+	if bits == 4 {
+		return (in + 1) / 2
+	}
+	return in
+}
+
+// newRowQ allocates the per-row views over one contiguous backing each.
+func newRowQ(in, out, bits int) *RowQ {
+	q := &RowQ{
+		In: in, Out: out, Bits: bits,
+		scales:  make([]float32, out),
+		rowSums: make([]int32, out),
+		bias:    make([]float32, out),
+	}
+	st := stride(in, bits)
+	if bits == 4 {
+		backing := make([]uint8, out*st)
+		q.rows4 = make([][]uint8, out)
+		for i := range q.rows4 {
+			q.rows4[i] = backing[i*st : (i+1)*st : (i+1)*st]
+		}
+	} else {
+		backing := make([]int8, out*st)
+		q.rows8 = make([][]int8, out)
+		for i := range q.rows8 {
+			q.rows8[i] = backing[i*st : (i+1)*st : (i+1)*st]
+		}
+	}
+	return q
+}
+
+// QuantizeRowWeights quantizes a full f32/BF16 row view into a RowQ. Rows
+// containing NaN/Inf refuse to quantize (error wraps ErrNonFinite): a
+// non-finite value would silently skew its row's scale, so the health
+// quarantine rejects it at the packing boundary instead.
+func QuantizeRowWeights(src *layer.RowWeights, bits int) (*RowQ, error) {
+	if err := validBits(bits); err != nil {
+		return nil, err
+	}
+	if src.In > MaxDotLen {
+		return nil, fmt.Errorf("quant: row length %d exceeds MaxDotLen %d", src.In, MaxDotLen)
+	}
+	q := newRowQ(src.In, src.Out, bits)
+	buf := make([]float32, src.In)
+	for i := 0; i < src.Out; i++ {
+		row := src.RowF32(i, buf)
+		if k := health.FirstNonFinite32(row); k >= 0 {
+			return nil, fmt.Errorf("quant: %w: row %d element %d", ErrNonFinite, i, k)
+		}
+		if bits == 4 {
+			q.scales[i], q.rowSums[i] = quantizeRow4(row, q.rows4[i])
+		} else {
+			q.scales[i], q.rowSums[i] = quantizeRow8(row, q.rows8[i])
+		}
+	}
+	bias := src.Bias()
+	if k := health.FirstNonFinite32(bias); k >= 0 {
+		return nil, fmt.Errorf("quant: %w: bias[%d]", ErrNonFinite, k)
+	}
+	copy(q.bias, bias)
+	return q, nil
+}
+
+// rowMaxAbs returns the largest |w_i| (NaN-free input by contract).
+func rowMaxAbs(w []float32) float32 {
+	var m float32
+	for _, v := range w {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// quantizeRow8 packs one row symmetrically into int8. Pure per-element
+// float64 math — deterministic regardless of kernel mode or worker count.
+func quantizeRow8(w []float32, dst []int8) (scale float32, rowSum int32) {
+	m := rowMaxAbs(w)
+	if m == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return 0, 0
+	}
+	scale = m / 127
+	inv := float64(scale)
+	for i, v := range w {
+		qi := int32(math.Round(float64(v) / inv))
+		if qi > 127 {
+			qi = 127
+		} else if qi < -127 {
+			qi = -127
+		}
+		dst[i] = int8(qi)
+		rowSum += qi
+	}
+	return scale, rowSum
+}
+
+// quantizeRow4 packs one row into two's-complement nibbles, low nibble
+// first. The final padding nibble of an odd-length row is zero.
+func quantizeRow4(w []float32, dst []uint8) (scale float32, rowSum int32) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	m := rowMaxAbs(w)
+	if m == 0 {
+		return 0, 0
+	}
+	scale = m / 7
+	inv := float64(scale)
+	for i, v := range w {
+		qi := int32(math.Round(float64(v) / inv))
+		if qi > 7 {
+			qi = 7
+		} else if qi < -7 {
+			qi = -7
+		}
+		rowSum += qi
+		nib := uint8(qi) & 0xF
+		if i&1 == 0 {
+			dst[i>>1] = nib
+		} else {
+			dst[i>>1] |= nib << 4
+		}
+	}
+	return scale, rowSum
+}
+
+// QuantizeActs quantizes one dense activation vector into u7 with a zero
+// point, filling qa (len == len(h)). The [0,127] range is what keeps the
+// integer kernels saturation-free. All-zero inputs return scale 0 (logits
+// collapse to the biases, matching the f32 forward on a zero activation).
+func QuantizeActs(h []float32, qa []uint8) (scale float32, zp int32) {
+	if len(qa) != len(h) {
+		panic("quant: QuantizeActs buffer length mismatch")
+	}
+	var lo, hi float32
+	for _, v := range h {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		for i := range qa {
+			qa[i] = 0
+		}
+		return 0, 0
+	}
+	scale = (hi - lo) / 127
+	inv := float64(scale)
+	zp = int32(math.Round(float64(-lo) / inv))
+	for i, v := range h {
+		qi := int32(math.Round(float64(v)/inv)) + zp
+		if qi < 0 {
+			qi = 0
+		} else if qi > 127 {
+			qi = 127
+		}
+		qa[i] = uint8(qi)
+	}
+	return scale, zp
+}
+
+// Scale returns row i's dequantization scale (tests and diagnostics).
+func (q *RowQ) Scale(i int32) float32 { return q.scales[i] }
+
+// Bias returns a read-only view of the bias vector.
+func (q *RowQ) Bias() []float32 { return q.bias }
+
+// Row8 returns row i's packed int8 view (Bits==8 only; read-only).
+func (q *RowQ) Row8(i int32) []int8 { return q.rows8[i] }
+
+// Row4 returns row i's packed nibble view (Bits==4 only; read-only).
+func (q *RowQ) Row4(i int32) []uint8 { return q.rows4[i] }

@@ -1,0 +1,484 @@
+package quant
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/slide-cpu/slide/internal/layer"
+	"github.com/slide-cpu/slide/internal/simd"
+)
+
+// testRowWeights builds an f32 RowWeights view via the layer constructor +
+// snapshot path (the quantizer consumes real views exactly as Snapshot
+// produces them): Gaussian weights from the seed, nonzero biases.
+func testRowWeights(t *testing.T, in, out int, seed uint64) *layer.RowWeights {
+	t.Helper()
+	l := layer.NewRowLayer(in, out, layer.Options{Seed: seed})
+	rng := rand.New(rand.NewSource(int64(seed)))
+	for i := 0; i < out; i++ {
+		l.PoisonBias(i, float32(rng.NormFloat64()))
+	}
+	return l.SnapshotWeights()
+}
+
+// poisonRow overwrites one element of a snapshot row in place — FP32 views
+// hand back live storage from RowF32, which is exactly what fault injection
+// needs here.
+func poisonRow(w *layer.RowWeights, row, el int, v float32) {
+	w.RowF32(row, nil)[el] = v
+}
+
+func TestQuantizeRoundTripAccuracy(t *testing.T) {
+	// Quantize, then verify every element dequantizes back within half a
+	// quantization step — the defining bound of round-to-nearest.
+	for _, in := range []int{1, 7, 16, 64, 65, 128} {
+		src := testRowWeights(t, in, 32, uint64(in))
+		q, err := QuantizeRowWeights(src, 8)
+		if err != nil {
+			t.Fatalf("in=%d: QuantizeRowWeights: %v", in, err)
+		}
+		buf := make([]float32, in)
+		for i := 0; i < 32; i++ {
+			row := src.RowF32(i, buf)
+			sc := q.Scale(int32(i))
+			for j, v := range row {
+				got := float32(q.Row8(int32(i))[j]) * sc
+				if diff := math.Abs(float64(got - v)); diff > float64(sc)/2+1e-6 {
+					t.Fatalf("in=%d row %d[%d]: dequant %v vs %v (scale %v, diff %v)",
+						in, i, j, got, v, sc, diff)
+				}
+			}
+		}
+	}
+}
+
+func TestQuantizeInt4RoundTrip(t *testing.T) {
+	// int4: coarser bound (half of maxabs/7), odd In exercises the padding
+	// nibble.
+	for _, in := range []int{1, 2, 7, 16, 33} {
+		src := testRowWeights(t, in, 16, uint64(100+in))
+		q, err := QuantizeRowWeights(src, 4)
+		if err != nil {
+			t.Fatalf("in=%d: QuantizeRowWeights int4: %v", in, err)
+		}
+		buf := make([]float32, in)
+		for i := 0; i < 16; i++ {
+			row := src.RowF32(i, buf)
+			sc := q.Scale(int32(i))
+			packed := q.Row4(int32(i))
+			for j, v := range row {
+				var nib int8
+				if j&1 == 0 {
+					nib = int8(packed[j>>1]<<4) >> 4
+				} else {
+					nib = int8(packed[j>>1]) >> 4
+				}
+				got := float32(nib) * sc
+				if diff := math.Abs(float64(got - v)); diff > float64(sc)/2+1e-6 {
+					t.Fatalf("in=%d row %d[%d]: int4 dequant %v vs %v (scale %v)",
+						in, i, j, got, v, sc)
+				}
+			}
+			// Odd length: padding nibble must be zero (writers zero it, and
+			// the serialized bytes are part of the determinism contract).
+			if in&1 == 1 && packed[len(packed)-1]&0xF0 != 0 {
+				t.Fatalf("in=%d row %d: padding nibble not zero: %02x", in, i, packed[len(packed)-1])
+			}
+		}
+	}
+}
+
+func TestQuantizeRejectsNonFinite(t *testing.T) {
+	cases := []struct {
+		name    string
+		row, el int
+		v       float32
+	}{
+		{"nan", 3, 2, float32(math.NaN())},
+		{"+inf", 0, 0, float32(math.Inf(1))},
+		{"-inf", 7, 5, float32(math.Inf(-1))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := testRowWeights(t, 16, 8, 1)
+			poisonRow(src, tc.row, tc.el, tc.v)
+			if _, err := QuantizeRowWeights(src, 8); !errors.Is(err, ErrNonFinite) {
+				t.Fatalf("QuantizeRowWeights on %s row: err = %v, want ErrNonFinite", tc.name, err)
+			}
+			var buf bytes.Buffer
+			err := WriteRowsDelta(&buf, src, []int32{0, 3, 7}, 8)
+			if !errors.Is(err, ErrNonFinite) {
+				t.Fatalf("WriteRowsDelta over %s row: err = %v, want ErrNonFinite", tc.name, err)
+			}
+		})
+	}
+}
+
+func TestQuantizeDeterministic(t *testing.T) {
+	// Same source view → bit-identical packed bytes, scales, and sums. Row
+	// quantization must be a pure function of the row's f32 bytes.
+	src := testRowWeights(t, 64, 50, 9)
+	a, err := QuantizeRowWeights(src, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := QuantizeRowWeights(src, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ba, bb bytes.Buffer
+	if err := a.SerializeView(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SerializeView(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Fatal("two quantizations of the same view serialized differently")
+	}
+}
+
+func TestSerializeViewRoundTrip(t *testing.T) {
+	for _, bits := range []int{8, 4} {
+		for _, in := range []int{1, 15, 16, 33} {
+			src := testRowWeights(t, in, 20, uint64(bits*100+in))
+			q, err := QuantizeRowWeights(src, bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := q.SerializeView(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if got := int64(buf.Len()); got != q.PackedBytes() {
+				t.Errorf("bits=%d in=%d: serialized %d bytes, PackedBytes says %d", bits, in, got, q.PackedBytes())
+			}
+			r, err := ReadRowQ(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("bits=%d in=%d: ReadRowQ: %v", bits, in, err)
+			}
+			assertRowQEqual(t, q, r)
+		}
+	}
+}
+
+func assertRowQEqual(t *testing.T, a, b *RowQ) {
+	t.Helper()
+	if a.In != b.In || a.Out != b.Out || a.Bits != b.Bits {
+		t.Fatalf("shape mismatch: %dx%d/%d vs %dx%d/%d", a.In, a.Out, a.Bits, b.In, b.Out, b.Bits)
+	}
+	for i := 0; i < a.Out; i++ {
+		if a.scales[i] != b.scales[i] {
+			t.Fatalf("row %d scale %v vs %v", i, a.scales[i], b.scales[i])
+		}
+		if a.rowSums[i] != b.rowSums[i] {
+			t.Fatalf("row %d sum %d vs %d (recompute drifted)", i, a.rowSums[i], b.rowSums[i])
+		}
+		if a.bias[i] != b.bias[i] {
+			t.Fatalf("row %d bias %v vs %v", i, a.bias[i], b.bias[i])
+		}
+		if a.Bits == 4 {
+			if !bytes.Equal(a.rows4[i], b.rows4[i]) {
+				t.Fatalf("row %d nibble bytes differ", i)
+			}
+		} else {
+			for j := range a.rows8[i] {
+				if a.rows8[i][j] != b.rows8[i][j] {
+					t.Fatalf("row %d[%d]: %d vs %d", i, j, a.rows8[i][j], b.rows8[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestPatchRowsCOW(t *testing.T) {
+	srcA := testRowWeights(t, 32, 24, 11)
+	srcB := testRowWeights(t, 32, 24, 12)
+	qa, err := QuantizeRowWeights(srcA, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb, err := QuantizeRowWeights(srcB, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []int32{2, 7, 23}
+	var delta bytes.Buffer
+	if err := qb.SerializeRowsDelta(&delta, ids); err != nil {
+		t.Fatal(err)
+	}
+	patched, gotIDs, err := qa.PatchRows(bytes.NewReader(delta.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotIDs) != len(ids) {
+		t.Fatalf("PatchRows returned ids %v, want %v", gotIDs, ids)
+	}
+	touched := map[int32]bool{2: true, 7: true, 23: true}
+	for i := 0; i < 24; i++ {
+		id := int32(i)
+		if touched[id] {
+			// Patched rows carry B's bytes in fresh storage.
+			if &patched.rows8[i][0] == &qa.rows8[i][0] {
+				t.Fatalf("row %d: patched row aliases the source view", i)
+			}
+			for j := range patched.rows8[i] {
+				if patched.rows8[i][j] != qb.rows8[i][j] {
+					t.Fatalf("row %d[%d]: patched %d, want %d", i, j, patched.rows8[i][j], qb.rows8[i][j])
+				}
+			}
+			if patched.scales[i] != qb.scales[i] || patched.rowSums[i] != qb.rowSums[i] {
+				t.Fatalf("row %d: scale/sum not patched", i)
+			}
+		} else if &patched.rows8[i][0] != &qa.rows8[i][0] {
+			t.Fatalf("row %d: untouched row was copied (COW broken)", i)
+		}
+	}
+}
+
+func TestWriteRowsDeltaMatchesFullQuantize(t *testing.T) {
+	// The trainer-side on-the-fly delta encoder and a receiver-side full
+	// quantize must agree byte for byte on the touched rows — the delta
+	// bit-identity contract.
+	for _, bits := range []int{8, 4} {
+		src := testRowWeights(t, 33, 40, uint64(20+bits))
+		full, err := QuantizeRowWeights(src, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := []int32{0, 5, 17, 39}
+		var fromLayer, fromView bytes.Buffer
+		if err := WriteRowsDelta(&fromLayer, src, ids, bits); err != nil {
+			t.Fatal(err)
+		}
+		if err := full.SerializeRowsDelta(&fromView, ids); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(fromLayer.Bytes(), fromView.Bytes()) {
+			t.Fatalf("bits=%d: WriteRowsDelta and SerializeRowsDelta disagree", bits)
+		}
+	}
+}
+
+func TestPatchRowsRejectsBadPayloads(t *testing.T) {
+	src := testRowWeights(t, 16, 10, 31)
+	q, err := QuantizeRowWeights(src, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := func() []byte {
+		var b bytes.Buffer
+		if err := q.SerializeRowsDelta(&b, []int32{1, 4}); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}()
+	t.Run("truncated", func(t *testing.T) {
+		if _, _, err := q.PatchRows(bytes.NewReader(good[:len(good)-3])); err == nil {
+			t.Fatal("truncated delta accepted")
+		}
+	})
+	t.Run("bits-mismatch", func(t *testing.T) {
+		q4, err := QuantizeRowWeights(src, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := q4.PatchRows(bytes.NewReader(good)); err == nil {
+			t.Fatal("int8 delta applied to int4 view")
+		}
+	})
+	t.Run("descending-ids", func(t *testing.T) {
+		var b bytes.Buffer
+		// Hand-build a header naming 2 rows, then write them out of order.
+		for _, v := range []uint32{16, 10, 8, 2} {
+			if err := writeU32(&b, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, id := range []int32{4, 1} {
+			writeU32(&b, uint32(id))
+			writeF32s(&b, q.scales[id:id+1])
+			q.writeRow(&b, id)
+			writeF32s(&b, q.bias[id:id+1])
+		}
+		if _, _, err := q.PatchRows(bytes.NewReader(b.Bytes())); err == nil {
+			t.Fatal("out-of-order delta accepted")
+		}
+	})
+}
+
+func TestQuantizeActsBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		h := make([]float32, n)
+		for i := range h {
+			h[i] = float32(rng.NormFloat64() * 3)
+		}
+		if trial%5 == 0 { // ReLU-like: non-negative activations
+			for i := range h {
+				if h[i] < 0 {
+					h[i] = 0
+				}
+			}
+		}
+		qa := make([]uint8, n)
+		sa, zp := QuantizeActs(h, qa)
+		if zp < 0 || zp > 127 {
+			t.Fatalf("trial %d: zero point %d outside [0,127]", trial, zp)
+		}
+		for i, v := range h {
+			if qa[i] > 127 {
+				t.Fatalf("trial %d: qa[%d] = %d exceeds u7", trial, i, qa[i])
+			}
+			if sa == 0 {
+				continue
+			}
+			got := float32(int32(qa[i])-zp) * sa
+			if diff := math.Abs(float64(got - v)); diff > float64(sa)/2+1e-6 {
+				t.Fatalf("trial %d: act[%d] dequant %v vs %v (scale %v)", trial, i, got, v, sa)
+			}
+		}
+	}
+	// All-zero input: scale 0, all-zero codes.
+	qa := make([]uint8, 8)
+	qa[3] = 99 // stale garbage must be cleared
+	sa, zp := QuantizeActs(make([]float32, 8), qa)
+	if sa != 0 || zp != 0 {
+		t.Fatalf("zero input: scale %v zp %d, want 0, 0", sa, zp)
+	}
+	for i, v := range qa {
+		if v != 0 {
+			t.Fatalf("zero input: qa[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestLogitMatchesF32(t *testing.T) {
+	// The dequantized logit must track the exact f32 logit within the
+	// combined quantization error budget. Not a bit-equality test — an
+	// error-bound test, with the bound derived from the two step sizes.
+	src := testRowWeights(t, 64, 30, 55)
+	q, err := QuantizeRowWeights(src, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := simd.Active()
+	rng := rand.New(rand.NewSource(56))
+	h := make([]float32, 64)
+	for i := range h {
+		h[i] = float32(rng.NormFloat64())
+		if h[i] < 0 {
+			h[i] = 0 // ReLU activations, the serving regime
+		}
+	}
+	qa := make([]uint8, 64)
+	sa, zp := QuantizeActs(h, qa)
+	buf := make([]float32, 64)
+	for i := int32(0); i < 30; i++ {
+		exact := simd.Dot(src.RowF32(int(i), buf), h) + src.Bias()[i]
+		got := q.Logit(ks, i, qa, sa, zp)
+		// Error budget: each product w*h gains at most |w|*sa/2 + |h|*sw/2
+		// + sw*sa/4; summed over 64 terms with |w|,|h| ~ N(0,1) this stays
+		// well under the loose bound below.
+		bound := float64(64) * (float64(sa)/2*3 + float64(q.Scale(i))/2*3)
+		if diff := math.Abs(float64(got - exact)); diff > bound {
+			t.Fatalf("row %d: quantized logit %v vs exact %v (diff %v > bound %v)",
+				i, got, exact, diff, bound)
+		}
+	}
+}
+
+func TestForwardAllMatchesLogit(t *testing.T) {
+	// ForwardAll, ForwardActive, and the batch walks must all produce the
+	// same float32 as per-row Logit — same kernel, same dequant expression.
+	src := testRowWeights(t, 48, 25, 66)
+	for _, bits := range []int{8, 4} {
+		q, err := QuantizeRowWeights(src, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ks := simd.Active()
+		rng := rand.New(rand.NewSource(67))
+		h := make([]float32, 48)
+		for i := range h {
+			h[i] = float32(rng.NormFloat64())
+		}
+		qa := make([]uint8, 48)
+		sa, zp := QuantizeActs(h, qa)
+		want := make([]float32, 25)
+		for i := range want {
+			want[i] = q.Logit(ks, int32(i), qa, sa, zp)
+		}
+		check := func(name string, got []float32) {
+			t.Helper()
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("bits=%d %s[%d] = %v, want %v", bits, name, i, got[i], want[i])
+				}
+			}
+		}
+		out := make([]float32, 25)
+		q.ForwardAll(ks, qa, sa, zp, out, 1)
+		check("ForwardAll", out)
+		q.ForwardAll(ks, qa, sa, zp, out, 4)
+		check("ForwardAll(workers=4)", out)
+
+		active := []int32{0, 3, 24}
+		logits := make([]float32, 3)
+		q.ForwardActive(ks, active, qa, sa, zp, logits)
+		for k, id := range active {
+			if logits[k] != want[id] {
+				t.Fatalf("bits=%d ForwardActive[%d] = %v, want %v", bits, id, logits[k], want[id])
+			}
+		}
+
+		outs := [][]float32{make([]float32, 25), make([]float32, 25)}
+		q.ForwardAllBatch(ks, [][]uint8{qa, qa}, []float32{sa, sa}, []int32{zp, zp}, outs)
+		check("ForwardAllBatch[0]", outs[0])
+		check("ForwardAllBatch[1]", outs[1])
+
+		for i := range outs[0] {
+			outs[0][i], outs[1][i] = 0, 0
+		}
+		q.ForwardAllBatchRange(ks, [][]uint8{qa, qa}, []float32{sa, sa}, []int32{zp, zp}, outs, 0, 13)
+		q.ForwardAllBatchRange(ks, [][]uint8{qa, qa}, []float32{sa, sa}, []int32{zp, zp}, outs, 13, 25)
+		check("ForwardAllBatchRange[0]", outs[0])
+	}
+}
+
+func TestCheckFinite(t *testing.T) {
+	src := testRowWeights(t, 16, 10, 88)
+	q, err := QuantizeRowWeights(src, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.CheckFinite(16); err != nil {
+		t.Fatalf("healthy view: %v", err)
+	}
+	if err := q.CheckFiniteRows([]int32{0, 9}); err != nil {
+		t.Fatalf("healthy rows: %v", err)
+	}
+	q.scales[4] = float32(math.NaN())
+	if err := q.CheckFinite(16); !errors.Is(err, layer.ErrNonFinite) {
+		t.Fatalf("NaN scale: CheckFinite = %v, want ErrNonFinite", err)
+	}
+	if err := q.CheckFiniteRows([]int32{4}); !errors.Is(err, layer.ErrNonFinite) {
+		t.Fatalf("NaN scale: CheckFiniteRows = %v, want ErrNonFinite", err)
+	}
+	q.scales[4] = 1
+	q.bias[7] = float32(math.Inf(1))
+	if err := q.CheckFinite(16); !errors.Is(err, layer.ErrNonFinite) {
+		t.Fatalf("Inf bias: CheckFinite = %v, want ErrNonFinite", err)
+	}
+}
+
+func TestQuantizeRejectsBadBits(t *testing.T) {
+	src := testRowWeights(t, 8, 4, 99)
+	if _, err := QuantizeRowWeights(src, 16); err == nil {
+		t.Fatal("bits=16 accepted")
+	}
+}

@@ -1,0 +1,335 @@
+package quant
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/slide-cpu/slide/internal/health"
+	"github.com/slide-cpu/slide/internal/layer"
+)
+
+// Wire codecs for quantized views, mirroring the layer view codecs (same
+// little-endian framing, same COW patch semantics) at the packed byte width.
+//
+// View layout:     [In u32][Out u32][Bits u32] scales[Out] bias[Out] rows
+// Delta layout:    [In u32][Out u32][Bits u32][n u32] then per touched row
+//                  [id u32][scale f32][row bytes][bias f32], ids ascending.
+//
+// Row sums are NOT on the wire: they are a pure function of the packed
+// bytes, recomputed on read — Out int32s of wire saved per message, and one
+// less way for a corrupted payload to desynchronize the dequant correction.
+
+// maxViewDim mirrors layer.maxViewDim: headers are read before allocation,
+// so a corrupted header must not provoke a huge allocation.
+const maxViewDim = 1 << 28
+
+func writeU32(w io.Writer, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readU32(r io.Reader, v *uint32) error {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return err
+	}
+	*v = binary.LittleEndian.Uint32(b[:])
+	return nil
+}
+
+func writeF32s(w io.Writer, xs []float32) error {
+	buf := make([]byte, 4*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(x))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readF32s(r io.Reader, xs []float32) error {
+	buf := make([]byte, 4*len(xs))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	for i := range xs {
+		xs[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return nil
+}
+
+// writeRow emits row id's packed bytes.
+func (q *RowQ) writeRow(w io.Writer, id int32) error {
+	if q.Bits == 4 {
+		_, err := w.Write(q.rows4[id])
+		return err
+	}
+	row := q.rows8[id]
+	buf := make([]byte, len(row))
+	for i, v := range row {
+		buf[i] = uint8(v)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// readRow8 fills an int8 row from the wire and returns its element sum.
+func readRow8(r io.Reader, dst []int8) (int32, error) {
+	buf := make([]byte, len(dst))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, err
+	}
+	var sum int32
+	for i, b := range buf {
+		v := int8(b)
+		dst[i] = v
+		sum += int32(v)
+	}
+	return sum, nil
+}
+
+// readRow4 fills a nibble-packed row from the wire and returns its element
+// sum over the first in elements (the odd-length padding nibble is excluded
+// — writers zero it, but a forgiving reader must not let it skew the sum).
+func readRow4(r io.Reader, dst []uint8, in int) (int32, error) {
+	if _, err := io.ReadFull(r, dst); err != nil {
+		return 0, err
+	}
+	return sumNibbles(dst, in), nil
+}
+
+func sumNibbles(row []uint8, in int) int32 {
+	var sum int32
+	for i := 0; i < in; i++ {
+		v := row[i>>1]
+		if i&1 == 0 {
+			sum += int32(int8(v<<4) >> 4)
+		} else {
+			sum += int32(int8(v) >> 4)
+		}
+	}
+	return sum
+}
+
+// SerializeView writes the full quantized view.
+func (q *RowQ) SerializeView(out io.Writer) error {
+	for _, v := range []uint32{uint32(q.In), uint32(q.Out), uint32(q.Bits)} {
+		if err := writeU32(out, v); err != nil {
+			return err
+		}
+	}
+	if err := writeF32s(out, q.scales); err != nil {
+		return err
+	}
+	if err := writeF32s(out, q.bias); err != nil {
+		return err
+	}
+	for i := 0; i < q.Out; i++ {
+		if err := q.writeRow(out, int32(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkViewHeader(in, out, bits uint32) error {
+	if in == 0 || out == 0 || in > maxViewDim || out > maxViewDim {
+		return fmt.Errorf("quant: view dims %dx%d out of range", in, out)
+	}
+	if in > MaxDotLen {
+		return fmt.Errorf("quant: row length %d exceeds MaxDotLen %d", in, MaxDotLen)
+	}
+	if err := validBits(int(bits)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ReadRowQ reconstructs a view written by SerializeView, recomputing the
+// per-row sums from the packed bytes.
+func ReadRowQ(r io.Reader) (*RowQ, error) {
+	var in, out, bits uint32
+	for _, p := range []*uint32{&in, &out, &bits} {
+		if err := readU32(r, p); err != nil {
+			return nil, fmt.Errorf("quant: reading view header: %w", err)
+		}
+	}
+	if err := checkViewHeader(in, out, bits); err != nil {
+		return nil, err
+	}
+	q := newRowQ(int(in), int(out), int(bits))
+	if err := readF32s(r, q.scales); err != nil {
+		return nil, err
+	}
+	if err := readF32s(r, q.bias); err != nil {
+		return nil, err
+	}
+	for i := 0; i < q.Out; i++ {
+		var err error
+		if q.Bits == 4 {
+			q.rowSums[i], err = readRow4(r, q.rows4[i], q.In)
+		} else {
+			q.rowSums[i], err = readRow8(r, q.rows8[i])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("quant: reading row %d: %w", i, err)
+		}
+	}
+	return q, nil
+}
+
+// SerializeRowsDelta writes the sparse patch for ids (ascending): touched
+// rows with their scales and biases; nothing else is on the wire.
+func (q *RowQ) SerializeRowsDelta(out io.Writer, ids []int32) error {
+	for _, v := range []uint32{uint32(q.In), uint32(q.Out), uint32(q.Bits), uint32(len(ids))} {
+		if err := writeU32(out, v); err != nil {
+			return err
+		}
+	}
+	for _, id := range ids {
+		if err := writeU32(out, uint32(id)); err != nil {
+			return err
+		}
+		if err := writeF32s(out, q.scales[id:id+1]); err != nil {
+			return err
+		}
+		if err := q.writeRow(out, id); err != nil {
+			return err
+		}
+		if err := writeF32s(out, q.bias[id:id+1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PatchRows applies a SerializeRowsDelta payload, returning a new view that
+// shares every untouched row with q (copy-on-write) plus the ascending ids
+// the payload named. q itself is never modified. The payload's shape and
+// bit width must match q's.
+func (q *RowQ) PatchRows(r io.Reader) (*RowQ, []int32, error) {
+	var in, out, bits, n uint32
+	for _, p := range []*uint32{&in, &out, &bits, &n} {
+		if err := readU32(r, p); err != nil {
+			return nil, nil, fmt.Errorf("quant: reading rows delta header: %w", err)
+		}
+	}
+	if int(in) != q.In || int(out) != q.Out || int(bits) != q.Bits {
+		return nil, nil, fmt.Errorf("quant: rows delta mismatch: wire %dx%d/int%d, view %dx%d/int%d",
+			in, out, bits, q.In, q.Out, q.Bits)
+	}
+	if n > out {
+		return nil, nil, fmt.Errorf("quant: rows delta names %d rows, view has %d", n, out)
+	}
+	p := &RowQ{In: q.In, Out: q.Out, Bits: q.Bits}
+	p.scales = append([]float32(nil), q.scales...)
+	p.rowSums = append([]int32(nil), q.rowSums...)
+	p.bias = append([]float32(nil), q.bias...)
+	if q.Bits == 4 {
+		p.rows4 = append([][]uint8(nil), q.rows4...)
+	} else {
+		p.rows8 = append([][]int8(nil), q.rows8...)
+	}
+	ids := make([]int32, 0, n)
+	last := int64(-1)
+	for k := uint32(0); k < n; k++ {
+		var id uint32
+		if err := readU32(r, &id); err != nil {
+			return nil, nil, fmt.Errorf("quant: reading rows delta record %d: %w", k, err)
+		}
+		if int64(id) <= last || id >= out {
+			return nil, nil, fmt.Errorf("quant: rows delta id %d out of order or range (prev %d, rows %d)", id, last, out)
+		}
+		last = int64(id)
+		ids = append(ids, int32(id))
+		if err := readF32s(r, p.scales[id:id+1]); err != nil {
+			return nil, nil, err
+		}
+		var err error
+		if q.Bits == 4 {
+			row := make([]uint8, stride(q.In, 4))
+			p.rowSums[id], err = readRow4(r, row, q.In)
+			p.rows4[id] = row
+		} else {
+			row := make([]int8, q.In)
+			p.rowSums[id], err = readRow8(r, row)
+			p.rows8[id] = row
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := readF32s(r, p.bias[id:id+1]); err != nil {
+			return nil, nil, err
+		}
+	}
+	return p, ids, nil
+}
+
+// WriteRowsDelta quantizes exactly the touched rows of an f32/BF16 view and
+// writes them in SerializeRowsDelta format — the trainer-side delta encoder.
+// Quantizing only the journaled rows keeps delta publish O(touched), never
+// O(model); bit-identity with a receiver-side full quantize holds because
+// row quantization is a pure per-row function. Touched rows containing
+// NaN/Inf refuse to encode (error wraps ErrNonFinite).
+func WriteRowsDelta(w io.Writer, src *layer.RowWeights, ids []int32, bits int) error {
+	if err := validBits(bits); err != nil {
+		return err
+	}
+	if src.In > MaxDotLen {
+		return fmt.Errorf("quant: row length %d exceeds MaxDotLen %d", src.In, MaxDotLen)
+	}
+	for _, v := range []uint32{uint32(src.In), uint32(src.Out), uint32(bits), uint32(len(ids))} {
+		if err := writeU32(w, v); err != nil {
+			return err
+		}
+	}
+	buf := make([]float32, src.In)
+	row8 := make([]int8, stride(src.In, 8))
+	row4 := make([]uint8, stride(src.In, 4))
+	pbuf := make([]byte, stride(src.In, 8))
+	bias := src.Bias()
+	for _, id := range ids {
+		row := src.RowF32(int(id), buf)
+		if k := health.FirstNonFinite32(row); k >= 0 {
+			return fmt.Errorf("quant: %w: row %d element %d", ErrNonFinite, id, k)
+		}
+		if k := health.FirstNonFinite32(bias[id : id+1]); k >= 0 {
+			return fmt.Errorf("quant: %w: bias[%d]", ErrNonFinite, id)
+		}
+		var scale float32
+		var packed []byte
+		if bits == 4 {
+			scale, _ = quantizeRow4(row, row4)
+			packed = row4
+		} else {
+			scale, _ = quantizeRow8(row, row8)
+			for i, v := range row8 {
+				pbuf[i] = uint8(v)
+			}
+			packed = pbuf
+		}
+		if err := writeU32(w, uint32(id)); err != nil {
+			return err
+		}
+		if err := writeF32s(w, []float32{scale}); err != nil {
+			return err
+		}
+		if _, err := w.Write(packed); err != nil {
+			return err
+		}
+		if err := writeF32s(w, bias[id:id+1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PackedBytes returns the serialized size of the view — the "snapshot
+// bytes" number /stats and the bench report: header + scales + biases +
+// packed rows.
+func (q *RowQ) PackedBytes() int64 {
+	return 12 + 8*int64(q.Out) + int64(q.Out)*int64(stride(q.In, q.Bits))
+}

@@ -75,6 +75,13 @@ type Client struct {
 	// replica fleet doesn't retry in lockstep, yet a given seed replays the
 	// exact same schedule). Wire it to the replica's -seed flag.
 	JitterSeed uint64
+	// RequireQuantized, when 8 or 4, refuses base snapshots that are not
+	// quantized at exactly that width — a replica provisioned for an int8
+	// memory budget must not silently inflate to f32 because the hub was
+	// started without -quantize. 0 accepts whatever the hub streams.
+	// Deltas are checked structurally by ApplyDelta (a width flip between
+	// base and delta is corruption either way).
+	RequireQuantized int
 
 	// Stats is updated throughout Run.
 	Stats Stats
@@ -202,6 +209,11 @@ func (c *Client) syncBase(ctx context.Context) error {
 	if err != nil {
 		c.Stats.Corrupt.Add(1)
 		return err
+	}
+	if c.RequireQuantized != 0 && base.Parts.QBits != c.RequireQuantized {
+		c.Stats.Corrupt.Add(1)
+		return fmt.Errorf("replicate: base is int%d-quantized (0 = f32), replica requires int%d",
+			base.Parts.QBits, c.RequireQuantized)
 	}
 	p, err := network.NewPredictorFromBase(base.Parts)
 	if err != nil {

@@ -37,6 +37,11 @@ type Hub struct {
 	ringCap  int
 	pollWait time.Duration
 
+	// qbits, when nonzero, quantizes the stream at publish: bases and
+	// deltas ship int8 (or int4) output sections, so every replica holds
+	// and serves the packed representation. Set before the first Publish.
+	qbits int
+
 	mu          sync.Mutex
 	version     uint64             // replication version of the newest snapshot
 	cur         *network.Predictor // newest snapshot, for base re-encodes
@@ -50,6 +55,24 @@ type Hub struct {
 // NewHub returns an empty hub; it serves errors until the first Publish.
 func NewHub() *Hub {
 	return &Hub{ringCap: defaultRingCap, pollWait: defaultPollWait, wake: make(chan struct{})}
+}
+
+// SetQuantize switches the hub to a quantized replication stream: every
+// subsequently encoded base and delta carries the output layer packed to
+// bits (8 or 4) on wire v2, quantized at publish from the trainer's f32
+// snapshots. Call once, before the first Publish; bits 0 keeps the
+// full-precision stream.
+func (h *Hub) SetQuantize(bits int) error {
+	if bits != 0 && bits != 4 && bits != 8 {
+		return fmt.Errorf("replicate: quantize bits must be 0, 4, or 8 (got %d)", bits)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.version != 0 {
+		return fmt.Errorf("replicate: SetQuantize must precede the first Publish")
+	}
+	h.qbits = bits
+	return nil
 }
 
 // Publish makes (p, d) the newest replicated snapshot. A nil delta
@@ -80,12 +103,18 @@ func (h *Hub) Publish(p *network.Predictor, d *network.Delta) error {
 	var enc []byte
 	var err error
 	h.mu.Lock()
-	from, to := h.version, h.version+1
+	from, to, qbits := h.version, h.version+1, h.qbits
 	h.mu.Unlock()
 	if d != nil {
 		// Encode outside the lock: serving-path handlers must not wait on
-		// snapshot serialization.
-		if enc, err = EncodeDelta(d, from, to); err != nil {
+		// snapshot serialization. On a quantized stream the touched rows are
+		// packed here, on the fly — O(touched), never O(model).
+		if qbits != 0 {
+			enc, err = EncodeDeltaQ(d, from, to, qbits)
+		} else {
+			enc, err = EncodeDelta(d, from, to)
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -119,7 +148,7 @@ func (h *Hub) Version() uint64 {
 // snapshot, encoding it if the cache is stale.
 func (h *Hub) encodedBase() ([]byte, uint64, error) {
 	h.mu.Lock()
-	cur, ver := h.cur, h.version
+	cur, ver, qbits := h.cur, h.version, h.qbits
 	if h.baseVer == ver && h.base != nil {
 		b := h.base
 		h.mu.Unlock()
@@ -129,7 +158,13 @@ func (h *Hub) encodedBase() ([]byte, uint64, error) {
 	if cur == nil {
 		return nil, 0, fmt.Errorf("replicate: nothing published yet")
 	}
-	enc, err := EncodeBase(cur, ver)
+	var enc []byte
+	var err error
+	if qbits != 0 {
+		enc, err = EncodeBaseQ(cur, ver, qbits)
+	} else {
+		enc, err = EncodeBase(cur, ver)
+	}
 	if err != nil {
 		return nil, 0, err
 	}
@@ -271,7 +306,9 @@ func (h *Hub) handleStatus(w http.ResponseWriter, r *http.Request) {
 		RingFrom    uint64 `json:"ring_from"`
 		BaseBytes   int    `json:"base_bytes"`
 		Quarantined uint64 `json:"quarantined"`
-	}{Version: h.version, RingLen: len(h.ring), BaseBytes: len(h.base), Quarantined: h.quarantined}
+		QBits       int    `json:"qbits,omitempty"`
+	}{Version: h.version, RingLen: len(h.ring), BaseBytes: len(h.base),
+		Quarantined: h.quarantined, QBits: h.qbits}
 	if h.cur != nil {
 		st.Step = h.cur.Steps()
 	}

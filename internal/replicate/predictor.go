@@ -44,6 +44,14 @@ func (s *Served) Sampled() bool { return s.p.Sampled() }
 // quarantine hook, same contract as slide.Predictor.CheckFinite.
 func (s *Served) CheckFinite() error { return s.p.CheckFinite() }
 
+// SnapshotPrecision names the output-layer storage the replica serves from
+// (f32|bf16|int8|int4) — int8/int4 on a quantized stream. Surfaced on the
+// replica's /stats.
+func (s *Served) SnapshotPrecision() string { return s.p.PrecisionName() }
+
+// PackedBytes is the serialized size of the output-layer representation.
+func (s *Served) PackedBytes() int64 { return s.p.PackedBytes() }
+
 // Predict is single-sample exact top-k.
 func (s *Served) Predict(indices []int32, values []float32, k int) []int32 {
 	return s.p.Predict(sparse.Vector{Indices: indices, Values: values}, k)

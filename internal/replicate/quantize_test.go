@@ -1,0 +1,265 @@
+package replicate
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"hash/crc32"
+	"strings"
+	"testing"
+
+	"github.com/slide-cpu/slide/internal/network"
+)
+
+// quantIdentical asserts the replica predictor is int8-quantized and both
+// answers and serializes byte-identically to quantizing the trainer's local
+// snapshot — the end-to-end quantize-at-publish contract.
+func quantIdentical(t *testing.T, local, remote *network.Predictor, src *trainSrc) {
+	t.Helper()
+	if !remote.Quantized() || remote.QuantizedBits() != 8 {
+		t.Fatalf("replica predictor reports %v/int%d, want int8",
+			remote.Quantized(), remote.QuantizedBits())
+	}
+	lq, err := local.Quantize(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectIdentical(t, lq, remote, src.probes(30))
+	var lb, rb bytes.Buffer
+	if err := lq.WriteOutput(&lb); err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.WriteOutput(&rb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lb.Bytes(), rb.Bytes()) {
+		t.Fatal("replica packed rows diverge from a local quantize of the same snapshot")
+	}
+}
+
+// TestQuantizedFollow: with the hub in int8 mode the replica bootstraps from
+// a packed base, applies packed deltas, and at every step serves exactly what
+// quantizing the trainer's snapshot would serve — without a single re-sync.
+func TestQuantizedFollow(t *testing.T) {
+	n := newTestNet(t, 43)
+	src := newTrainSrc(60, 20, 11)
+	hub := NewHub()
+	if err := hub.SetQuantize(8); err != nil {
+		t.Fatal(err)
+	}
+	_, c, swaps := testCluster(t, hub)
+
+	for i := 0; i < 3; i++ {
+		n.TrainBatch(src.batch(32))
+	}
+	p, d := n.SnapshotDelta()
+	if d != nil {
+		t.Fatal("first snapshot should be a base")
+	}
+	if err := hub.Publish(p, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); c.Run(ctx) }()
+	waitVersion(t, swaps, 1)
+
+	local := p
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 3; i++ {
+			n.TrainBatch(src.batch(32))
+		}
+		var d *network.Delta
+		local, d = n.SnapshotDelta()
+		if d == nil {
+			t.Fatal("expected a delta")
+		}
+		if err := hub.Publish(local, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitVersion(t, swaps, 5)
+	quantIdentical(t, local, c.cur, src)
+	if got := c.Stats.DeltasApplied.Load(); got != 4 {
+		t.Errorf("deltas applied = %d, want 4", got)
+	}
+	if got := c.Stats.Resyncs.Load(); got != 0 {
+		t.Errorf("resyncs = %d, want 0", got)
+	}
+	cancel()
+	<-done
+}
+
+// TestQuantizedRingGapResync: a replica that falls out of the quantized
+// hub's replay ring re-syncs from a fresh packed base and stays quantized.
+func TestQuantizedRingGapResync(t *testing.T) {
+	n := newTestNet(t, 47)
+	src := newTrainSrc(60, 20, 13)
+	hub := NewHub()
+	if err := hub.SetQuantize(8); err != nil {
+		t.Fatal(err)
+	}
+	hub.ringCap = 2
+	_, c, _ := testCluster(t, hub)
+
+	n.TrainBatch(src.batch(32))
+	p, _ := n.SnapshotDelta()
+	if err := hub.Publish(p, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	if err := c.syncBase(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Four more versions while the replica is away; the ring holds two.
+	var local *network.Predictor
+	for i := 0; i < 4; i++ {
+		n.TrainBatch(src.batch(32))
+		var d *network.Delta
+		local, d = n.SnapshotDelta()
+		if err := hub.Publish(local, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resync, err := c.pollOnce(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resync {
+		t.Fatal("expected a ring-gap re-sync")
+	}
+	if err := c.syncBase(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if c.version != 5 {
+		t.Fatalf("re-synced to version %d, want 5", c.version)
+	}
+	quantIdentical(t, local, c.cur, src)
+}
+
+// TestRequireQuantizedRefusesF32: a replica pinned to int8 refuses an f32
+// base during sync — sized-for-packed replicas never silently inflate.
+func TestRequireQuantizedRefusesF32(t *testing.T) {
+	n := newTestNet(t, 53)
+	src := newTrainSrc(60, 20, 17)
+	hub := NewHub() // f32: SetQuantize never called
+	_, c, _ := testCluster(t, hub)
+	c.RequireQuantized = 8
+
+	n.TrainBatch(src.batch(32))
+	p, _ := n.SnapshotDelta()
+	if err := hub.Publish(p, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	err := c.syncBase(context.Background())
+	if err == nil {
+		t.Fatal("int8-pinned replica accepted an f32 base")
+	}
+	if !strings.Contains(err.Error(), "requires int8") {
+		t.Fatalf("unexpected refusal: %v", err)
+	}
+	if got := c.Stats.Corrupt.Load(); got != 1 {
+		t.Errorf("corrupt count = %d, want 1", got)
+	}
+	if c.cur != nil {
+		t.Error("refused base must not install a predictor")
+	}
+}
+
+// TestSetQuantizeValidation: only widths 0/4/8 are accepted, and the mode is
+// immutable once the stream has published (mid-stream flips would desync
+// every follower).
+func TestSetQuantizeValidation(t *testing.T) {
+	hub := NewHub()
+	if err := hub.SetQuantize(5); err == nil {
+		t.Error("SetQuantize(5) accepted")
+	}
+	if err := hub.SetQuantize(4); err != nil {
+		t.Errorf("SetQuantize(4): %v", err)
+	}
+	if err := hub.SetQuantize(0); err != nil {
+		t.Errorf("SetQuantize(0): %v", err)
+	}
+	if err := hub.SetQuantize(8); err != nil {
+		t.Errorf("SetQuantize(8): %v", err)
+	}
+
+	n := newTestNet(t, 59)
+	n.TrainBatch(newTrainSrc(60, 20, 19).batch(32))
+	p, _ := n.SnapshotDelta()
+	if err := hub.Publish(p, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.SetQuantize(4); err == nil {
+		t.Error("SetQuantize after Publish accepted")
+	}
+}
+
+// TestQuantizedWireRoundTrip: v2 base and delta messages carry QBits through
+// encode/decode, and an envelope declaring an unknown width is rejected.
+func TestQuantizedWireRoundTrip(t *testing.T) {
+	n := newTestNet(t, 61)
+	src := newTrainSrc(60, 20, 23)
+	n.TrainBatch(src.batch(32))
+	p, _ := n.SnapshotDelta()
+	n.TrainBatch(src.batch(32))
+	_, d := n.SnapshotDelta()
+	if d == nil {
+		t.Fatal("expected a delta")
+	}
+
+	enc, err := EncodeBaseQ(p, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _, err := ReadMessage(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base == nil || base.Parts.QBits != 8 {
+		t.Fatalf("decoded base QBits = %+v, want 8", base)
+	}
+
+	dEnc, err := EncodeDeltaQ(d, 1, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dd, err := ReadMessage(bytes.NewReader(dEnc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dd == nil || dd.Parts.QBits != 8 || dd.FromVersion != 1 || dd.ToVersion != 2 {
+		t.Fatalf("decoded delta = %+v, want QBits 8 v1->v2", dd)
+	}
+
+	// The f32 encoders still emit v1 bytes: no qbits field in the envelope.
+	v1, err := EncodeBase(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _, err := ReadMessage(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.Parts.QBits != 0 {
+		t.Fatalf("f32 base decoded QBits %d, want 0", b1.Parts.QBits)
+	}
+
+	// Corrupt the declared width to 5 (and re-stamp the envelope section's
+	// CRC so only the semantic check can object): message header is 12
+	// bytes, the envelope section header 12 more, so the 40-byte envelope
+	// payload spans [24,64) with qbits in its last 8 bytes.
+	bad := append([]byte(nil), enc...)
+	binary.LittleEndian.PutUint64(bad[56:64], 5)
+	crc := crc32.Checksum(bad[24:64], crc32.MakeTable(crc32.Castagnoli))
+	binary.LittleEndian.PutUint32(bad[64:68], crc)
+	if _, _, err := ReadMessage(bytes.NewReader(bad)); err == nil ||
+		!strings.Contains(err.Error(), "qbits") {
+		t.Fatalf("qbits=5 envelope not rejected: %v", err)
+	}
+}

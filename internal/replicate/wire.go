@@ -34,9 +34,15 @@ import (
 //	section middle     (dense middle stack, whole either way)
 //	section output     (base: full view; delta: touched rows + biases)
 //	section tables     (present iff the envelope's hasTables flag is set)
+//
+// Wire v2 (quantized streams) appends one u64 — qbits — to the envelope
+// (base: 40 bytes, delta: 56) and carries the output section in the packed
+// quant codec at that width. Everything else is identical; readers accept
+// both versions, and f32 streams keep emitting v1 bytes unchanged.
 const (
 	wireMagic   = 0x534C4452 // "SLDR"
-	wireVersion = 1
+	wireV1      = 1          // f32/BF16 output sections
+	wireV2      = 2          // quantized output sections (envelope carries qbits)
 
 	kindBase  = 1
 	kindDelta = 2
@@ -83,20 +89,41 @@ type Delta struct {
 }
 
 // EncodeBase serializes a full snapshot of p at the given replication
-// version into one wire message.
+// version into one wire message (v1: the output ships at the predictor's
+// training precision).
 func EncodeBase(p *network.Predictor, version uint64) ([]byte, error) {
+	return encodeBase(p, version, 0)
+}
+
+// EncodeBaseQ serializes a base with the output section quantized to qbits
+// (8 or 4), emitting a v2 message. An already-quantized predictor at the
+// same width streams its packed rows directly; an f32 predictor is
+// quantized at encode time (and left unmodified).
+func EncodeBaseQ(p *network.Predictor, version uint64, qbits int) ([]byte, error) {
+	return encodeBase(p, version, qbits)
+}
+
+func encodeBase(p *network.Predictor, version uint64, qbits int) ([]byte, error) {
 	var buf bytes.Buffer
-	writeHeader(&buf, kindBase)
+	writeHeader(&buf, kindBase, qbits)
 	sw := network.NewSectionWriter(&buf)
 	sw.Section(secEnvelope, "envelope", func(w io.Writer) error {
-		return binary.Write(w, binary.LittleEndian, []uint64{
+		env := []uint64{
 			version, uint64(p.Steps()), boolU64(p.HasTables()), uint64(p.ConfigChecksum()),
-		})
+		}
+		if qbits != 0 {
+			env = append(env, uint64(qbits))
+		}
+		return binary.Write(w, binary.LittleEndian, env)
 	})
 	sw.Section(secConfig, "config", p.WriteBaseConfig)
 	sw.Section(secHidden, "hidden", p.WriteHidden)
 	sw.Section(secMiddle, "middle", p.WriteMiddle)
-	sw.Section(secOutput, "output", p.WriteOutput)
+	if qbits != 0 {
+		sw.Section(secOutput, "output", func(w io.Writer) error { return p.WriteOutputQ(w, qbits) })
+	} else {
+		sw.Section(secOutput, "output", p.WriteOutput)
+	}
 	if p.HasTables() {
 		sw.Section(secTables, "tables", p.WriteTables)
 	}
@@ -107,20 +134,38 @@ func EncodeBase(p *network.Predictor, version uint64) ([]byte, error) {
 }
 
 // EncodeDelta serializes d as the wire message moving fromVersion to
-// toVersion.
+// toVersion (v1: f32 output rows).
 func EncodeDelta(d *network.Delta, fromVersion, toVersion uint64) ([]byte, error) {
+	return encodeDelta(d, fromVersion, toVersion, 0)
+}
+
+// EncodeDeltaQ serializes d with the touched output rows quantized to qbits
+// on the fly (v2). Publish cost stays O(touched rows).
+func EncodeDeltaQ(d *network.Delta, fromVersion, toVersion uint64, qbits int) ([]byte, error) {
+	return encodeDelta(d, fromVersion, toVersion, qbits)
+}
+
+func encodeDelta(d *network.Delta, fromVersion, toVersion uint64, qbits int) ([]byte, error) {
 	var buf bytes.Buffer
-	writeHeader(&buf, kindDelta)
+	writeHeader(&buf, kindDelta, qbits)
 	sw := network.NewSectionWriter(&buf)
 	sw.Section(secEnvelope, "envelope", func(w io.Writer) error {
-		return binary.Write(w, binary.LittleEndian, []uint64{
+		env := []uint64{
 			fromVersion, toVersion, uint64(d.FromStep), uint64(d.ToStep),
 			boolU64(d.TablesChanged), uint64(d.ConfigChecksum()),
-		})
+		}
+		if qbits != 0 {
+			env = append(env, uint64(qbits))
+		}
+		return binary.Write(w, binary.LittleEndian, env)
 	})
 	sw.Section(secHidden, "hidden", d.WriteHidden)
 	sw.Section(secMiddle, "middle", d.WriteMiddle)
-	sw.Section(secOutput, "output", d.WriteOutput)
+	if qbits != 0 {
+		sw.Section(secOutput, "output", func(w io.Writer) error { return d.WriteOutputQ(w, qbits) })
+	} else {
+		sw.Section(secOutput, "output", d.WriteOutput)
+	}
 	if d.TablesChanged {
 		sw.Section(secTables, "tables", d.WriteTables)
 	}
@@ -130,10 +175,14 @@ func EncodeDelta(d *network.Delta, fromVersion, toVersion uint64) ([]byte, error
 	return buf.Bytes(), nil
 }
 
-func writeHeader(buf *bytes.Buffer, kind uint32) {
+func writeHeader(buf *bytes.Buffer, kind uint32, qbits int) {
+	ver := uint32(wireV1)
+	if qbits != 0 {
+		ver = wireV2
+	}
 	var hdr [12]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], wireMagic)
-	binary.LittleEndian.PutUint32(hdr[4:8], wireVersion)
+	binary.LittleEndian.PutUint32(hdr[4:8], ver)
 	binary.LittleEndian.PutUint32(hdr[8:12], kind)
 	buf.Write(hdr[:])
 }
@@ -160,8 +209,9 @@ func ReadMessage(r io.Reader) (*Base, *Delta, error) {
 	if m := binary.LittleEndian.Uint32(hdr[0:4]); m != wireMagic {
 		return nil, nil, fmt.Errorf("replicate: bad magic %#x", m)
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != wireVersion {
-		return nil, nil, fmt.Errorf("replicate: unsupported wire version %d", v)
+	wv := binary.LittleEndian.Uint32(hdr[4:8])
+	if wv != wireV1 && wv != wireV2 {
+		return nil, nil, fmt.Errorf("replicate: unsupported wire version %d", wv)
 	}
 	kind := binary.LittleEndian.Uint32(hdr[8:12])
 	sr := network.NewSectionReader(r, int64(len(hdr)))
@@ -171,26 +221,44 @@ func ReadMessage(r io.Reader) (*Base, *Delta, error) {
 	}
 	switch kind {
 	case kindBase:
-		return readBase(next)
+		return readBase(next, wv)
 	case kindDelta:
-		return readDelta(next)
+		return readDelta(next, wv)
 	default:
 		return nil, nil, fmt.Errorf("replicate: unknown message kind %d", kind)
 	}
 }
 
-func readBase(next func(uint32) ([]byte, error)) (*Base, *Delta, error) {
+// envQBits validates and extracts the v2 qbits field appended at env[at:].
+func envQBits(env []byte, at int) (int, error) {
+	q := binary.LittleEndian.Uint64(env[at : at+8])
+	if q != 4 && q != 8 {
+		return 0, fmt.Errorf("replicate: envelope declares qbits %d, want 4 or 8", q)
+	}
+	return int(q), nil
+}
+
+func readBase(next func(uint32) ([]byte, error), wv uint32) (*Base, *Delta, error) {
 	env, err := next(secEnvelope)
 	if err != nil {
 		return nil, nil, err
 	}
-	if len(env) != 32 {
-		return nil, nil, fmt.Errorf("replicate: base envelope is %d bytes, want 32", len(env))
+	want := 32
+	if wv == wireV2 {
+		want = 40
+	}
+	if len(env) != want {
+		return nil, nil, fmt.Errorf("replicate: base envelope is %d bytes, want %d", len(env), want)
 	}
 	b := &Base{
 		Version:   binary.LittleEndian.Uint64(env[0:8]),
 		Step:      int64(binary.LittleEndian.Uint64(env[8:16])),
 		ConfigCRC: uint32(binary.LittleEndian.Uint64(env[24:32])),
+	}
+	if wv == wireV2 {
+		if b.Parts.QBits, err = envQBits(env, 32); err != nil {
+			return nil, nil, err
+		}
 	}
 	hasTables := binary.LittleEndian.Uint64(env[16:24]) != 0
 	if b.Parts.Config, err = next(secConfig); err != nil {
@@ -213,18 +281,27 @@ func readBase(next func(uint32) ([]byte, error)) (*Base, *Delta, error) {
 	return b, nil, nil
 }
 
-func readDelta(next func(uint32) ([]byte, error)) (*Base, *Delta, error) {
+func readDelta(next func(uint32) ([]byte, error), wv uint32) (*Base, *Delta, error) {
 	env, err := next(secEnvelope)
 	if err != nil {
 		return nil, nil, err
 	}
-	if len(env) != 48 {
-		return nil, nil, fmt.Errorf("replicate: delta envelope is %d bytes, want 48", len(env))
+	want := 48
+	if wv == wireV2 {
+		want = 56
+	}
+	if len(env) != want {
+		return nil, nil, fmt.Errorf("replicate: delta envelope is %d bytes, want %d", len(env), want)
 	}
 	d := &Delta{
 		FromVersion: binary.LittleEndian.Uint64(env[0:8]),
 		ToVersion:   binary.LittleEndian.Uint64(env[8:16]),
 		ConfigCRC:   uint32(binary.LittleEndian.Uint64(env[40:48])),
+	}
+	if wv == wireV2 {
+		if d.Parts.QBits, err = envQBits(env, 48); err != nil {
+			return nil, nil, err
+		}
 	}
 	d.Parts.FromStep = int64(binary.LittleEndian.Uint64(env[16:24]))
 	d.Parts.ToStep = int64(binary.LittleEndian.Uint64(env[24:32]))

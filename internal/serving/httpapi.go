@@ -479,6 +479,19 @@ type statsResponse struct {
 	// non-finite weights; QuarantineReason is the most recent refusal.
 	Quarantined      uint64 `json:"quarantined"`
 	QuarantineReason string `json:"quarantine_reason,omitempty"`
+	// SnapshotPrecision names the current snapshot's output-layer storage
+	// (f32|bf16|int8|int4) and SnapshotPackedBytes its serialized size —
+	// present when the predictor reports them (slide.Predictor does).
+	SnapshotPrecision   string `json:"snapshot_precision,omitempty"`
+	SnapshotPackedBytes int64  `json:"snapshot_packed_bytes,omitempty"`
+}
+
+// precisionReporter is the optional observability surface a predictor may
+// implement (slide.Predictor and replicate.Served do) to expose its
+// output-layer storage format on /stats.
+type precisionReporter interface {
+	SnapshotPrecision() string
+	PackedBytes() int64
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -492,6 +505,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 
 		Quarantined:      s.mgr.Quarantined(),
 		QuarantineReason: s.mgr.QuarantineReason(),
+	}
+	if pr, ok := p.(precisionReporter); ok {
+		resp.SnapshotPrecision = pr.SnapshotPrecision()
+		resp.SnapshotPackedBytes = pr.PackedBytes()
 	}
 	if s.batcher != nil {
 		st := s.batcher.Stats()

@@ -3,17 +3,22 @@
 package simd
 
 import (
+	"os"
+
 	"github.com/slide-cpu/slide/internal/bf16"
 	"github.com/slide-cpu/slide/internal/cpufeat"
 )
 
 // Host capability flags, probed once. clamp/Supported read these; the init
 // below swaps the assembly tables in when the silicon can run them.
+// SLIDE_NO_VNNI=1 forces the AVX-512 table onto the AVX2 integer kernel —
+// the CI knob for exercising the VNNI-absent fallback on VNNI hardware.
 var (
 	feat         = cpufeat.Detect()
 	haveAVX2     = feat.HasAVX2Tier()
 	haveAVX512   = feat.HasAVX512Tier()
 	haveAVX512BF = haveAVX512 && feat.AVX512BF16
+	haveVNNI     = feat.HasVNNITier() && os.Getenv("SLIDE_NO_VNNI") == ""
 )
 
 func init() {
@@ -41,6 +46,9 @@ func init() {
 			AdamStepZeroBF16:   adamStepZeroBF16,
 			DotManyBiasBF16Act: dotManyBiasBF16ActAVX2,
 			DotManyBiasBF16:    dotManyBiasBF16AVX2,
+
+			DotU8S8: dotU8S8AVX2,
+			DotU8S4: dotU8S4Go,
 
 			PackBF16:  packBF16Go,
 			RoundBF16: roundBF16Go,
@@ -71,8 +79,17 @@ func init() {
 			DotManyBiasBF16Act: dotManyBiasBF16ActAVX512,
 			DotManyBiasBF16:    dotManyBiasBF16AVX512,
 
+			// The integer dot rides the AVX2 widening kernel unless the
+			// silicon has VNNI (see below); either way the result is the
+			// identical int32 — exact math, so the swap is pure throughput.
+			DotU8S8: dotU8S8AVX2,
+			DotU8S4: dotU8S4Go,
+
 			PackBF16:  packBF16Go,
 			RoundBF16: roundBF16Go,
+		}
+		if haveVNNI {
+			avx512Kernels.DotU8S8 = dotU8S8VNNI
 		}
 		if haveAVX512BF {
 			// Hardware VCVTNEPS2BF16. Divergence from the software
@@ -157,6 +174,12 @@ func axpyBF16AVX2Asm(alpha float32, x *bf16.BF16, y *float32, n int64)
 
 //go:noescape
 func axpyBF16AVX512Asm(alpha float32, x *bf16.BF16, y *float32, n int64)
+
+//go:noescape
+func dotU8S8AVX2Asm(a *uint8, b *int8, n int64) int32
+
+//go:noescape
+func dotU8S8VNNIAsm(a *uint8, b *int8, n int64) int32
 
 //go:noescape
 func packBF16AVX512Asm(dst *bf16.BF16, src *float32, n int64)
@@ -301,6 +324,39 @@ func dotManyBiasAVX2(rows [][]float32, bias []float32, ids []int32, h, out []flo
 		}
 		out[k] = dotAVX2(r, h) + bias[id]
 	}
+}
+
+// dotU8S8AVX2 and dotU8S8VNNI run the vector body on the aligned prefix and
+// finish with a Go tail. Integer accumulation is exact, so both are
+// bit-identical to the scalar reference regardless of blocking.
+
+func dotU8S8AVX2(a []uint8, b []int8) int32 {
+	n := len(a)
+	b = b[:n]
+	nv := n &^ 15
+	var s int32
+	if nv > 0 {
+		s = dotU8S8AVX2Asm(&a[0], &b[0], int64(nv))
+	}
+	for i := nv; i < n; i++ {
+		s += int32(a[i]) * int32(b[i])
+	}
+	return s
+}
+
+func dotU8S8VNNI(a []uint8, b []int8) int32 {
+	n := len(a)
+	b = b[:n]
+	nv := n &^ 63
+	var s int32
+	if nv > 0 {
+		s = dotU8S8VNNIAsm(&a[0], &b[0], int64(nv))
+	}
+	// Sub-64-byte remainder: reuse the AVX2 kernel (VNNI implies AVX2).
+	if n > nv {
+		s += dotU8S8AVX2(a[nv:], b[nv:])
+	}
+	return s
 }
 
 func dotBF16F32AVX2(a []bf16.BF16, b []float32) float32 {

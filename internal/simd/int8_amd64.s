@@ -1,0 +1,116 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// Integer dot kernels for the quantized serving tier.
+//
+// Unlike the float kernels, these are EXACT: integer accumulation is
+// associative, so any blocking/unroll produces the identical int32 as the
+// scalar reference — provided nothing saturates. The operand contract
+// (activations in [0,127], weights in [-127,127], enforced by internal/quant)
+// keeps every intermediate in range: a VPMADDWD pairwise sum peaks at
+// 2*127*127 = 32258, far inside int32, and the i16 products themselves are
+// produced by widening moves, so no saturating instruction is on the path.
+
+// func dotU8S8AVX2Asm(a *uint8, b *int8, n int64) int32
+// Contract: n > 0 and n%16 == 0.
+//
+// Per 16-byte block: widen u8->i16 (VPMOVZXBW) and s8->i16 (VPMOVSXBW), then
+// VPMADDWD forms the eight pairwise i32 products-of-sums and VPADDD
+// accumulates. VPMADDWD only saturates when both pair products are
+// 0x8000*0x8000, unreachable from widened bytes.
+TEXT ·dotU8S8AVX2Asm(SB), NOSPLIT, $0-28
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), DX
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+
+i8dot2_blk32:
+	CMPQ DX, $32
+	JLT  i8dot2_blk16
+	VPMOVZXBW (SI), Y2
+	VPMOVSXBW (DI), Y3
+	VPMADDWD  Y3, Y2, Y2
+	VPADDD    Y2, Y0, Y0
+	VPMOVZXBW 16(SI), Y4
+	VPMOVSXBW 16(DI), Y5
+	VPMADDWD  Y5, Y4, Y4
+	VPADDD    Y4, Y1, Y1
+	ADDQ $32, SI
+	ADDQ $32, DI
+	SUBQ $32, DX
+	JMP  i8dot2_blk32
+
+i8dot2_blk16:
+	TESTQ DX, DX
+	JE    i8dot2_reduce
+	VPMOVZXBW (SI), Y2
+	VPMOVSXBW (DI), Y3
+	VPMADDWD  Y3, Y2, Y2
+	VPADDD    Y2, Y0, Y0
+	ADDQ $16, SI
+	ADDQ $16, DI
+	SUBQ $16, DX
+	JMP  i8dot2_blk16
+
+i8dot2_reduce:
+	VPADDD Y1, Y0, Y0
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD  X1, X0, X0
+	VPHADDD X0, X0, X0
+	VPHADDD X0, X0, X0
+	VZEROUPPER
+	MOVSS X0, ret+24(FP)
+	RET
+
+// func dotU8S8VNNIAsm(a *uint8, b *int8, n int64) int32
+// Contract: n > 0 and n%64 == 0. Requires AVX512-VNNI.
+//
+// VPDPBUSD fuses the whole widen/multiply/pair-add pipeline: each i32 lane
+// accumulates four u8*s8 products per instruction, 64 bytes per issue.
+// Go assembler operand order: VPDPBUSD Z1, Z0, Z2 is Intel
+// "vpdpbusd zmm2, zmm0, zmm1" — Z2 += Z0(unsigned bytes) * Z1(signed bytes).
+TEXT ·dotU8S8VNNIAsm(SB), NOSPLIT, $0-28
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), DX
+	VPXORD Z2, Z2, Z2
+	VPXORD Z3, Z3, Z3
+
+i8dotv_blk128:
+	CMPQ DX, $128
+	JLT  i8dotv_blk64
+	VMOVDQU32 (SI), Z0
+	VMOVDQU32 (DI), Z1
+	VPDPBUSD  Z1, Z0, Z2
+	VMOVDQU32 64(SI), Z4
+	VMOVDQU32 64(DI), Z5
+	VPDPBUSD  Z5, Z4, Z3
+	ADDQ $128, SI
+	ADDQ $128, DI
+	SUBQ $128, DX
+	JMP  i8dotv_blk128
+
+i8dotv_blk64:
+	TESTQ DX, DX
+	JE    i8dotv_reduce
+	VMOVDQU32 (SI), Z0
+	VMOVDQU32 (DI), Z1
+	VPDPBUSD  Z1, Z0, Z2
+	ADDQ $64, SI
+	ADDQ $64, DI
+	SUBQ $64, DX
+	JMP  i8dotv_blk64
+
+i8dotv_reduce:
+	VPADDD Z3, Z2, Z2
+	VEXTRACTI64X4 $1, Z2, Y3
+	VPADDD Y3, Y2, Y2
+	VEXTRACTI128 $1, Y2, X3
+	VPADDD  X3, X2, X2
+	VPHADDD X2, X2, X2
+	VPHADDD X2, X2, X2
+	VZEROUPPER
+	MOVSS X2, ret+24(FP)
+	RET

@@ -45,6 +45,13 @@ type Kernels struct {
 	DotManyBiasBF16Act func(rows [][]float32, bias []float32, ids []int32, hBF []bf16.BF16, out []float32)
 	DotManyBiasBF16    func(rows [][]bf16.BF16, bias []float32, ids []int32, hBF []bf16.BF16, out []float32)
 
+	// Quantized integer kernels (serving tier, internal/quant). DotU8S8 is
+	// the u8-activation x s8-weight inner product; unlike the float kernels
+	// these are exact, so every tier returns the identical int32. DotU8S4
+	// takes nibble-packed int4 weights and is Go-backed on every tier.
+	DotU8S8 func(a []uint8, b []int8) int32
+	DotU8S4 func(a []uint8, b4 []uint8) int32
+
 	// Precision-conversion kernels (§4.4). PackBF16 converts float32 to
 	// bfloat16 with round-to-nearest-even; RoundBF16 rounds float32 values
 	// through bfloat16 in place. On AVX512-BF16 hardware both map to
@@ -84,6 +91,9 @@ var vectorKernels = Kernels{
 	DotManyBiasBF16Act: dotManyBiasBF16ActVec,
 	DotManyBiasBF16:    dotManyBiasBF16Vec,
 
+	DotU8S8: dotU8S8Vec,
+	DotU8S4: dotU8S4Go,
+
 	PackBF16:  packBF16Go,
 	RoundBF16: roundBF16Go,
 }
@@ -113,6 +123,9 @@ var scalarKernels = Kernels{
 	AdamStepZeroBF16:   adamStepZeroBF16,
 	DotManyBiasBF16Act: dotManyBiasBF16ActScalar,
 	DotManyBiasBF16:    dotManyBiasBF16Scalar,
+
+	DotU8S8: dotU8S8Scalar,
+	DotU8S4: dotU8S4Go,
 
 	PackBF16:  packBF16Go,
 	RoundBF16: roundBF16Go,
